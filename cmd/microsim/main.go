@@ -1,0 +1,85 @@
+// Command microsim runs a single MicroLib simulation: one benchmark,
+// one mechanism, one hierarchy configuration, and prints the
+// statistics.
+//
+// Usage:
+//
+//	microsim -bench gzip -mech GHB -insts 150000 -warmup 50000
+//	microsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"microlib"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "gzip", "benchmark name (see -list)")
+		mech    = flag.String("mech", microlib.BaseMechanism, "mechanism name (see -list)")
+		insts   = flag.Uint64("insts", 150_000, "measured instructions")
+		warmup  = flag.Uint64("warmup", 50_000, "warm-up instructions before measurement")
+		skip    = flag.Uint64("skip", 0, "instructions to skip before the trace window")
+		seed    = flag.Uint64("seed", 42, "workload generator seed")
+		memory  = flag.String("memory", "sdram", "memory model: sdram, const70, sdram70")
+		inorder = flag.Bool("inorder", false, "use the scalar in-order host core")
+		queue   = flag.Int("queue", 0, "force prefetch request queue size (0 = mechanism default)")
+		list    = flag.Bool("list", false, "list benchmarks and mechanisms")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks:", strings.Join(microlib.Benchmarks(), " "))
+		fmt.Println("mechanisms:", microlib.BaseMechanism, strings.Join(microlib.Mechanisms(), " "))
+		return
+	}
+
+	opts := microlib.NewOptions(*bench, *mech)
+	opts.Insts = *insts
+	opts.Warmup = *warmup
+	opts.Skip = *skip
+	opts.Seed = *seed
+	opts.InOrder = *inorder
+	opts.QueueOverride = *queue
+	switch *memory {
+	case "sdram":
+		opts.Hier = opts.Hier.WithMemory(microlib.MemSDRAM)
+	case "const70":
+		opts.Hier = opts.Hier.WithMemory(microlib.MemConst70)
+	case "sdram70":
+		opts.Hier = opts.Hier.WithMemory(microlib.MemSDRAM70)
+	default:
+		fmt.Fprintf(os.Stderr, "microsim: unknown memory model %q\n", *memory)
+		os.Exit(2)
+	}
+
+	res, err := microlib.Run(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "microsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("bench=%s mech=%s insts=%d cycles=%d\n", res.Bench, res.Mechanism, res.CPU.Insts, res.CPU.Cycles)
+	fmt.Printf("IPC           %10.4f\n", res.IPC)
+	fmt.Printf("L1D           acc=%d hits=%d misses=%d missRatio=%.4f auxHits=%d\n",
+		res.L1D.Accesses, res.L1D.Hits, res.L1D.Misses, res.L1D.MissRatio(), res.L1D.AuxHits)
+	fmt.Printf("L1I           acc=%d misses=%d\n", res.L1I.Accesses, res.L1I.Misses)
+	fmt.Printf("L2            acc=%d hits=%d misses=%d\n", res.L2.Accesses, res.L2.Hits, res.L2.Misses)
+	fmt.Printf("prefetch      issued=%d useful=%d dropped=%d dup=%d (L1D+L2)\n",
+		res.L1D.PrefetchIssued+res.L2.PrefetchIssued,
+		res.L1D.PrefetchUseful+res.L2.PrefetchUseful,
+		res.L1D.PrefetchDropped+res.L2.PrefetchDropped,
+		res.L1D.PrefetchDup+res.L2.PrefetchDup)
+	fmt.Printf("memory        reads=%d writes=%d avgReadLat=%.1f rowHits=%d rowConf=%d\n",
+		res.Mem.Reads, res.Mem.Writes, res.Mem.AvgReadLatency(), res.Mem.RowHits, res.Mem.RowConflicts)
+	if len(res.Hardware) > 0 {
+		fmt.Println("mechanism hardware:")
+		for _, t := range res.Hardware {
+			fmt.Printf("  %-16s %8d B assoc=%d reads=%d writes=%d\n", t.Label, t.Bytes, t.Assoc, t.Reads, t.Writes)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Command mlrank regenerates the paper's tables and figures: it runs
+// the experiment drivers (Figures 1-11, Tables 1-7) and prints their
+// report tables. This is the "regularly updated comparison (ranking)"
+// the MicroLib project maintains.
+//
+// Usage:
+//
+//	mlrank -exp fig4
+//	mlrank -exp all -scale 2
+//	mlrank -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"microlib"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "fig4", "experiment id, or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids")
+		scale    = flag.Uint64("scale", 1, "divide instruction budgets by this factor")
+		parallel = flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
+		insts    = flag.Uint64("insts", 0, "override measured instructions per run")
+		warmup   = flag.Uint64("warmup", 0, "override warm-up instructions per run")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range microlib.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	r := microlib.NewExperiments()
+	r.Scale(*scale)
+	if *parallel > 0 {
+		r.Parallel = *parallel
+	}
+	if *insts > 0 {
+		r.Insts = *insts
+	}
+	if *warmup > 0 {
+		r.Warmup = *warmup
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = microlib.Experiments()
+	}
+	for _, id := range ids {
+		if id == "genref" && *exp == "all" {
+			continue // only on explicit request
+		}
+		rep, err := microlib.RunExperiment(r, id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlrank:", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.String())
+		fmt.Println(strings.Repeat("-", 72))
+	}
+}

@@ -1,0 +1,143 @@
+// Command mltrace works with MicroLib instruction traces: it can
+// dump a benchmark's synthetic stream to the binary trace format,
+// inspect a trace file, and run SimPoint analysis on a benchmark
+// (showing the interval clustering and the selected SimPoint).
+//
+// Usage:
+//
+//	mltrace -bench gzip -dump gzip.mlt -insts 100000
+//	mltrace -inspect gzip.mlt -head 10
+//	mltrace -bench gzip -simpoint
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"microlib/internal/simpoint"
+	"microlib/internal/trace"
+	"microlib/internal/workload"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "gzip", "benchmark name")
+		seed     = flag.Uint64("seed", 42, "generator seed")
+		insts    = flag.Uint64("insts", 100_000, "instructions to dump/analyze")
+		dump     = flag.String("dump", "", "write the stream to this trace file")
+		inspect  = flag.String("inspect", "", "print statistics of a trace file")
+		head     = flag.Int("head", 0, "with -inspect, print the first N records")
+		simPoint = flag.Bool("simpoint", false, "run SimPoint analysis on the benchmark")
+	)
+	flag.Parse()
+
+	switch {
+	case *inspect != "":
+		if err := inspectTrace(*inspect, *head); err != nil {
+			fmt.Fprintln(os.Stderr, "mltrace:", err)
+			os.Exit(1)
+		}
+	case *dump != "":
+		if err := dumpTrace(*bench, *seed, *insts, *dump); err != nil {
+			fmt.Fprintln(os.Stderr, "mltrace:", err)
+			os.Exit(1)
+		}
+	case *simPoint:
+		if err := analyze(*bench, *seed, *insts); err != nil {
+			fmt.Fprintln(os.Stderr, "mltrace:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func dumpTrace(bench string, seed, insts uint64, path string) error {
+	gen, err := workload.New(bench, seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	var inst trace.Inst
+	for i := uint64(0); i < insts && gen.Next(&inst); i++ {
+		if err := w.Write(&inst); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d instructions of %s to %s\n", w.Count(), bench, path)
+	return nil
+}
+
+func inspectTrace(path string, head int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	var (
+		inst   trace.Inst
+		n      uint64
+		counts [16]uint64
+		bbs    = map[uint32]struct{}{}
+	)
+	for r.Next(&inst) {
+		if head > 0 && n < uint64(head) {
+			fmt.Printf("%6d pc=%#x class=%-6s addr=%#x dep1=%d bb=%d\n",
+				n, inst.PC, inst.Class, inst.Addr, inst.Dep1, inst.BB)
+		}
+		counts[inst.Class]++
+		bbs[inst.BB] = struct{}{}
+		n++
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("%d instructions, %d basic blocks\n", n, len(bbs))
+	for c := trace.IntALU; c <= trace.Branch; c++ {
+		if counts[c] > 0 {
+			fmt.Printf("  %-6s %10d (%5.2f%%)\n", c, counts[c], float64(counts[c])/float64(n)*100)
+		}
+	}
+	return nil
+}
+
+func analyze(bench string, seed, insts uint64) error {
+	gen, err := workload.New(bench, seed)
+	if err != nil {
+		return err
+	}
+	cfg := simpoint.DefaultConfig()
+	if insts > 0 {
+		cfg.IntervalLen = insts / uint64(cfg.Intervals)
+		if cfg.IntervalLen == 0 {
+			cfg.IntervalLen = 1
+		}
+	}
+	res := simpoint.Analyze(gen, cfg)
+	fmt.Printf("benchmark %s: k=%d clusters over %d intervals of %d insts\n",
+		bench, res.K, len(res.Labels), cfg.IntervalLen)
+	fmt.Print("labels: ")
+	for _, l := range res.Labels {
+		fmt.Printf("%d ", l)
+	}
+	fmt.Println()
+	fmt.Printf("simpoint: interval %d (skip %d instructions)\n", res.Point, res.SkipInsts)
+	return nil
+}

@@ -1,0 +1,36 @@
+// Quickstart: run one benchmark on the baseline Table 1 system and
+// again with a mechanism plugged in, and report the speedup —
+// MicroLib's elementary quantitative comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"microlib"
+)
+
+func main() {
+	const bench = "swim"
+
+	base, err := microlib.Run(microlib.NewOptions(bench, microlib.BaseMechanism))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ghb, err := microlib.Run(microlib.NewOptions(bench, "GHB"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark       %s\n", bench)
+	fmt.Printf("base IPC        %.4f (L2 misses %d, avg mem latency %.0f cycles)\n",
+		base.IPC, base.L2.Misses, base.Mem.AvgReadLatency())
+	fmt.Printf("GHB  IPC        %.4f (L2 misses %d, prefetches issued %d, useful %d)\n",
+		ghb.IPC, ghb.L2.Misses, ghb.L2.PrefetchIssued, ghb.L2.PrefetchUseful)
+	fmt.Printf("speedup         %.3f\n", ghb.IPC/base.IPC)
+
+	fmt.Println("\navailable mechanisms:")
+	for _, d := range microlib.MechanismDescriptions() {
+		fmt.Printf("  %-7s (%s, %d)  %s\n", d.Name, d.Level, d.Year, d.Summary)
+	}
+}

@@ -1,0 +1,32 @@
+// Ranking runs the paper's headline experiment in a reduced form: a
+// benchmark × mechanism speedup grid and the resulting ranking, on a
+// subset of the suite — then shows how choosing a different benchmark
+// subset changes the winner (the Section 3.2 cherry-picking effect).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"microlib"
+)
+
+func main() {
+	r := microlib.NewExperiments()
+	r.Scale(4) // keep the example quick
+	r.Benchmarks = []string{"gzip", "swim", "mcf", "twolf", "mesa", "art"}
+	r.Mechs = []string{"Base", "TP", "SP", "Markov", "CDP", "GHB"}
+
+	rep, err := microlib.RunExperiment(r, "fig4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.Table)
+
+	rep, err = microlib.RunExperiment(r, "table6")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("which mechanism can win with N of these benchmarks:")
+	fmt.Println(rep.Table)
+}

@@ -1,0 +1,60 @@
+package bus
+
+import "testing"
+
+func TestTransferCycles(t *testing.T) {
+	b := New("fsb", 64, 5)
+	cases := []struct {
+		bytes, want uint64
+	}{
+		{64, 5}, {65, 10}, {128, 10}, {1, 5}, {0, 5},
+	}
+	for _, c := range cases {
+		if got := b.TransferCycles(c.bytes); got != c.want {
+			t.Errorf("TransferCycles(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestReserveSerializes(t *testing.T) {
+	b := New("l1l2", 32, 1)
+	d1 := b.Reserve(10, 32) // 1 cycle
+	if d1 != 11 {
+		t.Fatalf("first transfer done at %d, want 11", d1)
+	}
+	d2 := b.Reserve(10, 32) // queues behind the first
+	if d2 != 12 {
+		t.Fatalf("second transfer done at %d, want 12", d2)
+	}
+	if !b.Busy(11) || b.Busy(12) {
+		t.Fatal("busy window wrong")
+	}
+}
+
+func TestReserveAfterIdle(t *testing.T) {
+	b := New("x", 8, 2)
+	b.Reserve(0, 8)
+	d := b.Reserve(100, 8)
+	if d != 102 {
+		t.Fatalf("idle-bus transfer done at %d, want 102", d)
+	}
+}
+
+func TestStats(t *testing.T) {
+	b := New("x", 8, 1)
+	b.Reserve(0, 8)
+	b.Reserve(0, 8) // waits 1
+	n, busy, wait := b.Stats()
+	if n != 2 || busy != 2 || wait != 1 {
+		t.Fatalf("stats %d %d %d, want 2 2 1", n, busy, wait)
+	}
+}
+
+func TestInvalidGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero width did not panic")
+		}
+	}()
+	New("bad", 0, 1)
+}

@@ -1,0 +1,572 @@
+package cache
+
+import "microlib/internal/sim"
+
+// Backend is the downstream side of a cache: the next cache level or
+// main memory, reached across a bus. Fetch requests a full line;
+// done fires when the line data has arrived at this cache. A false
+// return means the request was not accepted this cycle (bus/queue
+// pressure) and must be retried; for prefetches a false return also
+// signals "the bus is not idle", implementing the demand-priority
+// rule the paper describes for prefetch queues.
+type Backend interface {
+	Fetch(lineAddr, pc uint64, prefetch bool, done func(now uint64)) bool
+	WriteBack(lineAddr uint64) bool
+	// FreeAtHint returns a cycle at which the backend is likely to
+	// accept again, used to schedule retries without polling.
+	FreeAtHint() uint64
+}
+
+// Access is one demand request from the processor side (or from the
+// level above). Done may be nil.
+type Access struct {
+	Addr  uint64
+	PC    uint64
+	Write bool
+	// Done is called exactly once when the data is available (the
+	// cycle of completion). hit reports whether it was a first-level
+	// hit (including aux hits).
+	Done func(now uint64, hit bool)
+}
+
+type line struct {
+	tag        uint64
+	valid      bool
+	dirty      bool
+	prefetched bool
+	lastUse    uint64
+}
+
+type mshrEntry struct {
+	valid     bool
+	lineAddr  uint64
+	firstAddr uint64
+	pc        uint64
+	reads     int
+	fillDirty bool
+	prefetch  bool
+	issued    bool
+	// redirect, when non-nil, receives the fill instead of the cache
+	// array (prefetch-buffer mechanisms use this).
+	redirect func(lineAddr uint64, now uint64)
+	targets  []func(now uint64, hit bool)
+}
+
+// Cache is one level of the hierarchy.
+type Cache struct {
+	cfg Config
+	eng *sim.Engine
+
+	sets      [][]line
+	setMask   uint64
+	lineShift uint
+	useTick   uint64
+
+	backend Backend
+	mshrs   []mshrEntry
+	mshrsIn int // valid entries
+
+	// Pipeline stall state (Section 2.2 rules).
+	stallUntil uint64
+
+	// Port accounting: portsUsed counts this-cycle reservations.
+	portCycle uint64
+	portsUsed int
+
+	// Prefetch request queue (mechanism-facing).
+	pq         []prefetchReq
+	pqRetryArm bool
+	// prefetchAsDemand disables the low-priority treatment of
+	// prefetches downstream (an ablation of the demand-priority
+	// design choice).
+	prefetchAsDemand bool
+
+	accessObs []AccessObserver
+	probers   []AuxProber
+	evictObs  []EvictObserver
+	fillObs   []FillObserver
+	missObs   []MissObserver
+
+	checker *Checker
+
+	stats Stats
+}
+
+type prefetchReq struct {
+	lineAddr uint64
+	redirect func(lineAddr uint64, now uint64)
+}
+
+// New builds a cache on the engine with the given backend (which may
+// be nil only if the cache can never miss — tests use that).
+func New(eng *sim.Engine, cfg Config, backend Backend) *Cache {
+	cfg.Validate()
+	nsets := cfg.NumSets()
+	ways := cfg.Ways()
+	sets := make([][]line, nsets)
+	backing := make([]line, nsets*ways)
+	for i := range sets {
+		sets[i], backing = backing[:ways], backing[ways:]
+	}
+	nm := cfg.MSHRs
+	if cfg.InfiniteMSHR {
+		// "Infinite" means never a structural stall; a generous pool
+		// that grows on demand keeps the implementation simple.
+		nm = 64
+	}
+	ls := uint(0)
+	for 1<<ls != cfg.LineSize {
+		ls++
+	}
+	return &Cache{
+		cfg:       cfg,
+		eng:       eng,
+		sets:      sets,
+		setMask:   uint64(nsets - 1),
+		lineShift: ls,
+		backend:   backend,
+		mshrs:     make([]mshrEntry, nm),
+	}
+}
+
+// Config returns the active configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the cumulative counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// LineAddr aligns an address to this cache's line size.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	return addr &^ (uint64(c.cfg.LineSize) - 1)
+}
+
+func (c *Cache) setIndex(lineAddr uint64) uint64 {
+	return (lineAddr >> c.lineShift) & c.setMask
+}
+
+func (c *Cache) tag(lineAddr uint64) uint64 {
+	return lineAddr >> c.lineShift
+}
+
+// Contains reports whether the line is present (no state change).
+func (c *Cache) Contains(addr uint64) bool {
+	la := c.LineAddr(addr)
+	set := c.sets[c.setIndex(la)]
+	t := c.tag(la)
+	for i := range set {
+		if set[i].valid && set[i].tag == t {
+			return true
+		}
+	}
+	return false
+}
+
+// MissPending reports whether a fill for the line is outstanding.
+func (c *Cache) MissPending(addr uint64) bool {
+	la := c.LineAddr(addr)
+	for i := range c.mshrs {
+		if c.mshrs[i].valid && c.mshrs[i].lineAddr == la {
+			return true
+		}
+	}
+	return false
+}
+
+// reservePort accounts one port use at now; returns false when all
+// ports are taken this cycle. force (refills) always succeeds but
+// still consumes capacity, implementing the paper's "refill requests
+// strictly consume ports" rule.
+func (c *Cache) reservePort(now uint64, force bool) bool {
+	if now != c.portCycle {
+		c.portCycle = now
+		c.portsUsed = 0
+	}
+	if force {
+		if !c.cfg.FreeRefillPorts {
+			c.portsUsed++
+		}
+		return true
+	}
+	if c.portsUsed >= c.cfg.Ports {
+		return false
+	}
+	c.portsUsed++
+	return true
+}
+
+// Probe performs a tag lookup without side effects, returning
+// (present, dirty, prefetched).
+func (c *Cache) Probe(addr uint64) (present, dirty, prefetched bool) {
+	la := c.LineAddr(addr)
+	set := c.sets[c.setIndex(la)]
+	t := c.tag(la)
+	for i := range set {
+		if set[i].valid && set[i].tag == t {
+			return true, set[i].dirty, set[i].prefetched
+		}
+	}
+	return false, false, false
+}
+
+// Access submits a demand request. It returns false when the cache
+// cannot accept it this cycle (no port, pipeline stall, MSHR full);
+// the caller must retry on a later cycle.
+func (c *Cache) Access(a *Access) bool {
+	now := c.eng.Now()
+	if !c.cfg.NoPipelineStall && now < c.stallUntil {
+		c.stats.RejectStall++
+		return false
+	}
+	if !c.reservePort(now, false) {
+		c.stats.RejectPort++
+		return false
+	}
+
+	la := c.LineAddr(a.Addr)
+	set := c.sets[c.setIndex(la)]
+	t := c.tag(la)
+
+	// Hit path.
+	for i := range set {
+		ln := &set[i]
+		if !ln.valid || ln.tag != t {
+			continue
+		}
+		c.stats.Accesses++
+		if a.Write {
+			c.stats.Writes++
+			if c.cfg.WriteBack {
+				ln.dirty = true
+			}
+			if c.checker != nil {
+				c.checker.noteStore(la)
+			}
+		}
+		c.stats.Hits++
+		wasPF := ln.prefetched
+		if wasPF {
+			c.stats.PrefetchUseful++
+			ln.prefetched = false
+		}
+		c.useTick++
+		ln.lastUse = c.useTick
+		c.notifyAccess(AccessEvent{
+			Addr: a.Addr, LineAddr: la, PC: a.PC, Write: a.Write,
+			Hit: true, PrefetchedLine: wasPF, Now: now,
+		})
+		if a.Done != nil {
+			done := a.Done
+			c.eng.After(c.cfg.HitLatency, func() { done(c.eng.Now(), true) })
+		}
+		return true
+	}
+
+	// Miss: try to merge into an existing MSHR first, because a full
+	// merge target must *refuse* (LSQ stall) rather than allocate.
+	if idx := c.findMSHR(la); idx >= 0 {
+		e := &c.mshrs[idx]
+		if e.reads >= c.cfg.ReadsPerMSHR && !c.cfg.InfiniteMSHR {
+			c.stats.RejectMSHR++
+			return false
+		}
+		c.stats.Accesses++
+		c.stats.Misses++
+		if a.Write {
+			c.stats.Writes++
+			e.fillDirty = c.cfg.WriteBack
+			if c.checker != nil {
+				c.checker.noteStore(la)
+			}
+		}
+		// Secondary miss on the same line but a different address
+		// stalls the cache pipeline for a cycle (Section 2.2).
+		if a.Addr != e.firstAddr && !c.cfg.NoPipelineStall {
+			c.stallUntil = now + 2
+		}
+		e.reads++
+		if a.Done != nil {
+			e.targets = append(e.targets, a.Done)
+		}
+		// A demand merge upgrades a prefetch fill to demand priority.
+		e.prefetch = false
+		c.notifyAccess(AccessEvent{
+			Addr: a.Addr, LineAddr: la, PC: a.PC, Write: a.Write,
+			Hit: false, Now: now,
+		})
+		return true
+	}
+
+	// Consult auxiliary structures (victim cache, FVC, prefetch
+	// buffers). An aux hit installs locally with one extra cycle.
+	for _, p := range c.probers {
+		if !p.ProbeAux(la, now) {
+			continue
+		}
+		c.stats.Accesses++
+		c.stats.AuxHits++
+		c.stats.Hits++
+		c.install(la, a.Write && c.cfg.WriteBack, false, now)
+		if a.Write {
+			c.stats.Writes++
+			if c.checker != nil {
+				c.checker.noteStore(la)
+			}
+		}
+		c.notifyAccess(AccessEvent{
+			Addr: a.Addr, LineAddr: la, PC: a.PC, Write: a.Write,
+			Hit: true, Now: now,
+		})
+		if a.Done != nil {
+			done := a.Done
+			c.eng.After(c.cfg.HitLatency+1, func() { done(c.eng.Now(), true) })
+		}
+		return true
+	}
+
+	// Primary miss: allocate an MSHR.
+	free := c.freeMSHR()
+	if free < 0 {
+		c.stats.RejectMSHR++
+		return false
+	}
+	c.stats.Accesses++
+	c.stats.Misses++
+	if a.Write {
+		c.stats.Writes++
+		if c.checker != nil {
+			c.checker.noteStore(la)
+		}
+	}
+	e := &c.mshrs[free]
+	*e = mshrEntry{
+		valid:     true,
+		lineAddr:  la,
+		firstAddr: a.Addr,
+		pc:        a.PC,
+		reads:     1,
+		fillDirty: a.Write && c.cfg.WriteBack,
+	}
+	if a.Done != nil {
+		e.targets = append(e.targets, a.Done)
+	}
+	c.mshrsIn++
+	// The MSHR is busy for a cycle after receiving a request
+	// (Section 2.2).
+	if !c.cfg.NoPipelineStall {
+		c.stallUntil = now + 2
+	}
+	c.notifyAccess(AccessEvent{
+		Addr: a.Addr, LineAddr: la, PC: a.PC, Write: a.Write,
+		Hit: false, Now: now,
+	})
+	for _, m := range c.missObs {
+		m.OnMiss(la, a.PC, now)
+	}
+	c.issueFetch(free)
+	return true
+}
+
+// notifyAccess delivers an event to every observer.
+func (c *Cache) notifyAccess(ev AccessEvent) {
+	for _, o := range c.accessObs {
+		o.OnAccess(ev)
+	}
+}
+
+func (c *Cache) findMSHR(lineAddr uint64) int {
+	for i := range c.mshrs {
+		if c.mshrs[i].valid && c.mshrs[i].lineAddr == lineAddr {
+			return i
+		}
+	}
+	return -1
+}
+
+func (c *Cache) freeMSHR() int {
+	for i := range c.mshrs {
+		if !c.mshrs[i].valid {
+			return i
+		}
+	}
+	if c.cfg.InfiniteMSHR {
+		c.mshrs = append(c.mshrs, mshrEntry{})
+		return len(c.mshrs) - 1
+	}
+	return -1
+}
+
+// issueFetch pushes MSHR entry i downstream, retrying on backend
+// pushback.
+func (c *Cache) issueFetch(i int) {
+	e := &c.mshrs[i]
+	if e.issued || !e.valid {
+		return
+	}
+	la := e.lineAddr
+	ok := c.backend.Fetch(la, e.pc, e.prefetch, func(now uint64) { c.fill(la, now) })
+	if ok {
+		e.issued = true
+		return
+	}
+	// Retry when the backend hints it may accept.
+	retry := c.backend.FreeAtHint()
+	if retry <= c.eng.Now() {
+		retry = c.eng.Now() + 1
+	}
+	c.eng.At(retry, func() {
+		if idx := c.findMSHR(la); idx >= 0 {
+			c.issueFetch(idx)
+		}
+	})
+}
+
+// fill receives line data from downstream, installs it (or redirects
+// it to a mechanism buffer) and wakes the waiting targets.
+func (c *Cache) fill(lineAddr uint64, now uint64) {
+	idx := c.findMSHR(lineAddr)
+	if idx < 0 {
+		return // entry was squashed (cannot happen in current flows)
+	}
+	e := &c.mshrs[idx]
+	c.stats.Fills++
+	c.reservePort(now, true)
+
+	if e.redirect != nil {
+		e.redirect(lineAddr, now)
+	} else {
+		c.install(lineAddr, e.fillDirty, e.prefetch, now)
+		for _, f := range c.fillObs {
+			f.OnFill(lineAddr, e.prefetch, now)
+		}
+	}
+	for _, t := range e.targets {
+		t(now, false)
+	}
+	*e = mshrEntry{}
+	c.mshrsIn--
+	c.drainPrefetch()
+}
+
+// install places a line into the array, evicting the LRU victim of
+// its set (invalid ways first).
+func (c *Cache) install(lineAddr uint64, dirty, prefetched bool, now uint64) {
+	set := c.sets[c.setIndex(lineAddr)]
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	v := &set[victim]
+	if v.valid {
+		// tag holds the full line number (lineAddr >> lineShift).
+		vAddr := v.tag << c.lineShift
+		c.stats.Evictions++
+		if c.checker != nil {
+			c.checker.noteEvict(vAddr, v.dirty)
+		}
+		for _, o := range c.evictObs {
+			o.OnEvict(vAddr, v.dirty, now)
+		}
+		if v.dirty {
+			c.stats.WriteBack++
+			c.writeBack(vAddr)
+		}
+	}
+	c.useTick++
+	*v = line{tag: c.tag(lineAddr), valid: true, dirty: dirty, prefetched: prefetched, lastUse: c.useTick}
+	if c.checker != nil {
+		c.checker.noteFill(lineAddr, dirty)
+	}
+}
+
+// writeBack pushes a dirty line downstream with retries.
+func (c *Cache) writeBack(lineAddr uint64) {
+	if c.backend.WriteBack(lineAddr) {
+		return
+	}
+	retry := c.backend.FreeAtHint()
+	if retry <= c.eng.Now() {
+		retry = c.eng.Now() + 1
+	}
+	c.eng.At(retry, func() { c.writeBack(lineAddr) })
+}
+
+// InstallDirect lets mechanisms (victim caches on swap, prefetch
+// buffers on promote) place a line into the array outside the fill
+// path.
+func (c *Cache) InstallDirect(lineAddr uint64, dirty bool, now uint64) {
+	c.install(c.LineAddr(lineAddr), dirty, false, now)
+}
+
+// MarkDirty sets the dirty bit of a resident line. Victim caches use
+// it to restore dirtiness when a swapped-in line had been modified.
+func (c *Cache) MarkDirty(addr uint64) {
+	la := c.LineAddr(addr)
+	set := c.sets[c.setIndex(la)]
+	t := c.tag(la)
+	for i := range set {
+		if set[i].valid && set[i].tag == t {
+			set[i].dirty = true
+			if c.checker != nil {
+				c.checker.noteStore(la)
+			}
+			return
+		}
+	}
+}
+
+// WriteBackLine pushes a line-sized write downstream on behalf of a
+// mechanism (a victim cache retiring a dirty victim).
+func (c *Cache) WriteBackLine(addr uint64) {
+	c.writeBack(c.LineAddr(addr))
+}
+
+// DrainDirtyLRU finds up to max dirty lines that are the LRU of
+// their set — the lines next in line to cause an eviction write-back
+// burst — clears their dirty bits and returns their addresses. The
+// caller is responsible for actually writing the data back (eager
+// writeback uses WriteBackLine when the bus is idle).
+func (c *Cache) DrainDirtyLRU(max int) []uint64 {
+	var out []uint64
+	for s := range c.sets {
+		if len(out) >= max {
+			break
+		}
+		set := c.sets[s]
+		lru := -1
+		for w := range set {
+			if !set[w].valid {
+				continue
+			}
+			if lru < 0 || set[w].lastUse < set[lru].lastUse {
+				lru = w
+			}
+		}
+		if lru >= 0 && set[lru].dirty {
+			set[lru].dirty = false
+			out = append(out, set[lru].tag<<c.lineShift)
+		}
+	}
+	return out
+}
+
+// InvalidateLine drops a line if present, returning whether it was
+// dirty. Mechanisms that steal lines (TKVC filtering) use this.
+func (c *Cache) InvalidateLine(addr uint64) (present, dirty bool) {
+	la := c.LineAddr(addr)
+	set := c.sets[c.setIndex(la)]
+	t := c.tag(la)
+	for i := range set {
+		if set[i].valid && set[i].tag == t {
+			d := set[i].dirty
+			set[i] = line{}
+			return true, d
+		}
+	}
+	return false, false
+}

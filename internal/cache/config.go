@@ -1,0 +1,141 @@
+// Package cache implements the detailed MicroLib cache model that
+// the paper plugs into SimpleScalar: set-associative arrays with true
+// LRU, finite MSHRs (miss address file) with bounded read merging,
+// strict port accounting including refill ports, the pipeline-stall
+// rules of Section 2.2, write-back/write-allocate policies, and
+// mechanism hook points for the pluggable optimizations of Table 2.
+//
+// The SimpleScalar-compatibility switches (infinite MSHR, free refill
+// ports, no pipeline stalls) reproduce the *less* detailed cache the
+// paper validates against in Figure 1 and ablates in Figure 9.
+package cache
+
+// Config describes one cache level.
+type Config struct {
+	Name     string
+	Size     int // total bytes
+	LineSize int // bytes
+	Assoc    int // ways; 0 means fully associative
+	// HitLatency is the load-to-use latency of a hit, in CPU cycles.
+	HitLatency uint64
+	Ports      int
+	// MSHRs is the number of miss-address-file entries;
+	// ReadsPerMSHR bounds how many misses may merge on one line.
+	MSHRs        int
+	ReadsPerMSHR int
+	WriteBack    bool
+	AllocOnWrite bool
+	// SimpleScalar-compatibility switches (Figure 1 / Figure 9).
+	InfiniteMSHR    bool
+	FreeRefillPorts bool
+	NoPipelineStall bool
+	// PrefetchQueueCap bounds the mechanism prefetch request queue
+	// attached to this cache (Table 3 per-mechanism values); 0
+	// disables prefetch buffering entirely.
+	PrefetchQueueCap int
+}
+
+// Validate panics on a structurally impossible configuration; caches
+// are built at simulation start so a panic is the right failure mode.
+func (c Config) Validate() {
+	switch {
+	case c.Size <= 0 || c.LineSize <= 0:
+		panic("cache: size and line size must be positive: " + c.Name)
+	case c.Size%c.LineSize != 0:
+		panic("cache: size must be a multiple of line size: " + c.Name)
+	case c.LineSize&(c.LineSize-1) != 0:
+		panic("cache: line size must be a power of two: " + c.Name)
+	case c.Ports <= 0:
+		panic("cache: need at least one port: " + c.Name)
+	case c.MSHRs <= 0 && !c.InfiniteMSHR:
+		panic("cache: need at least one MSHR: " + c.Name)
+	case c.ReadsPerMSHR <= 0:
+		c.panicf("reads per MSHR must be positive")
+	}
+	lines := c.Size / c.LineSize
+	assoc := c.Assoc
+	if assoc == 0 {
+		assoc = lines
+	}
+	if lines%assoc != 0 {
+		c.panicf("lines not divisible by associativity")
+	}
+	sets := lines / assoc
+	if sets&(sets-1) != 0 {
+		c.panicf("set count must be a power of two")
+	}
+}
+
+func (c Config) panicf(msg string) { panic("cache: " + msg + ": " + c.Name) }
+
+// NumLines returns the line count.
+func (c Config) NumLines() int { return c.Size / c.LineSize }
+
+// NumSets returns the set count after resolving full associativity.
+func (c Config) NumSets() int {
+	assoc := c.Assoc
+	if assoc == 0 {
+		assoc = c.NumLines()
+	}
+	return c.NumLines() / assoc
+}
+
+// Ways returns the resolved associativity.
+func (c Config) Ways() int {
+	if c.Assoc == 0 {
+		return c.NumLines()
+	}
+	return c.Assoc
+}
+
+// Stats holds the cumulative counters of one cache.
+type Stats struct {
+	Accesses  uint64 // demand accesses accepted
+	Hits      uint64
+	Misses    uint64 // demand misses (primary + merged)
+	AuxHits   uint64 // misses serviced by an auxiliary structure (VC, FVC, ...)
+	Writes    uint64
+	Evictions uint64
+	WriteBack uint64
+
+	PrefetchIssued  uint64 // prefetch fills requested downstream
+	PrefetchUseful  uint64 // prefetched lines later hit by demand
+	PrefetchDropped uint64 // queue overflow drops
+	PrefetchDup     uint64 // dropped because line present/pending
+
+	RejectPort  uint64 // access refused: no port this cycle
+	RejectStall uint64 // access refused: pipeline stalled
+	RejectMSHR  uint64 // access refused: MSHR full / merge limit
+	Fills       uint64
+}
+
+// MissRatio returns demand misses (not counting aux hits as misses)
+// over demand accesses.
+func (s Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Sub returns the counter deltas s - prev; the runner uses it to
+// exclude warm-up activity from measurements.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Accesses:        s.Accesses - prev.Accesses,
+		Hits:            s.Hits - prev.Hits,
+		Misses:          s.Misses - prev.Misses,
+		AuxHits:         s.AuxHits - prev.AuxHits,
+		Writes:          s.Writes - prev.Writes,
+		Evictions:       s.Evictions - prev.Evictions,
+		WriteBack:       s.WriteBack - prev.WriteBack,
+		PrefetchIssued:  s.PrefetchIssued - prev.PrefetchIssued,
+		PrefetchUseful:  s.PrefetchUseful - prev.PrefetchUseful,
+		PrefetchDropped: s.PrefetchDropped - prev.PrefetchDropped,
+		PrefetchDup:     s.PrefetchDup - prev.PrefetchDup,
+		RejectPort:      s.RejectPort - prev.RejectPort,
+		RejectStall:     s.RejectStall - prev.RejectStall,
+		RejectMSHR:      s.RejectMSHR - prev.RejectMSHR,
+		Fills:           s.Fills - prev.Fills,
+	}
+}

@@ -1,0 +1,128 @@
+package cache
+
+// Prefetch enqueues a prefetch request for lineAddr into this
+// cache's mechanism request queue. The request is dropped (and
+// counted) when the line is already present or pending, or when the
+// queue is full — the paper's Section 3.4 discusses exactly this
+// buffer and its size as a second-guessed parameter.
+//
+// Prefetch requests are strictly lower priority than demand misses:
+// they are only issued downstream when the backend reports itself
+// idle (Backend.Fetch with prefetch=true refuses otherwise).
+func (c *Cache) Prefetch(addr uint64) bool {
+	return c.prefetchInto(addr, nil)
+}
+
+// PrefetchInto is like Prefetch, but the fill is delivered to sink
+// instead of being installed into the cache array. Mechanisms with
+// private prefetch buffers (Markov) use this.
+func (c *Cache) PrefetchInto(addr uint64, sink func(lineAddr uint64, now uint64)) bool {
+	if sink == nil {
+		panic("cache: PrefetchInto needs a sink")
+	}
+	return c.prefetchInto(addr, sink)
+}
+
+func (c *Cache) prefetchInto(addr uint64, sink func(lineAddr uint64, now uint64)) bool {
+	if c.cfg.PrefetchQueueCap <= 0 {
+		c.stats.PrefetchDropped++
+		return false
+	}
+	la := c.LineAddr(addr)
+	if c.Contains(la) || c.MissPending(la) || c.queued(la) {
+		c.stats.PrefetchDup++
+		return false
+	}
+	if len(c.pq) >= c.cfg.PrefetchQueueCap {
+		c.stats.PrefetchDropped++
+		return false
+	}
+	c.pq = append(c.pq, prefetchReq{lineAddr: la, redirect: sink})
+	c.drainPrefetch()
+	return true
+}
+
+func (c *Cache) queued(lineAddr uint64) bool {
+	for i := range c.pq {
+		if c.pq[i].lineAddr == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// PrefetchQueueLen reports the number of buffered prefetch requests.
+func (c *Cache) PrefetchQueueLen() int { return len(c.pq) }
+
+// drainPrefetch issues queued prefetches while resources allow. It is
+// called on enqueue, on every fill completion, and re-arms itself at
+// the backend's next-free hint, so no per-cycle polling is needed.
+func (c *Cache) drainPrefetch() {
+	// Prefetches may hold at most half the MSHRs, so demand misses
+	// can always make progress (without this, a busy prefetcher
+	// starves the level above into livelock).
+	maxPF := c.cfg.MSHRs / 2
+	if maxPF < 1 {
+		maxPF = 1
+	}
+	for len(c.pq) > 0 {
+		req := c.pq[0]
+		la := req.lineAddr
+		if c.Contains(la) || c.MissPending(la) {
+			c.pq = c.pq[1:]
+			c.stats.PrefetchDup++
+			continue
+		}
+		if c.prefetchMSHRs() >= maxPF {
+			c.armPrefetchRetry()
+			return
+		}
+		free := c.freeMSHR()
+		if free < 0 {
+			c.armPrefetchRetry()
+			return
+		}
+		e := &c.mshrs[free]
+		*e = mshrEntry{
+			valid:     true,
+			lineAddr:  la,
+			firstAddr: la,
+			prefetch:  true,
+			redirect:  req.redirect,
+		}
+		if !c.backend.Fetch(la, 0, !c.prefetchAsDemand, func(t uint64) { c.fill(la, t) }) {
+			*e = mshrEntry{}
+			c.armPrefetchRetry()
+			return
+		}
+		e.issued = true
+		c.mshrsIn++
+		c.stats.PrefetchIssued++
+		c.pq = c.pq[1:]
+	}
+}
+
+func (c *Cache) prefetchMSHRs() int {
+	n := 0
+	for i := range c.mshrs {
+		if c.mshrs[i].valid && c.mshrs[i].prefetch {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Cache) armPrefetchRetry() {
+	if c.pqRetryArm {
+		return
+	}
+	c.pqRetryArm = true
+	at := c.backend.FreeAtHint()
+	if at <= c.eng.Now() {
+		at = c.eng.Now() + 1
+	}
+	c.eng.At(at, func() {
+		c.pqRetryArm = false
+		c.drainPrefetch()
+	})
+}

@@ -1,0 +1,27 @@
+package cache
+
+// SetPrefetchQueueCap resizes the mechanism prefetch request queue.
+// Mechanisms call this at attach time with their Table 3 value (e.g.
+// 16 for tagged prefetching, 1 for stride prefetching, 128 for TCP).
+// When several mechanisms share a cache (CDP+SP), the largest
+// request wins.
+func (c *Cache) SetPrefetchQueueCap(n int) {
+	if n > c.cfg.PrefetchQueueCap {
+		c.cfg.PrefetchQueueCap = n
+	}
+}
+
+// ForcePrefetchQueueCap sets the queue size exactly, for experiments
+// that deliberately shrink it (Figure 10's 1-entry TCP buffer).
+func (c *Cache) ForcePrefetchQueueCap(n int) {
+	c.cfg.PrefetchQueueCap = n
+	if len(c.pq) > n {
+		c.stats.PrefetchDropped += uint64(len(c.pq) - n)
+		c.pq = c.pq[:n]
+	}
+}
+
+// SetPrefetchAsDemand makes downstream levels treat this cache's
+// prefetches like demand requests — the design-choice ablation for
+// the demand-priority rule.
+func (c *Cache) SetPrefetchAsDemand(v bool) { c.prefetchAsDemand = v }

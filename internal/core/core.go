@@ -1,0 +1,154 @@
+// Package core is the MicroLib module framework — the paper's
+// primary contribution (its Section 4). It defines the contract
+// between pluggable micro-architecture mechanism modules and the host
+// simulator: an environment handle giving a mechanism access to the
+// cache levels, the clock and the memory value oracle; a registry
+// that maps mechanism names ("GHB", "DBCP", ...) to factories; and
+// the hardware-table descriptors the cost/power models consume.
+//
+// A mechanism is any value registered here that implements at least
+// one of the cache hook interfaces (cache.AccessObserver,
+// cache.AuxProber, cache.EvictObserver, cache.FillObserver,
+// cache.MissObserver). Host processor models — MicroLib's own cores
+// or foreign simulators behind a wrapper — only ever deal with the
+// Mechanism interface, which is what makes the quantitative
+// comparison of Table 2's twelve mechanisms a one-line configuration
+// change.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"microlib/internal/cache"
+	"microlib/internal/sim"
+)
+
+// ValueSource supplies memory contents. The paper's OoOSysC model
+// "actually performs all computations", so its caches hold real
+// values; mechanisms that inspect data (content-directed prefetching,
+// the frequent value cache) read line words through this interface.
+type ValueSource interface {
+	// Word returns the 8-byte value stored at the (aligned) address.
+	Word(addr uint64) uint64
+	// IsPointer reports whether the value at addr decodes to a heap
+	// address under the running program's memory map.
+	IsPointer(addr uint64) (target uint64, ok bool)
+}
+
+// Env is what a mechanism receives at construction: attach points and
+// services. L1D and L2 are always present; Values may be nil when the
+// host cannot supply contents (the SimpleScalar wrapper case — the
+// paper notes value-dependent mechanisms then cannot run).
+type Env struct {
+	Eng    *sim.Engine
+	L1D    *cache.Cache
+	L2     *cache.Cache
+	Values ValueSource
+}
+
+// Params carries per-mechanism integer options (table sizes, queue
+// depths, variant switches). Missing keys fall back to defaults.
+type Params map[string]int
+
+// Get returns the value for key or def when absent.
+func (p Params) Get(key string, def int) int {
+	if v, ok := p[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Mechanism is a pluggable micro-architecture optimization.
+type Mechanism interface {
+	// Name returns the registry name (e.g. "GHB").
+	Name() string
+}
+
+// HWTable describes one SRAM structure a mechanism adds, with its
+// observed activity; the hwcost package turns these into area and
+// energy. Reads/Writes are cumulative access counts.
+type HWTable struct {
+	Label  string
+	Bytes  int
+	Assoc  int // 0 = fully associative
+	Ports  int
+	Reads  uint64
+	Writes uint64
+}
+
+// CostModeler is implemented by mechanisms that add hardware; the
+// Figure 5 experiment consumes it.
+type CostModeler interface {
+	Hardware() []HWTable
+}
+
+// Factory builds a mechanism inside an environment.
+type Factory func(env *Env, p Params) (Mechanism, error)
+
+// Description documents a registered mechanism for listings
+// (Table 2's rows).
+type Description struct {
+	Name    string
+	Level   string // "L1" or "L2"
+	Year    int    // publication year, for the progress-over-time plot
+	Summary string
+}
+
+type registration struct {
+	desc    Description
+	factory Factory
+}
+
+var registry = map[string]registration{}
+
+// Register installs a mechanism factory under desc.Name. It panics on
+// duplicates: registration happens in package init, where a collision
+// is a build error, not a runtime condition.
+func Register(desc Description, f Factory) {
+	if _, dup := registry[desc.Name]; dup {
+		panic("core: duplicate mechanism registration: " + desc.Name)
+	}
+	registry[desc.Name] = registration{desc: desc, factory: f}
+}
+
+// New instantiates the named mechanism in env.
+func New(name string, env *Env, p Params) (Mechanism, error) {
+	reg, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown mechanism %q", name)
+	}
+	return reg.factory(env, p)
+}
+
+// Names returns the registered mechanism names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns the registered description.
+func Describe(name string) (Description, bool) {
+	r, ok := registry[name]
+	return r.desc, ok
+}
+
+// Descriptions returns all registered descriptions sorted by year
+// then name — the order of the paper's Table 2.
+func Descriptions() []Description {
+	out := make([]Description, 0, len(registry))
+	for _, r := range registry {
+		out = append(out, r.desc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Year != out[j].Year {
+			return out[i].Year < out[j].Year
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

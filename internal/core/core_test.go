@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestParamsGet(t *testing.T) {
+	p := Params{"queue": 7}
+	if p.Get("queue", 1) != 7 {
+		t.Fatal("existing key")
+	}
+	if p.Get("missing", 42) != 42 {
+		t.Fatal("default")
+	}
+	var nilP Params
+	if nilP.Get("x", 3) != 3 {
+		t.Fatal("nil params")
+	}
+}
+
+type fakeMech struct{ name string }
+
+func (f fakeMech) Name() string { return f.name }
+
+func TestRegistry(t *testing.T) {
+	Register(Description{Name: "test-mech-a", Level: "L1", Year: 2026, Summary: "test"},
+		func(env *Env, p Params) (Mechanism, error) {
+			return fakeMech{"test-mech-a"}, nil
+		})
+	m, err := New("test-mech-a", &Env{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "test-mech-a" {
+		t.Fatal("wrong mechanism")
+	}
+	if _, err := New("no-such-mech", &Env{}, nil); err == nil {
+		t.Fatal("unknown mechanism accepted")
+	}
+	d, ok := Describe("test-mech-a")
+	if !ok || d.Year != 2026 {
+		t.Fatalf("describe: %+v %v", d, ok)
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "test-mech-a" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("not listed")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	Register(Description{Name: "test-mech-dup"}, func(env *Env, p Params) (Mechanism, error) {
+		return fakeMech{}, nil
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration accepted")
+		}
+	}()
+	Register(Description{Name: "test-mech-dup"}, nil)
+}
+
+func TestDescriptionsSorted(t *testing.T) {
+	Register(Description{Name: "test-z", Year: 1990}, func(env *Env, p Params) (Mechanism, error) { return fakeMech{}, nil })
+	Register(Description{Name: "test-a", Year: 2010}, func(env *Env, p Params) (Mechanism, error) { return fakeMech{}, nil })
+	ds := Descriptions()
+	for i := 1; i < len(ds); i++ {
+		if ds[i].Year < ds[i-1].Year {
+			t.Fatalf("descriptions not year-sorted: %v", ds)
+		}
+	}
+}

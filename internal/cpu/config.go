@@ -1,0 +1,67 @@
+// Package cpu implements the MicroLib host processor models: an
+// out-of-order superscalar core with the Table 1 structural
+// parameters (the SimpleScalar sim-outorder stand-in the experiments
+// run on), and a simple in-order core used as a second host to
+// demonstrate module interoperability (the paper's wrapper story).
+package cpu
+
+// Config carries the core's structural parameters.
+type Config struct {
+	// Window sizes (Table 1: 128-RUU, 128-LSQ).
+	RUUSize, LSQSize int
+	// Widths (Table 1: fetch/decode/issue 8, commit up to 8).
+	FetchWidth, IssueWidth, CommitWidth int
+	// Functional unit counts (Table 1).
+	IntALU, IntMultDiv, FPALU, FPMultDiv, LoadStore int
+	// MispredictPenalty is the fetch-redirect cost in cycles after a
+	// mispredicted branch resolves.
+	MispredictPenalty uint64
+}
+
+// DefaultConfig returns the paper's Table 1 processor core.
+func DefaultConfig() Config {
+	return Config{
+		RUUSize:           128,
+		LSQSize:           128,
+		FetchWidth:        8,
+		IssueWidth:        8,
+		CommitWidth:       8,
+		IntALU:            8,
+		IntMultDiv:        3,
+		FPALU:             6,
+		FPMultDiv:         2,
+		LoadStore:         4,
+		MispredictPenalty: 6,
+	}
+}
+
+// Validate panics on nonsensical parameters.
+func (c Config) Validate() {
+	if c.RUUSize <= 0 || c.LSQSize <= 0 {
+		panic("cpu: window sizes must be positive")
+	}
+	if c.FetchWidth <= 0 || c.IssueWidth <= 0 || c.CommitWidth <= 0 {
+		panic("cpu: widths must be positive")
+	}
+	if c.IntALU <= 0 || c.FPALU <= 0 || c.LoadStore <= 0 {
+		panic("cpu: need at least one unit of each basic class")
+	}
+}
+
+// Result summarizes one simulation.
+type Result struct {
+	Cycles uint64
+	Insts  uint64
+	Loads  uint64
+	Stores uint64
+	// Mispredicts counts resolved mispredicted branches.
+	Mispredicts uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Insts) / float64(r.Cycles)
+}

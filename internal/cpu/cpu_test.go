@@ -1,0 +1,207 @@
+package cpu
+
+import (
+	"testing"
+
+	"microlib/internal/hier"
+	"microlib/internal/sim"
+	"microlib/internal/trace"
+)
+
+// synthStream builds a fixed-profile instruction stream for core
+// tests.
+type synthStream struct {
+	make func(i uint64, inst *trace.Inst)
+	n    uint64
+	i    uint64
+}
+
+func (s *synthStream) Next(inst *trace.Inst) bool {
+	if s.i >= s.n {
+		return false
+	}
+	s.make(s.i, inst)
+	s.i++
+	return true
+}
+
+func buildSystem() (*sim.Engine, *hier.Hierarchy) {
+	eng := sim.NewEngine()
+	cfg := hier.DefaultConfig().WithMemory(hier.MemConst70)
+	return eng, hier.Build(eng, cfg)
+}
+
+// TestIndependentALUReachesWidth: a stream of independent single-
+// cycle ALU ops should sustain several instructions per cycle on the
+// 8-wide core.
+func TestIndependentALUReachesWidth(t *testing.T) {
+	eng, h := buildSystem()
+	s := &synthStream{n: 20000, make: func(i uint64, inst *trace.Inst) {
+		inst.PC = 0x400000 + (i%64)*4
+		inst.Class = trace.IntALU
+		inst.Dep1, inst.Dep2 = 0, 0
+		inst.BB = uint32(i % 16)
+		inst.Mispredict = false
+		inst.Addr = 0
+	}}
+	res := NewOoO(eng, DefaultConfig(), h, s).Run(20000)
+	if ipc := res.IPC(); ipc < 4 {
+		t.Fatalf("independent ALU IPC %.2f, want >= 4 on an 8-wide core", ipc)
+	}
+}
+
+// TestSerialChainBoundsIPC: a fully serialized dependence chain of
+// 1-cycle ops cannot exceed IPC 1.
+func TestSerialChainBoundsIPC(t *testing.T) {
+	eng, h := buildSystem()
+	s := &synthStream{n: 10000, make: func(i uint64, inst *trace.Inst) {
+		inst.PC = 0x400000 + (i%64)*4
+		inst.Class = trace.IntALU
+		inst.Dep1, inst.Dep2 = 1, 0
+		inst.BB = 0
+	}}
+	res := NewOoO(eng, DefaultConfig(), h, s).Run(10000)
+	if ipc := res.IPC(); ipc > 1.05 {
+		t.Fatalf("serial chain IPC %.2f, cannot exceed 1", ipc)
+	}
+}
+
+// TestMispredictsSlowFetch: the same stream with mispredicted
+// branches must be slower.
+func TestMispredictsSlowFetch(t *testing.T) {
+	run := func(mispredict bool) float64 {
+		eng, h := buildSystem()
+		s := &synthStream{n: 10000, make: func(i uint64, inst *trace.Inst) {
+			inst.PC = 0x400000 + (i%64)*4
+			if i%10 == 9 {
+				inst.Class = trace.Branch
+				inst.Mispredict = mispredict && i%30 == 29
+			} else {
+				inst.Class = trace.IntALU
+				inst.Mispredict = false
+			}
+			inst.Dep1, inst.Dep2 = 0, 0
+		}}
+		return NewOoO(eng, DefaultConfig(), h, s).Run(10000).IPC()
+	}
+	clean, dirty := run(false), run(true)
+	if dirty >= clean {
+		t.Fatalf("mispredicts did not slow the core: %.2f vs %.2f", dirty, clean)
+	}
+}
+
+// TestLoadMissesStall: loads streaming through memory must be far
+// slower than L1-resident loads.
+func TestLoadMissesStall(t *testing.T) {
+	run := func(spread uint64) float64 {
+		eng, h := buildSystem()
+		s := &synthStream{n: 8000, make: func(i uint64, inst *trace.Inst) {
+			inst.PC = 0x400000 + (i%64)*4
+			if i%4 == 3 {
+				inst.Class = trace.Load
+				inst.Addr = 0x1000_0000 + (i%spread)*64
+				inst.Dep1 = 0
+			} else {
+				inst.Class = trace.IntALU
+				inst.Dep1 = 1 // consume the load eventually
+				inst.Addr = 0
+			}
+		}}
+		return NewOoO(eng, DefaultConfig(), h, s).Run(8000).IPC()
+	}
+	resident := run(32)      // 32 lines: L1-resident
+	streaming := run(100000) // never repeats
+	if streaming >= resident {
+		t.Fatalf("memory-bound stream (%.2f) not slower than resident (%.2f)", streaming, resident)
+	}
+}
+
+// TestStoresRetire: a store-heavy stream completes and performs
+// cache writes at commit.
+func TestStoresRetire(t *testing.T) {
+	eng, h := buildSystem()
+	s := &synthStream{n: 5000, make: func(i uint64, inst *trace.Inst) {
+		inst.PC = 0x400000 + (i%64)*4
+		if i%3 == 0 {
+			inst.Class = trace.Store
+			inst.Addr = 0x1000_0000 + (i%128)*8
+		} else {
+			inst.Class = trace.IntALU
+		}
+	}}
+	res := NewOoO(eng, DefaultConfig(), h, s).Run(5000)
+	if res.Insts != 5000 {
+		t.Fatalf("committed %d", res.Insts)
+	}
+	if res.Stores == 0 {
+		t.Fatal("no stores retired")
+	}
+	if h.L1D.Stats().Writes == 0 {
+		t.Fatal("stores never reached the cache")
+	}
+}
+
+// TestInOrderSlowerThanOoO on a memory-bound stream.
+func TestInOrderSlowerThanOoO(t *testing.T) {
+	mk := func() *synthStream {
+		return &synthStream{n: 4000, make: func(i uint64, inst *trace.Inst) {
+			inst.PC = 0x400000 + (i%64)*4
+			if i%4 == 0 {
+				inst.Class = trace.Load
+				inst.Addr = 0x1000_0000 + i*64
+			} else {
+				inst.Class = trace.IntALU
+			}
+			inst.Dep1 = 0
+		}}
+	}
+	engO, hO := buildSystem()
+	ooo := NewOoO(engO, DefaultConfig(), hO, mk()).Run(4000).IPC()
+	engI, hI := buildSystem()
+	io := NewInOrder(engI, hI, mk()).Run(4000).IPC()
+	if io >= ooo {
+		t.Fatalf("in-order (%.3f) not slower than OoO (%.3f) on parallel loads", io, ooo)
+	}
+}
+
+// TestWarmupCallback fires exactly once at the requested commit
+// count.
+func TestWarmupCallback(t *testing.T) {
+	eng, h := buildSystem()
+	s := &synthStream{n: 2000, make: func(i uint64, inst *trace.Inst) {
+		inst.PC = 0x400000 + (i%64)*4
+		inst.Class = trace.IntALU
+	}}
+	c := NewOoO(eng, DefaultConfig(), h, s)
+	calls := 0
+	var at uint64
+	c.SetWarmup(500, func(cycles uint64) { calls++; at = cycles })
+	res := c.Run(2000)
+	if calls != 1 {
+		t.Fatalf("warmup fired %d times", calls)
+	}
+	if at == 0 || at >= res.Cycles {
+		t.Fatalf("warmup at cycle %d of %d", at, res.Cycles)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RUUSize = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config accepted")
+		}
+	}()
+	cfg.Validate()
+}
+
+func TestResultIPC(t *testing.T) {
+	r := Result{Cycles: 200, Insts: 100}
+	if r.IPC() != 0.5 {
+		t.Fatalf("IPC %v", r.IPC())
+	}
+	if (Result{}).IPC() != 0 {
+		t.Fatal("zero-cycle IPC not 0")
+	}
+}

@@ -1,0 +1,94 @@
+package cpu
+
+import (
+	"microlib/internal/cache"
+	"microlib/internal/hier"
+	"microlib/internal/sim"
+	"microlib/internal/trace"
+)
+
+// InOrder is a simple scalar, blocking-load host core. It exists to
+// demonstrate the MicroLib interoperability claim: the same cache
+// mechanism modules plug unchanged into a completely different
+// processor model (the paper's wrapper story), and rankings can be
+// compared across hosts (an ablation bench does exactly that).
+type InOrder struct {
+	eng    *sim.Engine
+	h      *hier.Hierarchy
+	stream trace.Stream
+
+	mispredictPenalty uint64
+
+	warmInsts uint64
+	onWarm    func(cycles uint64)
+
+	res Result
+}
+
+// SetWarmup mirrors OoO.SetWarmup for the scalar core.
+func (c *InOrder) SetWarmup(insts uint64, fn func(cycles uint64)) {
+	c.warmInsts = insts
+	c.onWarm = fn
+}
+
+// NewInOrder builds the scalar core.
+func NewInOrder(eng *sim.Engine, h *hier.Hierarchy, stream trace.Stream) *InOrder {
+	return &InOrder{eng: eng, h: h, stream: stream, mispredictPenalty: 6}
+}
+
+// Run simulates maxInsts instructions and returns the result.
+func (c *InOrder) Run(maxInsts uint64) Result {
+	var inst trace.Inst
+	cycle := c.eng.Now()
+	for c.res.Insts < maxInsts && c.stream.Next(&inst) {
+		c.eng.AdvanceTo(cycle)
+		switch inst.Class {
+		case trace.Load:
+			waiting := true
+			var doneAt uint64
+			acc := &cache.Access{Addr: inst.Addr, PC: inst.MemPC(),
+				Done: func(now uint64, hit bool) { waiting = false; doneAt = now }}
+			for !c.h.L1D.Access(acc) {
+				cycle++
+				c.eng.AdvanceTo(cycle)
+			}
+			// Blocking load: spin simulated time until the data is
+			// back.
+			for waiting {
+				cycle++
+				c.eng.AdvanceTo(cycle)
+			}
+			if doneAt > cycle {
+				cycle = doneAt
+			}
+			c.res.Loads++
+		case trace.Store:
+			acc := &cache.Access{Addr: inst.Addr, PC: inst.MemPC(), Write: true}
+			for !c.h.L1D.Access(acc) {
+				cycle++
+				c.eng.AdvanceTo(cycle)
+			}
+			cycle++
+			c.res.Stores++
+		case trace.Branch:
+			cycle += inst.Class.Latency()
+			if inst.Mispredict {
+				cycle += c.mispredictPenalty
+				c.res.Mispredicts++
+			}
+		default:
+			cycle += inst.Class.Latency()
+		}
+		c.res.Insts++
+		if c.onWarm != nil && c.res.Insts == c.warmInsts {
+			c.onWarm(cycle)
+			c.onWarm = nil
+		}
+	}
+	c.eng.AdvanceTo(cycle)
+	c.res.Cycles = cycle
+	if c.res.Cycles == 0 {
+		c.res.Cycles = 1
+	}
+	return c.res
+}

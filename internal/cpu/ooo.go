@@ -1,0 +1,377 @@
+package cpu
+
+import (
+	"fmt"
+
+	"microlib/internal/cache"
+	"microlib/internal/hier"
+	"microlib/internal/sim"
+	"microlib/internal/trace"
+)
+
+// entry states
+const (
+	stWaiting uint8 = iota // dependences outstanding
+	stReady                // ready to issue
+	stIssued               // executing / memory outstanding
+	stDone                 // result available
+)
+
+type robEntry struct {
+	class      trace.Class
+	pc         uint64
+	addr       uint64
+	isStore    bool
+	mispredict bool
+	state      uint8
+	pending    int
+	waiters    []uint64 // absolute sequence numbers of consumers
+}
+
+// OoO is the out-of-order host core. It is trace-driven: it consumes
+// a trace.Stream and models timing only, with all memory behaviour
+// delegated to the hierarchy.
+type OoO struct {
+	cfg    Config
+	eng    *sim.Engine
+	h      *hier.Hierarchy
+	stream trace.Stream
+
+	win  []robEntry
+	head uint64 // oldest in-flight sequence number
+	tail uint64 // next sequence number to allocate
+
+	readyQ []uint64
+
+	lsqUsed int
+
+	// Front-end state.
+	fetchDone     bool   // stream exhausted or budget reached
+	fetchBlocked  bool   // waiting on an I-cache fill
+	fetchResumeAt uint64 // earliest fetch cycle after redirect
+	haltOnBranch  bool   // a mispredicted branch is unresolved
+	haltBranchSeq uint64
+	curFetchLine  uint64
+	staged        trace.Inst // one-instruction fetch stage
+	hasStaged     bool
+	fetched       uint64
+	maxFetch      uint64
+
+	// Per-cycle functional-unit usage.
+	fuCycle                        uint64
+	intALU, intMD, fpALU, fpMD, ls int
+
+	// Warm-up: when warmInsts instructions have committed, onWarm
+	// fires once (the runner snapshots statistics there).
+	warmInsts uint64
+	onWarm    func(cycles uint64)
+
+	res Result
+}
+
+// SetWarmup arranges for fn to be called once, with the cycle count
+// so far, when insts instructions have committed. Statistics
+// measured from that point exclude cold-start effects — the scaled
+// equivalent of the paper's long SimPoint traces reaching steady
+// state.
+func (o *OoO) SetWarmup(insts uint64, fn func(cycles uint64)) {
+	o.warmInsts = insts
+	o.onWarm = fn
+}
+
+// NewOoO builds the core on an engine and hierarchy.
+func NewOoO(eng *sim.Engine, cfg Config, h *hier.Hierarchy, stream trace.Stream) *OoO {
+	cfg.Validate()
+	return &OoO{
+		cfg:    cfg,
+		eng:    eng,
+		h:      h,
+		stream: stream,
+		win:    make([]robEntry, cfg.RUUSize),
+	}
+}
+
+func (o *OoO) slot(seq uint64) *robEntry { return &o.win[seq%uint64(len(o.win))] }
+
+// Run simulates until maxInsts instructions commit (or the stream
+// ends) and returns the result.
+func (o *OoO) Run(maxInsts uint64) Result {
+	o.maxFetch = maxInsts
+	cycle := o.eng.Now()
+	lastCommit := cycle
+	lastHead := o.head
+	for {
+		o.eng.AdvanceTo(cycle)
+		o.commit()
+		o.issue(cycle)
+		o.fetch(cycle)
+		if o.fetchDone && o.head == o.tail {
+			break
+		}
+		if o.head != lastHead {
+			lastHead = o.head
+			lastCommit = cycle
+		} else if cycle-lastCommit > 2_000_000 {
+			panic(fmt.Sprintf("cpu: no commit progress for 2M cycles at cycle %d (head=%d tail=%d state=%d pending=%d)",
+				cycle, o.head, o.tail, o.slot(o.head).state, o.slot(o.head).pending))
+		}
+		cycle++
+	}
+	o.res.Cycles = o.eng.Now()
+	if o.res.Cycles == 0 {
+		o.res.Cycles = 1
+	}
+	return o.res
+}
+
+// commit retires completed instructions in order; stores perform
+// their cache write at commit and stall retirement when the cache
+// refuses the access.
+func (o *OoO) commit() {
+	for n := 0; n < o.cfg.CommitWidth && o.head < o.tail; n++ {
+		e := o.slot(o.head)
+		if e.state != stDone {
+			return
+		}
+		if e.isStore {
+			if !o.h.L1D.Access(&cache.Access{Addr: e.addr, PC: e.pc, Write: true}) {
+				return // retry next cycle
+			}
+			o.res.Stores++
+		}
+		if e.class == trace.Load {
+			o.res.Loads++
+		}
+		if e.class.IsMem() {
+			o.lsqUsed--
+		}
+		e.waiters = e.waiters[:0]
+		o.head++
+		o.res.Insts++
+		if o.onWarm != nil && o.res.Insts == o.warmInsts {
+			o.onWarm(o.eng.Now())
+			o.onWarm = nil
+		}
+	}
+}
+
+// issue walks the ready queue and dispatches up to IssueWidth
+// instructions, respecting functional-unit counts; loads that the
+// cache refuses stay queued (the LSQ-stall behaviour of Section 2.2).
+func (o *OoO) issue(cycle uint64) {
+	if cycle != o.fuCycle {
+		o.fuCycle = cycle
+		o.intALU, o.intMD, o.fpALU, o.fpMD, o.ls = 0, 0, 0, 0, 0
+	}
+	issued := 0
+	kept := o.readyQ[:0]
+	for i := 0; i < len(o.readyQ); i++ {
+		seq := o.readyQ[i]
+		if issued >= o.cfg.IssueWidth {
+			kept = append(kept, o.readyQ[i:]...)
+			break
+		}
+		e := o.slot(seq)
+		if e.state != stReady {
+			continue // defensive: already handled
+		}
+		if !o.fuAvailable(e.class) {
+			kept = append(kept, seq)
+			continue
+		}
+		if e.class == trace.Load {
+			s := seq
+			acc := &cache.Access{
+				Addr: e.addr,
+				PC:   e.pc,
+				Done: func(now uint64, hit bool) { o.complete(s) },
+			}
+			if !o.h.L1D.Access(acc) {
+				kept = append(kept, seq)
+				continue
+			}
+			o.takeFU(e.class)
+			e.state = stIssued
+			issued++
+			continue
+		}
+		// Stores compute their address in one cycle; the memory write
+		// happens at commit. ALU/branch classes complete after their
+		// latency.
+		o.takeFU(e.class)
+		e.state = stIssued
+		issued++
+		lat := e.class.Latency()
+		s := seq
+		o.eng.After(lat, func() { o.complete(s) })
+	}
+	o.readyQ = kept
+}
+
+func (o *OoO) fuAvailable(c trace.Class) bool {
+	switch c {
+	case trace.IntALU, trace.Branch:
+		return o.intALU < o.cfg.IntALU
+	case trace.IntMult, trace.IntDiv:
+		return o.intMD < o.cfg.IntMultDiv
+	case trace.FPALU:
+		return o.fpALU < o.cfg.FPALU
+	case trace.FPMult, trace.FPDiv:
+		return o.fpMD < o.cfg.FPMultDiv
+	case trace.Load, trace.Store:
+		return o.ls < o.cfg.LoadStore
+	}
+	return true
+}
+
+func (o *OoO) takeFU(c trace.Class) {
+	switch c {
+	case trace.IntALU, trace.Branch:
+		o.intALU++
+	case trace.IntMult, trace.IntDiv:
+		o.intMD++
+	case trace.FPALU:
+		o.fpALU++
+	case trace.FPMult, trace.FPDiv:
+		o.fpMD++
+	case trace.Load, trace.Store:
+		o.ls++
+	}
+}
+
+// complete marks seq done and wakes its consumers.
+func (o *OoO) complete(seq uint64) {
+	e := o.slot(seq)
+	if e.state == stDone {
+		return
+	}
+	e.state = stDone
+	for _, w := range e.waiters {
+		we := o.slot(w)
+		we.pending--
+		if we.pending == 0 && we.state == stWaiting {
+			we.state = stReady
+			o.readyQ = append(o.readyQ, w)
+		}
+	}
+	e.waiters = e.waiters[:0]
+	if e.class == trace.Branch && e.mispredict && o.haltOnBranch && o.haltBranchSeq == seq {
+		o.haltOnBranch = false
+		o.fetchResumeAt = o.eng.Now() + o.cfg.MispredictPenalty
+		o.res.Mispredicts++
+	}
+}
+
+// nextInst pulls the next instruction, honouring the staging slot.
+func (o *OoO) nextInst(inst *trace.Inst) bool {
+	if o.hasStaged {
+		*inst = o.staged
+		o.hasStaged = false
+		return true
+	}
+	return o.stream.Next(inst)
+}
+
+// stage parks an instruction that could not be placed this cycle.
+func (o *OoO) stage(inst *trace.Inst) {
+	o.staged = *inst
+	o.hasStaged = true
+}
+
+// fetch brings up to FetchWidth instructions into the window,
+// modeling an I-cache access per line transition and halting on
+// unresolved mispredicted branches.
+func (o *OoO) fetch(cycle uint64) {
+	if o.fetchDone || o.haltOnBranch || o.fetchBlocked || cycle < o.fetchResumeAt {
+		return
+	}
+	var inst trace.Inst
+	for n := 0; n < o.cfg.FetchWidth; n++ {
+		if o.fetched >= o.maxFetch {
+			o.fetchDone = true
+			return
+		}
+		if o.tail-o.head >= uint64(o.cfg.RUUSize) {
+			return // window full
+		}
+		if !o.nextInst(&inst) {
+			o.fetchDone = true
+			return
+		}
+		if inst.Class.IsMem() && o.lsqUsed >= o.cfg.LSQSize {
+			o.stage(&inst)
+			return // LSQ full
+		}
+
+		// Instruction cache: one access per line transition.
+		lineAddr := inst.PC &^ 31
+		if lineAddr != o.curFetchLine {
+			present, _, _ := o.h.L1I.Probe(lineAddr)
+			if present {
+				if !o.h.L1I.Access(&cache.Access{Addr: lineAddr, PC: inst.PC}) {
+					o.stage(&inst)
+					return // I-port busy; retry next cycle
+				}
+				o.curFetchLine = lineAddr
+			} else {
+				accepted := o.h.L1I.Access(&cache.Access{
+					Addr: lineAddr,
+					PC:   inst.PC,
+					Done: func(now uint64, hit bool) { o.fetchBlocked = false },
+				})
+				if accepted {
+					o.fetchBlocked = true
+					o.curFetchLine = lineAddr
+				}
+				o.stage(&inst)
+				return
+			}
+		}
+
+		o.place(&inst)
+		o.fetched++
+		if inst.Class == trace.Branch && inst.Mispredict {
+			o.haltOnBranch = true
+			o.haltBranchSeq = o.tail - 1
+			return
+		}
+	}
+}
+
+// place allocates a window entry and resolves its dependences.
+func (o *OoO) place(inst *trace.Inst) {
+	seq := o.tail
+	o.tail++
+	e := o.slot(seq)
+	*e = robEntry{
+		class:      inst.Class,
+		pc:         inst.MemPC(),
+		addr:       inst.Addr,
+		isStore:    inst.Class == trace.Store,
+		mispredict: inst.Mispredict,
+		state:      stWaiting,
+		waiters:    e.waiters[:0],
+	}
+	if inst.Class.IsMem() {
+		o.lsqUsed++
+	}
+	for _, d := range [2]uint16{inst.Dep1, inst.Dep2} {
+		if d == 0 || uint64(d) > seq {
+			continue
+		}
+		prod := seq - uint64(d)
+		if prod < o.head {
+			continue // producer already committed: value available
+		}
+		pe := o.slot(prod)
+		if pe.state == stDone {
+			continue
+		}
+		pe.waiters = append(pe.waiters, seq)
+		e.pending++
+	}
+	if e.pending == 0 {
+		e.state = stReady
+		o.readyQ = append(o.readyQ, seq)
+	}
+}

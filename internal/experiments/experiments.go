@@ -1,0 +1,240 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Sections 2.2 and 3): the validation studies
+// (Figures 1-3), the main quantitative comparison (Figures 4-7,
+// Tables 5-7) and the methodology studies (Figures 8-11). Each
+// experiment returns a Report with a pre-formatted text table; the
+// mlrank CLI and the root bench harness print them.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"microlib/internal/cpu"
+	"microlib/internal/hier"
+	"microlib/internal/runner"
+	"microlib/internal/simpoint"
+	"microlib/internal/stats"
+	"microlib/internal/trace"
+	"microlib/internal/workload"
+)
+
+// PaperMechs is the mechanism column order of the paper's Tables 6
+// and 7 (chronological, baseline first).
+var PaperMechs = []string{
+	"Base", "TP", "VC", "SP", "Markov", "FVC", "DBCP",
+	"TKVC", "TK", "CDP", "CDPSP", "TCP", "GHB",
+}
+
+// Runner carries the shared experiment configuration. The zero value
+// is not usable; construct with Default.
+type Runner struct {
+	// Insts is the measured instruction budget per simulation and
+	// Warmup the pre-measurement budget (scaled stand-ins for the
+	// paper's 500M SimPoint traces).
+	Insts  uint64
+	Warmup uint64
+	// ValInsts/ValSkip configure the validation setup of Section 2.2
+	// ("2-billion instruction traces, skipping the first billion",
+	// scaled).
+	ValInsts uint64
+	ValSkip  uint64
+	Seed     uint64
+	Parallel int
+	// UseSimPoint enables SimPoint trace selection for the main
+	// experiments (the paper's default).
+	UseSimPoint bool
+
+	Benchmarks []string
+	Mechs      []string
+
+	mu    sync.Mutex
+	grids map[string]*gridResult
+}
+
+type cellKey struct{ bench, mech string }
+
+type gridResult struct {
+	grid *stats.Grid
+	res  map[cellKey]runner.Result
+}
+
+// Default returns the standard experiment configuration.
+func Default() *Runner {
+	return &Runner{
+		Insts:       150_000,
+		Warmup:      50_000,
+		ValInsts:    200_000,
+		ValSkip:     100_000,
+		Seed:        42,
+		Parallel:    runtime.GOMAXPROCS(0),
+		UseSimPoint: true,
+		Benchmarks:  workload.Names(),
+		Mechs:       append([]string(nil), PaperMechs...),
+		grids:       map[string]*gridResult{},
+	}
+}
+
+// Scale divides the instruction budgets by f (for quick bench runs).
+func (r *Runner) Scale(f uint64) *Runner {
+	if f > 1 {
+		r.Insts /= f
+		r.Warmup /= f
+		r.ValInsts /= f
+		r.ValSkip /= f
+	}
+	return r
+}
+
+// Variant mutates the per-run options of a grid.
+type Variant func(*runner.Options)
+
+// simPointSkip computes the SimPoint offset for a benchmark.
+func (r *Runner) simPointSkip(bench string) uint64 {
+	gen, err := workload.New(bench, r.Seed)
+	if err != nil {
+		return 0
+	}
+	cfg := simpoint.DefaultConfig()
+	cfg.IntervalLen = (r.Warmup + r.Insts) / 8
+	if cfg.IntervalLen == 0 {
+		cfg.IntervalLen = 1
+	}
+	cfg.Intervals = 12
+	var s trace.Stream = gen
+	return simpoint.Analyze(s, cfg).SkipInsts
+}
+
+// Grid runs (or returns the memoized) benchmark × mechanism IPC grid
+// for a named configuration.
+func (r *Runner) Grid(name string, variant Variant) (*stats.Grid, map[cellKey]runner.Result) {
+	r.mu.Lock()
+	if g, ok := r.grids[name]; ok {
+		r.mu.Unlock()
+		return g.grid, g.res
+	}
+	r.mu.Unlock()
+
+	grid := stats.NewGrid(r.Benchmarks, r.Mechs)
+	results := make(map[cellKey]runner.Result, len(r.Benchmarks)*len(r.Mechs))
+
+	// SimPoint offsets are per benchmark, shared across mechanisms.
+	spSkip := map[string]uint64{}
+	if r.UseSimPoint {
+		for _, b := range r.Benchmarks {
+			spSkip[b] = r.simPointSkip(b)
+		}
+	}
+
+	type job struct{ bench, mech string }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	workers := r.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				opts := runner.Options{
+					Bench:     j.bench,
+					Mechanism: j.mech,
+					Hier:      hier.DefaultConfig(),
+					CPU:       cpu.DefaultConfig(),
+					Insts:     r.Insts,
+					Warmup:    r.Warmup,
+					Seed:      r.Seed,
+					Skip:      spSkip[j.bench],
+				}
+				if variant != nil {
+					variant(&opts)
+				}
+				res, err := runner.Run(opts)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("%s/%s: %w", j.bench, j.mech, err)
+					}
+				} else {
+					grid.Set(j.bench, j.mech, res.IPC)
+					results[cellKey{j.bench, j.mech}] = res
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, b := range r.Benchmarks {
+		for _, m := range r.Mechs {
+			jobs <- job{b, m}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		panic(firstErr) // configuration error: fail loudly
+	}
+
+	r.mu.Lock()
+	r.grids[name] = &gridResult{grid: grid, res: results}
+	r.mu.Unlock()
+	return grid, results
+}
+
+// MainGrid is the paper's primary configuration: Table 1 hierarchy,
+// detailed SDRAM, SimPoint-selected traces.
+func (r *Runner) MainGrid() (*stats.Grid, map[cellKey]runner.Result) {
+	return r.Grid("main", nil)
+}
+
+// Report is one regenerated artifact.
+type Report struct {
+	ID    string
+	Title string
+	Table string
+}
+
+func (rep Report) String() string {
+	return fmt.Sprintf("== %s: %s ==\n%s", rep.ID, rep.Title, rep.Table)
+}
+
+// Registry of experiment builders by id.
+var registry = map[string]struct {
+	title string
+	fn    func(*Runner) Report
+}{}
+
+func register(id, title string, fn func(*Runner) Report) {
+	registry[id] = struct {
+		title string
+		fn    func(*Runner) Report
+	}{title, fn}
+}
+
+// IDs returns the registered experiment ids, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(r *Runner, id string) (Report, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Report{}, fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	return e.fn(r), nil
+}
+
+// Title returns an experiment's title.
+func Title(id string) string { return registry[id].title }

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyRunner keeps integration runs fast: 3 benchmarks, 4 mechanisms,
+// short traces.
+func tinyRunner() *Runner {
+	r := Default()
+	r.Insts = 20_000
+	r.Warmup = 10_000
+	r.ValInsts = 20_000
+	r.ValSkip = 10_000
+	r.Benchmarks = []string{"gzip", "swim", "twolf"}
+	r.Mechs = []string{"Base", "TP", "SP", "GHB"}
+	r.UseSimPoint = false
+	return r
+}
+
+func TestIDsComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11",
+		"table1", "table3", "table5", "table6", "table7", "genref",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run(tinyRunner(), "fig99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestMainGridAndFig4(t *testing.T) {
+	r := tinyRunner()
+	rep, err := Run(r, "fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"gzip", "swim", "twolf", "GHB", "average speedup"} {
+		if !strings.Contains(rep.Table, want) {
+			t.Fatalf("fig4 table missing %q:\n%s", want, rep.Table)
+		}
+	}
+	// Memoization: a second run must reuse the grid.
+	g1, _ := r.MainGrid()
+	g2, _ := r.MainGrid()
+	if g1 != g2 {
+		t.Fatal("main grid not memoized")
+	}
+}
+
+func TestFig8ThreeModels(t *testing.T) {
+	rep, err := Run(tinyRunner(), "fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"const-70", "sdram-170", "sdram-70"} {
+		if !strings.Contains(rep.Table, want) {
+			t.Fatalf("fig8 missing %q:\n%s", want, rep.Table)
+		}
+	}
+}
+
+func TestFig10QueueStudy(t *testing.T) {
+	rep, err := Run(tinyRunner(), "fig10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Table, "queue-128") || !strings.Contains(rep.Table, "queue-1") {
+		t.Fatalf("fig10 table:\n%s", rep.Table)
+	}
+}
+
+func TestTable6And7(t *testing.T) {
+	r := tinyRunner()
+	rep6, err := Run(r, "table6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep6.Table, "N") {
+		t.Fatalf("table6:\n%s", rep6.Table)
+	}
+	rep7, err := Run(r, "table7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep7.Table, "DBCP article selection") {
+		t.Fatalf("table7:\n%s", rep7.Table)
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	r := tinyRunner()
+	for _, id := range []string{"table1", "table3", "table5"} {
+		rep, err := Run(r, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Table) == 0 {
+			t.Fatalf("%s empty", id)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	r := Default()
+	insts := r.Insts
+	r.Scale(2)
+	if r.Insts != insts/2 {
+		t.Fatalf("scale: %d", r.Insts)
+	}
+	r2 := Default()
+	r2.Scale(1)
+	if r2.Insts != insts {
+		t.Fatal("scale 1 changed budgets")
+	}
+}

@@ -1,0 +1,142 @@
+package hier
+
+import (
+	"microlib/internal/bus"
+	"microlib/internal/cache"
+	"microlib/internal/mem"
+	"microlib/internal/sim"
+)
+
+// l2Backend carries L1 misses across the L1/L2 bus into the unified
+// L2. Both L1 caches share one instance's bus but use per-cache
+// wrappers that know their own line size for the data return.
+type l2Backend struct {
+	eng *sim.Engine
+	bus *bus.Bus
+	l2  *cache.Cache
+}
+
+// l1DataBackend is the per-L1 view of the shared l2Backend.
+type l1DataBackend struct {
+	*l2Backend
+	lineSize uint64
+}
+
+// Fetch implements cache.Backend for an L1 cache.
+func (b *l1DataBackend) Fetch(lineAddr, pc uint64, prefetch bool, done func(now uint64)) bool {
+	now := b.eng.Now()
+	if prefetch && b.bus.Busy(now) {
+		return false // prefetches only use an idle bus
+	}
+	// Command transfer to L2 (one bus beat), then the L2 lookup, then
+	// the line returns across the bus.
+	cmdDone := b.bus.Reserve(now, 8)
+	b.eng.At(cmdDone, func() { b.submit(lineAddr, pc, done) })
+	return true
+}
+
+func (b *l1DataBackend) submit(lineAddr, pc uint64, done func(now uint64)) {
+	acc := &cache.Access{
+		Addr: lineAddr,
+		PC:   pc,
+		Done: func(t uint64, hit bool) {
+			dataDone := b.bus.Reserve(t, b.lineSize)
+			b.eng.At(dataDone, func() { done(dataDone) })
+		},
+	}
+	if !b.l2.Access(acc) {
+		b.eng.After(1, func() { b.submit(lineAddr, pc, done) })
+	}
+}
+
+// WriteBack implements cache.Backend: dirty L1 lines move across the
+// bus and update (write-allocate) the L2.
+func (b *l1DataBackend) WriteBack(lineAddr uint64) bool {
+	now := b.eng.Now()
+	dataDone := b.bus.Reserve(now, b.lineSize)
+	b.eng.At(dataDone, func() { b.submitWB(lineAddr) })
+	return true
+}
+
+func (b *l1DataBackend) submitWB(lineAddr uint64) {
+	acc := &cache.Access{Addr: lineAddr, Write: true}
+	if !b.l2.Access(acc) {
+		b.eng.After(1, func() { b.submitWB(lineAddr) })
+	}
+}
+
+// FreeAtHint implements cache.Backend.
+func (b *l1DataBackend) FreeAtHint() uint64 { return b.bus.FreeAt() }
+
+// memBackend carries L2 misses across the front-side bus into the
+// SDRAM controller.
+type memBackend struct {
+	eng      *sim.Engine
+	fsb      *bus.Bus
+	m        mem.Model
+	lineSize uint64
+}
+
+// Fetch implements cache.Backend for the L2. The SDRAM burst already
+// occupies the DRAM data bus (which is the front-side bus for a
+// direct-attached controller), so the return path is not charged a
+// second time; prefetch admission is controlled by the memory
+// controller's queue policy.
+func (b *memBackend) Fetch(lineAddr, pc uint64, prefetch bool, done func(now uint64)) bool {
+	req := &mem.Req{
+		Addr:     lineAddr,
+		Size:     uint32(b.lineSize),
+		Prefetch: prefetch,
+		Done:     done,
+	}
+	return b.m.Enqueue(req)
+}
+
+// WriteBack implements cache.Backend: the dirty line crosses the FSB
+// and is retired by the controller.
+func (b *memBackend) WriteBack(lineAddr uint64) bool {
+	dataDone := b.fsb.Reserve(b.eng.Now(), b.lineSize)
+	req := &mem.Req{Addr: lineAddr, Size: uint32(b.lineSize), Write: true}
+	if !b.m.Enqueue(req) {
+		// Queue full: retry the controller entry once the bus beat
+		// lands; the bus reservation already happened (data is in
+		// flight) so this models controller-side buffering.
+		b.eng.At(dataDone, func() { b.retryWB(req) })
+	}
+	return true
+}
+
+func (b *memBackend) retryWB(req *mem.Req) {
+	if !b.m.Enqueue(req) {
+		b.eng.After(4, func() { b.retryWB(req) })
+	}
+}
+
+// FreeAtHint implements cache.Backend.
+func (b *memBackend) FreeAtHint() uint64 {
+	at := b.fsb.FreeAt()
+	if n := b.eng.Now() + 4; n > at {
+		return n
+	}
+	return at
+}
+
+// constBackend is the SimpleScalar-style memory path: no bus, no
+// queue, a flat constant latency, unlimited concurrency.
+type constBackend struct {
+	eng *sim.Engine
+	m   mem.Model
+}
+
+// Fetch implements cache.Backend.
+func (b *constBackend) Fetch(lineAddr, pc uint64, prefetch bool, done func(now uint64)) bool {
+	return b.m.Enqueue(&mem.Req{Addr: lineAddr, Size: 64, Prefetch: prefetch, Done: done})
+}
+
+// WriteBack implements cache.Backend.
+func (b *constBackend) WriteBack(lineAddr uint64) bool {
+	return b.m.Enqueue(&mem.Req{Addr: lineAddr, Size: 64, Write: true})
+}
+
+// FreeAtHint implements cache.Backend.
+func (b *constBackend) FreeAtHint() uint64 { return b.eng.Now() + 1 }

@@ -1,0 +1,147 @@
+// Package hier assembles the Table 1 memory hierarchy: L1 data and
+// instruction caches, a unified L2, the L1/L2 bus (32 bytes at
+// 2 GHz), the front-side bus (64 bytes at 400 MHz) and a main memory
+// model, all on one event engine.
+package hier
+
+import (
+	"microlib/internal/bus"
+	"microlib/internal/cache"
+	"microlib/internal/mem"
+	"microlib/internal/sim"
+)
+
+// MemoryKind selects the main-memory model (the paper's Figure 8
+// compares all three).
+type MemoryKind int
+
+const (
+	// MemSDRAM is the detailed Table 1 SDRAM (~170-cycle average).
+	MemSDRAM MemoryKind = iota
+	// MemConst70 is the SimpleScalar-like constant 70-cycle memory.
+	MemConst70
+	// MemSDRAM70 is the SDRAM scaled to a ~70-cycle average.
+	MemSDRAM70
+)
+
+// String names the memory kind for reports.
+func (k MemoryKind) String() string {
+	switch k {
+	case MemSDRAM:
+		return "sdram-170"
+	case MemConst70:
+		return "const-70"
+	case MemSDRAM70:
+		return "sdram-70"
+	}
+	return "unknown"
+}
+
+// Config describes the full hierarchy.
+type Config struct {
+	L1D, L1I, L2 cache.Config
+	Memory       MemoryKind
+	ConstLatency uint64
+	SDRAM        mem.SDRAMConfig
+	// L1BusBytes/L1BusCPUCycles: L1/L2 bus geometry (32 B @ 2 GHz).
+	L1BusBytes, L1BusCPUCycles uint64
+	// FSBBytes/FSBCPUCycles: front-side bus geometry (64 B @ 400 MHz
+	// under a 2 GHz core = 5 CPU cycles per bus cycle).
+	FSBBytes, FSBCPUCycles uint64
+}
+
+// DefaultConfig returns the paper's Table 1 baseline.
+func DefaultConfig() Config {
+	return Config{
+		L1D: cache.Config{
+			Name: "L1D", Size: 32 << 10, LineSize: 32, Assoc: 1,
+			HitLatency: 1, Ports: 4, MSHRs: 8, ReadsPerMSHR: 4,
+			WriteBack: true, AllocOnWrite: true,
+		},
+		L1I: cache.Config{
+			Name: "L1I", Size: 32 << 10, LineSize: 32, Assoc: 4,
+			HitLatency: 1, Ports: 1, MSHRs: 4, ReadsPerMSHR: 4,
+			WriteBack: false, AllocOnWrite: false,
+		},
+		L2: cache.Config{
+			Name: "L2", Size: 1 << 20, LineSize: 64, Assoc: 4,
+			HitLatency: 12, Ports: 1, MSHRs: 8, ReadsPerMSHR: 4,
+			WriteBack: true, AllocOnWrite: true,
+		},
+		Memory:         MemSDRAM,
+		ConstLatency:   70,
+		SDRAM:          mem.DefaultSDRAMConfig(),
+		L1BusBytes:     32,
+		L1BusCPUCycles: 1,
+		FSBBytes:       64,
+		FSBCPUCycles:   5,
+	}
+}
+
+// SimpleScalarCacheMode flips every cache to the less-detailed
+// SimpleScalar behaviour (infinite MSHRs, free refill ports, no
+// pipeline stalls) — the Figure 1 comparison point.
+func (c Config) SimpleScalarCacheMode() Config {
+	for _, cc := range []*cache.Config{&c.L1D, &c.L1I, &c.L2} {
+		cc.InfiniteMSHR = true
+		cc.FreeRefillPorts = true
+		cc.NoPipelineStall = true
+	}
+	return c
+}
+
+// InfiniteMSHRMode relaxes only the miss address file (Figure 9).
+func (c Config) InfiniteMSHRMode() Config {
+	c.L1D.InfiniteMSHR = true
+	c.L1I.InfiniteMSHR = true
+	c.L2.InfiniteMSHR = true
+	return c
+}
+
+// WithMemory returns the config with a different memory model.
+func (c Config) WithMemory(k MemoryKind) Config {
+	c.Memory = k
+	return c
+}
+
+// Hierarchy is a built memory system.
+type Hierarchy struct {
+	Eng   *sim.Engine
+	L1D   *cache.Cache
+	L1I   *cache.Cache
+	L2    *cache.Cache
+	L1Bus *bus.Bus
+	FSB   *bus.Bus
+	Mem   mem.Model
+}
+
+// Build wires the hierarchy on the engine.
+func Build(eng *sim.Engine, cfg Config) *Hierarchy {
+	h := &Hierarchy{Eng: eng}
+	h.L1Bus = bus.New("l1l2", cfg.L1BusBytes, cfg.L1BusCPUCycles)
+	h.FSB = bus.New("fsb", cfg.FSBBytes, cfg.FSBCPUCycles)
+
+	switch cfg.Memory {
+	case MemConst70:
+		h.Mem = mem.NewConstLatency(eng, cfg.ConstLatency)
+	case MemSDRAM70:
+		s := mem.NewSDRAM(eng, mem.ScaledSDRAMConfig())
+		s.SetName("sdram70")
+		h.Mem = s
+	default:
+		h.Mem = mem.NewSDRAM(eng, cfg.SDRAM)
+	}
+
+	var l2Back cache.Backend
+	if cfg.Memory == MemConst70 {
+		l2Back = &constBackend{eng: eng, m: h.Mem}
+	} else {
+		l2Back = &memBackend{eng: eng, fsb: h.FSB, m: h.Mem, lineSize: uint64(cfg.L2.LineSize)}
+	}
+	h.L2 = cache.New(eng, cfg.L2, l2Back)
+
+	l1Back := &l2Backend{eng: eng, bus: h.L1Bus, l2: h.L2}
+	h.L1D = cache.New(eng, cfg.L1D, &l1DataBackend{l2Backend: l1Back, lineSize: uint64(cfg.L1D.LineSize)})
+	h.L1I = cache.New(eng, cfg.L1I, &l1DataBackend{l2Backend: l1Back, lineSize: uint64(cfg.L1I.LineSize)})
+	return h
+}

@@ -1,0 +1,155 @@
+package hier
+
+import (
+	"testing"
+
+	"microlib/internal/cache"
+	"microlib/internal/sim"
+)
+
+// TestDefaultConfigMatchesTable1 pins every Table 1 parameter.
+func TestDefaultConfigMatchesTable1(t *testing.T) {
+	c := DefaultConfig()
+
+	if c.L1D.Size != 32<<10 || c.L1D.Assoc != 1 || c.L1D.LineSize != 32 {
+		t.Fatalf("L1D geometry: %+v", c.L1D)
+	}
+	if c.L1D.Ports != 4 || c.L1D.MSHRs != 8 || c.L1D.ReadsPerMSHR != 4 {
+		t.Fatalf("L1D structural: %+v", c.L1D)
+	}
+	if !c.L1D.WriteBack || !c.L1D.AllocOnWrite || c.L1D.HitLatency != 1 {
+		t.Fatalf("L1D policy: %+v", c.L1D)
+	}
+	if c.L1I.Size != 32<<10 || c.L1I.Assoc != 4 || c.L1I.HitLatency != 1 {
+		t.Fatalf("L1I: %+v", c.L1I)
+	}
+	if c.L2.Size != 1<<20 || c.L2.Assoc != 4 || c.L2.LineSize != 64 ||
+		c.L2.Ports != 1 || c.L2.MSHRs != 8 || c.L2.HitLatency != 12 {
+		t.Fatalf("L2: %+v", c.L2)
+	}
+	if c.L1BusBytes != 32 || c.L1BusCPUCycles != 1 {
+		t.Fatalf("L1/L2 bus: %+v", c)
+	}
+	if c.FSBBytes != 64 || c.FSBCPUCycles != 5 {
+		t.Fatalf("FSB: %+v", c)
+	}
+	s := c.SDRAM
+	if s.Rows != 8192 || s.Columns != 1024 || s.QueueSize != 32 {
+		t.Fatalf("SDRAM geometry: %+v", s)
+	}
+	if s.RASToRAS != 20 || s.RASActive != 80 || s.RASToCAS != 30 ||
+		s.CASLatency != 30 || s.RASPre != 30 || s.RASCycle != 110 {
+		t.Fatalf("SDRAM timing: %+v", s)
+	}
+	if c.ConstLatency != 70 {
+		t.Fatalf("const latency %d", c.ConstLatency)
+	}
+}
+
+func TestModeTransforms(t *testing.T) {
+	ss := DefaultConfig().SimpleScalarCacheMode()
+	for _, cc := range []cache.Config{ss.L1D, ss.L1I, ss.L2} {
+		if !cc.InfiniteMSHR || !cc.FreeRefillPorts || !cc.NoPipelineStall {
+			t.Fatalf("SimpleScalar mode incomplete: %+v", cc)
+		}
+	}
+	im := DefaultConfig().InfiniteMSHRMode()
+	if !im.L1D.InfiniteMSHR || im.L1D.NoPipelineStall {
+		t.Fatalf("InfiniteMSHR mode wrong: %+v", im.L1D)
+	}
+	if DefaultConfig().WithMemory(MemConst70).Memory != MemConst70 {
+		t.Fatal("WithMemory")
+	}
+}
+
+func TestMemoryKindString(t *testing.T) {
+	for k, want := range map[MemoryKind]string{
+		MemSDRAM: "sdram-170", MemConst70: "const-70", MemSDRAM70: "sdram-70",
+	} {
+		if k.String() != want {
+			t.Fatalf("%v", k)
+		}
+	}
+}
+
+// TestEndToEndMissPath drives one access through L1 -> bus -> L2 ->
+// FSB -> SDRAM and back.
+func TestEndToEndMissPath(t *testing.T) {
+	for _, kind := range []MemoryKind{MemSDRAM, MemConst70, MemSDRAM70} {
+		eng := sim.NewEngine()
+		h := Build(eng, DefaultConfig().WithMemory(kind))
+		var doneAt uint64
+		ok := h.L1D.Access(&cache.Access{
+			Addr: 0x1234_5678,
+			PC:   0x400000,
+			Done: func(now uint64, hit bool) { doneAt = now },
+		})
+		if !ok {
+			t.Fatalf("%v: access refused", kind)
+		}
+		eng.AdvanceTo(5000)
+		if doneAt == 0 {
+			t.Fatalf("%v: miss never completed", kind)
+		}
+		// A full miss must cost at least the L2 latency plus an
+		// unloaded memory access (the scaled SDRAM's unloaded access
+		// is ~25 cycles; its 70-cycle figure is a loaded average).
+		if doneAt < 25 {
+			t.Fatalf("%v: miss completed implausibly fast (%d cycles)", kind, doneAt)
+		}
+		if !h.L1D.Contains(0x1234_5678) || !h.L2.Contains(0x1234_5678) {
+			t.Fatalf("%v: line not installed along the path", kind)
+		}
+		if h.Mem.Stats().Reads != 1 {
+			t.Fatalf("%v: memory reads %d", kind, h.Mem.Stats().Reads)
+		}
+	}
+}
+
+// TestL2HitFasterThanMemory: a second L1 miss to a different L1 line
+// of the same L2 line must be served by the L2.
+func TestL2HitFasterThanMemory(t *testing.T) {
+	eng := sim.NewEngine()
+	h := Build(eng, DefaultConfig())
+	var firstDone uint64
+	h.L1D.Access(&cache.Access{Addr: 0x40000, Done: func(now uint64, hit bool) { firstDone = now }})
+	eng.AdvanceTo(5000)
+	start := eng.Now()
+	var secondDone uint64
+	// 0x40020 is a different 32B L1 line within the same 64B L2 line.
+	h.L1D.Access(&cache.Access{Addr: 0x40020, Done: func(now uint64, hit bool) { secondDone = now }})
+	eng.AdvanceTo(10000)
+	if secondDone == 0 {
+		t.Fatal("second access never completed")
+	}
+	if secondDone-start >= firstDone {
+		t.Fatalf("L2 hit (%d cycles) not faster than full miss (%d)", secondDone-start, firstDone)
+	}
+	if h.Mem.Stats().Reads != 1 {
+		t.Fatalf("second access went to memory (%d reads)", h.Mem.Stats().Reads)
+	}
+}
+
+// TestWritebackReachesMemory: dirty L1 line evicted -> L2; dirty L2
+// line evicted -> SDRAM write.
+func TestWritebackReachesL2(t *testing.T) {
+	eng := sim.NewEngine()
+	h := Build(eng, DefaultConfig())
+	// Dirty a line, then evict it with a conflicting fill (L1D is
+	// direct-mapped: +32KB aliases).
+	done := false
+	h.L1D.Access(&cache.Access{Addr: 0x100000, Write: true, Done: func(uint64, bool) { done = true }})
+	eng.AdvanceTo(5000)
+	if !done {
+		t.Fatal("store never completed")
+	}
+	h.L1D.Access(&cache.Access{Addr: 0x100000 + 32<<10})
+	eng.AdvanceTo(10000)
+	if h.L1D.Stats().WriteBack != 1 {
+		t.Fatalf("L1 writebacks: %+v", h.L1D.Stats())
+	}
+	// The L2 received the writeback as a write access.
+	if h.L2.Stats().Writes == 0 {
+		t.Fatal("L2 never saw the writeback")
+	}
+}

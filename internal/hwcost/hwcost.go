@@ -1,0 +1,151 @@
+// Package hwcost is MicroLib's stand-in for the CACTI 3.2 area model
+// and the XCACTI power model the paper uses for its Figure 5: an
+// analytical SRAM model good for *relative* comparisons between the
+// mechanisms' hardware structures and the base caches.
+//
+// Area scales with capacity (cells dominate) plus decoder, sense-amp
+// and comparator overheads that grow with associativity and ports.
+// Dynamic energy per access scales with the square root of capacity
+// (bitline/wordline halves) times associativity (ways read in
+// parallel) times port loading. These are the first-order CACTI
+// asymptotics; absolute calibration is irrelevant for the paper's
+// ratios.
+package hwcost
+
+import "math"
+
+// Technology constants for a ~130nm-class process (the paper's
+// timeframe), chosen so a 32 KB L1 lands near 1 mm² and ~0.4 nJ per
+// access. Only ratios matter downstream.
+const (
+	bitAreaUM2       = 1.2   // SRAM cell + wiring, um² per bit
+	decoderBaseUM2   = 4000  // fixed decoder/control overhead per array
+	senseAmpUM2      = 180   // per way per 64 bits of output
+	comparatorUM2    = 350   // per way (tag match)
+	portAreaFactor   = 0.45  // extra area per port beyond the first
+	energyBasePJ     = 18    // access energy floor, pJ
+	energyPerSqrtBit = 0.55  // pJ per sqrt(bit) of array reach
+	energyPerWayPJ   = 9     // pJ per extra way activated
+	leakagePWPerBit  = 0.012 // static power, pW per bit (unused in ratios)
+)
+
+// Array describes one SRAM structure.
+type Array struct {
+	Bytes int
+	Assoc int // 0 = fully associative
+	Ports int
+}
+
+func (a Array) norm() Array {
+	if a.Bytes < 8 {
+		a.Bytes = 8
+	}
+	if a.Ports < 1 {
+		a.Ports = 1
+	}
+	if a.Assoc <= 0 {
+		// Fully associative: every entry has a comparator; model as
+		// assoc = entries capped for sanity.
+		a.Assoc = a.Bytes / 8
+		if a.Assoc > 64 {
+			a.Assoc = 64
+		}
+		if a.Assoc < 1 {
+			a.Assoc = 1
+		}
+	}
+	return a
+}
+
+// AreaMM2 returns the array area in mm².
+func (a Array) AreaMM2() float64 {
+	a = a.norm()
+	bits := float64(a.Bytes) * 8
+	um2 := bits*bitAreaUM2 +
+		decoderBaseUM2 +
+		float64(a.Assoc)*(senseAmpUM2+comparatorUM2)
+	um2 *= 1 + portAreaFactor*float64(a.Ports-1)
+	return um2 / 1e6
+}
+
+// EnergyPJ returns the dynamic energy of one access in picojoules.
+func (a Array) EnergyPJ() float64 {
+	a = a.norm()
+	bits := float64(a.Bytes) * 8
+	pj := energyBasePJ +
+		energyPerSqrtBit*math.Sqrt(bits) +
+		energyPerWayPJ*float64(a.Assoc-1)
+	pj *= 1 + 0.3*float64(a.Ports-1)
+	return pj
+}
+
+// LeakageMW returns static power in milliwatts (reported for
+// completeness; Figure 5 uses dynamic ratios).
+func (a Array) LeakageMW() float64 {
+	a = a.norm()
+	return float64(a.Bytes) * 8 * leakagePWPerBit / 1e9
+}
+
+// Activity pairs an array with its observed access counts.
+type Activity struct {
+	Array
+	Reads, Writes uint64
+}
+
+// EnergyTotalPJ integrates the activity.
+func (act Activity) EnergyTotalPJ() float64 {
+	return float64(act.Reads+act.Writes) * act.EnergyPJ()
+}
+
+// BaselineCaches returns the Table 1 cache arrays (L1D, L1I, L2),
+// the reference against which Figure 5 normalizes.
+func BaselineCaches() []Array {
+	return []Array{
+		{Bytes: 32 << 10, Assoc: 1, Ports: 4}, // L1D
+		{Bytes: 32 << 10, Assoc: 4, Ports: 1}, // L1I
+		{Bytes: 1 << 20, Assoc: 4, Ports: 1},  // L2
+	}
+}
+
+// BaselineAreaMM2 sums the baseline cache area.
+func BaselineAreaMM2() float64 {
+	total := 0.0
+	for _, a := range BaselineCaches() {
+		total += a.AreaMM2()
+	}
+	return total
+}
+
+// AreaRatio returns mechanism area over baseline cache area — the
+// paper's Figure 5 cost metric.
+func AreaRatio(mech []Array) float64 {
+	total := 0.0
+	for _, a := range mech {
+		total += a.AreaMM2()
+	}
+	return total / BaselineAreaMM2()
+}
+
+// PowerRatio returns (base cache energy + mechanism energy) over
+// base cache energy for a run: the paper's Figure 5 relative power
+// increase. baseAccesses approximates the demand activity of the
+// baseline caches; mech carries the mechanism tables' activity.
+func PowerRatio(baseAccesses uint64, baseEnergyPerAccessPJ float64, mech []Activity) float64 {
+	baseE := float64(baseAccesses) * baseEnergyPerAccessPJ
+	if baseE == 0 {
+		return 1
+	}
+	mechE := 0.0
+	for _, m := range mech {
+		mechE += m.EnergyTotalPJ()
+	}
+	return (baseE + mechE) / baseE
+}
+
+// BaseEnergyPerAccessPJ returns a representative per-access energy of
+// the baseline hierarchy (weighted toward the L1s, which see most of
+// the traffic).
+func BaseEnergyPerAccessPJ() float64 {
+	caches := BaselineCaches()
+	return 0.45*caches[0].EnergyPJ() + 0.35*caches[1].EnergyPJ() + 0.20*caches[2].EnergyPJ()
+}

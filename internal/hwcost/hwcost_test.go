@@ -1,0 +1,104 @@
+package hwcost
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAreaMonotonicInBytes(t *testing.T) {
+	err := quick.Check(func(kbRaw uint8) bool {
+		kb := int(kbRaw%200) + 1
+		small := Array{Bytes: kb << 10, Assoc: 4, Ports: 1}
+		big := Array{Bytes: (kb + 1) << 10, Assoc: 4, Ports: 1}
+		return big.AreaMM2() > small.AreaMM2()
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyGrowsWithSizeAndWays(t *testing.T) {
+	a := Array{Bytes: 8 << 10, Assoc: 1, Ports: 1}
+	b := Array{Bytes: 2 << 20, Assoc: 1, Ports: 1}
+	if b.EnergyPJ() <= a.EnergyPJ() {
+		t.Fatal("energy not growing with capacity")
+	}
+	c := Array{Bytes: 8 << 10, Assoc: 8, Ports: 1}
+	if c.EnergyPJ() <= a.EnergyPJ() {
+		t.Fatal("energy not growing with associativity")
+	}
+	d := Array{Bytes: 8 << 10, Assoc: 1, Ports: 4}
+	if d.EnergyPJ() <= a.EnergyPJ() {
+		t.Fatal("energy not growing with ports")
+	}
+}
+
+func TestAreaRatioOrdering(t *testing.T) {
+	// The paper's Figure 5 structure: Markov (1MB) and DBCP (2MB)
+	// dwarf SP (8KB) and TP (tag bits).
+	markov := AreaRatio([]Array{{Bytes: 1 << 20, Assoc: 1, Ports: 1}})
+	dbcp := AreaRatio([]Array{{Bytes: 2 << 20, Assoc: 8, Ports: 1}})
+	sp := AreaRatio([]Array{{Bytes: 8 << 10, Assoc: 1, Ports: 1}})
+	tp := AreaRatio([]Array{{Bytes: 2 << 10, Assoc: 1, Ports: 1}})
+	if !(dbcp > markov && markov > sp && sp > tp) {
+		t.Fatalf("area ordering broken: dbcp=%.3f markov=%.3f sp=%.3f tp=%.3f", dbcp, markov, sp, tp)
+	}
+	if markov < 0.5 {
+		t.Fatalf("1MB table should approach the base caches' area, got ratio %.3f", markov)
+	}
+	if tp > 0.05 {
+		t.Fatalf("tag bits should be nearly free, got ratio %.3f", tp)
+	}
+}
+
+func TestPowerRatioActivity(t *testing.T) {
+	base := uint64(1_000_000)
+	perAccess := BaseEnergyPerAccessPJ()
+	idle := PowerRatio(base, perAccess, []Activity{{
+		Array: Array{Bytes: 1 << 20, Assoc: 1, Ports: 1},
+	}})
+	if idle != 1 {
+		t.Fatalf("inactive mechanism power ratio %.3f, want 1", idle)
+	}
+	busy := PowerRatio(base, perAccess, []Activity{{
+		Array: Array{Bytes: 1 << 20, Assoc: 1, Ports: 1},
+		Reads: 4_000_000,
+	}})
+	if busy <= 1.1 {
+		t.Fatalf("hyperactive big table barely shows: %.3f", busy)
+	}
+	// GHB-style: tiny table, huge activity, still expensive.
+	ghb := PowerRatio(base, perAccess, []Activity{{
+		Array: Array{Bytes: 3 << 10, Assoc: 1, Ports: 1},
+		Reads: 8_000_000,
+	}})
+	spLike := PowerRatio(base, perAccess, []Activity{{
+		Array: Array{Bytes: 8 << 10, Assoc: 1, Ports: 1},
+		Reads: 500_000,
+	}})
+	if ghb <= spLike {
+		t.Fatalf("activity-dominated power inverted: ghb=%.3f sp=%.3f", ghb, spLike)
+	}
+}
+
+func TestBaseline(t *testing.T) {
+	if BaselineAreaMM2() <= 0 {
+		t.Fatal("baseline area not positive")
+	}
+	if BaseEnergyPerAccessPJ() <= 0 {
+		t.Fatal("baseline energy not positive")
+	}
+	if PowerRatio(0, 1, nil) != 1 {
+		t.Fatal("zero-activity base must return ratio 1")
+	}
+}
+
+func TestFullyAssociativeNorm(t *testing.T) {
+	fa := Array{Bytes: 512, Assoc: 0, Ports: 1}
+	if fa.AreaMM2() <= (Array{Bytes: 512, Assoc: 1, Ports: 1}).AreaMM2() {
+		t.Fatal("fully associative array not costlier than direct-mapped")
+	}
+	if fa.LeakageMW() <= 0 {
+		t.Fatal("leakage not positive")
+	}
+}

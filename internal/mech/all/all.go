@@ -1,0 +1,19 @@
+// Package all registers every MicroLib mechanism with the core
+// registry. Import it for side effects:
+//
+//	import _ "microlib/internal/mech/all"
+package all
+
+import (
+	_ "microlib/internal/mech/cdp"
+	_ "microlib/internal/mech/dbcp"
+	_ "microlib/internal/mech/ewb"
+	_ "microlib/internal/mech/fvc"
+	_ "microlib/internal/mech/ghb"
+	_ "microlib/internal/mech/markov"
+	_ "microlib/internal/mech/sp"
+	_ "microlib/internal/mech/tcp"
+	_ "microlib/internal/mech/tk"
+	_ "microlib/internal/mech/tp"
+	_ "microlib/internal/mech/vc"
+)

@@ -1,0 +1,126 @@
+package cdp
+
+import (
+	"testing"
+
+	"microlib/internal/mech/mechtest"
+)
+
+// chainOracle lays out a linked chain: node i at base+i*64, pointer
+// at offset ptrOff to node i+1.
+type chainOracle struct {
+	base   uint64
+	nodes  uint64
+	ptrOff uint64
+}
+
+func (o *chainOracle) Word(addr uint64) uint64 {
+	if addr < o.base || addr >= o.base+o.nodes*64 {
+		return 0x8000_0000_0000_0001
+	}
+	off := (addr - o.base) % 64
+	if off == o.ptrOff {
+		node := (addr - o.base) / 64
+		return o.base + ((node + 1) % o.nodes * 64)
+	}
+	return 0x8000_0000_0000_0002 // non-pointer data
+}
+
+func (o *chainOracle) IsPointer(addr uint64) (uint64, bool) {
+	w := o.Word(addr)
+	if w >= o.base && w < o.base+o.nodes*64 {
+		return w, true
+	}
+	return 0, false
+}
+
+func TestChasesInLinePointers(t *testing.T) {
+	s := mechtest.New(t, mechtest.L2Config())
+	o := &chainOracle{base: 0x100000, nodes: 64, ptrOff: 8}
+	c := New(s.Cache, o, 3)
+	s.Cache.Attach(c)
+
+	s.Access(0x100000, 0x400000) // fill node 0: scan finds node 1
+	s.Settle(500)
+	// Depth 3: nodes 1, 2, 3 prefetched; node 4 not scanned further
+	// (its fill is at depth 3, the threshold).
+	for n := uint64(1); n <= 3; n++ {
+		if !s.Cache.Contains(0x100000 + n*64) {
+			t.Fatalf("node %d not prefetched", n)
+		}
+	}
+	if s.Cache.Contains(0x100000 + 5*64) {
+		t.Fatal("prefetch chain exceeded the depth threshold")
+	}
+	if c.Candidates() == 0 || c.Issued() == 0 {
+		t.Fatalf("counters: candidates=%d issued=%d", c.Candidates(), c.Issued())
+	}
+}
+
+func TestIgnoresNonPointerData(t *testing.T) {
+	s := mechtest.New(t, mechtest.L2Config())
+	o := &chainOracle{base: 0x100000, nodes: 4, ptrOff: 8}
+	c := New(s.Cache, o, 3)
+	s.Cache.Attach(c)
+
+	s.Access(0x900000, 0x400000) // outside the chain: all data words
+	s.Settle(200)
+	if c.Issued() != 0 {
+		t.Fatal("prefetched from a pointer-free line")
+	}
+}
+
+// TestAmmpStylePointerBeyondLine: the true pointer sits past the
+// fetched line (ammp's 88-byte offset in a 128-byte node), so the
+// chain never advances from the node-start line.
+func TestAmmpStylePointerBeyondLine(t *testing.T) {
+	s := mechtest.New(t, mechtest.L2Config())
+	// Node size 128: pointer at +88 lives in the second 64B line.
+	o := &ammpOracle{base: 0x200000, nodes: 32}
+	c := New(s.Cache, o, 3)
+	s.Cache.Attach(c)
+
+	s.Access(0x200000, 0x400000) // first line of node 0: no pointer
+	s.Settle(300)
+	if c.Issued() != 0 {
+		t.Fatal("CDP found a pointer in the pointer-free first line")
+	}
+}
+
+type ammpOracle struct {
+	base  uint64
+	nodes uint64
+}
+
+func (o *ammpOracle) Word(addr uint64) uint64 {
+	if addr < o.base || addr >= o.base+o.nodes*128 {
+		return 0x8000_0000_0000_0001
+	}
+	off := (addr - o.base) % 128
+	if off == 88 {
+		node := (addr - o.base) / 128
+		return o.base + (node+1)%o.nodes*128
+	}
+	return 0x8000_0000_0000_0003
+}
+
+func (o *ammpOracle) IsPointer(addr uint64) (uint64, bool) {
+	w := o.Word(addr)
+	if w >= o.base && w < o.base+o.nodes*128 {
+		return w, true
+	}
+	return 0, false
+}
+
+func TestCombinedName(t *testing.T) {
+	s := mechtest.New(t, mechtest.L2Config())
+	o := &chainOracle{base: 0x100000, nodes: 4, ptrOff: 8}
+	c := New(s.Cache, o, 3)
+	if c.Name() != "CDP" {
+		t.Fatal("CDP name")
+	}
+	comb := &Combined{CDP: c}
+	if comb.Name() != "CDPSP" {
+		t.Fatal("combined name")
+	}
+}

@@ -1,0 +1,70 @@
+package tcp
+
+import (
+	"testing"
+
+	"microlib/internal/mech/mechtest"
+)
+
+// The test L2 (4KB, 2-way, 64B lines) has 32 sets; tags advance every
+// 32*64 = 2KB.
+const setSpan = 4 << 10 / 2 // bytes covering all sets once per way... (32 sets * 64B)
+
+func TestLearnsPerSetTagPattern(t *testing.T) {
+	s := mechtest.New(t, mechtest.L2Config())
+	m := New(s.Cache, 1024, 256, 8)
+	s.Cache.Attach(m)
+
+	// Same set (set 0), cycling three tags; the tiny 2-way set cannot
+	// hold all three, so every access misses with a repeating tag
+	// sequence — exactly TCP's food.
+	const span = 32 * 64 // tag increment for the 32-set cache
+	addrs := []uint64{0x100000, 0x100000 + span, 0x100000 + 2*span}
+	for pass := 0; pass < 6; pass++ {
+		for _, a := range addrs {
+			s.Access(a, 0x400000)
+			s.Settle(40)
+		}
+	}
+	if m.Issued() == 0 {
+		t.Fatal("TCP never predicted a repeating per-set tag pattern")
+	}
+}
+
+func TestNoPredictionOnRandomTags(t *testing.T) {
+	s := mechtest.New(t, mechtest.L2Config())
+	m := New(s.Cache, 1024, 256, 8)
+	s.Cache.Attach(m)
+	// Non-repeating tag stream in one set.
+	const span = 32 * 64
+	for i := uint64(0); i < 12; i++ {
+		s.Access(0x200000+i*i*span, 0x400000)
+		s.Settle(40)
+	}
+	if m.Issued() > 2 {
+		t.Fatalf("TCP predicted from a non-repeating stream (%d)", m.Issued())
+	}
+}
+
+func TestComposeDecompose(t *testing.T) {
+	s := mechtest.New(t, mechtest.L2Config())
+	m := New(s.Cache, 1024, 256, 8)
+	for _, la := range []uint64{0x0, 0x40, 0x1000, 0xabcd00 &^ 63} {
+		set, tag := m.decompose(la)
+		if got := m.compose(set, tag); got != la {
+			t.Fatalf("compose(decompose(%#x)) = %#x", la, got)
+		}
+	}
+}
+
+func TestHardware(t *testing.T) {
+	s := mechtest.New(t, mechtest.L2Config())
+	m := New(s.Cache, 1024, 256, 8)
+	hw := m.Hardware()
+	if len(hw) != 2 {
+		t.Fatalf("hardware: %+v", hw)
+	}
+	if hw[1].Bytes != 8<<10 {
+		t.Fatalf("PHT size: %+v", hw[1])
+	}
+}

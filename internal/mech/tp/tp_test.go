@@ -1,0 +1,76 @@
+package tp
+
+import (
+	"testing"
+
+	"microlib/internal/cache"
+	"microlib/internal/mech/mechtest"
+)
+
+func TestNextLineOnMiss(t *testing.T) {
+	s := mechtest.New(t, mechtest.L2Config())
+	m := &TP{l2: s.Cache, lineSize: 64}
+	s.Cache.Attach(m)
+
+	s.Access(0x10000, 0x400000) // miss: prefetch 0x10040
+	s.Settle(100)
+	if !s.Cache.Contains(0x10040) {
+		t.Fatal("next line not prefetched on miss")
+	}
+	if m.Triggers() == 0 {
+		t.Fatal("no triggers counted")
+	}
+}
+
+func TestHitOnPrefetchedTriggersChain(t *testing.T) {
+	s := mechtest.New(t, mechtest.L2Config())
+	m := &TP{l2: s.Cache, lineSize: 64}
+	s.Cache.Attach(m)
+
+	s.Access(0x10000, 0x400000) // prefetches 0x10040
+	s.Settle(100)
+	if !s.Access(0x10040, 0x400000) {
+		t.Fatal("prefetched line missed")
+	}
+	s.Settle(100)
+	// The hit on the prefetched line must chain to 0x10080.
+	if !s.Cache.Contains(0x10080) {
+		t.Fatal("tagged chain did not continue")
+	}
+}
+
+func TestPlainHitDoesNotTrigger(t *testing.T) {
+	s := mechtest.New(t, mechtest.L2Config())
+	m := &TP{l2: s.Cache, lineSize: 64}
+	s.Cache.Attach(m)
+
+	s.Access(0x20000, 0x400000)
+	s.Settle(100)
+	before := m.Triggers()
+	s.Access(0x20040, 0x400000) // demand hit on the prefetched line -> trigger
+	s.Settle(100)
+	during := m.Triggers()
+	s.Access(0x20040, 0x400000) // second hit: tag bit cleared -> no trigger
+	s.Settle(100)
+	if m.Triggers() != during {
+		t.Fatalf("plain hit triggered a prefetch (%d -> %d)", during, m.Triggers())
+	}
+	if during == before {
+		t.Fatal("first hit on prefetched line did not trigger")
+	}
+}
+
+func TestWritesIgnored(t *testing.T) {
+	s := mechtest.New(t, mechtest.L2Config())
+	m := &TP{l2: s.Cache, lineSize: 64}
+	s.Cache.Attach(m)
+	// Write misses (write-backs from the level above) should not
+	// trigger the read prefetcher.
+	if !s.Cache.Access(&cache.Access{Addr: 0x30000, Write: true}) {
+		t.Fatal("write refused")
+	}
+	s.Settle(200)
+	if m.Triggers() != 0 {
+		t.Fatal("write triggered TP")
+	}
+}

@@ -1,0 +1,42 @@
+package mem
+
+import "microlib/internal/sim"
+
+// ConstLatency is the SimpleScalar-style memory: every request
+// completes a fixed number of cycles after it is accepted, with
+// unlimited concurrency and no queue. This is the model most of the
+// surveyed articles used (a constant 70-cycle latency).
+type ConstLatency struct {
+	eng     *sim.Engine
+	latency uint64
+	stats   Stats
+}
+
+// NewConstLatency returns a constant-latency memory.
+func NewConstLatency(eng *sim.Engine, latency uint64) *ConstLatency {
+	return &ConstLatency{eng: eng, latency: latency}
+}
+
+// Name implements Model.
+func (m *ConstLatency) Name() string { return "const" }
+
+// Enqueue implements Model. It always accepts.
+func (m *ConstLatency) Enqueue(r *Req) bool {
+	if r.Write {
+		m.stats.Writes++
+	} else {
+		m.stats.Reads++
+		m.stats.TotalReadLatency += m.latency
+	}
+	if r.Prefetch {
+		m.stats.Prefetches++
+	}
+	if r.Done != nil {
+		done := r.Done
+		m.eng.After(m.latency, func() { done(m.eng.Now()) })
+	}
+	return true
+}
+
+// Stats implements Model.
+func (m *ConstLatency) Stats() Stats { return m.stats }

@@ -1,0 +1,80 @@
+// Package mem implements the main-memory models of MicroLib.
+//
+// The paper compares three memories (its Figure 8): the SimpleScalar
+// constant-latency model, a detailed SDRAM (Table 1 timings, ~170
+// cycle average), and an SDRAM scaled so its average latency matches
+// the 70-cycle constant model. All three are provided here behind the
+// Model interface.
+package mem
+
+// Req is one line-sized memory request.
+type Req struct {
+	Addr     uint64 // line-aligned physical address
+	Size     uint32 // transfer size in bytes
+	Write    bool   // true for write-backs
+	Prefetch bool   // true if speculative (affects stats only)
+	// Done is invoked exactly once when the transfer completes. It
+	// may be nil (e.g. for write-backs nobody waits on).
+	Done func(now uint64)
+}
+
+// Model is a main memory. Enqueue attempts to accept a request at the
+// current cycle and reports whether it was accepted; a false return
+// means the controller queue is full (or, for prefetches, that the
+// prefetch admission limit is reached) and the caller must retry.
+type Model interface {
+	Enqueue(r *Req) bool
+	// Pending reports the controller queue occupancy.
+	Pending() int
+	// Stats returns cumulative counters.
+	Stats() Stats
+	// Name identifies the model configuration for reports.
+	Name() string
+}
+
+// Stats are cumulative memory counters.
+type Stats struct {
+	Reads      uint64
+	Writes     uint64
+	Prefetches uint64
+	// TotalReadLatency accumulates per-read (completion - arrival)
+	// in CPU cycles; AvgReadLatency = TotalReadLatency/Reads.
+	TotalReadLatency uint64
+	RowHits          uint64
+	RowMisses        uint64 // bank was closed
+	RowConflicts     uint64 // open row had to be precharged
+	Precharges       uint64
+	Activates        uint64
+	QueueFullStalls  uint64
+}
+
+// AvgReadLatency returns the mean read latency in CPU cycles, or 0
+// if no read completed.
+func (s Stats) AvgReadLatency() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.TotalReadLatency) / float64(s.Reads)
+}
+
+// Accesses returns the total number of requests.
+func (s Stats) Accesses() uint64 { return s.Reads + s.Writes }
+
+// Pending implements Model for ConstLatency (never queues).
+func (m *ConstLatency) Pending() int { return 0 }
+
+// Sub returns the counter deltas s - prev.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Reads:            s.Reads - prev.Reads,
+		Writes:           s.Writes - prev.Writes,
+		Prefetches:       s.Prefetches - prev.Prefetches,
+		TotalReadLatency: s.TotalReadLatency - prev.TotalReadLatency,
+		RowHits:          s.RowHits - prev.RowHits,
+		RowMisses:        s.RowMisses - prev.RowMisses,
+		RowConflicts:     s.RowConflicts - prev.RowConflicts,
+		Precharges:       s.Precharges - prev.Precharges,
+		Activates:        s.Activates - prev.Activates,
+		QueueFullStalls:  s.QueueFullStalls - prev.QueueFullStalls,
+	}
+}

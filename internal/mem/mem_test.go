@@ -1,0 +1,176 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"microlib/internal/sim"
+)
+
+func TestConstLatencyExact(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewConstLatency(eng, 70)
+	var doneAt uint64
+	m.Enqueue(&Req{Addr: 0x1000, Size: 64, Done: func(now uint64) { doneAt = now }})
+	eng.AdvanceTo(100)
+	if doneAt != 70 {
+		t.Fatalf("const latency completed at %d, want 70", doneAt)
+	}
+	if m.Stats().Reads != 1 || m.Stats().AvgReadLatency() != 70 {
+		t.Fatalf("stats wrong: %+v", m.Stats())
+	}
+}
+
+func TestSDRAMRowHitFasterThanConflict(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultSDRAMConfig()
+	cfg.Interleave = LinearMap
+	s := NewSDRAM(eng, cfg)
+
+	latency := func(addr uint64) uint64 {
+		var done uint64
+		start := eng.Now()
+		if !s.Enqueue(&Req{Addr: addr, Size: 64, Done: func(now uint64) { done = now }}) {
+			t.Fatal("enqueue refused")
+		}
+		eng.AdvanceTo(eng.Now() + 10000)
+		return done - start
+	}
+
+	first := latency(0)                                     // row closed: ACT + CAS
+	hit := latency(64)                                      // same row: CAS only
+	rowBytes := uint64(cfg.Columns) * 8 * uint64(cfg.Banks) // stay in bank 0 under linear map
+	conflict := latency(rowBytes * 4)                       // same bank, different row
+
+	if hit >= first {
+		t.Fatalf("row hit (%d) not faster than row miss (%d)", hit, first)
+	}
+	if conflict <= hit {
+		t.Fatalf("row conflict (%d) not slower than row hit (%d)", conflict, hit)
+	}
+	st := s.Stats()
+	if st.RowHits == 0 || st.RowConflicts == 0 {
+		t.Fatalf("row accounting: %+v", st)
+	}
+}
+
+func TestSDRAMQueueLimit(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultSDRAMConfig()
+	cfg.QueueSize = 4
+	s := NewSDRAM(eng, cfg)
+	accepted := 0
+	// Up to Banks requests go in flight immediately; beyond that the
+	// 4-entry queue bounds acceptance.
+	for i := 0; i < cfg.Banks+20; i++ {
+		if s.Enqueue(&Req{Addr: uint64(i) * 1 << 20, Size: 64}) {
+			accepted++
+		}
+	}
+	if accepted > cfg.Banks+cfg.QueueSize {
+		t.Fatalf("queue limit never engaged (accepted %d)", accepted)
+	}
+	if s.Stats().QueueFullStalls == 0 {
+		t.Fatal("no queue-full stalls recorded")
+	}
+}
+
+func TestSDRAMPrefetchAdmission(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultSDRAMConfig()
+	s := NewSDRAM(eng, cfg)
+	// Beyond the in-flight window, prefetches may only take a small
+	// share of the queue; demand may take all of it.
+	acc := 0
+	for i := 0; i < cfg.Banks+cfg.QueueSize; i++ {
+		if s.Enqueue(&Req{Addr: uint64(i) << 20, Size: 64, Prefetch: true}) {
+			acc++
+		}
+	}
+	if acc > cfg.Banks+cfg.QueueSize/4 {
+		t.Fatalf("prefetch admission not throttled: accepted %d", acc)
+	}
+	// Demand must still be accepted.
+	if !s.Enqueue(&Req{Addr: 1 << 28, Size: 64}) {
+		t.Fatal("demand refused while queue has demand headroom")
+	}
+}
+
+func TestSDRAMDemandPriority(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultSDRAMConfig()
+	s := NewSDRAM(eng, cfg)
+	var order []string
+	// Saturate the in-flight window so subsequent requests must wait
+	// in the queue, where scheduling applies.
+	for i := 0; i < cfg.Banks; i++ {
+		s.Enqueue(&Req{Addr: uint64(i) << 21, Size: 64})
+	}
+	if !s.Enqueue(&Req{Addr: 1 << 27, Size: 64, Prefetch: true,
+		Done: func(uint64) { order = append(order, "prefetch") }}) {
+		t.Fatal("prefetch not accepted into queue")
+	}
+	if !s.Enqueue(&Req{Addr: 1 << 28, Size: 64,
+		Done: func(uint64) { order = append(order, "demand") }}) {
+		t.Fatal("demand not accepted into queue")
+	}
+	eng.AdvanceTo(100000)
+	if len(order) != 2 {
+		t.Fatalf("completions: %v", order)
+	}
+	if order[0] != "demand" {
+		t.Fatalf("demand not prioritized over queued prefetch: %v", order)
+	}
+}
+
+func TestScaledSDRAMFaster(t *testing.T) {
+	run := func(cfg SDRAMConfig) float64 {
+		eng := sim.NewEngine()
+		s := NewSDRAM(eng, cfg)
+		for i := 0; i < 200; i++ {
+			addr := uint64(i*i) * 64 // spread over rows
+			s.Enqueue(&Req{Addr: addr, Size: 64})
+			eng.AdvanceTo(eng.Now() + 50)
+		}
+		eng.AdvanceTo(eng.Now() + 100000)
+		return s.Stats().AvgReadLatency()
+	}
+	fast := run(ScaledSDRAMConfig())
+	slow := run(DefaultSDRAMConfig())
+	if fast >= slow {
+		t.Fatalf("scaled SDRAM (%f) not faster than default (%f)", fast, slow)
+	}
+}
+
+// TestPropertyCompletionMonotone: for any request sequence, each
+// request completes after it was enqueued.
+func TestPropertyCompletionMonotone(t *testing.T) {
+	err := quick.Check(func(addrs []uint32) bool {
+		eng := sim.NewEngine()
+		s := NewSDRAM(eng, DefaultSDRAMConfig())
+		ok := true
+		for _, a := range addrs {
+			arr := eng.Now()
+			s.Enqueue(&Req{Addr: uint64(a) &^ 63, Size: 64, Done: func(now uint64) {
+				if now <= arr {
+					ok = false
+				}
+			}})
+			eng.AdvanceTo(eng.Now() + 20)
+		}
+		eng.AdvanceTo(eng.Now() + 100000)
+		return ok
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	a := Stats{Reads: 10, Writes: 4, TotalReadLatency: 1000}
+	b := Stats{Reads: 4, Writes: 1, TotalReadLatency: 300}
+	d := a.Sub(b)
+	if d.Reads != 6 || d.Writes != 3 || d.TotalReadLatency != 700 {
+		t.Fatalf("Sub wrong: %+v", d)
+	}
+}

@@ -1,0 +1,143 @@
+package prng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between different seeds", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	a := New(7)
+	c1 := a.Split()
+	c2 := a.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling splits produced identical first draw")
+	}
+}
+
+func TestSplitStringStable(t *testing.T) {
+	a, b := New(9).SplitString("gzip"), New(9).SplitString("gzip")
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("SplitString not stable")
+	}
+	c := New(9).SplitString("gcc")
+	if New(9).SplitString("gzip").Uint64() == c.Uint64() {
+		t.Fatal("different labels produced the same stream")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	src := New(3)
+	err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := src.Intn(n)
+		return v >= 0 && v < n
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	src := New(4)
+	for i := 0; i < 10000; i++ {
+		f := src.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	src := New(5)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if src.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.23 || frac > 0.27 {
+		t.Fatalf("Bool(0.25) frequency %v", frac)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	src := New(6)
+	sum := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += src.Geometric(4, 100)
+	}
+	mean := float64(sum) / n
+	if mean < 3.2 || mean > 4.8 {
+		t.Fatalf("geometric mean %v, want ~4", mean)
+	}
+}
+
+func TestGeometricClamp(t *testing.T) {
+	src := New(6)
+	for i := 0; i < 1000; i++ {
+		if v := src.Geometric(50, 10); v > 10 || v < 1 {
+			t.Fatalf("clamp violated: %d", v)
+		}
+	}
+	if v := src.Geometric(0.5, 10); v != 1 {
+		t.Fatalf("mean<=1 should return 1, got %d", v)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	src := New(8)
+	z := NewZipf(src, 100, 1.0)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Draw()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("zipf not skewed: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+	if counts[0] == 0 || counts[99] < 0 {
+		t.Fatal("zipf support broken")
+	}
+}
+
+func TestHashStringStable(t *testing.T) {
+	if HashString("ammp") != HashString("ammp") {
+		t.Fatal("hash not stable")
+	}
+	if HashString("ammp") == HashString("applu") {
+		t.Fatal("hash collision on benchmark names")
+	}
+}
+
+func TestUint64nPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}

@@ -1,0 +1,17 @@
+// Package refdata holds the golden validation numbers the Figure 2
+// experiment compares against.
+//
+// The paper validated its TK, TCP and TKVC implementations against
+// the speedup graphs printed in the original articles; those graphs
+// are not available in this environment, so the goldens here are a
+// frozen snapshot of this repository's own fixed implementations
+// under the validation configuration (constant 70-cycle memory,
+// skip/simulate trace selection). The comparison plays the same
+// methodological role — detecting divergence from the validated
+// state — and EXPERIMENTS.md documents the substitution.
+package refdata
+
+// Validation maps benchmark -> mechanism -> reference speedup under
+// the validation configuration. Populated by data.go (regenerate
+// with `mlrank -exp genref`).
+var Validation map[string]map[string]float64

@@ -1,0 +1,141 @@
+package runner
+
+import (
+	"testing"
+
+	"microlib/internal/hier"
+	"microlib/internal/workload"
+)
+
+// TestAllBenchmarksRun drives every synthetic benchmark briefly on
+// the base system: none may deadlock, and each must produce a
+// plausible IPC and some memory traffic.
+func TestAllBenchmarksRun(t *testing.T) {
+	for _, b := range workload.Names() {
+		b := b
+		t.Run(b, func(t *testing.T) {
+			t.Parallel()
+			opts := DefaultOptions(b, BaseName)
+			opts.Insts = 15_000
+			opts.Warmup = 5_000
+			res, err := Run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.IPC <= 0.01 || res.IPC > 8 {
+				t.Fatalf("implausible IPC %.3f", res.IPC)
+			}
+			if res.L1D.Accesses == 0 {
+				t.Fatal("no data accesses")
+			}
+			mr := res.L1D.MissRatio()
+			if mr > 0.6 {
+				t.Fatalf("L1 miss ratio %.2f beyond plausible SPEC range", mr)
+			}
+		})
+	}
+}
+
+// TestInOrderHost runs a benchmark on the scalar host: the same
+// mechanisms must plug in unchanged (module interoperability).
+func TestInOrderHost(t *testing.T) {
+	opts := DefaultOptions("gzip", "VC")
+	opts.Insts = 10_000
+	opts.Warmup = 2_000
+	opts.InOrder = true
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 || res.IPC > 1 {
+		t.Fatalf("in-order IPC %.3f out of range", res.IPC)
+	}
+}
+
+// TestMemoryModelsOrdering: on a memory-bound benchmark the constant
+// 70-cycle memory must beat the detailed SDRAM (which charges
+// conflicts and queueing), and the scaled SDRAM must land between.
+func TestMemoryModelsOrdering(t *testing.T) {
+	run := func(k hier.MemoryKind) float64 {
+		opts := DefaultOptions("swim", BaseName)
+		opts.Insts = 20_000
+		opts.Warmup = 10_000
+		opts.Hier = opts.Hier.WithMemory(k)
+		res, err := Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IPC
+	}
+	c70 := run(hier.MemConst70)
+	s170 := run(hier.MemSDRAM)
+	s70 := run(hier.MemSDRAM70)
+	if !(c70 > s170) {
+		t.Fatalf("const-70 (%.3f) not faster than sdram-170 (%.3f)", c70, s170)
+	}
+	if !(s70 > s170) {
+		t.Fatalf("scaled sdram-70 (%.3f) not faster than sdram-170 (%.3f)", s70, s170)
+	}
+}
+
+// TestQueueOverride: forcing a 1-entry prefetch queue must reduce the
+// prefetches a queue-heavy mechanism can issue.
+func TestQueueOverride(t *testing.T) {
+	base := DefaultOptions("swim", "GHB")
+	base.Insts = 30_000
+	base.Warmup = 10_000
+	big, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := base
+	small.QueueOverride = 1
+	tiny, err := Run(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.L2.PrefetchIssued >= big.L2.PrefetchIssued {
+		t.Fatalf("queue=1 issued %d >= queue=4 issued %d",
+			tiny.L2.PrefetchIssued, big.L2.PrefetchIssued)
+	}
+}
+
+// TestEWBReducesEvictionWritebackPressure: on a store-heavy
+// bandwidth-bound benchmark, eager writeback must produce early
+// write-backs without losing data (same committed work).
+func TestEWBExtension(t *testing.T) {
+	opts := DefaultOptions("swim", "EWB")
+	opts.Insts = 20_000
+	opts.Warmup = 10_000
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPU.Insts != 30_000 {
+		t.Fatalf("committed %d", res.CPU.Insts)
+	}
+	if res.Mem.Writes == 0 {
+		t.Fatal("no memory writes despite eager writeback on a store-heavy benchmark")
+	}
+}
+
+// TestPrefetchAsDemandChangesBehaviour: the ablation switch must be
+// observable on a prefetch-heavy run.
+func TestPrefetchAsDemandChangesBehaviour(t *testing.T) {
+	a := DefaultOptions("swim", "GHB")
+	a.Insts = 20_000
+	a.Warmup = 5_000
+	r1, err := Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a
+	b.PrefetchAsDemand = true
+	r2, err := Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.IPC == r2.IPC && r1.Mem.Reads == r2.Mem.Reads {
+		t.Fatal("prefetch-as-demand ablation had no observable effect")
+	}
+}

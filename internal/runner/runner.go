@@ -1,0 +1,180 @@
+// Package runner assembles complete simulations: workload generator,
+// trace selection, memory hierarchy, mechanism, and host core. It is
+// the single entry point the experiments, the public facade and the
+// CLIs build on.
+package runner
+
+import (
+	"fmt"
+
+	"microlib/internal/cache"
+	"microlib/internal/core"
+	"microlib/internal/cpu"
+	"microlib/internal/hier"
+	_ "microlib/internal/mech/all" // register every mechanism
+	"microlib/internal/mem"
+	"microlib/internal/sim"
+	"microlib/internal/trace"
+	"microlib/internal/workload"
+)
+
+// BaseName is the pseudo-mechanism name for the unmodified hierarchy.
+const BaseName = "Base"
+
+// Options selects one simulation.
+type Options struct {
+	Bench     string
+	Mechanism string // BaseName (or "") for the plain hierarchy
+	Params    core.Params
+	Hier      hier.Config
+	CPU       cpu.Config
+	// Insts is the number of instructions to measure.
+	Insts uint64
+	// Warmup instructions are simulated (caches and predictor tables
+	// fill) before measurement begins — the scaled equivalent of the
+	// steady state a 500M-instruction SimPoint trace reaches.
+	Warmup uint64
+	// Skip discards instructions before measurement (the arbitrary
+	// trace selection of Section 3.5). Ignored when a SimPoint
+	// offset is supplied.
+	Skip uint64
+	// Seed keys the workload generator.
+	Seed uint64
+	// InOrder selects the scalar host core instead of the OoO core.
+	InOrder bool
+	// QueueOverride, when > 0, forces the prefetch request queue
+	// size after mechanism attach (Figure 10).
+	QueueOverride int
+	// PrefetchAsDemand disables the demand-priority treatment of
+	// prefetches (design-choice ablation).
+	PrefetchAsDemand bool
+}
+
+// DefaultOptions returns the Table 1 system with a 200k-instruction
+// budget (a scaled stand-in for the paper's 500M SimPoint traces;
+// see EXPERIMENTS.md).
+func DefaultOptions(bench, mechName string) Options {
+	return Options{
+		Bench:     bench,
+		Mechanism: mechName,
+		Hier:      hier.DefaultConfig(),
+		CPU:       cpu.DefaultConfig(),
+		Insts:     150_000,
+		Warmup:    50_000,
+		Seed:      42,
+	}
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Bench     string
+	Mechanism string
+	CPU       cpu.Result
+	IPC       float64
+	L1D       cache.Stats
+	L1I       cache.Stats
+	L2        cache.Stats
+	Mem       mem.Stats
+	Hardware  []core.HWTable
+	// BaseCacheAccesses approximates total L1D+L2 activity for the
+	// power model.
+	BaseCacheAccesses uint64
+	// Mech is the live mechanism instance (nil for Base); tests and
+	// diagnostics inspect it.
+	Mech core.Mechanism
+}
+
+// Run executes one simulation.
+func Run(opts Options) (Result, error) {
+	if opts.Insts == 0 {
+		opts.Insts = 200_000
+	}
+	gen, err := workload.New(opts.Bench, opts.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+
+	eng := sim.NewEngine()
+	h := hier.Build(eng, opts.Hier)
+
+	env := &core.Env{Eng: eng, L1D: h.L1D, L2: h.L2, Values: gen.Oracle()}
+	var mech core.Mechanism
+	name := opts.Mechanism
+	if name == "" {
+		name = BaseName
+	}
+	if name != BaseName {
+		mech, err = core.New(name, env, opts.Params)
+		if err != nil {
+			return Result{}, fmt.Errorf("runner: %w", err)
+		}
+	}
+	if opts.QueueOverride > 0 {
+		h.L1D.ForcePrefetchQueueCap(opts.QueueOverride)
+		h.L2.ForcePrefetchQueueCap(opts.QueueOverride)
+	}
+	if opts.PrefetchAsDemand {
+		h.L1D.SetPrefetchAsDemand(true)
+		h.L2.SetPrefetchAsDemand(true)
+	}
+
+	var stream trace.Stream = gen
+	if opts.Skip > 0 {
+		stream = trace.Skip(stream, opts.Skip)
+	}
+
+	// Warm-up snapshot state.
+	var (
+		warmCycles uint64
+		warmL1D    cache.Stats
+		warmL1I    cache.Stats
+		warmL2     cache.Stats
+		warmMem    mem.Stats
+	)
+	snapshot := func(cycles uint64) {
+		warmCycles = cycles
+		warmL1D = h.L1D.Stats()
+		warmL1I = h.L1I.Stats()
+		warmL2 = h.L2.Stats()
+		warmMem = h.Mem.Stats()
+	}
+
+	total := opts.Warmup + opts.Insts
+	var cres cpu.Result
+	if opts.InOrder {
+		c := cpu.NewInOrder(eng, h, stream)
+		if opts.Warmup > 0 {
+			c.SetWarmup(opts.Warmup, snapshot)
+		}
+		cres = c.Run(total)
+	} else {
+		c := cpu.NewOoO(eng, opts.CPU, h, stream)
+		if opts.Warmup > 0 {
+			c.SetWarmup(opts.Warmup, snapshot)
+		}
+		cres = c.Run(total)
+	}
+
+	measCycles := cres.Cycles - warmCycles
+	if measCycles == 0 {
+		measCycles = 1
+	}
+	measInsts := cres.Insts - opts.Warmup
+
+	res := Result{
+		Bench:     opts.Bench,
+		Mechanism: name,
+		CPU:       cres,
+		IPC:       float64(measInsts) / float64(measCycles),
+		L1D:       h.L1D.Stats().Sub(warmL1D),
+		L1I:       h.L1I.Stats().Sub(warmL1I),
+		L2:        h.L2.Stats().Sub(warmL2),
+		Mem:       h.Mem.Stats().Sub(warmMem),
+	}
+	res.BaseCacheAccesses = res.L1D.Accesses + res.L1I.Accesses + res.L2.Accesses
+	res.Mech = mech
+	if cm, ok := mech.(core.CostModeler); ok {
+		res.Hardware = cm.Hardware()
+	}
+	return res, nil
+}

@@ -1,0 +1,47 @@
+package runner
+
+import "testing"
+
+// TestSmokeBase checks that a base simulation completes and produces
+// a sane IPC on a representative benchmark.
+func TestSmokeBase(t *testing.T) {
+	opts := DefaultOptions("gzip", BaseName)
+	opts.Insts = 20_000
+	opts.Warmup = 10_000
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPU.Insts != 30_000 {
+		t.Fatalf("committed %d insts, want 30000 (warmup+measured)", res.CPU.Insts)
+	}
+	if res.IPC <= 0.05 || res.IPC > 8 {
+		t.Fatalf("implausible IPC %.3f", res.IPC)
+	}
+	if res.L1D.Accesses == 0 {
+		t.Fatal("no L1D accesses recorded")
+	}
+	t.Logf("gzip base: IPC=%.3f l1dMiss=%.3f l2acc=%d memReads=%d avgMemLat=%.0f",
+		res.IPC, res.L1D.MissRatio(), res.L2.Accesses, res.Mem.Reads, res.Mem.AvgReadLatency())
+}
+
+// TestSmokeAllMechanisms runs every mechanism briefly on one
+// benchmark to shake out wiring problems.
+func TestSmokeAllMechanisms(t *testing.T) {
+	for _, m := range []string{"TP", "VC", "SP", "Markov", "FVC", "DBCP", "TKVC", "TK", "CDP", "CDPSP", "TCP", "GHB"} {
+		m := m
+		t.Run(m, func(t *testing.T) {
+			opts := DefaultOptions("mcf", m)
+			opts.Insts = 10_000
+			opts.Warmup = 5_000
+			res, err := Run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.CPU.Insts != 15_000 {
+				t.Fatalf("committed %d insts", res.CPU.Insts)
+			}
+			t.Logf("%s on mcf: IPC=%.3f", m, res.IPC)
+		})
+	}
+}

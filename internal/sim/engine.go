@@ -1,0 +1,104 @@
+// Package sim implements the discrete-event simulation kernel that
+// drives every MicroLib model. The kernel is deliberately minimal: a
+// cycle counter and an event calendar. Components schedule callbacks
+// at absolute or relative cycles; the host CPU model advances the
+// clock one cycle at a time and lets the kernel drain the events due
+// at each cycle boundary.
+//
+// Determinism: events scheduled for the same cycle run in FIFO order
+// of scheduling, so a simulation is a pure function of its inputs.
+package sim
+
+import "container/heap"
+
+// Event is a callback due at a specific cycle.
+type event struct {
+	when uint64
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event   { return h[0] }
+func (h eventHeap) empty() bool   { return len(h) == 0 }
+
+// Engine is the event kernel. The zero value is ready to use at
+// cycle 0.
+type Engine struct {
+	now    uint64
+	seq    uint64
+	events eventHeap
+
+	scheduled uint64 // total events ever scheduled (stats)
+	executed  uint64 // total events executed (stats)
+}
+
+// NewEngine returns a fresh kernel at cycle 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current cycle.
+func (e *Engine) Now() uint64 { return e.now }
+
+// At schedules fn to run when the clock reaches cycle. Scheduling in
+// the past (cycle < Now) is a programming error and panics: silently
+// reordering time would destroy determinism.
+func (e *Engine) At(cycle uint64, fn func()) {
+	if cycle < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	e.scheduled++
+	heap.Push(&e.events, event{when: cycle, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay uint64, fn func()) {
+	e.At(e.now+delay, fn)
+}
+
+// AdvanceTo moves the clock to cycle, executing every event due at or
+// before it, in timestamp then FIFO order.
+func (e *Engine) AdvanceTo(cycle uint64) {
+	for !e.events.empty() && e.events.peek().when <= cycle {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.when
+		e.executed++
+		ev.fn()
+	}
+	if cycle > e.now {
+		e.now = cycle
+	}
+}
+
+// Drain runs events until the calendar is empty or the clock would
+// pass limit. It returns the number of events executed.
+func (e *Engine) Drain(limit uint64) uint64 {
+	var n uint64
+	for !e.events.empty() && e.events.peek().when <= limit {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.when
+		e.executed++
+		ev.fn()
+		n++
+	}
+	return n
+}
+
+// Pending reports the number of events waiting in the calendar.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Stats reports kernel counters.
+func (e *Engine) Stats() (scheduled, executed uint64) {
+	return e.scheduled, e.executed
+}

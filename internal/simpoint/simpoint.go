@@ -1,0 +1,282 @@
+// Package simpoint implements SimPoint-style trace selection
+// (Sherwood, Perelman, Hamerly & Calder, ASPLOS'02), which the paper
+// uses for its main experiments: execution is cut into fixed-length
+// intervals, each summarized by a Basic Block Vector (BBV); the BBVs
+// are random-projected and clustered with k-means; the representative
+// interval (the medoid of the weightiest cluster) is the SimPoint.
+//
+// Section 3.5 of the paper compares this selection against the
+// traditional "skip 1 billion, simulate 2 billion" and finds the
+// choice changes mechanism rankings; the Figure 11 experiment here
+// reproduces that comparison on scaled traces.
+package simpoint
+
+import (
+	"math"
+	"sort"
+
+	"microlib/internal/prng"
+	"microlib/internal/trace"
+)
+
+// Config parameterizes the analysis.
+type Config struct {
+	// IntervalLen is the instructions per interval (the paper's
+	// intervals are 100M; ours scale down with the trace budget).
+	IntervalLen uint64
+	// Intervals bounds how many intervals to analyze.
+	Intervals int
+	// MaxK bounds the cluster count searched.
+	MaxK int
+	// Dim is the random-projection dimensionality (SimPoint uses 15).
+	Dim int
+	// Seed keys projection and k-means initialization.
+	Seed uint64
+}
+
+// DefaultConfig returns a scaled analysis setup.
+func DefaultConfig() Config {
+	return Config{IntervalLen: 20_000, Intervals: 12, MaxK: 4, Dim: 15, Seed: 1}
+}
+
+// BBV is one interval's basic-block execution profile.
+type BBV map[uint32]float64
+
+// CollectBBVs consumes cfg.Intervals*cfg.IntervalLen instructions
+// from the stream and returns one normalized BBV per interval.
+func CollectBBVs(s trace.Stream, cfg Config) []BBV {
+	out := make([]BBV, 0, cfg.Intervals)
+	var inst trace.Inst
+	for i := 0; i < cfg.Intervals; i++ {
+		v := make(BBV)
+		var n uint64
+		for n = 0; n < cfg.IntervalLen; n++ {
+			if !s.Next(&inst) {
+				break
+			}
+			v[inst.BB]++
+		}
+		if n == 0 {
+			break
+		}
+		for k := range v {
+			v[k] /= float64(n)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Project reduces each BBV to a cfg.Dim-dimensional dense vector via
+// a deterministic random projection (each basic block id hashes to a
+// ±1 pattern). Basic blocks are accumulated in sorted order: float
+// addition is not associative, and map-order accumulation would make
+// the projection — and through k-means tie-breaking, the chosen
+// SimPoint — vary between runs.
+func Project(bbvs []BBV, cfg Config) [][]float64 {
+	dim := cfg.Dim
+	if dim <= 0 {
+		dim = 15
+	}
+	out := make([][]float64, len(bbvs))
+	for i, v := range bbvs {
+		bbs := make([]uint32, 0, len(v))
+		for bb := range v {
+			bbs = append(bbs, bb)
+		}
+		sort.Slice(bbs, func(a, b int) bool { return bbs[a] < bbs[b] })
+		p := make([]float64, dim)
+		for _, bb := range bbs {
+			w := v[bb]
+			h := mix64(uint64(bb) ^ cfg.Seed)
+			for d := 0; d < dim; d++ {
+				if (h>>uint(d))&1 == 1 {
+					p[d] += w
+				} else {
+					p[d] -= w
+				}
+			}
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// mix64 is a finalizing hash for projection sign patterns.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func dist2(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// KMeans clusters points into k clusters (Lloyd's algorithm with
+// deterministic farthest-point initialization) and returns labels
+// and the within-cluster sum of squares.
+func KMeans(points [][]float64, k int, seed uint64) (labels []int, wcss float64) {
+	n := len(points)
+	if n == 0 {
+		return nil, 0
+	}
+	if k > n {
+		k = n
+	}
+	rng := prng.New(seed)
+	centroids := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	centroids = append(centroids, append([]float64(nil), points[first]...))
+	for len(centroids) < k {
+		// Farthest-point: pick the point with the largest distance to
+		// its nearest centroid.
+		bestI, bestD := 0, -1.0
+		for i, p := range points {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				d = math.Min(d, dist2(p, c))
+			}
+			if d > bestD {
+				bestI, bestD = i, d
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[bestI]...))
+	}
+
+	labels = make([]int, n)
+	for iter := 0; iter < 50; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				if d := dist2(p, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		dim := len(points[0])
+		sums := make([][]float64, len(centroids))
+		counts := make([]int, len(centroids))
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			c := labels[i]
+			counts[c]++
+			for d := range p {
+				sums[c][d] += p[d]
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue
+			}
+			for d := range centroids[c] {
+				centroids[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for i, p := range points {
+		wcss += dist2(p, centroids[labels[i]])
+	}
+	return labels, wcss
+}
+
+// ChooseK runs k-means for k = 1..cfg.MaxK and picks the smallest k
+// whose score is within 10% of the best (a simplified BIC criterion,
+// as SimPoint does).
+func ChooseK(points [][]float64, cfg Config) (k int, labels []int) {
+	bestScore := math.Inf(1)
+	scores := make([]float64, cfg.MaxK+1)
+	labelSets := make([][]int, cfg.MaxK+1)
+	for kk := 1; kk <= cfg.MaxK && kk <= len(points); kk++ {
+		l, wcss := KMeans(points, kk, cfg.Seed+uint64(kk))
+		// Penalize extra clusters (BIC-like).
+		score := wcss + 0.02*float64(kk)*float64(len(points))
+		scores[kk] = score
+		labelSets[kk] = l
+		if score < bestScore {
+			bestScore = score
+		}
+	}
+	for kk := 1; kk <= cfg.MaxK && kk <= len(points); kk++ {
+		if scores[kk] <= bestScore*1.1 {
+			return kk, labelSets[kk]
+		}
+	}
+	return 1, labelSets[1]
+}
+
+// Result is a completed SimPoint analysis.
+type Result struct {
+	K int
+	// Labels assigns each interval to a cluster.
+	Labels []int
+	// Point is the chosen interval index (the medoid of the largest
+	// cluster).
+	Point int
+	// SkipInsts is the instruction offset of the chosen interval.
+	SkipInsts uint64
+}
+
+// Analyze runs the full pipeline on a stream.
+func Analyze(s trace.Stream, cfg Config) Result {
+	bbvs := CollectBBVs(s, cfg)
+	if len(bbvs) == 0 {
+		return Result{K: 1, Point: 0}
+	}
+	points := Project(bbvs, cfg)
+	k, labels := ChooseK(points, cfg)
+
+	// Largest cluster.
+	counts := make([]int, k)
+	for _, l := range labels {
+		counts[l]++
+	}
+	big := 0
+	for c := range counts {
+		if counts[c] > counts[big] {
+			big = c
+		}
+	}
+	// Medoid of the largest cluster.
+	var members []int
+	for i, l := range labels {
+		if l == big {
+			members = append(members, i)
+		}
+	}
+	bestI, bestD := members[0], math.Inf(1)
+	for _, i := range members {
+		total := 0.0
+		for _, j := range members {
+			total += dist2(points[i], points[j])
+		}
+		if total < bestD {
+			bestI, bestD = i, total
+		}
+	}
+	return Result{
+		K:         k,
+		Labels:    labels,
+		Point:     bestI,
+		SkipInsts: uint64(bestI) * cfg.IntervalLen,
+	}
+}

@@ -1,0 +1,90 @@
+package simpoint
+
+import (
+	"testing"
+
+	"microlib/internal/trace"
+	"microlib/internal/workload"
+)
+
+// twoPhase emits a stream alternating between two disjoint BB sets.
+type twoPhase struct {
+	i        uint64
+	phaseLen uint64
+}
+
+func (s *twoPhase) Next(inst *trace.Inst) bool {
+	phase := (s.i / s.phaseLen) % 2
+	inst.BB = uint32(phase*100 + s.i%7)
+	inst.PC = 0x400000 + uint64(inst.BB)*4
+	inst.Class = trace.IntALU
+	s.i++
+	return true
+}
+
+func TestDetectsPhases(t *testing.T) {
+	cfg := Config{IntervalLen: 1000, Intervals: 12, MaxK: 4, Dim: 15, Seed: 1}
+	res := Analyze(&twoPhase{phaseLen: 3000}, cfg)
+	if res.K < 2 {
+		t.Fatalf("k=%d, want >= 2 for a two-phase stream", res.K)
+	}
+	if len(res.Labels) != 12 {
+		t.Fatalf("%d labels", len(res.Labels))
+	}
+	// Intervals within the same program phase should share a label.
+	// phaseLen 3000 / interval 1000: intervals 0-2 phase A, 3-5 phase
+	// B, 6-8 phase A, ...
+	if res.Labels[0] != res.Labels[1] || res.Labels[3] != res.Labels[4] {
+		t.Fatalf("labels do not follow phases: %v", res.Labels)
+	}
+	if res.Labels[0] == res.Labels[3] {
+		t.Fatalf("distinct phases share a cluster: %v", res.Labels)
+	}
+	if res.SkipInsts != uint64(res.Point)*cfg.IntervalLen {
+		t.Fatal("SkipInsts inconsistent with Point")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IntervalLen = 2000
+	a := Analyze(&twoPhase{phaseLen: 5000}, cfg)
+	b := Analyze(&twoPhase{phaseLen: 5000}, cfg)
+	if a.Point != b.Point || a.K != b.K {
+		t.Fatalf("analysis not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestKMeansSeparates(t *testing.T) {
+	points := [][]float64{
+		{0, 0}, {0.1, 0}, {0, 0.1},
+		{5, 5}, {5.1, 5}, {5, 5.1},
+	}
+	labels, wcss := KMeans(points, 2, 1)
+	if labels[0] != labels[1] || labels[3] != labels[4] || labels[0] == labels[3] {
+		t.Fatalf("kmeans labels: %v", labels)
+	}
+	if wcss > 0.1 {
+		t.Fatalf("wcss %f too high for separable clusters", wcss)
+	}
+}
+
+func TestOnRealWorkload(t *testing.T) {
+	gen, err := workload.New("gcc", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{IntervalLen: 10_000, Intervals: 14, MaxK: 4, Dim: 15, Seed: 1}
+	res := Analyze(gen, cfg)
+	if res.K < 1 || res.Point < 0 || res.Point >= 14 {
+		t.Fatalf("implausible analysis: %+v", res)
+	}
+	t.Logf("gcc: k=%d point=%d labels=%v", res.K, res.Point, res.Labels)
+}
+
+func TestEmptyStream(t *testing.T) {
+	res := Analyze(&trace.SliceStream{}, DefaultConfig())
+	if res.Point != 0 || res.SkipInsts != 0 {
+		t.Fatalf("empty stream: %+v", res)
+	}
+}

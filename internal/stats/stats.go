@@ -1,0 +1,204 @@
+// Package stats implements the quantitative-comparison layer of
+// MicroLib: speedup grids over (benchmark × mechanism), rankings,
+// the benchmark-subset winner analysis of Table 6, the sensitivity
+// metrics of Figures 6/7, and small formatting helpers for the
+// report tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Grid holds one metric (IPC by convention) for every benchmark ×
+// mechanism cell of an experiment.
+type Grid struct {
+	Benchmarks []string
+	Mechs      []string // Mechs[0] is the baseline by convention
+	// Values[b][m] with b, m indexing the two slices above.
+	Values [][]float64
+}
+
+// NewGrid allocates a zeroed grid.
+func NewGrid(benchmarks, mechs []string) *Grid {
+	v := make([][]float64, len(benchmarks))
+	for i := range v {
+		v[i] = make([]float64, len(mechs))
+	}
+	return &Grid{Benchmarks: benchmarks, Mechs: mechs, Values: v}
+}
+
+// BenchIndex returns the row of a benchmark, or -1.
+func (g *Grid) BenchIndex(name string) int {
+	for i, b := range g.Benchmarks {
+		if b == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MechIndex returns the column of a mechanism, or -1.
+func (g *Grid) MechIndex(name string) int {
+	for i, m := range g.Mechs {
+		if m == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Set stores a cell.
+func (g *Grid) Set(bench, mech string, v float64) {
+	b, m := g.BenchIndex(bench), g.MechIndex(mech)
+	if b < 0 || m < 0 {
+		panic(fmt.Sprintf("stats: unknown cell %s/%s", bench, mech))
+	}
+	g.Values[b][m] = v
+}
+
+// Speedups returns a grid of Values normalized to the named baseline
+// column (speedup = value / baseline), baseline column included
+// (all 1.0).
+func (g *Grid) Speedups(baseline string) *Grid {
+	bi := g.MechIndex(baseline)
+	if bi < 0 {
+		panic("stats: unknown baseline " + baseline)
+	}
+	out := NewGrid(g.Benchmarks, g.Mechs)
+	for b := range g.Values {
+		base := g.Values[b][bi]
+		for m := range g.Values[b] {
+			if base > 0 {
+				out.Values[b][m] = g.Values[b][m] / base
+			}
+		}
+	}
+	return out
+}
+
+// Subset restricts a grid to the named benchmarks (order preserved
+// from the argument).
+func (g *Grid) Subset(benchmarks []string) *Grid {
+	out := NewGrid(benchmarks, g.Mechs)
+	for i, b := range benchmarks {
+		bi := g.BenchIndex(b)
+		if bi < 0 {
+			panic("stats: unknown benchmark " + b)
+		}
+		copy(out.Values[i], g.Values[bi])
+	}
+	return out
+}
+
+// MeanPerMech averages each mechanism column (arithmetic mean, as
+// the paper does for its average-speedup bars).
+func (g *Grid) MeanPerMech() []float64 {
+	out := make([]float64, len(g.Mechs))
+	if len(g.Benchmarks) == 0 {
+		return out
+	}
+	for m := range g.Mechs {
+		sum := 0.0
+		for b := range g.Benchmarks {
+			sum += g.Values[b][m]
+		}
+		out[m] = sum / float64(len(g.Benchmarks))
+	}
+	return out
+}
+
+// Rank returns, per mechanism, its 1-based rank under the mean of
+// the grid (1 = highest mean). Ties break by column order.
+func (g *Grid) Rank() []int {
+	means := g.MeanPerMech()
+	idx := make([]int, len(means))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return means[idx[a]] > means[idx[b]] })
+	ranks := make([]int, len(means))
+	for pos, m := range idx {
+		ranks[m] = pos + 1
+	}
+	return ranks
+}
+
+// Winner returns the mechanism with the best mean.
+func (g *Grid) Winner() string {
+	means := g.MeanPerMech()
+	best := 0
+	for i, v := range means {
+		if v > means[best] {
+			best = i
+		}
+	}
+	return g.Mechs[best]
+}
+
+// Sensitivity returns, per benchmark, the spread max-min of the row
+// — the paper's Figure 6 measure of how strongly a benchmark reacts
+// to data-cache mechanisms.
+func (g *Grid) Sensitivity() []float64 {
+	out := make([]float64, len(g.Benchmarks))
+	for b, row := range g.Values {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range row {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		out[b] = hi - lo
+	}
+	return out
+}
+
+// SortBySensitivity returns benchmark names ordered from most to
+// least sensitive.
+func (g *Grid) SortBySensitivity() []string {
+	s := g.Sensitivity()
+	idx := make([]int, len(s))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return s[idx[a]] > s[idx[b]] })
+	out := make([]string, len(idx))
+	for i, b := range idx {
+		out[i] = g.Benchmarks[b]
+	}
+	return out
+}
+
+// FormatTable renders the grid as a fixed-width ASCII table.
+func (g *Grid) FormatTable(prec int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s", "bench")
+	for _, m := range g.Mechs {
+		fmt.Fprintf(&sb, " %8s", m)
+	}
+	sb.WriteByte('\n')
+	for b, row := range g.Values {
+		fmt.Fprintf(&sb, "%-10s", g.Benchmarks[b])
+		for _, v := range row {
+			fmt.Fprintf(&sb, " %8.*f", prec, v)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// FormatMeans renders per-mechanism means sorted descending.
+func (g *Grid) FormatMeans() string {
+	means := g.MeanPerMech()
+	idx := make([]int, len(means))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return means[idx[a]] > means[idx[b]] })
+	var sb strings.Builder
+	for pos, m := range idx {
+		fmt.Fprintf(&sb, "%2d. %-8s %.4f\n", pos+1, g.Mechs[m], means[m])
+	}
+	return sb.String()
+}

@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func demoGrid() *Grid {
+	g := NewGrid([]string{"a", "b", "c"}, []string{"Base", "M1", "M2"})
+	// IPCs: M1 best on a+b, M2 wins c big.
+	g.Set("a", "Base", 1.0)
+	g.Set("a", "M1", 1.2)
+	g.Set("a", "M2", 0.9)
+	g.Set("b", "Base", 2.0)
+	g.Set("b", "M1", 2.4)
+	g.Set("b", "M2", 2.0)
+	g.Set("c", "Base", 0.5)
+	g.Set("c", "M1", 0.5)
+	g.Set("c", "M2", 1.0)
+	return g
+}
+
+func TestSpeedups(t *testing.T) {
+	sp := demoGrid().Speedups("Base")
+	if sp.Values[0][1] != 1.2 || sp.Values[2][2] != 2.0 {
+		t.Fatalf("speedups wrong: %v", sp.Values)
+	}
+	for b := range sp.Benchmarks {
+		if sp.Values[b][0] != 1.0 {
+			t.Fatal("baseline column not 1.0")
+		}
+	}
+}
+
+func TestMeanAndRank(t *testing.T) {
+	sp := demoGrid().Speedups("Base")
+	means := sp.MeanPerMech()
+	// M1: (1.2+1.2+1.0)/3 = 1.1333; M2: (0.9+1.0+2.0)/3 = 1.3
+	if means[2] <= means[1] {
+		t.Fatalf("means: %v", means)
+	}
+	ranks := sp.Rank()
+	if ranks[2] != 1 || ranks[1] != 2 || ranks[0] != 3 {
+		t.Fatalf("ranks: %v", ranks)
+	}
+	if sp.Winner() != "M2" {
+		t.Fatalf("winner %s", sp.Winner())
+	}
+}
+
+func TestSubset(t *testing.T) {
+	sp := demoGrid().Speedups("Base")
+	sub := sp.Subset([]string{"a", "b"})
+	if sub.Winner() != "M1" {
+		t.Fatalf("subset winner %s", sub.Winner())
+	}
+}
+
+func TestSensitivity(t *testing.T) {
+	sp := demoGrid().Speedups("Base")
+	s := sp.Sensitivity()
+	// c has spread 2.0-1.0 = 1.0, the largest.
+	order := sp.SortBySensitivity()
+	if order[0] != "c" {
+		t.Fatalf("sensitivity order %v (%v)", order, s)
+	}
+}
+
+func TestCanWin(t *testing.T) {
+	sp := demoGrid().Speedups("Base")
+	// M2 wins with {c} alone.
+	ok, witness := sp.CanWin("M2", 1)
+	if !ok || witness[0] != "c" {
+		t.Fatalf("M2 single-benchmark win: %v %v", ok, witness)
+	}
+	// M1 wins with {a} or {b}.
+	if ok, _ := sp.CanWin("M1", 1); !ok {
+		t.Fatal("M1 cannot win any single benchmark")
+	}
+	// Base can never strictly win (M1 >= Base everywhere, > somewhere).
+	if ok, w := sp.CanWin("Base", 1); ok {
+		t.Fatalf("Base cannot win, got witness %v", w)
+	}
+	// M2 with all three: mean 1.3 vs M1 1.1333: wins.
+	if ok, _ := sp.CanWin("M2", 3); !ok {
+		t.Fatal("M2 should win the full set")
+	}
+	if ok, _ := sp.CanWin("M1", 3); ok {
+		t.Fatal("M1 cannot win the full set")
+	}
+}
+
+func TestWinnerSubsetsShape(t *testing.T) {
+	sp := demoGrid().Speedups("Base")
+	table := sp.WinnerSubsets()
+	if len(table) != 3 || len(table[0]) != 3 {
+		t.Fatalf("table shape %dx%d", len(table), len(table[0]))
+	}
+	if n := sp.MultipleWinnersUpTo(); n < 1 {
+		t.Fatalf("multiple winners up to %d", n)
+	}
+}
+
+// TestPropertyCanWinConsistent: any witness returned by CanWin must
+// actually make the mechanism the strict winner.
+func TestPropertyCanWinConsistent(t *testing.T) {
+	err := quick.Check(func(vals [9]float64) bool {
+		g := NewGrid([]string{"a", "b", "c"}, []string{"Base", "M1", "M2"})
+		idx := 0
+		for _, b := range g.Benchmarks {
+			for _, m := range g.Mechs {
+				v := math.Abs(vals[idx])
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					v = 1
+				}
+				g.Set(b, m, 0.1+math.Mod(v, 8))
+				idx++
+			}
+		}
+		for _, mech := range g.Mechs {
+			for n := 1; n <= 3; n++ {
+				ok, witness := g.CanWin(mech, n)
+				if !ok {
+					continue
+				}
+				sub := g.Subset(witness)
+				if sub.Winner() != mech {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	sp := demoGrid().Speedups("Base")
+	tbl := sp.FormatTable(3)
+	if !strings.Contains(tbl, "M1") || !strings.Contains(tbl, "1.200") {
+		t.Fatalf("table:\n%s", tbl)
+	}
+	means := sp.FormatMeans()
+	if !strings.HasPrefix(means, " 1. M2") {
+		t.Fatalf("means:\n%s", means)
+	}
+}
+
+func TestSetUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown cell accepted")
+		}
+	}()
+	demoGrid().Set("zzz", "M1", 1)
+}

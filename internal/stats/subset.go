@@ -1,0 +1,155 @@
+package stats
+
+// This file implements the paper's Table 6 analysis: for every
+// mechanism M and every benchmark-count N, is there a selection of N
+// benchmarks under which M has the best average speedup? The paper
+// enumerates selections; with 26 benchmarks exhaustive enumeration is
+// infeasible in general, so WinnerSubsets uses an exact greedy
+// certificate plus local-search improvement:
+//
+//   - M beats competitor C on subset S iff sum over S of
+//     (speedup_M(b) - speedup_C(b)) > 0;
+//   - the certificate keeps, for candidate subsets, the minimum such
+//     margin over all competitors (a max-min objective), growing the
+//     subset greedily and then swapping members while the margin can
+//     improve.
+//
+// The result is a lower bound on winnability: a check mark is
+// certain, a blank may rarely be a missed solution. The direction of
+// the paper's conclusion (cherry-picking can make almost anyone win)
+// is preserved.
+
+// CanWin reports whether mechanism mech can have the strictly best
+// mean over some subset of exactly n benchmarks of the speedup grid
+// g, and returns one witness subset when found.
+func (g *Grid) CanWin(mech string, n int) (bool, []string) {
+	mi := g.MechIndex(mech)
+	if mi < 0 || n <= 0 || n > len(g.Benchmarks) {
+		return false, nil
+	}
+	nb := len(g.Benchmarks)
+	nm := len(g.Mechs)
+
+	// adv[b][c] = speedup advantage of mech over competitor c on
+	// benchmark b.
+	adv := make([][]float64, nb)
+	for b := 0; b < nb; b++ {
+		adv[b] = make([]float64, nm)
+		for c := 0; c < nm; c++ {
+			adv[b][c] = g.Values[b][mi] - g.Values[b][c]
+		}
+	}
+
+	// minMargin of a subset: the tightest total advantage over any
+	// competitor.
+	margins := make([]float64, nm)
+	minMargin := func(sel []int) float64 {
+		for c := range margins {
+			margins[c] = 0
+		}
+		for _, b := range sel {
+			for c := 0; c < nm; c++ {
+				margins[c] += adv[b][c]
+			}
+		}
+		best := 0.0
+		first := true
+		for c := 0; c < nm; c++ {
+			if c == mi {
+				continue
+			}
+			if first || margins[c] < best {
+				best = margins[c]
+				first = false
+			}
+		}
+		return best
+	}
+
+	// Greedy: grow the subset one benchmark at a time, always adding
+	// the candidate that maximizes the resulting min margin.
+	sel := make([]int, 0, n)
+	used := make([]bool, nb)
+	for len(sel) < n {
+		bestB, bestV := -1, 0.0
+		for b := 0; b < nb; b++ {
+			if used[b] {
+				continue
+			}
+			v := minMargin(append(sel, b))
+			if bestB < 0 || v > bestV {
+				bestB, bestV = b, v
+			}
+		}
+		sel = append(sel, bestB)
+		used[bestB] = true
+	}
+
+	// Local search: swap members with outsiders while it helps.
+	cur := minMargin(sel)
+	improved := true
+	for improved && cur <= 0 {
+		improved = false
+		for i := 0; i < len(sel) && !improved; i++ {
+			old := sel[i]
+			for b := 0; b < nb; b++ {
+				if used[b] {
+					continue
+				}
+				sel[i] = b
+				if v := minMargin(sel); v > cur {
+					used[old] = false
+					used[b] = true
+					cur = v
+					improved = true
+					break
+				}
+				sel[i] = old
+			}
+		}
+	}
+	if cur <= 0 {
+		return false, nil
+	}
+	names := make([]string, len(sel))
+	for i, b := range sel {
+		names[i] = g.Benchmarks[b]
+	}
+	return true, names
+}
+
+// WinnerSubsets computes the Table 6 matrix: result[n-1][m] is true
+// when mechanism m can win with some n-benchmark selection.
+func (g *Grid) WinnerSubsets() [][]bool {
+	nb := len(g.Benchmarks)
+	out := make([][]bool, nb)
+	for n := 1; n <= nb; n++ {
+		row := make([]bool, len(g.Mechs))
+		for m, name := range g.Mechs {
+			ok, _ := g.CanWin(name, n)
+			row[m] = ok
+		}
+		out[n-1] = row
+	}
+	return out
+}
+
+// MultipleWinnersUpTo returns the largest N such that at least two
+// different mechanisms can win some N-benchmark selection (the paper
+// reports 23 for its data).
+func (g *Grid) MultipleWinnersUpTo() int {
+	table := g.WinnerSubsets()
+	last := 0
+	for n := 1; n <= len(table); n++ {
+		winners := 0
+		for _, ok := range table[n-1] {
+			if ok {
+				winners++
+			}
+		}
+		if winners > 1 {
+			last = n
+		}
+	}
+	return last
+}

@@ -1,0 +1,77 @@
+package trace
+
+// Skip discards n instructions from s and returns s. It is the
+// "skip the first billion" half of the arbitrary trace selection the
+// paper studies in Section 3.5.
+func Skip(s Stream, n uint64) Stream {
+	var inst Inst
+	for i := uint64(0); i < n; i++ {
+		if !s.Next(&inst) {
+			break
+		}
+	}
+	return s
+}
+
+// Take bounds a stream to n instructions.
+type Take struct {
+	S    Stream
+	Left uint64
+}
+
+// Limit returns a stream producing at most n instructions from s.
+func Limit(s Stream, n uint64) *Take { return &Take{S: s, Left: n} }
+
+// Next implements Stream.
+func (t *Take) Next(inst *Inst) bool {
+	if t.Left == 0 {
+		return false
+	}
+	if !t.S.Next(inst) {
+		t.Left = 0
+		return false
+	}
+	t.Left--
+	return true
+}
+
+// Spec selects which window of a benchmark's execution is simulated.
+type Spec struct {
+	// Skip instructions before measurement.
+	Skip uint64
+	// Insts to simulate (0 = unbounded).
+	Insts uint64
+}
+
+// Apply materializes the selection over a stream.
+func (sp Spec) Apply(s Stream) Stream {
+	if sp.Skip > 0 {
+		s = Skip(s, sp.Skip)
+	}
+	if sp.Insts > 0 {
+		return Limit(s, sp.Insts)
+	}
+	return s
+}
+
+// SliceStream replays a fixed instruction slice (tests use it).
+type SliceStream struct {
+	Insts []Inst
+	pos   int
+}
+
+// Next implements Stream.
+func (s *SliceStream) Next(inst *Inst) bool {
+	if s.pos >= len(s.Insts) {
+		return false
+	}
+	*inst = s.Insts[s.pos]
+	s.pos++
+	return true
+}
+
+// Func adapts a function to the Stream interface.
+type Func func(inst *Inst) bool
+
+// Next implements Stream.
+func (f Func) Next(inst *Inst) bool { return f(inst) }

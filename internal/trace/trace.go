@@ -1,0 +1,223 @@
+// Package trace defines the instruction stream that MicroLib host
+// cores consume: a minimal dynamic-instruction record (class, PC,
+// effective address, register dependences, branch outcome, basic
+// block id) plus binary readers/writers and stream selectors
+// (skip-N/take-N, the paper's "skip 1 billion, simulate 2 billion"
+// style selection, and SimPoint-style offset selection).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+// Class is the functional class of an instruction.
+type Class uint8
+
+// Instruction classes, matching the Table 1 functional units.
+const (
+	IntALU Class = iota
+	IntMult
+	IntDiv
+	FPALU
+	FPMult
+	FPDiv
+	Load
+	Store
+	Branch
+	numClasses
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case IntALU:
+		return "int"
+	case IntMult:
+		return "imul"
+	case IntDiv:
+		return "idiv"
+	case FPALU:
+		return "fp"
+	case FPMult:
+		return "fmul"
+	case FPDiv:
+		return "fdiv"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Branch:
+		return "branch"
+	}
+	return "?"
+}
+
+// Latency returns the execution latency of the class in cycles
+// (sim-outorder-like values).
+func (c Class) Latency() uint64 {
+	switch c {
+	case IntALU:
+		return 1
+	case IntMult:
+		return 3
+	case IntDiv:
+		return 20
+	case FPALU:
+		return 2
+	case FPMult:
+		return 4
+	case FPDiv:
+		return 12
+	case Load, Store:
+		return 1 // address generation; memory time comes from the cache
+	case Branch:
+		return 1
+	}
+	return 1
+}
+
+// IsMem reports whether the class accesses memory.
+func (c Class) IsMem() bool { return c == Load || c == Store }
+
+// Inst is one dynamic instruction.
+type Inst struct {
+	PC   uint64
+	Addr uint64 // effective address for Load/Store, else 0
+	// DataPC, when non-zero, is the static-instruction identity the
+	// memory system observes for Load/Store (PC-indexed predictors
+	// key on it); the front end still fetches from PC.
+	DataPC uint64
+	// Dep1/Dep2 are backward distances (in dynamic instructions) to
+	// producer instructions; 0 means no dependence.
+	Dep1, Dep2 uint16
+	Class      Class
+	// Mispredict marks a branch the front-end mispredicts.
+	Mispredict bool
+	// BB is the basic-block id, used for BBV/SimPoint analysis.
+	BB uint32
+}
+
+// MemPC returns the identity the memory system should observe.
+func (i *Inst) MemPC() uint64 {
+	if i.DataPC != 0 {
+		return i.DataPC
+	}
+	return i.PC
+}
+
+// Stream produces instructions. Next fills in inst and reports
+// whether one was produced (false = end of trace).
+type Stream interface {
+	Next(inst *Inst) bool
+}
+
+// --- binary encoding ---
+
+// record layout (little endian, fixed 40 bytes):
+//
+//	pc u64 | addr u64 | dataPC u64 | bb u32 | dep1 u16 | dep2 u16 |
+//	class u8 | flags u8 | 6 pad bytes
+const recordSize = 40
+
+var magic = [4]byte{'M', 'L', 'T', '1'}
+
+// Writer encodes instructions to an io.Writer.
+type Writer struct {
+	w   *bufio.Writer
+	buf [recordSize]byte
+	n   uint64
+}
+
+// NewWriter writes the header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one instruction.
+func (w *Writer) Write(inst *Inst) error {
+	b := w.buf[:]
+	binary.LittleEndian.PutUint64(b[0:], inst.PC)
+	binary.LittleEndian.PutUint64(b[8:], inst.Addr)
+	binary.LittleEndian.PutUint64(b[16:], inst.DataPC)
+	binary.LittleEndian.PutUint32(b[24:], inst.BB)
+	binary.LittleEndian.PutUint16(b[28:], inst.Dep1)
+	binary.LittleEndian.PutUint16(b[30:], inst.Dep2)
+	b[32] = byte(inst.Class)
+	var flags byte
+	if inst.Mispredict {
+		flags |= 1
+	}
+	b[33] = flags
+	for i := 34; i < recordSize; i++ {
+		b[i] = 0
+	}
+	_, err := w.w.Write(b)
+	w.n++
+	return err
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() uint64 { return w.n }
+
+// Flush flushes buffered records.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader decodes a trace written by Writer. It implements Stream.
+type Reader struct {
+	r   *bufio.Reader
+	buf [recordSize]byte
+	err error
+}
+
+// ErrBadMagic reports a stream that is not a MicroLib trace.
+var ErrBadMagic = errors.New("trace: bad magic")
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next implements Stream.
+func (r *Reader) Next(inst *Inst) bool {
+	if r.err != nil {
+		return false
+	}
+	if _, err := io.ReadFull(r.r, r.buf[:]); err != nil {
+		r.err = err
+		return false
+	}
+	b := r.buf[:]
+	inst.PC = binary.LittleEndian.Uint64(b[0:])
+	inst.Addr = binary.LittleEndian.Uint64(b[8:])
+	inst.DataPC = binary.LittleEndian.Uint64(b[16:])
+	inst.BB = binary.LittleEndian.Uint32(b[24:])
+	inst.Dep1 = binary.LittleEndian.Uint16(b[28:])
+	inst.Dep2 = binary.LittleEndian.Uint16(b[30:])
+	inst.Class = Class(b[32])
+	inst.Mispredict = b[33]&1 != 0
+	return true
+}
+
+// Err returns the terminal error, if any (io.EOF is normal
+// end-of-trace and is not reported).
+func (r *Reader) Err() error {
+	if r.err == io.EOF || r.err == io.ErrUnexpectedEOF {
+		return nil
+	}
+	return r.err
+}

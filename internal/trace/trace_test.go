@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	insts := []Inst{
+		{PC: 0x400000, Class: IntALU, Dep1: 3, BB: 7},
+		{PC: 0x400004, Class: Load, Addr: 0x10000000, DataPC: 0xf00000, Dep1: 1, Dep2: 2},
+		{PC: 0x400008, Class: Branch, Mispredict: true, BB: 8},
+		{PC: 0x40000c, Class: Store, Addr: 0xdeadbeef &^ 7},
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range insts {
+		if err := w.Write(&insts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(insts)) {
+		t.Fatalf("count %d", w.Count())
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Inst
+	for i := range insts {
+		if !r.Next(&got) {
+			t.Fatalf("stream ended at %d", i)
+		}
+		if got != insts[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got, insts[i])
+		}
+	}
+	if r.Next(&got) {
+		t.Fatal("extra record")
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+// TestPropertyRoundTrip fuzzes the binary codec.
+func TestPropertyRoundTrip(t *testing.T) {
+	err := quick.Check(func(pc, addr, dataPC uint64, d1, d2 uint16, cls uint8, mp bool, bb uint32) bool {
+		in := Inst{
+			PC: pc, Addr: addr, DataPC: dataPC,
+			Dep1: d1, Dep2: d2,
+			Class:      Class(cls % uint8(numClasses)),
+			Mispredict: mp, BB: bb,
+		}
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		w.Write(&in)
+		w.Flush()
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		var out Inst
+		return r.Next(&out) && out == in
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOPE1234"))); err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestSkipAndLimit(t *testing.T) {
+	var insts []Inst
+	for i := 0; i < 10; i++ {
+		insts = append(insts, Inst{PC: uint64(i)})
+	}
+	s := Limit(Skip(&SliceStream{Insts: insts}, 3), 4)
+	var got []uint64
+	var inst Inst
+	for s.Next(&inst) {
+		got = append(got, inst.PC)
+	}
+	want := []uint64{3, 4, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSpecApply(t *testing.T) {
+	var insts []Inst
+	for i := 0; i < 20; i++ {
+		insts = append(insts, Inst{PC: uint64(i)})
+	}
+	s := Spec{Skip: 5, Insts: 3}.Apply(&SliceStream{Insts: insts})
+	var inst Inst
+	n := 0
+	for s.Next(&inst) {
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("spec produced %d insts", n)
+	}
+}
+
+func TestMemPC(t *testing.T) {
+	i := Inst{PC: 0x400000}
+	if i.MemPC() != 0x400000 {
+		t.Fatal("MemPC without DataPC")
+	}
+	i.DataPC = 0xf00000
+	if i.MemPC() != 0xf00000 {
+		t.Fatal("MemPC with DataPC")
+	}
+}
+
+func TestClassProperties(t *testing.T) {
+	if !Load.IsMem() || !Store.IsMem() || IntALU.IsMem() {
+		t.Fatal("IsMem wrong")
+	}
+	for c := IntALU; c < numClasses; c++ {
+		if c.Latency() == 0 {
+			t.Fatalf("class %v has zero latency", c)
+		}
+		if c.String() == "?" {
+			t.Fatalf("class %d unnamed", c)
+		}
+	}
+}

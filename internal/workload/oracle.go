@@ -1,0 +1,146 @@
+package workload
+
+import "sort"
+
+// Oracle supplies the memory image of a synthetic benchmark: for any
+// address it can produce the 8-byte word stored there, consistently
+// with the pointer structures the access patterns walk. It implements
+// core.ValueSource (structurally; workload does not import core).
+//
+// The paper's OoOSysC model executes programs with real values; the
+// oracle is our equivalent source of truth, feeding the mechanisms
+// that inspect data: content-directed prefetching reads pointers out
+// of fetched lines, and the frequent value cache tests words for
+// membership in the frequent-value set.
+type Oracle struct {
+	regions  []oracleRegion
+	heapLo   uint64
+	heapHi   uint64
+	fv       [7]uint64
+	hashSeed uint64
+}
+
+type oracleRegion struct {
+	base, size uint64
+	// chase geometry (zero when the region is plain data)
+	nodeSize uint64
+	ptrOff   uint64
+	succ     []uint32 // successor node index per node
+	nodes    uint64
+	decoys   int
+	// value locality for data words
+	fvProb float64
+}
+
+func newOracle(seed uint64) *Oracle {
+	o := &Oracle{hashSeed: seed}
+	// The canonical frequent values (the FVC paper's observation is
+	// that 0, small constants and a few program-specific words cover
+	// much of memory).
+	o.fv = [7]uint64{0, 1, 0xffffffffffffffff, 4, 8, 0x20, 0x100}
+	return o
+}
+
+func (o *Oracle) addRegion(r oracleRegion) {
+	o.regions = append(o.regions, r)
+	sort.Slice(o.regions, func(i, j int) bool { return o.regions[i].base < o.regions[j].base })
+	if o.heapLo == 0 || r.base < o.heapLo {
+		o.heapLo = r.base
+	}
+	if end := r.base + r.size; end > o.heapHi {
+		o.heapHi = end
+	}
+}
+
+func (o *Oracle) find(addr uint64) *oracleRegion {
+	i := sort.Search(len(o.regions), func(i int) bool {
+		return o.regions[i].base+o.regions[i].size > addr
+	})
+	if i < len(o.regions) && addr >= o.regions[i].base {
+		return &o.regions[i]
+	}
+	return nil
+}
+
+// Word returns the 8-byte value at the aligned address.
+func (o *Oracle) Word(addr uint64) uint64 {
+	addr &^= 7
+	r := o.find(addr)
+	if r == nil {
+		return o.hashWord(addr) // unmapped: incompressible noise
+	}
+	if r.nodeSize > 0 {
+		off := addr - r.base
+		node := off / r.nodeSize
+		field := off % r.nodeSize
+		if field == r.ptrOff {
+			// True traversal pointer: address of the successor node.
+			succ := uint64(r.succ[node%r.nodes])
+			return r.base + succ*r.nodeSize
+		}
+		if r.decoys > 0 && field < uint64(r.decoys+1)*8 && field != r.ptrOff {
+			// Decoy pointer field: a valid heap address that is NOT
+			// the next node — content-directed prefetching will chase
+			// it uselessly.
+			t := o.hashWord(addr) % r.nodes
+			return r.base + t*r.nodeSize
+		}
+	}
+	// Plain data word: frequent value with probability fvProb, else
+	// an address-determined incompressible value.
+	h := o.hashWord(addr)
+	if r.fvProb > 0 && float64(h%1000)/1000 < r.fvProb {
+		return o.fv[h%7]
+	}
+	return h | 0x8000000000000000 // high bit keeps it out of the heap range
+}
+
+// IsPointer reports whether the word at addr looks like a heap
+// pointer under this benchmark's memory map (aligned, in bounds).
+func (o *Oracle) IsPointer(addr uint64) (uint64, bool) {
+	w := o.Word(addr)
+	if w&7 != 0 {
+		return 0, false
+	}
+	if w >= o.heapLo && w < o.heapHi {
+		return w, true
+	}
+	return 0, false
+}
+
+// FrequentValues returns the frequent-value set the FVC mechanism
+// should use (index 7 is the designated "unknown" escape).
+func (o *Oracle) FrequentValues() [7]uint64 { return o.fv }
+
+// LineCompressible reports whether every word of the line at
+// lineAddr (of size lineSize) is in the frequent-value set — the
+// FVC storage condition.
+func (o *Oracle) LineCompressible(lineAddr uint64, lineSize int) bool {
+	for off := 0; off < lineSize; off += 8 {
+		w := o.Word(lineAddr + uint64(off))
+		found := false
+		for _, f := range o.fv {
+			if w == f {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func (o *Oracle) hashWord(addr uint64) uint64 {
+	x := addr ^ o.hashSeed
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// HeapBounds exposes the mapped range (tests use it).
+func (o *Oracle) HeapBounds() (lo, hi uint64) { return o.heapLo, o.heapHi }

@@ -1,0 +1,453 @@
+// Package workload synthesizes the 26 SPEC CPU2000 benchmarks as
+// deterministic instruction-stream models.
+//
+// The real benchmarks are unavailable in this environment (they are
+// licensed binaries compiled for Alpha with specific DEC compilers),
+// so each benchmark is modeled as a phase-structured program: a set
+// of loops (giving stable PCs and basic-block vectors), whose memory
+// slots are bound to access-pattern state machines (strides, tiles,
+// pointer chases, repeatable irregular tours, conflicts, random),
+// with per-benchmark instruction mixes, dependence distances, branch
+// predictability, code footprints and value locality. A per-benchmark
+// value oracle supplies memory contents consistent with the pointer
+// structures, which is what content-inspecting mechanisms (CDP, FVC)
+// consume. DESIGN.md documents this substitution.
+//
+// Phases share one pattern set and differ only in weights and code,
+// mirroring real programs, whose phases revisit the same data
+// structures with different emphasis.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"microlib/internal/prng"
+	"microlib/internal/trace"
+)
+
+// PhaseSpec is one program phase: for Len dynamic instructions the
+// benchmark's shared pattern set is exercised with this phase's
+// weights (one per Profile.Patterns entry; zero disables a pattern
+// in the phase).
+type PhaseSpec struct {
+	Len     uint64
+	Weights []float64
+}
+
+// Profile is the static description of one synthetic benchmark.
+type Profile struct {
+	Name string
+	FP   bool
+	// Instruction mix (fractions of the dynamic stream).
+	LoadFrac, StoreFrac, BranchFrac float64
+	// Mispredict is the branch misprediction rate.
+	Mispredict float64
+	// CodeKB approximates the active code footprint.
+	CodeKB int
+	// BlockLen is the mean basic-block length in instructions.
+	BlockLen int
+	// DepMean is the mean register-dependence distance.
+	DepMean float64
+	// FVProb is the benchmark's frequent-value density.
+	FVProb float64
+	// Patterns is the benchmark's shared access-pattern set.
+	Patterns []PatternSpec
+	Phases   []PhaseSpec
+}
+
+// codeBase is where synthetic text segments start; heap regions are
+// allocated above heapBase.
+const (
+	codeBase = 0x0040_0000
+	heapBase = 0x1000_0000
+)
+
+// dataPCsPerPattern is the number of distinct static instruction
+// identities a non-hot pattern presents to the memory system. A real
+// structure walk is performed by a couple of static loads, which is
+// what PC-indexed predictors (SP, GHB) and signature mechanisms
+// (DBCP) rely on; the loop/block model alone would spread a pattern
+// over arbitrarily many PCs.
+const dataPCsPerPattern = 1
+
+type slotKind uint8
+
+const (
+	slotALU slotKind = iota
+	slotMem
+	slotBranch
+)
+
+type instTemplate struct {
+	pc      uint64
+	dataPC  uint64 // stable static-instruction identity for mem slots
+	class   trace.Class
+	kind    slotKind
+	pattern int // pattern index for mem slots
+	isStore bool
+	dep1    uint16
+	dep2    uint16
+}
+
+type block struct {
+	id    uint32
+	insts []instTemplate
+}
+
+type loop struct {
+	blocks []block
+}
+
+type phaseState struct {
+	spec  PhaseSpec
+	loops []loop
+}
+
+// Generator emits the instruction stream of one benchmark. It
+// implements trace.Stream and never ends (callers bound it with
+// trace.Limit).
+type Generator struct {
+	prof   Profile
+	oracle *Oracle
+	rng    *prng.Source
+
+	patterns []*pattern
+	// lastSeq tracks, per pattern and chase chain, the sequence
+	// number of the last pointer load (for chase and serial
+	// dependences); shared across phases.
+	lastSeq   [][]uint64
+	slotCount []int
+
+	phases   []*phaseState
+	phaseIdx int
+	inPhase  uint64
+
+	curLoop   int
+	loopIters int
+	blockIdx  int
+	instIdx   int
+
+	seq uint64
+}
+
+// NewGenerator builds the deterministic generator for a profile.
+// The same (profile, seed) pair always yields the identical stream.
+func NewGenerator(prof Profile, seed uint64) *Generator {
+	if len(prof.Patterns) == 0 || len(prof.Phases) == 0 {
+		panic("workload: profile needs patterns and phases: " + prof.Name)
+	}
+	for _, ph := range prof.Phases {
+		if len(ph.Weights) != len(prof.Patterns) {
+			panic("workload: phase weight vector length mismatch: " + prof.Name)
+		}
+	}
+	rng := prng.New(seed ^ prng.HashString(prof.Name))
+	g := &Generator{
+		prof:   prof,
+		oracle: newOracle(rng.Uint64()),
+		rng:    rng,
+	}
+
+	// Allocate pattern regions and register them with the oracle.
+	nextBase := uint64(heapBase)
+	for _, spec := range prof.Patterns {
+		// Jitter region bases so distinct regions do not all alias
+		// to L1 set 0.
+		base := nextBase + (rng.Uint64n(32<<10) &^ 63)
+		sz := spec.Size
+		if sz == 0 {
+			sz = 4 << 10
+		}
+		spec.Size = sz
+		nextBase += (sz + (2 << 20)) &^ ((1 << 20) - 1)
+
+		var p *pattern
+		if spec.Kind == PatChase {
+			if spec.NodeSize == 0 {
+				spec.NodeSize = 64
+			}
+			nodes := sz / spec.NodeSize
+			if nodes == 0 {
+				nodes = 1
+			}
+			// Shuffled visit order; the oracle's pointer fields are
+			// built to match, so the chain in memory IS the walk.
+			order := shuffledOrder(nodes, rng)
+			succ := make([]uint32, nodes)
+			for i := range order {
+				succ[order[i]] = order[(i+1)%len(order)]
+			}
+			fields := spec.Fields
+			if len(fields) == 0 {
+				fields = []uint64{spec.PtrOff}
+			}
+			chains := spec.Chains
+			if chains < 1 {
+				chains = 1
+			}
+			cursors := make([]uint64, chains)
+			for c := range cursors {
+				cursors[c] = uint64(c) * nodes / uint64(chains)
+			}
+			p = &pattern{spec: spec, base: base, rng: rng.Split(), order: order, fields: fields, nodeCur: cursors}
+			g.oracle.addRegion(oracleRegion{
+				base: base, size: sz,
+				nodeSize: spec.NodeSize, ptrOff: spec.PtrOff,
+				succ: succ, nodes: nodes, decoys: spec.Decoys,
+				fvProb: orDefault(spec.FVProb, prof.FVProb),
+			})
+		} else {
+			p = newPattern(spec, base, rng)
+			g.oracle.addRegion(oracleRegion{
+				base: base, size: sz,
+				fvProb: orDefault(spec.FVProb, prof.FVProb),
+			})
+		}
+		g.patterns = append(g.patterns, p)
+	}
+	g.lastSeq = make([][]uint64, len(g.patterns))
+	for i, p := range g.patterns {
+		n := 1
+		if len(p.nodeCur) > 0 {
+			n = len(p.nodeCur)
+		}
+		g.lastSeq[i] = make([]uint64, n)
+	}
+	g.slotCount = make([]int, len(g.patterns))
+
+	// Build each phase's loops so the total text size approximates
+	// CodeKB spread across the phases.
+	blockID := uint32(0)
+	pcCursor := uint64(codeBase)
+	for _, ps := range prof.Phases {
+		st := &phaseState{spec: ps}
+		blockLen := prof.BlockLen
+		if blockLen < 3 {
+			blockLen = 5
+		}
+		codeBytes := prof.CodeKB * 1024 / len(prof.Phases)
+		totalBlocks := codeBytes / (blockLen * 4)
+		if totalBlocks < 4 {
+			totalBlocks = 4
+		}
+		const blocksPerLoop = 8
+		nLoops := totalBlocks / blocksPerLoop
+		if nLoops < 1 {
+			nLoops = 1
+		}
+		cw := cumulativeWeights(ps.Weights)
+		for l := 0; l < nLoops; l++ {
+			var lp loop
+			for b := 0; b < blocksPerLoop; b++ {
+				blk := g.buildBlock(blockID, pcCursor, blockLen, cw)
+				pcCursor += uint64(len(blk.insts)) * 4
+				blockID++
+				lp.blocks = append(lp.blocks, blk)
+			}
+			st.loops = append(st.loops, lp)
+		}
+		g.phases = append(g.phases, st)
+	}
+	return g
+}
+
+func orDefault(v, def float64) float64 {
+	if v > 0 {
+		return v
+	}
+	return def
+}
+
+func cumulativeWeights(weights []float64) []float64 {
+	cw := make([]float64, len(weights))
+	sum := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		sum += w
+		cw[i] = sum
+	}
+	if sum == 0 {
+		panic("workload: phase has all-zero weights")
+	}
+	for i := range cw {
+		cw[i] /= sum
+	}
+	return cw
+}
+
+// buildBlock synthesizes one basic-block template. The final
+// instruction is always the block-ending branch.
+func (g *Generator) buildBlock(id uint32, pcBase uint64, meanLen int, cw []float64) block {
+	n := g.rng.Geometric(float64(meanLen), meanLen*3)
+	if n < 2 {
+		n = 2
+	}
+	insts := make([]instTemplate, 0, n)
+	memBudget := g.prof.LoadFrac + g.prof.StoreFrac
+	for i := 0; i < n-1; i++ {
+		t := instTemplate{pc: pcBase + uint64(len(insts))*4}
+		r := g.rng.Float64()
+		switch {
+		case r < memBudget:
+			t.kind = slotMem
+			t.isStore = g.rng.Float64() < g.prof.StoreFrac/memBudget
+			if t.isStore {
+				t.class = trace.Store
+			} else {
+				t.class = trace.Load
+			}
+			t.pattern = pickWeighted(cw, g.rng.Float64())
+			if pat := g.patterns[t.pattern]; pat.spec.Kind != PatHot {
+				// Non-hot patterns present a stable, small set of
+				// static-instruction identities to the memory system.
+				t.dataPC = 0x00f0_0000 + (pat.base >> 14 << 5) +
+					uint64(g.slotCount[t.pattern]%dataPCsPerPattern)*4
+			}
+			g.slotCount[t.pattern]++
+		default:
+			t.kind = slotALU
+			t.class = g.pickALUClass()
+		}
+		t.dep1 = uint16(g.rng.Geometric(g.prof.DepMean, 48))
+		if g.rng.Bool(0.5) {
+			t.dep2 = uint16(g.rng.Geometric(g.prof.DepMean, 48))
+		}
+		insts = append(insts, t)
+	}
+	insts = append(insts, instTemplate{
+		pc:    pcBase + uint64(len(insts))*4,
+		kind:  slotBranch,
+		class: trace.Branch,
+		dep1:  uint16(g.rng.Geometric(g.prof.DepMean, 16)),
+	})
+	return block{id: id, insts: insts}
+}
+
+func pickWeighted(cw []float64, u float64) int {
+	i := sort.SearchFloat64s(cw, u)
+	if i >= len(cw) {
+		i = len(cw) - 1
+	}
+	return i
+}
+
+func (g *Generator) pickALUClass() trace.Class {
+	if g.prof.FP {
+		switch r := g.rng.Float64(); {
+		case r < 0.45:
+			return trace.FPALU
+		case r < 0.65:
+			return trace.FPMult
+		case r < 0.67:
+			return trace.FPDiv
+		case r < 0.70:
+			return trace.IntMult
+		default:
+			return trace.IntALU
+		}
+	}
+	switch r := g.rng.Float64(); {
+	case r < 0.04:
+		return trace.IntMult
+	case r < 0.045:
+		return trace.IntDiv
+	default:
+		return trace.IntALU
+	}
+}
+
+// Oracle returns the benchmark's memory-content oracle.
+func (g *Generator) Oracle() *Oracle { return g.oracle }
+
+// Profile returns the generating profile.
+func (g *Generator) Profile() Profile { return g.prof }
+
+// Next implements trace.Stream; the stream is infinite.
+func (g *Generator) Next(inst *trace.Inst) bool {
+	st := g.phases[g.phaseIdx]
+	lp := &st.loops[g.curLoop%len(st.loops)]
+	blk := &lp.blocks[g.blockIdx%len(lp.blocks)]
+	t := &blk.insts[g.instIdx]
+
+	inst.PC = t.pc
+	inst.DataPC = t.dataPC
+	inst.Class = t.class
+	inst.BB = blk.id
+	inst.Dep1 = t.dep1
+	inst.Dep2 = t.dep2
+	inst.Addr = 0
+	inst.Mispredict = false
+
+	switch t.kind {
+	case slotMem:
+		p := g.patterns[t.pattern]
+		addr, ptrField := p.next()
+		inst.Addr = addr
+		switch {
+		case p.spec.Kind == PatChase:
+			// Chase accesses serialize on the previous pointer load
+			// of the same chain of the structure.
+			chain := p.curChain
+			if last := g.lastSeq[t.pattern][chain]; last > 0 {
+				d := g.seq - last
+				if d > 65535 {
+					d = 65535
+				}
+				inst.Dep1 = uint16(d)
+			}
+			if ptrField {
+				g.lastSeq[t.pattern][chain] = g.seq
+			}
+		case p.spec.Serial && t.class == trace.Load:
+			// Serial patterns chain each load on the previous one.
+			if last := g.lastSeq[t.pattern][0]; last > 0 {
+				d := g.seq - last
+				if d > 65535 {
+					d = 65535
+				}
+				inst.Dep1 = uint16(d)
+			}
+			g.lastSeq[t.pattern][0] = g.seq
+		}
+	case slotBranch:
+		inst.Mispredict = g.rng.Bool(g.prof.Mispredict)
+	}
+
+	// Advance cursors.
+	g.seq++
+	g.instIdx++
+	if g.instIdx >= len(blk.insts) {
+		g.instIdx = 0
+		g.blockIdx++
+		if g.blockIdx >= len(lp.blocks) {
+			g.blockIdx = 0
+			g.loopIters++
+			// Stay in a loop for a while, then move to another loop of
+			// the phase (models the call graph; drives I-cache
+			// behaviour).
+			if g.loopIters >= 16 || g.rng.Bool(0.05) {
+				g.loopIters = 0
+				g.curLoop = g.rng.Intn(len(st.loops))
+			}
+		}
+	}
+	g.inPhase++
+	if g.inPhase >= st.spec.Len {
+		g.inPhase = 0
+		g.phaseIdx = (g.phaseIdx + 1) % len(g.phases)
+		g.blockIdx, g.instIdx, g.curLoop = 0, 0, 0
+	}
+	return true
+}
+
+// New builds a generator for a named benchmark.
+func New(name string, seed uint64) (*Generator, error) {
+	p, ok := ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return NewGenerator(p, seed), nil
+}

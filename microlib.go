@@ -1,0 +1,158 @@
+// Package microlib is an open library of modular micro-architecture
+// simulator components, reproducing "MicroLib: A Case for the
+// Quantitative Comparison of Micro-Architecture Mechanisms"
+// (Gracia Pérez, Mouchard, Temam — MICRO 2004).
+//
+// The library provides:
+//
+//   - a detailed, pluggable memory hierarchy (pipelined caches with
+//     finite MSHRs and port arbitration, split buses, an SDRAM with
+//     bank/row timing and scheduling) and two host processor models
+//     (an out-of-order superscalar and a scalar in-order core);
+//   - twelve published hardware data-cache optimizations implemented
+//     as interchangeable mechanism modules (tagged prefetching,
+//     victim cache, stride prefetching, Markov prefetching, frequent
+//     value cache, dead-block correlating prefetching, timekeeping,
+//     content-directed prefetching, tag-correlating prefetching,
+//     global history buffer, and combinations);
+//   - 26 synthetic SPEC CPU2000 workload models with a memory value
+//     oracle, plus SimPoint-style trace selection;
+//   - the paper's full quantitative-comparison harness: speedup
+//     grids, rankings, winner-subset analysis, CACTI/XCACTI-style
+//     cost and power models, and one experiment driver per table and
+//     figure of the evaluation.
+//
+// Quick start:
+//
+//	res, err := microlib.Run(microlib.NewOptions("gzip", "GHB"))
+//	if err != nil { ... }
+//	fmt.Printf("IPC %.3f\n", res.IPC)
+//
+// See the examples/ directory for runnable programs and DESIGN.md
+// for the system inventory.
+package microlib
+
+import (
+	"microlib/internal/cache"
+	"microlib/internal/core"
+	"microlib/internal/cpu"
+	"microlib/internal/experiments"
+	"microlib/internal/hier"
+	"microlib/internal/runner"
+	"microlib/internal/workload"
+)
+
+// Options selects one simulation (benchmark, mechanism, hierarchy,
+// trace window). See NewOptions for sensible defaults.
+type Options = runner.Options
+
+// Result is the outcome of one simulation: IPC plus per-level cache,
+// memory and mechanism-hardware statistics.
+type Result = runner.Result
+
+// HierConfig describes the memory hierarchy (Table 1 defaults via
+// DefaultHierarchy).
+type HierConfig = hier.Config
+
+// CPUConfig describes the host core (Table 1 defaults via
+// DefaultCPU).
+type CPUConfig = cpu.Config
+
+// MemoryKind selects the main-memory model.
+type MemoryKind = hier.MemoryKind
+
+// Memory model choices (the paper's Figure 8 compares all three).
+const (
+	MemSDRAM   = hier.MemSDRAM
+	MemConst70 = hier.MemConst70
+	MemSDRAM70 = hier.MemSDRAM70
+)
+
+// BaseMechanism names the unmodified hierarchy.
+const BaseMechanism = runner.BaseName
+
+// NewOptions returns the Table 1 system with the standard scaled
+// trace budget, ready to Run.
+func NewOptions(bench, mechanism string) Options {
+	return runner.DefaultOptions(bench, mechanism)
+}
+
+// Run executes one simulation.
+func Run(opts Options) (Result, error) { return runner.Run(opts) }
+
+// DefaultHierarchy returns the paper's Table 1 memory system.
+func DefaultHierarchy() HierConfig { return hier.DefaultConfig() }
+
+// DefaultCPU returns the paper's Table 1 processor core.
+func DefaultCPU() CPUConfig { return cpu.DefaultConfig() }
+
+// Benchmarks returns the 26 synthetic SPEC CPU2000 benchmark names.
+func Benchmarks() []string { return workload.Names() }
+
+// Mechanisms returns the registered mechanism names.
+func Mechanisms() []string { return core.Names() }
+
+// MechDescription documents a registered mechanism (Table 2 row).
+type MechDescription = core.Description
+
+// DescribeMechanism returns a mechanism's registry entry.
+func DescribeMechanism(name string) (MechDescription, bool) { return core.Describe(name) }
+
+// MechanismDescriptions lists all registered mechanisms in
+// publication order.
+func MechanismDescriptions() []MechDescription { return core.Descriptions() }
+
+// --- mechanism development API ---
+// A custom mechanism is registered with RegisterMechanism and
+// attaches itself to the caches in MechEnv by implementing any of
+// the hook interfaces below; see examples/custommech.
+
+// MechEnv is the environment a mechanism factory receives.
+type MechEnv = core.Env
+
+// MechParams carries per-mechanism integer options.
+type MechParams = core.Params
+
+// Mechanism is the interface every registered module satisfies.
+type Mechanism = core.Mechanism
+
+// MechFactory builds a mechanism in an environment.
+type MechFactory = core.Factory
+
+// HWTable describes one SRAM structure a mechanism adds (consumed by
+// the cost/power models).
+type HWTable = core.HWTable
+
+// Cache is one level of the hierarchy; mechanisms attach to it and
+// issue prefetches through it.
+type Cache = cache.Cache
+
+// AccessEvent is the demand-access notification mechanisms observe.
+type AccessEvent = cache.AccessEvent
+
+// CacheStats are per-cache counters.
+type CacheStats = cache.Stats
+
+// RegisterMechanism installs a custom mechanism factory; it can then
+// be selected by name in Options.Mechanism.
+func RegisterMechanism(desc MechDescription, f MechFactory) { core.Register(desc, f) }
+
+// --- experiment harness ---
+
+// ExperimentRunner drives the paper's tables and figures.
+type ExperimentRunner = experiments.Runner
+
+// Report is one regenerated artifact.
+type Report = experiments.Report
+
+// NewExperiments returns the standard experiment configuration.
+func NewExperiments() *ExperimentRunner { return experiments.Default() }
+
+// RunExperiment regenerates one table or figure by id ("fig4",
+// "table6", ...); Experiments lists the ids.
+func RunExperiment(r *ExperimentRunner, id string) (Report, error) {
+	return experiments.Run(r, id)
+}
+
+// Experiments returns the available experiment ids.
+func Experiments() []string { return experiments.IDs() }

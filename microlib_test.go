@@ -1,0 +1,100 @@
+package microlib_test
+
+import (
+	"testing"
+
+	"microlib"
+)
+
+// TestPublicAPIQuickstart exercises the facade end to end.
+func TestPublicAPIQuickstart(t *testing.T) {
+	opts := microlib.NewOptions("gzip", "GHB")
+	opts.Insts = 20_000
+	opts.Warmup = 10_000
+	res, err := microlib.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 {
+		t.Fatalf("IPC %v", res.IPC)
+	}
+	if res.Mechanism != "GHB" || res.Bench != "gzip" {
+		t.Fatalf("identity: %+v", res)
+	}
+}
+
+func TestBenchmarkAndMechanismLists(t *testing.T) {
+	if len(microlib.Benchmarks()) != 26 {
+		t.Fatalf("%d benchmarks", len(microlib.Benchmarks()))
+	}
+	mechs := microlib.Mechanisms()
+	want := map[string]bool{"TP": true, "VC": true, "SP": true, "Markov": true,
+		"FVC": true, "DBCP": true, "TKVC": true, "TK": true, "CDP": true,
+		"CDPSP": true, "TCP": true, "GHB": true}
+	found := 0
+	for _, m := range mechs {
+		if want[m] {
+			found++
+		}
+	}
+	if found != len(want) {
+		t.Fatalf("missing mechanisms: have %v", mechs)
+	}
+	if d, ok := microlib.DescribeMechanism("GHB"); !ok || d.Year != 2004 {
+		t.Fatalf("describe GHB: %+v", d)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() float64 {
+		opts := microlib.NewOptions("twolf", "VC")
+		opts.Insts = 15_000
+		opts.Warmup = 5_000
+		res, err := microlib.Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IPC
+	}
+	if run() != run() {
+		t.Fatal("identical options produced different IPC")
+	}
+}
+
+func TestUnknownInputsError(t *testing.T) {
+	if _, err := microlib.Run(microlib.NewOptions("nope", "GHB")); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := microlib.Run(microlib.NewOptions("gzip", "NOPE")); err == nil {
+		t.Fatal("unknown mechanism accepted")
+	}
+}
+
+func TestMemoryModelsDiffer(t *testing.T) {
+	run := func(k microlib.MemoryKind) float64 {
+		opts := microlib.NewOptions("lucas", microlib.BaseMechanism)
+		opts.Insts = 15_000
+		opts.Warmup = 5_000
+		opts.Hier = opts.Hier.WithMemory(k)
+		res, err := microlib.Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IPC
+	}
+	c70 := run(microlib.MemConst70)
+	sdram := run(microlib.MemSDRAM)
+	if c70 == sdram {
+		t.Fatal("memory models indistinguishable on a memory-bound benchmark")
+	}
+	if sdram > c70 {
+		t.Fatalf("detailed SDRAM (%f) faster than 70-cycle constant (%f) on lucas", sdram, c70)
+	}
+}
+
+func TestExperimentsListed(t *testing.T) {
+	ids := microlib.Experiments()
+	if len(ids) < 16 {
+		t.Fatalf("only %d experiments: %v", len(ids), ids)
+	}
+}
