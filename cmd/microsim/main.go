@@ -28,6 +28,7 @@ func main() {
 		memory  = flag.String("memory", "sdram", "memory model: sdram, const70, sdram70")
 		inorder = flag.Bool("inorder", false, "use the scalar in-order host core")
 		queue   = flag.Int("queue", 0, "force prefetch request queue size (0 = mechanism default)")
+		pfd     = flag.Bool("prefetch-as-demand", false, "treat prefetches like demand accesses (disable demand priority; design-choice ablation)")
 		list    = flag.Bool("list", false, "list benchmarks and mechanisms")
 	)
 	flag.Parse()
@@ -45,6 +46,7 @@ func main() {
 	opts.Seed = *seed
 	opts.InOrder = *inorder
 	opts.QueueOverride = *queue
+	opts.PrefetchAsDemand = *pfd
 	switch *memory {
 	case "sdram":
 		opts.Hier = opts.Hier.WithMemory(microlib.MemSDRAM)

@@ -1,0 +1,222 @@
+// Command mlcampaign executes declarative simulation campaigns: a
+// JSON spec names the axes to sweep (benchmarks, mechanisms, memory
+// models, host cores, prefetch-queue overrides, instruction budgets,
+// seeds) and the engine runs the cross-product on a worker pool with
+// a persistent result cache, then prints speedup grids, rankings and
+// per-cell confidence intervals.
+//
+// Usage:
+//
+//	mlcampaign run -spec sweep.json -cache .mlcache -workers 8
+//	mlcampaign run -spec sweep.json -format csv -out results.csv
+//	mlcampaign plan -spec sweep.json
+//	mlcampaign list
+//	mlcampaign list -cache .mlcache
+//
+// A campaign interrupted with ^C leaves every finished cell in the
+// cache; rerunning the same spec with the same -cache directory
+// resumes where it stopped (the scheduler counters report how many
+// cells were served from the cache).
+//
+// Example spec (see examples/campaign/ for more):
+//
+//	{
+//	  "name": "memory-models",
+//	  "benchmarks": ["gzip", "mcf", "art", "twolf"],
+//	  "mechanisms": ["Base", "SP", "GHB"],
+//	  "memories": ["sdram", "const70"],
+//	  "seeds": [42, 43]
+//	}
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"microlib"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "run":
+		cmdRun(os.Args[2:])
+	case "plan":
+		cmdPlan(os.Args[2:])
+	case "list":
+		cmdList(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "mlcampaign: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  mlcampaign run  -spec file [-cache dir] [-workers n] [-format text|csv|json] [-out file] [-quiet]
+  mlcampaign plan -spec file
+  mlcampaign list [-cache dir]
+`)
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var (
+		specPath = fs.String("spec", "", "campaign spec file (JSON)")
+		cacheDir = fs.String("cache", "", "persistent result cache directory (enables resume)")
+		workers  = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		format   = fs.String("format", "text", "report format: text, csv, json")
+		out      = fs.String("out", "", "write the report to a file instead of stdout")
+		quiet    = fs.Bool("quiet", false, "suppress progress output")
+	)
+	fs.Parse(args)
+	if *specPath == "" {
+		fatal(fmt.Errorf("run: -spec is required"))
+	}
+	if *format != "text" && *format != "csv" && *format != "json" {
+		fatal(fmt.Errorf("run: unknown format %q", *format))
+	}
+
+	spec, err := microlib.LoadCampaignSpec(*specPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	// ^C cancels the campaign; finished cells stay in the cache.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := microlib.CampaignConfig{Workers: *workers, CacheDir: *cacheDir}
+	if !*quiet {
+		cfg.OnProgress = func(p microlib.CampaignProgress) {
+			src := "sim"
+			if p.FromCache {
+				src = "hit"
+			}
+			if p.Err != nil {
+				src = "ERR"
+			}
+			fmt.Fprintf(os.Stderr, "\r[%d/%d] %s %s/%s seed=%d        ",
+				p.Done, p.Total, src, p.Cell.Bench, p.Cell.Mech, p.Cell.Seed)
+		}
+	}
+
+	sum, err := microlib.RunCampaign(ctx, spec, cfg)
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil && sum == nil {
+		fatal(err)
+	}
+	exit := 0
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlcampaign: interrupted (%v); %d/%d cells done — rerun with the same -cache to resume\n",
+			err, sum.Sched.Completed, sum.Sched.Total)
+		exit = 130 // interrupted: partial report below, nonzero for scripts
+	} else if sum.Sched.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "mlcampaign: %d cells failed (see report)\n", sum.Sched.Errors)
+		exit = 1
+	}
+
+	var report []byte
+	switch *format {
+	case "text":
+		report = []byte(sum.Text())
+	case "csv":
+		report = []byte(sum.CSV())
+	case "json":
+		report, err = sum.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		report = append(report, '\n')
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, report, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mlcampaign: report written to %s\n", *out)
+	} else {
+		os.Stdout.Write(report)
+	}
+	if exit != 0 {
+		os.Exit(exit)
+	}
+}
+
+func cmdPlan(args []string) {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	specPath := fs.String("spec", "", "campaign spec file (JSON)")
+	fs.Parse(args)
+	if *specPath == "" {
+		fatal(fmt.Errorf("plan: -spec is required"))
+	}
+	spec, err := microlib.LoadCampaignSpec(*specPath)
+	if err != nil {
+		fatal(err)
+	}
+	plan, err := microlib.NewCampaignPlan(spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("campaign %q: %d cells, fingerprint %s\n", plan.Spec.Name, len(plan.Cells), plan.Fingerprint())
+	for _, sc := range plan.Scenarios() {
+		fmt.Printf("scenario %s\n", sc)
+	}
+	fmt.Printf("%-5s %-10s %-8s %-8s %-8s %6s %8s %6s  %s\n",
+		"idx", "bench", "mech", "memory", "core", "queue", "insts", "seed", "key")
+	for _, c := range plan.Cells {
+		fmt.Printf("%-5d %-10s %-8s %-8s %-8s %6d %8d %6d  %s\n",
+			c.Index, c.Bench, c.Mech, c.Memory, c.Core, c.Queue, c.Insts, c.Seed, c.Key)
+	}
+}
+
+func cmdList(args []string) {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	cacheDir := fs.String("cache", "", "list this cache directory instead of the axis values")
+	fs.Parse(args)
+
+	if *cacheDir == "" {
+		fmt.Println("benchmarks:", strings.Join(microlib.Benchmarks(), " "))
+		fmt.Println("mechanisms:", microlib.BaseMechanism, strings.Join(microlib.Mechanisms(), " "))
+		fmt.Println("memories:  ", strings.Join(microlib.CampaignMemories(), " "))
+		fmt.Println("cores:     ", strings.Join(microlib.CampaignCores(), " "))
+		return
+	}
+	// Inspect only: a mistyped path must fail, not be created.
+	if info, err := os.Stat(*cacheDir); err != nil || !info.IsDir() {
+		fatal(fmt.Errorf("list: %s is not a cache directory", *cacheDir))
+	}
+	cache, err := microlib.OpenCampaignCache(*cacheDir)
+	if err != nil {
+		fatal(err)
+	}
+	keys, err := cache.Keys()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d cached cells in %s\n", len(keys), *cacheDir)
+	for _, k := range keys {
+		if res, ok := cache.Get(k); ok {
+			fmt.Printf("%s  %-10s %-8s seed=%-4d IPC=%.4f\n", k, res.Bench, res.Mechanism, res.Seed, res.IPC)
+		} else {
+			fmt.Printf("%s  (corrupt entry; will be resimulated)\n", k)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mlcampaign:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+// Example campaign runs a small declarative sweep through the
+// library API: three prefetchers × four benchmarks × two memory
+// models × two seeds, cached on disk so a second run is instant.
+//
+// Run with:
+//
+//	go run ./examples/campaign
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"microlib"
+)
+
+func main() {
+	warmup := uint64(10_000)
+	spec := microlib.CampaignSpec{
+		Name:        "example-sweep",
+		Description: "prefetchers under two memory models",
+		Benchmarks:  []string{"gzip", "mcf", "art", "twolf"},
+		Mechanisms:  []string{microlib.BaseMechanism, "SP", "GHB"},
+		Memories:    []string{"sdram", "const70"},
+		Insts:       []uint64{30_000},
+		Warmup:      &warmup,
+		Seeds:       []uint64{42, 43},
+	}
+
+	cacheDir, err := os.MkdirTemp("", "mlcampaign-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(cacheDir)
+
+	cfg := microlib.CampaignConfig{
+		CacheDir: cacheDir,
+		OnProgress: func(p microlib.CampaignProgress) {
+			fmt.Printf("\r[%d/%d] %s/%s", p.Done, p.Total, p.Cell.Bench, p.Cell.Mech)
+		},
+	}
+	sum, err := microlib.RunCampaign(context.Background(), spec, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(sum.Text())
+
+	// The same campaign again: every cell is served from the cache.
+	again, err := microlib.RunCampaign(context.Background(), spec, microlib.CampaignConfig{CacheDir: cacheDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsecond run: %d/%d cells from cache\n", again.Sched.CacheHits, again.Sched.Total)
+}

@@ -1,0 +1,3 @@
+module microlib
+
+go 1.22

@@ -1,0 +1,162 @@
+package campaign
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// syntheticResults fills every cell of a plan with a deterministic
+// fake IPC so aggregation can be checked without simulating.
+func syntheticResults(p *Plan) map[string]CellResult {
+	results := map[string]CellResult{}
+	for _, c := range p.Cells {
+		ipc := 1.0
+		if c.Mech == "TP" {
+			ipc = 1.2
+		}
+		if c.Mech == "SP" {
+			ipc = 0.9
+		}
+		ipc += 0.01 * float64(c.Seed) // seed jitter for the CI
+		results[c.Key] = CellResult{
+			Key: c.Key, Bench: c.Bench, Mechanism: c.Mech, Seed: c.Seed, IPC: ipc,
+		}
+	}
+	return results
+}
+
+func TestAggregateGridsAndRanking(t *testing.T) {
+	p, err := NewPlan(studySpec()) // 2 bench × {Base,TP,SP} × 2 mem × 2 seeds
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Aggregate(p, syntheticResults(p), SchedulerStats{Total: len(p.Cells)})
+
+	if len(sum.Scenarios) != 2 {
+		t.Fatalf("scenarios: %d", len(sum.Scenarios))
+	}
+	sc := sum.Scenarios[0]
+	bi, ti := sc.Mean.BenchIndex("gzip"), sc.Mean.MechIndex("TP")
+	// Seeds 1,2 => mean jitter 0.015.
+	if got := sc.Mean.Values[bi][ti]; math.Abs(got-1.215) > 1e-9 {
+		t.Errorf("mean: got %v", got)
+	}
+	if got := sc.CI.Values[bi][ti]; got <= 0 {
+		t.Errorf("two seeds must yield a positive CI, got %v", got)
+	}
+	if sc.Speedup == nil {
+		t.Fatal("Base column present: speedup grid expected")
+	}
+	if got := sc.Speedup.Values[bi][ti]; math.Abs(got-1.215/1.015) > 1e-9 {
+		t.Errorf("speedup: got %v", got)
+	}
+	if len(sc.Ranking) != 2 || sc.Ranking[0].Mech != "TP" || sc.Ranking[1].Mech != "SP" {
+		t.Errorf("ranking: %+v", sc.Ranking)
+	}
+	if sc.Ranking[0].Rank != 1 {
+		t.Errorf("rank numbering: %+v", sc.Ranking[0])
+	}
+}
+
+func TestAggregateWithoutBaseline(t *testing.T) {
+	s := studySpec()
+	s.Mechanisms = []string{"TP", "SP"}
+	p, err := NewPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Aggregate(p, syntheticResults(p), SchedulerStats{})
+	sc := sum.Scenarios[0]
+	if sc.Speedup != nil {
+		t.Error("no Base column: speedup grid must be nil")
+	}
+	if len(sc.Ranking) != 2 || sc.Ranking[0].Mech != "TP" {
+		t.Errorf("IPC ranking: %+v", sc.Ranking)
+	}
+	if !strings.Contains(sum.Text(), "no Base column") {
+		t.Error("text report must flag the missing baseline")
+	}
+}
+
+func TestAggregateMissingAndFailedCells(t *testing.T) {
+	p, err := NewPlan(studySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := syntheticResults(p)
+	delete(results, p.Cells[0].Key) // canceled before running
+	failedKey := p.Cells[1].Key
+	results[failedKey] = CellResult{Key: failedKey, Err: "boom"}
+
+	sum := Aggregate(p, results, SchedulerStats{})
+	var missing, failed int
+	for _, sc := range sum.Scenarios {
+		missing += sc.Missing
+		failed += len(sc.Failed)
+		if !sc.Complete() {
+			if sc.Ranking != nil || sc.Speedup != nil {
+				t.Errorf("partial scenario must suppress ranking and speedups: %+v", sc)
+			}
+			// gzip/Base lost both seeds (one missing, one failed).
+			if sc.Counts.Values[0][0] != 0 {
+				t.Errorf("counts must expose the gap, got %v", sc.Counts.Values[0][0])
+			}
+		}
+	}
+	if missing != 1 || failed != 1 {
+		t.Fatalf("missing=%d failed=%d", missing, failed)
+	}
+	text := sum.Text()
+	if !strings.Contains(text, "cells missing") || !strings.Contains(text, "boom") {
+		t.Errorf("text report must surface gaps:\n%s", text)
+	}
+	if !strings.Contains(text, "ranking suppressed") {
+		t.Errorf("partial report must flag the suppressed ranking:\n%s", text)
+	}
+	if !strings.Contains(text, "       -") {
+		t.Errorf("unmeasured cells must print '-', not a fake 0:\n%s", text)
+	}
+	// CSV leaves unmeasured cells empty instead of printing 0.
+	if !strings.Contains(sum.CSV(), ",0,,,") {
+		t.Errorf("csv must leave unmeasured cells empty:\n%s", sum.CSV())
+	}
+}
+
+func TestSummaryExports(t *testing.T) {
+	p, err := NewPlan(studySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Aggregate(p, syntheticResults(p), SchedulerStats{Total: len(p.Cells), Completed: len(p.Cells), Simulated: len(p.Cells)})
+
+	text := sum.Text()
+	for _, want := range []string{"campaign \"study\"", "simulated=24", "mean IPC", "ranking", "95% confidence"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text export missing %q", want)
+		}
+	}
+
+	csv := sum.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	// header + 2 scenarios × 2 benchmarks × 3 mechanisms
+	if len(lines) != 1+2*2*3 {
+		t.Errorf("csv rows: got %d\n%s", len(lines), csv)
+	}
+	if lines[0] != "scenario,bench,mech,n,mean_ipc,ci95,speedup" {
+		t.Errorf("csv header: %s", lines[0])
+	}
+
+	blob, err := sum.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Summary
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatalf("JSON export must round-trip: %v", err)
+	}
+	if decoded.Name != "study" || len(decoded.Scenarios) != 2 {
+		t.Errorf("decoded: %+v", decoded)
+	}
+}

@@ -1,0 +1,113 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// CellResult is the serializable outcome of one cell — the subset of
+// runner.Result the aggregation layer needs, small enough to persist
+// per cell. Err is set (and the rest zero) when the simulation
+// failed; failed cells are never written to the cache.
+type CellResult struct {
+	Key       string  `json:"key"`
+	Bench     string  `json:"bench"`
+	Mechanism string  `json:"mechanism"`
+	Seed      uint64  `json:"seed"`
+	IPC       float64 `json:"ipc"`
+	Cycles    uint64  `json:"cycles"`
+	Insts     uint64  `json:"insts"`
+
+	L1DMissRatio   float64 `json:"l1d_miss_ratio"`
+	L2MissRatio    float64 `json:"l2_miss_ratio"`
+	PrefetchIssued uint64  `json:"prefetch_issued,omitempty"`
+	PrefetchUseful uint64  `json:"prefetch_useful,omitempty"`
+	AvgReadLatency float64 `json:"avg_read_latency"`
+
+	Err string `json:"err,omitempty"`
+}
+
+// DiskCache persists cell results under one directory, one JSON file
+// per fingerprint key. It is safe for concurrent use by the worker
+// pool: writes go through a temp file and an atomic rename, and a
+// torn or corrupt entry reads as a miss, never as bad data.
+type DiskCache struct {
+	dir string
+}
+
+// OpenDiskCache creates (if needed) and opens a cache directory.
+func OpenDiskCache(dir string) (*DiskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: open cache: %w", err)
+	}
+	return &DiskCache{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (c *DiskCache) Dir() string { return c.dir }
+
+func (c *DiskCache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get returns the cached result for key, if present and intact.
+func (c *DiskCache) Get(key string) (CellResult, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return CellResult{}, false
+	}
+	var res CellResult
+	if err := json.Unmarshal(data, &res); err != nil || res.Key != key {
+		return CellResult{}, false
+	}
+	return res, true
+}
+
+// Put stores a successful result under its key.
+func (c *DiskCache) Put(res CellResult) error {
+	if res.Key == "" {
+		return fmt.Errorf("campaign: cache entry without key")
+	}
+	if res.Err != "" {
+		return fmt.Errorf("campaign: refusing to cache failed cell %s", res.Key)
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, "."+res.Key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("campaign: cache write: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("campaign: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("campaign: cache write: %w", err)
+	}
+	return os.Rename(tmp.Name(), c.path(res.Key))
+}
+
+// Keys lists the cached fingerprints, sorted.
+func (c *DiskCache) Keys() ([]string, error) {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: list cache: %w", err)
+	}
+	var keys []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || strings.HasPrefix(name, ".") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		keys = append(keys, strings.TrimSuffix(name, ".json"))
+	}
+	sort.Strings(keys)
+	return keys, nil
+}

@@ -1,0 +1,63 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDiskCacheRoundTrip(t *testing.T) {
+	c, err := OpenDiskCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("deadbeef"); ok {
+		t.Fatal("empty cache must miss")
+	}
+	res := CellResult{Key: "deadbeef", Bench: "gzip", Mechanism: "GHB", Seed: 7, IPC: 1.25}
+	if err := c.Put(res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("deadbeef")
+	if !ok || got != res {
+		t.Fatalf("got %+v ok=%v, want %+v", got, ok, res)
+	}
+	keys, err := c.Keys()
+	if err != nil || len(keys) != 1 || keys[0] != "deadbeef" {
+		t.Fatalf("keys: %v %v", keys, err)
+	}
+}
+
+func TestDiskCacheRejectsBadEntries(t *testing.T) {
+	c, err := OpenDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(CellResult{Key: ""}); err == nil {
+		t.Error("keyless entry must be rejected")
+	}
+	if err := c.Put(CellResult{Key: "k", Err: "boom"}); err == nil {
+		t.Error("failed cell must not be cached")
+	}
+}
+
+func TestDiskCacheCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "abc.json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("abc"); ok {
+		t.Error("corrupt entry must read as a miss")
+	}
+	// An entry whose body does not match its filename is also a miss.
+	if err := os.WriteFile(filepath.Join(dir, "def.json"), []byte(`{"key":"zzz"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("def"); ok {
+		t.Error("mismatched key must read as a miss")
+	}
+}

@@ -1,0 +1,36 @@
+package campaign
+
+import "context"
+
+// RunConfig configures Execute.
+type RunConfig struct {
+	// Workers bounds concurrent simulations; <1 means GOMAXPROCS.
+	Workers int
+	// CacheDir, when non-empty, opens a persistent result cache
+	// there (created if absent).
+	CacheDir string
+	// OnProgress observes every finished cell.
+	OnProgress func(Progress)
+}
+
+// Execute runs a whole campaign: normalize and expand the spec,
+// schedule the cells, aggregate the results. On cancellation it
+// returns the partial summary together with ctx's error; cells
+// already simulated are in the cache, so re-executing with the same
+// CacheDir resumes instead of recomputing.
+func Execute(ctx context.Context, spec Spec, cfg RunConfig) (*Summary, error) {
+	plan, err := NewPlan(spec)
+	if err != nil {
+		return nil, err
+	}
+	var cache *DiskCache
+	if cfg.CacheDir != "" {
+		cache, err = OpenDiskCache(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sched := &Scheduler{Workers: cfg.Workers, Cache: cache, OnProgress: cfg.OnProgress}
+	results, sstats, err := sched.Run(ctx, plan.Cells)
+	return Aggregate(plan, results, sstats), err
+}

@@ -1,0 +1,29 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"microlib/internal/runner"
+)
+
+// KeyOf returns the cache key of fully-resolved runner options — the
+// canonical runner fingerprint. Exposed so callers that build cells
+// by hand (the experiments harness) key them identically to
+// spec-driven plans.
+func KeyOf(opts runner.Options) string { return opts.Fingerprint() }
+
+// Fingerprint identifies the whole plan: a hash over the ordered
+// cell keys plus the runner fingerprint format version. Two plans
+// with equal fingerprints request bit-identical campaigns, so their
+// cache entries are interchangeable.
+func (p *Plan) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "plan-v%d:%d\n", runner.FingerprintVersion, len(p.Cells))
+	for _, c := range p.Cells {
+		h.Write([]byte(c.Key))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

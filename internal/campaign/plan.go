@@ -1,0 +1,140 @@
+package campaign
+
+import (
+	"fmt"
+
+	"microlib/internal/core"
+	"microlib/internal/cpu"
+	"microlib/internal/hier"
+	"microlib/internal/runner"
+)
+
+// Cell is one fully-resolved simulation of a plan. The axis fields
+// (Bench .. Seed) label the cell in reports; Opts is authoritative
+// for execution and Key is the cache fingerprint of Opts.
+type Cell struct {
+	Index  int    `json:"index"`
+	Bench  string `json:"bench"`
+	Mech   string `json:"mech"`
+	Memory string `json:"memory,omitempty"`
+	Core   string `json:"core,omitempty"`
+	Queue  int    `json:"queue,omitempty"`
+	Insts  uint64 `json:"insts,omitempty"`
+	Seed   uint64 `json:"seed"`
+
+	Opts runner.Options `json:"-"`
+	Key  string         `json:"key"`
+}
+
+// Scenario labels the sub-experiment a cell belongs to: every axis
+// except benchmark, mechanism and seed. Cells sharing a scenario are
+// aggregated into one grid; seeds replicate within it.
+func (c Cell) Scenario() string {
+	return fmt.Sprintf("mem=%s core=%s queue=%s insts=%d",
+		c.Memory, c.Core, queueLabel(c.Queue), c.Insts)
+}
+
+func queueLabel(q int) string {
+	if q == 0 {
+		return "default"
+	}
+	return fmt.Sprintf("%d", q)
+}
+
+// Plan is a deterministic expansion of a Spec: the cross-product of
+// every axis, in spec order (benchmark outermost, seed innermost),
+// with each cell's runner options fully resolved and fingerprinted.
+type Plan struct {
+	Spec  Spec
+	Cells []Cell
+}
+
+// NewPlan normalizes the spec and expands it. The same spec always
+// yields the same plan, cell order and cell keys.
+func NewPlan(spec Spec) (*Plan, error) {
+	if err := spec.Normalize(); err != nil {
+		return nil, err
+	}
+	n := len(spec.Benchmarks) * len(spec.Mechanisms) * len(spec.Memories) *
+		len(spec.Cores) * len(spec.Queues) * len(spec.Insts) * len(spec.Seeds)
+	p := &Plan{Spec: spec, Cells: make([]Cell, 0, n)}
+	for _, bench := range spec.Benchmarks {
+		for _, mech := range spec.Mechanisms {
+			for _, mem := range spec.Memories {
+				for _, coreName := range spec.Cores {
+					for _, queue := range spec.Queues {
+						for _, insts := range spec.Insts {
+							for _, seed := range spec.Seeds {
+								cell := Cell{
+									Index:  len(p.Cells),
+									Bench:  bench,
+									Mech:   mech,
+									Memory: mem,
+									Core:   coreName,
+									Queue:  queue,
+									Insts:  insts,
+									Seed:   seed,
+								}
+								cell.Opts = spec.resolve(cell)
+								cell.Key = cell.Opts.Fingerprint()
+								p.Cells = append(p.Cells, cell)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// resolve builds the runner options of one cell from the normalized
+// spec.
+func (s *Spec) resolve(c Cell) runner.Options {
+	opts := runner.Options{
+		Bench:            c.Bench,
+		Mechanism:        c.Mech,
+		Hier:             hier.DefaultConfig().WithMemory(memoryKind(c.Memory)),
+		CPU:              cpu.DefaultConfig(),
+		Insts:            c.Insts,
+		Warmup:           *s.Warmup,
+		Skip:             s.Skip,
+		Seed:             c.Seed,
+		InOrder:          c.Core == CoreInOrder,
+		QueueOverride:    c.Queue,
+		PrefetchAsDemand: s.PrefetchAsDemand,
+	}
+	if overrides, ok := s.Params[c.Mech]; ok && len(overrides) > 0 {
+		p := core.Params{}
+		for k, v := range overrides {
+			p[k] = v
+		}
+		opts.Params = p
+	}
+	return opts
+}
+
+func memoryKind(name string) hier.MemoryKind {
+	switch name {
+	case MemNameConst70:
+		return hier.MemConst70
+	case MemNameSDRAM70:
+		return hier.MemSDRAM70
+	}
+	return hier.MemSDRAM
+}
+
+// Scenarios returns the distinct scenario labels of the plan, in
+// first-appearance order.
+func (p *Plan) Scenarios() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range p.Cells {
+		s := c.Scenario()
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package campaign
+
+import (
+	"testing"
+
+	"microlib/internal/hier"
+)
+
+func studySpec() Spec {
+	w := uint64(500)
+	return Spec{
+		Name:       "study",
+		Benchmarks: []string{"gzip", "mcf"},
+		Mechanisms: []string{"Base", "TP", "SP"},
+		Memories:   []string{MemNameSDRAM, MemNameConst70},
+		Seeds:      []uint64{1, 2},
+		Insts:      []uint64{2000},
+		Warmup:     &w,
+	}
+}
+
+func TestPlanExpansion(t *testing.T) {
+	p, err := NewPlan(studySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 3 * 2 * 2; len(p.Cells) != want {
+		t.Fatalf("cells: got %d, want %d", len(p.Cells), want)
+	}
+	// Deterministic order: benchmark outermost, seed innermost.
+	if p.Cells[0].Bench != "gzip" || p.Cells[0].Seed != 1 || p.Cells[1].Seed != 2 {
+		t.Errorf("unexpected order: %+v %+v", p.Cells[0], p.Cells[1])
+	}
+	keys := map[string]int{}
+	for _, c := range p.Cells {
+		if c.Opts.Bench != c.Bench || c.Opts.Seed != c.Seed {
+			t.Fatalf("cell/opts mismatch: %+v", c)
+		}
+		if c.Memory == MemNameConst70 && c.Opts.Hier.Memory != hier.MemConst70 {
+			t.Fatalf("memory not resolved: %+v", c)
+		}
+		if prev, dup := keys[c.Key]; dup {
+			t.Fatalf("cells %d and %d share fingerprint %s", prev, c.Index, c.Key)
+		}
+		keys[c.Key] = c.Index
+	}
+	if len(p.Scenarios()) != 2 {
+		t.Errorf("scenarios: got %v", p.Scenarios())
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	a, err := NewPlan(studySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPlan(studySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("same spec must produce the same plan fingerprint")
+	}
+	for i := range a.Cells {
+		if a.Cells[i].Key != b.Cells[i].Key {
+			t.Fatalf("cell %d keys differ", i)
+		}
+	}
+}
+
+func TestPlanParamsOnlyNamedMechanism(t *testing.T) {
+	s := studySpec()
+	s.Params = map[string]map[string]int{"SP": {"stride": 2}}
+	p, err := NewPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range p.Cells {
+		if c.Mech == "SP" {
+			if c.Opts.Params["stride"] != 2 {
+				t.Fatalf("SP cell missing params: %+v", c.Opts)
+			}
+		} else if c.Opts.Params != nil {
+			t.Fatalf("%s cell must have no params: %+v", c.Mech, c.Opts)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+
+	"microlib/internal/runner"
+)
+
+// SchedulerStats counts what a campaign execution actually did.
+// Completed = CacheHits + Simulated + Errors; cells neither started
+// nor finished before cancellation are the remainder of Total.
+type SchedulerStats struct {
+	Total     int `json:"total"`
+	Completed int `json:"completed"`
+	CacheHits int `json:"cache_hits"`
+	Simulated int `json:"simulated"`
+	Errors    int `json:"errors"`
+}
+
+// Progress reports one finished cell to the OnProgress callback.
+type Progress struct {
+	Done      int // cells finished so far, including this one
+	Total     int
+	Cell      Cell
+	FromCache bool
+	Err       error
+}
+
+// Scheduler executes plan cells on a bounded worker pool. The zero
+// value runs with GOMAXPROCS workers and no cache.
+type Scheduler struct {
+	// Workers bounds concurrent simulations; <1 means GOMAXPROCS.
+	Workers int
+	// Cache, when non-nil, serves finished cells and persists new
+	// ones, making interrupted or extended campaigns incremental.
+	Cache *DiskCache
+	// OnProgress, when non-nil, observes every finished cell. Called
+	// serially under the scheduler's lock.
+	OnProgress func(Progress)
+	// OnResult, when non-nil, receives the full runner.Result of
+	// every freshly simulated (non-cached, non-failed) cell. Called
+	// serially under the scheduler's lock. The experiments harness
+	// uses it to capture hardware tables and live mechanism state the
+	// serializable CellResult does not carry.
+	OnResult func(Cell, runner.Result)
+}
+
+// Run executes the cells and returns their results keyed by cell
+// fingerprint. Cell simulation failures are recorded in the result
+// map (Err set) and counted, not fatal. When ctx is canceled, no new
+// cells start, in-flight simulations wind down without contributing
+// results, and Run returns ctx's error alongside the results
+// gathered so far — everything already simulated is in the cache, so
+// a rerun resumes where the campaign stopped.
+func (s *Scheduler) Run(ctx context.Context, cells []Cell) (map[string]CellResult, SchedulerStats, error) {
+	workers := s.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) && len(cells) > 0 {
+		workers = len(cells)
+	}
+
+	stats := SchedulerStats{Total: len(cells)}
+	results := make(map[string]CellResult, len(cells))
+	var mu sync.Mutex
+
+	jobs := make(chan Cell)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for cell := range jobs {
+				s.runCell(ctx, cell, &mu, results, &stats)
+			}
+		}()
+	}
+
+feed:
+	for _, c := range cells {
+		select {
+		case jobs <- c:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	// Cancellation that landed after the last cell finished did not
+	// interrupt anything: the campaign is complete.
+	err := ctx.Err()
+	if err != nil && stats.Completed == stats.Total {
+		err = nil
+	}
+	return results, stats, err
+}
+
+func (s *Scheduler) runCell(ctx context.Context, cell Cell, mu *sync.Mutex, results map[string]CellResult, stats *SchedulerStats) {
+	if s.Cache != nil {
+		if res, ok := s.Cache.Get(cell.Key); ok {
+			mu.Lock()
+			results[cell.Key] = res
+			stats.Completed++
+			stats.CacheHits++
+			if s.OnProgress != nil {
+				s.OnProgress(Progress{Done: stats.Completed, Total: stats.Total, Cell: cell, FromCache: true})
+			}
+			mu.Unlock()
+			return
+		}
+	}
+
+	full, err := runner.RunContext(ctx, cell.Opts)
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		// A canceled cell produced no usable measurement; leave it
+		// for the resumed campaign. A cell that finished just before
+		// cancellation (err == nil) is kept and cached.
+		return
+	}
+
+	res := toCellResult(cell, full, err)
+	if err == nil && s.Cache != nil {
+		// A failed Put degrades to recomputation next time; the
+		// in-memory result is still good.
+		_ = s.Cache.Put(res)
+	}
+
+	mu.Lock()
+	results[cell.Key] = res
+	stats.Completed++
+	if err != nil {
+		stats.Errors++
+	} else {
+		stats.Simulated++
+		if s.OnResult != nil {
+			s.OnResult(cell, full)
+		}
+	}
+	if s.OnProgress != nil {
+		s.OnProgress(Progress{Done: stats.Completed, Total: stats.Total, Cell: cell, Err: err})
+	}
+	mu.Unlock()
+}
+
+// toCellResult projects a runner result onto the serializable cell
+// form.
+func toCellResult(cell Cell, full runner.Result, err error) CellResult {
+	res := CellResult{
+		Key:       cell.Key,
+		Bench:     cell.Bench,
+		Mechanism: cell.Mech,
+		Seed:      cell.Seed,
+	}
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.IPC = full.IPC
+	res.Cycles = full.CPU.Cycles
+	res.Insts = full.CPU.Insts
+	res.L1DMissRatio = full.L1D.MissRatio()
+	res.L2MissRatio = full.L2.MissRatio()
+	res.PrefetchIssued = full.L1D.PrefetchIssued + full.L2.PrefetchIssued
+	res.PrefetchUseful = full.L1D.PrefetchUseful + full.L2.PrefetchUseful
+	res.AvgReadLatency = full.Mem.AvgReadLatency()
+	return res
+}

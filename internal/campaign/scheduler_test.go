@@ -1,0 +1,171 @@
+package campaign
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"microlib/internal/runner"
+)
+
+func tinySpec() Spec {
+	w := uint64(500)
+	return Spec{
+		Name:       "tiny",
+		Benchmarks: []string{"gzip", "mcf"},
+		Mechanisms: []string{"Base", "TP"},
+		Seeds:      []uint64{1, 2},
+		Insts:      []uint64{2000},
+		Warmup:     &w,
+	}
+}
+
+func TestExecuteAndCacheResume(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	ctx := context.Background()
+
+	first, err := Execute(ctx, tinySpec(), RunConfig{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Sched.Total != 8 || first.Sched.Simulated != 8 || first.Sched.CacheHits != 0 || first.Sched.Errors != 0 {
+		t.Fatalf("first run stats: %+v", first.Sched)
+	}
+
+	second, err := Execute(ctx, tinySpec(), RunConfig{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Sched.CacheHits != 8 || second.Sched.Simulated != 0 {
+		t.Fatalf("second run must be 100%% cache hits: %+v", second.Sched)
+	}
+
+	// Cached and fresh runs must agree cell for cell.
+	for i, sc := range first.Scenarios {
+		for b := range sc.Mean.Values {
+			for m := range sc.Mean.Values[b] {
+				if sc.Mean.Values[b][m] != second.Scenarios[i].Mean.Values[b][m] {
+					t.Fatalf("cached IPC differs at %d/%d/%d", i, b, m)
+				}
+				if sc.Mean.Values[b][m] <= 0 {
+					t.Fatalf("cell %d/%d/%d has no measurement", i, b, m)
+				}
+			}
+		}
+	}
+	if len(first.Scenarios) != 1 || len(first.Scenarios[0].Ranking) != 1 {
+		t.Fatalf("scenarios/ranking: %+v", first.Scenarios)
+	}
+	if first.Scenarios[0].Ranking[0].Mech != "TP" {
+		t.Fatalf("ranking must cover the non-base mechanism: %+v", first.Scenarios[0].Ranking)
+	}
+}
+
+func TestSchedulerOnResultOnlyForFreshCells(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := 0
+	s := &Scheduler{Cache: cache, OnResult: func(c Cell, r runner.Result) {
+		if r.IPC <= 0 {
+			t.Errorf("OnResult with empty result for %s/%s", c.Bench, c.Mech)
+		}
+		fresh++
+	}}
+	if _, _, err := s.Run(context.Background(), plan.Cells); err != nil {
+		t.Fatal(err)
+	}
+	if fresh != len(plan.Cells) {
+		t.Fatalf("OnResult calls: got %d, want %d", fresh, len(plan.Cells))
+	}
+
+	fresh = 0
+	if _, _, err := s.Run(context.Background(), plan.Cells); err != nil {
+		t.Fatal(err)
+	}
+	if fresh != 0 {
+		t.Fatalf("OnResult must not fire for cached cells, got %d", fresh)
+	}
+}
+
+func TestSchedulerCancellationLeavesResumableCache(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	spec := tinySpec()
+	spec.Seeds = []uint64{1, 2, 3, 4} // 16 cells
+	ctx, cancel := context.WithCancel(context.Background())
+
+	var canceledAfter int
+	partial, err := Execute(ctx, spec, RunConfig{
+		Workers:  2,
+		CacheDir: dir,
+		OnProgress: func(p Progress) {
+			if p.Done >= 3 {
+				cancel() // kill the campaign mid-run
+			}
+			canceledAfter = p.Done
+		},
+	})
+	if err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if partial.Sched.Completed >= partial.Sched.Total {
+		t.Fatalf("campaign must have stopped early: %+v (progress %d)", partial.Sched, canceledAfter)
+	}
+
+	cache, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := cache.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) == 0 {
+		t.Fatal("interrupted campaign must leave finished cells in the cache")
+	}
+
+	resumed, err := Execute(context.Background(), spec, RunConfig{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Sched.Completed != resumed.Sched.Total {
+		t.Fatalf("resume must finish the campaign: %+v", resumed.Sched)
+	}
+	if resumed.Sched.CacheHits < len(keys) {
+		t.Fatalf("resume must reuse the %d cached cells: %+v", len(keys), resumed.Sched)
+	}
+	for _, sc := range resumed.Scenarios {
+		if sc.Missing != 0 {
+			t.Fatalf("resumed summary still missing cells: %+v", sc)
+		}
+	}
+}
+
+func TestSchedulerRecordsCellErrors(t *testing.T) {
+	plan, err := NewPlan(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one cell so its simulation fails: an unknown benchmark
+	// slips past spec validation only via hand-built cells.
+	plan.Cells[0].Opts.Bench = "nosuch"
+
+	s := &Scheduler{}
+	results, stats, err := s.Run(context.Background(), plan.Cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Errors != 1 || stats.Simulated != len(plan.Cells)-1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if res := results[plan.Cells[0].Key]; res.Err == "" {
+		t.Fatalf("failed cell must carry its error: %+v", res)
+	}
+}

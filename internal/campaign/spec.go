@@ -1,0 +1,251 @@
+// Package campaign is MicroLib's declarative sweep engine. A Spec —
+// a small JSON document — names the axes of a simulation campaign
+// (benchmarks, mechanisms, memory models, host cores, prefetch-queue
+// overrides, instruction budgets, seeds) and per-mechanism parameter
+// overrides; the engine expands the cross-product into a
+// deterministic Plan, executes it on a bounded worker pool with
+// context cancellation and a persistent fingerprint-keyed result
+// cache, and aggregates the cells into speedup grids, rankings and
+// per-cell confidence intervals.
+//
+// This generalizes the paper's methodology: instead of replaying the
+// fixed figures of the evaluation, any user-specified region of the
+// configuration space can be compared under identical, reproducible
+// conditions — and re-compared incrementally as the spec grows,
+// because finished cells are served from the cache.
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"microlib/internal/core"
+	"microlib/internal/runner"
+	"microlib/internal/workload"
+)
+
+// Memory model names accepted in Spec.Memories (matching the
+// microsim -memory flag).
+const (
+	MemNameSDRAM   = "sdram"
+	MemNameConst70 = "const70"
+	MemNameSDRAM70 = "sdram70"
+)
+
+// Core names accepted in Spec.Cores.
+const (
+	CoreOoO     = "ooo"
+	CoreInOrder = "inorder"
+)
+
+// MemoryNames returns the valid Spec.Memories values.
+func MemoryNames() []string { return []string{MemNameSDRAM, MemNameConst70, MemNameSDRAM70} }
+
+// CoreNames returns the valid Spec.Cores values.
+func CoreNames() []string { return []string{CoreOoO, CoreInOrder} }
+
+// Spec declares a simulation campaign. Every axis slice is optional;
+// Normalize fills documented defaults. The JSON encoding is the
+// mlcampaign input format.
+type Spec struct {
+	// Name labels the campaign in reports and listings.
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+
+	// Benchmarks to sweep; empty means all 26 workloads.
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Mechanisms to sweep; empty means Base plus every registered
+	// mechanism. "Base" is the unmodified hierarchy.
+	Mechanisms []string `json:"mechanisms,omitempty"`
+	// Memories are main-memory models: "sdram", "const70", "sdram70".
+	// Empty means ["sdram"] (the Table 1 default).
+	Memories []string `json:"memories,omitempty"`
+	// Cores are host cores: "ooo", "inorder". Empty means ["ooo"].
+	Cores []string `json:"cores,omitempty"`
+	// Queues are prefetch request queue overrides (Figure 10); the
+	// value 0 keeps each mechanism's default. Empty means [0].
+	Queues []int `json:"queues,omitempty"`
+	// Insts are measured instruction budgets; empty means [150000].
+	Insts []uint64 `json:"insts,omitempty"`
+	// Seeds key the workload generator; multiple seeds replicate
+	// every cell for confidence intervals. Empty means [42].
+	Seeds []uint64 `json:"seeds,omitempty"`
+
+	// Warmup instructions before measurement (default 50000; the
+	// field must be present to choose 0 explicitly, hence pointer).
+	Warmup *uint64 `json:"warmup,omitempty"`
+	// Skip discards instructions before the trace window.
+	Skip uint64 `json:"skip,omitempty"`
+	// Params overrides mechanism construction parameters, keyed by
+	// mechanism name then parameter name (e.g. {"TCP": {"queue": 1}}).
+	// Mechanism names are validated against the registry and the
+	// sweep axis; parameter *keys* are mechanism-defined and cannot
+	// be validated here — a misspelled key is silently ignored by
+	// the mechanism (it falls back to its default). Check the
+	// mechanism's documentation for its key names.
+	Params map[string]map[string]int `json:"params,omitempty"`
+	// PrefetchAsDemand disables demand-priority prefetch treatment in
+	// every cell (design-choice ablation).
+	PrefetchAsDemand bool `json:"prefetch_as_demand,omitempty"`
+}
+
+// DefaultWarmup is the warm-up budget when the spec omits it.
+const DefaultWarmup = 50_000
+
+// DefaultInsts is the measured budget when the spec omits the axis.
+const DefaultInsts = 150_000
+
+// DefaultSeed keys the workload generator when the spec omits seeds.
+const DefaultSeed = 42
+
+// ParseSpec decodes a JSON campaign spec. Unknown fields are
+// rejected so a typo in an axis name fails loudly instead of
+// silently sweeping the default.
+func ParseSpec(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("campaign: parse spec: %w", err)
+	}
+	return s, nil
+}
+
+// LoadSpec reads and parses a JSON campaign spec file.
+func LoadSpec(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("campaign: %w", err)
+	}
+	s, err := ParseSpec(data)
+	if err != nil {
+		return Spec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Normalize fills defaults and validates every axis value against
+// the registries. It must be called (directly or via NewPlan) before
+// the spec is expanded.
+func (s *Spec) Normalize() error {
+	if s.Name == "" {
+		s.Name = "campaign"
+	}
+	if len(s.Benchmarks) == 0 {
+		s.Benchmarks = workload.Names()
+	}
+	if len(s.Mechanisms) == 0 {
+		s.Mechanisms = append([]string{runner.BaseName}, core.Names()...)
+	}
+	if len(s.Memories) == 0 {
+		s.Memories = []string{MemNameSDRAM}
+	}
+	if len(s.Cores) == 0 {
+		s.Cores = []string{CoreOoO}
+	}
+	if len(s.Queues) == 0 {
+		s.Queues = []int{0}
+	}
+	if len(s.Insts) == 0 {
+		s.Insts = []uint64{DefaultInsts}
+	}
+	if len(s.Seeds) == 0 {
+		s.Seeds = []uint64{DefaultSeed}
+	}
+	if s.Warmup == nil {
+		w := uint64(DefaultWarmup)
+		s.Warmup = &w
+	}
+
+	if err := validateAxis("benchmark", s.Benchmarks, workload.Names()); err != nil {
+		return err
+	}
+	mechs := append([]string{runner.BaseName}, core.Names()...)
+	if err := validateAxis("mechanism", s.Mechanisms, mechs); err != nil {
+		return err
+	}
+	if err := validateAxis("memory", s.Memories, MemoryNames()); err != nil {
+		return err
+	}
+	if err := validateAxis("core", s.Cores, CoreNames()); err != nil {
+		return err
+	}
+	for _, q := range s.Queues {
+		if q < 0 {
+			return fmt.Errorf("campaign: negative queue override %d", q)
+		}
+	}
+	for _, n := range s.Insts {
+		if n == 0 {
+			return fmt.Errorf("campaign: zero instruction budget in insts axis")
+		}
+	}
+	for mech := range s.Params {
+		if mech == runner.BaseName {
+			return fmt.Errorf("campaign: params override for %q (the baseline takes no parameters)", mech)
+		}
+		if _, ok := core.Describe(mech); !ok {
+			return fmt.Errorf("campaign: params override for unknown mechanism %q", mech)
+		}
+		swept := false
+		for _, m := range s.Mechanisms {
+			if m == mech {
+				swept = true
+				break
+			}
+		}
+		if !swept {
+			return fmt.Errorf("campaign: params override for %q, which is not in the mechanisms axis (typo?)", mech)
+		}
+	}
+	axes := [][]string{s.Benchmarks, s.Mechanisms, s.Memories, s.Cores}
+	// Duplicate numeric axis values would silently halve the real
+	// replication factor (identical fingerprints collapse in the
+	// result map while aggregation counts the cell twice), so they
+	// are rejected like duplicate names.
+	axes = append(axes, formatAxis(s.Queues), formatAxis(s.Insts), formatAxis(s.Seeds))
+	for _, axis := range axes {
+		if err := checkDup(axis); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatAxis[T int | uint64](values []T) []string {
+	out := make([]string, len(values))
+	for i, v := range values {
+		out[i] = fmt.Sprintf("%d", v)
+	}
+	return out
+}
+
+func validateAxis(kind string, values, valid []string) error {
+	ok := make(map[string]bool, len(valid))
+	for _, v := range valid {
+		ok[v] = true
+	}
+	for _, v := range values {
+		if !ok[v] {
+			sorted := append([]string(nil), valid...)
+			sort.Strings(sorted)
+			return fmt.Errorf("campaign: unknown %s %q (have %s)", kind, v, strings.Join(sorted, ", "))
+		}
+	}
+	return nil
+}
+
+func checkDup(values []string) error {
+	seen := map[string]bool{}
+	for _, v := range values {
+		if seen[v] {
+			return fmt.Errorf("campaign: duplicate axis value %q", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}

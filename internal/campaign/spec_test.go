@@ -1,0 +1,100 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+
+	"microlib/internal/core"
+	"microlib/internal/runner"
+	"microlib/internal/workload"
+)
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	_, err := ParseSpec([]byte(`{"name":"x","benchmark":["gzip"]}`))
+	if err == nil || !strings.Contains(err.Error(), "benchmark") {
+		t.Fatalf("want unknown-field error, got %v", err)
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	var s Spec
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Benchmarks) != len(workload.Names()) {
+		t.Errorf("benchmarks default: got %d, want all %d", len(s.Benchmarks), len(workload.Names()))
+	}
+	if want := 1 + len(core.Names()); len(s.Mechanisms) != want {
+		t.Errorf("mechanisms default: got %d, want %d", len(s.Mechanisms), want)
+	}
+	if s.Mechanisms[0] != runner.BaseName {
+		t.Errorf("first default mechanism must be %s", runner.BaseName)
+	}
+	if len(s.Memories) != 1 || s.Memories[0] != MemNameSDRAM {
+		t.Errorf("memories default: %v", s.Memories)
+	}
+	if len(s.Seeds) != 1 || s.Seeds[0] != DefaultSeed {
+		t.Errorf("seeds default: %v", s.Seeds)
+	}
+	if s.Warmup == nil || *s.Warmup != DefaultWarmup {
+		t.Errorf("warmup default: %v", s.Warmup)
+	}
+}
+
+func TestNormalizeValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"bench", Spec{Benchmarks: []string{"nosuch"}}, "unknown benchmark"},
+		{"mech", Spec{Mechanisms: []string{"NOPE"}}, "unknown mechanism"},
+		{"memory", Spec{Memories: []string{"dram5"}}, "unknown memory"},
+		{"core", Spec{Cores: []string{"vliw"}}, "unknown core"},
+		{"queue", Spec{Queues: []int{-1}}, "negative queue"},
+		{"insts", Spec{Insts: []uint64{0}}, "zero instruction budget"},
+		{"params", Spec{Params: map[string]map[string]int{"NOPE": {"x": 1}}}, "unknown mechanism"},
+		{"params-base", Spec{Params: map[string]map[string]int{"Base": {"x": 1}}}, "baseline"},
+		{"params-unswept", Spec{
+			Mechanisms: []string{"Base", "TCP"},
+			Params:     map[string]map[string]int{"TP": {"queue": 1}},
+		}, "not in the mechanisms axis"},
+		{"dup", Spec{Benchmarks: []string{"gzip", "gzip"}}, "duplicate"},
+		{"dup-seed", Spec{Seeds: []uint64{42, 42}}, "duplicate"},
+		{"dup-insts", Spec{Insts: []uint64{5000, 5000}}, "duplicate"},
+		{"dup-queue", Spec{Queues: []int{1, 1}}, "duplicate"},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Normalize()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	src := `{
+		"name": "queue-study",
+		"benchmarks": ["gzip", "mcf"],
+		"mechanisms": ["Base", "TCP"],
+		"memories": ["sdram", "const70"],
+		"queues": [0, 1],
+		"insts": [5000],
+		"warmup": 0,
+		"seeds": [1, 2, 3],
+		"params": {"TCP": {"queue": 128}}
+	}`
+	s, err := ParseSpec([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if *s.Warmup != 0 {
+		t.Errorf("explicit zero warmup must survive, got %d", *s.Warmup)
+	}
+	if len(s.Seeds) != 3 || s.Params["TCP"]["queue"] != 128 {
+		t.Errorf("lost fields: %+v", s)
+	}
+}

@@ -7,12 +7,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
 
+	"microlib/internal/campaign"
 	"microlib/internal/cpu"
 	"microlib/internal/hier"
 	"microlib/internal/runner"
@@ -109,7 +111,9 @@ func (r *Runner) simPointSkip(bench string) uint64 {
 }
 
 // Grid runs (or returns the memoized) benchmark × mechanism IPC grid
-// for a named configuration.
+// for a named configuration. Execution goes through the campaign
+// scheduler, so the paper-replay experiments and spec-driven
+// campaigns share one worker-pool engine.
 func (r *Runner) Grid(name string, variant Variant) (*stats.Grid, map[cellKey]runner.Result) {
 	r.mu.Lock()
 	if g, ok := r.grids[name]; ok {
@@ -129,56 +133,52 @@ func (r *Runner) Grid(name string, variant Variant) (*stats.Grid, map[cellKey]ru
 		}
 	}
 
-	type job struct{ bench, mech string }
-	jobs := make(chan job)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	workers := r.Parallel
-	if workers < 1 {
-		workers = 1
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				opts := runner.Options{
-					Bench:     j.bench,
-					Mechanism: j.mech,
-					Hier:      hier.DefaultConfig(),
-					CPU:       cpu.DefaultConfig(),
-					Insts:     r.Insts,
-					Warmup:    r.Warmup,
-					Seed:      r.Seed,
-					Skip:      spSkip[j.bench],
-				}
-				if variant != nil {
-					variant(&opts)
-				}
-				res, err := runner.Run(opts)
-				mu.Lock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("%s/%s: %w", j.bench, j.mech, err)
-					}
-				} else {
-					grid.Set(j.bench, j.mech, res.IPC)
-					results[cellKey{j.bench, j.mech}] = res
-				}
-				mu.Unlock()
-			}
-		}()
-	}
+	cells := make([]campaign.Cell, 0, len(r.Benchmarks)*len(r.Mechs))
 	for _, b := range r.Benchmarks {
 		for _, m := range r.Mechs {
-			jobs <- job{b, m}
+			opts := runner.Options{
+				Bench:     b,
+				Mechanism: m,
+				Hier:      hier.DefaultConfig(),
+				CPU:       cpu.DefaultConfig(),
+				Insts:     r.Insts,
+				Warmup:    r.Warmup,
+				Seed:      r.Seed,
+				Skip:      spSkip[b],
+			}
+			if variant != nil {
+				variant(&opts)
+			}
+			cells = append(cells, campaign.Cell{
+				Index: len(cells),
+				Bench: b,
+				Mech:  m,
+				Insts: opts.Insts,
+				Seed:  opts.Seed,
+				Opts:  opts,
+				Key:   campaign.KeyOf(opts),
+			})
 		}
 	}
-	close(jobs)
-	wg.Wait()
-	if firstErr != nil {
-		panic(firstErr) // configuration error: fail loudly
+
+	sched := campaign.Scheduler{
+		Workers: r.Parallel,
+		// OnResult runs serially under the scheduler lock; the full
+		// runner.Result carries the hardware tables and live
+		// mechanism state the cost/power experiments inspect.
+		OnResult: func(c campaign.Cell, res runner.Result) {
+			grid.Set(c.Bench, c.Mech, res.IPC)
+			results[cellKey{c.Bench, c.Mech}] = res
+		},
+	}
+	cellResults, _, err := sched.Run(context.Background(), cells)
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range cells {
+		if res, ok := cellResults[c.Key]; ok && res.Err != "" {
+			panic(fmt.Errorf("%s/%s: %s", c.Bench, c.Mech, res.Err)) // configuration error: fail loudly
+		}
 	}
 
 	r.mu.Lock()

@@ -1,0 +1,74 @@
+package refdata
+
+import (
+	"testing"
+
+	"microlib/internal/core"
+	_ "microlib/internal/mech/all" // register every mechanism
+	"microlib/internal/workload"
+)
+
+// refMechs are the mechanisms the Figure 2 validation covers (the
+// three the paper validated against their original articles).
+var refMechs = []string{"TK", "TKVC", "TCP"}
+
+func TestValidationCoversEveryBenchmark(t *testing.T) {
+	if Validation == nil {
+		t.Fatal("Validation table not populated")
+	}
+	names := workload.Names()
+	if len(Validation) != len(names) {
+		t.Errorf("table has %d benchmarks, workload registry has %d", len(Validation), len(names))
+	}
+	for _, b := range names {
+		if _, ok := Validation[b]; !ok {
+			t.Errorf("benchmark %s missing from the validation table", b)
+		}
+	}
+	for b := range Validation {
+		found := false
+		for _, n := range names {
+			if n == b {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("table row %q is not a registered benchmark", b)
+		}
+	}
+}
+
+func TestValidationRowsAreComplete(t *testing.T) {
+	for bench, row := range Validation {
+		if len(row) != len(refMechs) {
+			t.Errorf("%s: %d mechanisms, want %d", bench, len(row), len(refMechs))
+		}
+		for _, m := range refMechs {
+			if _, ok := row[m]; !ok {
+				t.Errorf("%s: missing reference for %s", bench, m)
+			}
+		}
+	}
+}
+
+func TestValidationMechanismsAreRegistered(t *testing.T) {
+	for _, m := range refMechs {
+		if _, ok := core.Describe(m); !ok {
+			t.Errorf("reference mechanism %s is not registered", m)
+		}
+	}
+}
+
+func TestValidationValuesAreSane(t *testing.T) {
+	// Goldens are speedups of real mechanisms on a working memory
+	// hierarchy: tightly around 1.0. A value far outside means the
+	// table was regenerated against a broken build.
+	for bench, row := range Validation {
+		for mech, v := range row {
+			if v < 0.9 || v > 1.2 {
+				t.Errorf("%s/%s: implausible reference speedup %v", bench, mech, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FingerprintVersion tags the canonical serialization format of
+// Options AND the behavior of the simulator models behind it. Bump
+// it whenever Options gains a field, the canonical form changes, or
+// any model change (cache, memory, core, mechanism) alters
+// simulation results for unchanged Options — persistent campaign
+// caches key on the fingerprint, and a stale version would silently
+// serve an older simulator's numbers as current.
+const FingerprintVersion = 1
+
+// Canonical returns the deterministic textual form of the
+// fully-resolved options: defaults applied (empty mechanism becomes
+// BaseName, a zero instruction budget becomes the Run default),
+// Params keys sorted. Two Options values that would simulate the
+// same system produce the same canonical string.
+func (o Options) Canonical() string {
+	mech := o.Mechanism
+	if mech == "" {
+		mech = BaseName
+	}
+	insts := o.Insts
+	if insts == 0 {
+		insts = defaultInsts
+	}
+
+	keys := make([]string, 0, len(o.Params))
+	for k := range o.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "v%d|bench=%s|mech=%s|params={", FingerprintVersion, o.Bench, mech)
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s:%d", k, o.Params[k])
+	}
+	// Hier and CPU are plain value structs (no maps or pointers), so
+	// their %+v rendering is deterministic.
+	fmt.Fprintf(&sb, "}|hier=%+v|cpu=%+v", o.Hier, o.CPU)
+	fmt.Fprintf(&sb, "|insts=%d|warmup=%d|skip=%d|seed=%d|inorder=%t|queue=%d|pfd=%t",
+		insts, o.Warmup, o.Skip, o.Seed, o.InOrder, o.QueueOverride, o.PrefetchAsDemand)
+	return sb.String()
+}
+
+// Fingerprint returns a stable 32-hex-digit key identifying this
+// simulation configuration. It is the cache key of the campaign
+// result cache: equal fingerprints mean the simulations are
+// bit-identical reruns of each other.
+func (o Options) Fingerprint() string {
+	sum := sha256.Sum256([]byte(o.Canonical()))
+	return hex.EncodeToString(sum[:16])
+}

@@ -5,6 +5,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 
 	"microlib/internal/cache"
@@ -20,6 +21,9 @@ import (
 
 // BaseName is the pseudo-mechanism name for the unmodified hierarchy.
 const BaseName = "Base"
+
+// defaultInsts is the measured budget used when Options.Insts is 0.
+const defaultInsts = 200_000
 
 // Options selects one simulation.
 type Options struct {
@@ -50,9 +54,11 @@ type Options struct {
 	PrefetchAsDemand bool
 }
 
-// DefaultOptions returns the Table 1 system with a 200k-instruction
-// budget (a scaled stand-in for the paper's 500M SimPoint traces;
-// see EXPERIMENTS.md).
+// DefaultOptions returns the Table 1 system with the standard scaled
+// trace budget — 150k measured instructions after 50k of warm-up, a
+// stand-in for the paper's 500M SimPoint traces (see EXPERIMENTS.md).
+// Note this differs from the bare Run fallback for a zero budget
+// (defaultInsts, no warm-up).
 func DefaultOptions(bench, mechName string) Options {
 	return Options{
 		Bench:     bench,
@@ -84,10 +90,21 @@ type Result struct {
 	Mech core.Mechanism
 }
 
-// Run executes one simulation.
+// Run executes one simulation to completion.
 func Run(opts Options) (Result, error) {
+	return RunContext(context.Background(), opts)
+}
+
+// RunContext executes one simulation under a context. Cancellation is
+// observed at instruction-fetch granularity: the host core winds down
+// within a few thousand simulated instructions of ctx being canceled
+// and RunContext returns ctx's error instead of a partial Result.
+func RunContext(ctx context.Context, opts Options) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	if opts.Insts == 0 {
-		opts.Insts = 200_000
+		opts.Insts = defaultInsts
 	}
 	gen, err := workload.New(opts.Bench, opts.Seed)
 	if err != nil {
@@ -118,7 +135,13 @@ func Run(opts Options) (Result, error) {
 		h.L2.SetPrefetchAsDemand(true)
 	}
 
+	// The cancel wrap goes on before Skip: Skip consumes its
+	// discarded instructions eagerly, so on an uncancelable stream a
+	// large skip would stall cancellation until it finished.
 	var stream trace.Stream = gen
+	if ctx.Done() != nil {
+		stream = &cancelStream{ctx: ctx, s: stream}
+	}
 	if opts.Skip > 0 {
 		stream = trace.Skip(stream, opts.Skip)
 	}
@@ -155,6 +178,15 @@ func Run(opts Options) (Result, error) {
 		cres = c.Run(total)
 	}
 
+	// A budget shortfall means the stream was cut — by cancellation
+	// if ctx says so. A run that finished its full budget is valid
+	// even when cancellation landed just after it completed.
+	if cres.Insts < total {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+	}
+
 	measCycles := cres.Cycles - warmCycles
 	if measCycles == 0 {
 		measCycles = 1
@@ -177,4 +209,21 @@ func Run(opts Options) (Result, error) {
 		res.Hardware = cm.Hardware()
 	}
 	return res, nil
+}
+
+// cancelStream ends the instruction stream shortly after its context
+// is canceled, which makes the host core drain and Run return. The
+// context is polled every 1024 instructions to keep the fetch path
+// cheap.
+type cancelStream struct {
+	ctx context.Context
+	s   trace.Stream
+	n   uint
+}
+
+func (c *cancelStream) Next(inst *trace.Inst) bool {
+	if c.n++; c.n&1023 == 0 && c.ctx.Err() != nil {
+		return false
+	}
+	return c.s.Next(inst)
 }

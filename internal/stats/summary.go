@@ -1,0 +1,53 @@
+package stats
+
+import "math"
+
+// Sample summarizes replicated measurements of one quantity (for
+// MicroLib: the IPC of one benchmark × mechanism cell across
+// workload-generator seeds).
+type Sample struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n-1 denominator)
+	// CI95 is the half-width of the 95% confidence interval of the
+	// mean under the t-distribution; 0 for fewer than two samples.
+	CI95 float64
+}
+
+// tCrit95 holds two-sided 95% t critical values for 1..30 degrees of
+// freedom; larger dfs fall back to the normal 1.96.
+var tCrit95 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// Summarize computes mean, sample standard deviation and the 95%
+// confidence half-width of xs.
+func Summarize(xs []float64) Sample {
+	s := Sample{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N < 2 {
+		return s
+	}
+	ss := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	df := s.N - 1
+	t := 1.96
+	if df <= len(tCrit95) {
+		t = tCrit95[df-1]
+	}
+	s.CI95 = t * s.StdDev / math.Sqrt(float64(s.N))
+	return s
+}

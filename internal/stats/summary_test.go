@@ -1,0 +1,52 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 || s.CI95 != 0 {
+		t.Errorf("empty: got %+v", s)
+	}
+	s := Summarize([]float64{1.5})
+	if s.N != 1 || s.Mean != 1.5 || s.StdDev != 0 || s.CI95 != 0 {
+		t.Errorf("single: got %+v", s)
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	// mean 2, sample stddev 1, n=4, df=3 => CI95 = 3.182 * 1/2.
+	s := Summarize([]float64{1, 1, 3, 3})
+	if s.N != 4 || !approx(s.Mean, 2, 1e-12) {
+		t.Fatalf("got %+v", s)
+	}
+	if !approx(s.StdDev, math.Sqrt(4.0/3.0), 1e-12) {
+		t.Errorf("stddev: got %v", s.StdDev)
+	}
+	want := 3.182 * s.StdDev / 2
+	if !approx(s.CI95, want, 1e-9) {
+		t.Errorf("CI95: got %v, want %v", s.CI95, want)
+	}
+}
+
+func TestSummarizeConstantSeries(t *testing.T) {
+	s := Summarize([]float64{0.75, 0.75, 0.75})
+	if s.StdDev != 0 || s.CI95 != 0 || s.Mean != 0.75 {
+		t.Errorf("constant series must have zero spread: %+v", s)
+	}
+}
+
+func TestSummarizeLargeNFallsBackToNormal(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i % 2) // mean 0.5
+	}
+	s := Summarize(xs)
+	want := 1.96 * s.StdDev / 10
+	if !approx(s.CI95, want, 1e-9) {
+		t.Errorf("CI95: got %v, want %v", s.CI95, want)
+	}
+}

@@ -33,7 +33,10 @@
 package microlib
 
 import (
+	"context"
+
 	"microlib/internal/cache"
+	"microlib/internal/campaign"
 	"microlib/internal/core"
 	"microlib/internal/cpu"
 	"microlib/internal/experiments"
@@ -156,3 +159,66 @@ func RunExperiment(r *ExperimentRunner, id string) (Report, error) {
 
 // Experiments returns the available experiment ids.
 func Experiments() []string { return experiments.IDs() }
+
+// --- campaign engine ---
+// A campaign is a declarative simulation sweep: a JSON spec names
+// the axes (benchmarks, mechanisms, memory models, cores, queue
+// overrides, budgets, seeds), the engine expands the cross-product
+// into a deterministic plan, executes it on a worker pool with a
+// persistent fingerprint-keyed result cache, and aggregates speedup
+// grids, rankings and confidence intervals. See cmd/mlcampaign and
+// examples/campaign.
+
+// CampaignSpec declares a simulation campaign.
+type CampaignSpec = campaign.Spec
+
+// CampaignPlan is the deterministic expansion of a spec.
+type CampaignPlan = campaign.Plan
+
+// CampaignCell is one fully-resolved simulation of a plan.
+type CampaignCell = campaign.Cell
+
+// CampaignSummary is the aggregated outcome of a campaign run, with
+// Text/CSV/JSON export.
+type CampaignSummary = campaign.Summary
+
+// CampaignProgress reports one finished cell.
+type CampaignProgress = campaign.Progress
+
+// CampaignStats counts what a campaign execution did (simulated vs
+// served from cache).
+type CampaignStats = campaign.SchedulerStats
+
+// CampaignConfig configures RunCampaign.
+type CampaignConfig = campaign.RunConfig
+
+// CampaignCache is the persistent on-disk result cache.
+type CampaignCache = campaign.DiskCache
+
+// ParseCampaignSpec decodes a JSON campaign spec.
+func ParseCampaignSpec(data []byte) (CampaignSpec, error) { return campaign.ParseSpec(data) }
+
+// LoadCampaignSpec reads and parses a JSON campaign spec file.
+func LoadCampaignSpec(path string) (CampaignSpec, error) { return campaign.LoadSpec(path) }
+
+// NewCampaignPlan normalizes and expands a spec into its cell plan.
+func NewCampaignPlan(spec CampaignSpec) (*CampaignPlan, error) { return campaign.NewPlan(spec) }
+
+// OpenCampaignCache creates (if needed) and opens a result cache
+// directory.
+func OpenCampaignCache(dir string) (*CampaignCache, error) { return campaign.OpenDiskCache(dir) }
+
+// CampaignMemories returns the valid memory-model names for a
+// campaign spec.
+func CampaignMemories() []string { return campaign.MemoryNames() }
+
+// CampaignCores returns the valid host-core names for a campaign
+// spec.
+func CampaignCores() []string { return campaign.CoreNames() }
+
+// RunCampaign executes a whole campaign: plan, schedule, aggregate.
+// Canceling ctx stops the sweep but keeps finished cells in the
+// cache, so rerunning with the same CacheDir resumes incrementally.
+func RunCampaign(ctx context.Context, spec CampaignSpec, cfg CampaignConfig) (*CampaignSummary, error) {
+	return campaign.Execute(ctx, spec, cfg)
+}

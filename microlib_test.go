@@ -1,6 +1,7 @@
 package microlib_test
 
 import (
+	"context"
 	"testing"
 
 	"microlib"
@@ -96,5 +97,49 @@ func TestExperimentsListed(t *testing.T) {
 	ids := microlib.Experiments()
 	if len(ids) < 16 {
 		t.Fatalf("only %d experiments: %v", len(ids), ids)
+	}
+}
+
+// TestCampaignFacade runs a tiny spec-driven sweep through the
+// public API, with a persistent cache making the second run free.
+func TestCampaignFacade(t *testing.T) {
+	spec, err := microlib.ParseCampaignSpec([]byte(`{
+		"name": "facade",
+		"benchmarks": ["gzip", "mcf"],
+		"mechanisms": ["Base", "TP"],
+		"insts": [2000],
+		"warmup": 500,
+		"seeds": [1, 2]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := microlib.NewCampaignPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Cells) != 8 {
+		t.Fatalf("plan: %d cells, want 8", len(plan.Cells))
+	}
+
+	dir := t.TempDir()
+	sum, err := microlib.RunCampaign(context.Background(), spec, microlib.CampaignConfig{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Sched.Simulated != 8 || sum.Sched.Errors != 0 {
+		t.Fatalf("first run: %+v", sum.Sched)
+	}
+	if len(sum.Scenarios) != 1 || sum.Scenarios[0].Speedup == nil {
+		t.Fatalf("scenarios: %+v", sum.Scenarios)
+	}
+
+	again, err := microlib.RunCampaign(context.Background(), spec, microlib.CampaignConfig{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Sched.CacheHits != 8 || again.Sched.Simulated != 0 {
+		t.Fatalf("second run must hit the cache: %+v", again.Sched)
 	}
 }
