@@ -103,17 +103,44 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(totalInsts)/b.Elapsed().Seconds(), "insts/s")
 }
 
-// BenchmarkKernelEventQueue measures the event kernel.
+// BenchmarkKernelEventQueue measures the event kernel's classic
+// closure path (Engine.After + drain, the canonical steady-state
+// workload in sim.RunSteadyState). With the pooled calendar queue
+// this runs allocation-free in steady state.
 func BenchmarkKernelEventQueue(b *testing.B) {
 	eng := sim.NewEngine()
-	n := 0
+	b.ResetTimer()
+	if sim.RunSteadyState(eng, b.N, false) == 0 {
+		b.Fatal("no events ran")
+	}
+}
+
+// BenchmarkKernelEventQueuePooled measures the allocation-free AtFunc
+// path the hot components use: a static trampoline with receiver and
+// argument packed into the pooled event node.
+func BenchmarkKernelEventQueuePooled(b *testing.B) {
+	eng := sim.NewEngine()
+	b.ResetTimer()
+	if sim.RunSteadyState(eng, b.N, true) == 0 {
+		b.Fatal("no events ran")
+	}
+}
+
+// BenchmarkKernelFarEvents stresses the overflow heap: every event
+// lands beyond the calendar ring and is promoted as the window
+// slides.
+func BenchmarkKernelFarEvents(b *testing.B) {
+	eng := sim.NewEngine()
+	n := uint64(0)
+	fn := sim.Func(func(now uint64, o1, o2 any, a0, a1 uint64) { n++ })
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eng.After(uint64(i%64)+1, func() { n++ })
+		eng.AfterFunc(2000+uint64(i%512), fn, nil, nil, 0, 0)
 		if i%64 == 63 {
 			eng.AdvanceTo(eng.Now() + 64)
 		}
 	}
-	eng.AdvanceTo(eng.Now() + 128)
+	eng.AdvanceTo(eng.Now() + 4096)
 	if n == 0 {
 		b.Fatal("no events ran")
 	}

@@ -1,0 +1,172 @@
+// Command mlbench runs the kernel microbenchmarks and one end-to-end
+// artifact benchmark, writes the results as JSON (BENCH_2.json in CI)
+// and enforces the kernel's allocation contract: steady-state
+// Engine.After + Drain scheduling must perform zero allocations per
+// event, or the command exits nonzero.
+//
+// Usage:
+//
+//	mlbench [-out BENCH_2.json] [-scale 4] [-artifact fig8] [-skip-artifact]
+//
+// The JSON also carries the recorded seed-kernel baseline (the
+// container/heap engine with per-cycle stepping, measured on the
+// reference machine before the calendar-queue rewrite) so the
+// end-to-end speedup of the rewrite stays visible in the artifact.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"microlib/internal/experiments"
+	"microlib/internal/runner"
+	"microlib/internal/sim"
+)
+
+// seedBaseline records the pre-rewrite kernel on the reference
+// machine (Intel Xeon @ 2.10GHz, linux/amd64, MICROLIB_SCALE=4).
+// Speedup ratios in the report are only meaningful on comparable
+// hardware; the allocation gate is machine-independent.
+var seedBaseline = map[string]Result{
+	"kernel/after-drain":   {Name: "kernel/after-drain", NsPerOp: 142.1, AllocsPerOp: 3, BytesPerOp: 64},
+	"sim-throughput":       {Name: "sim-throughput", NsPerOp: 58764333, AllocsPerOp: 665500, BytesPerOp: 21000736, Extra: map[string]float64{"insts_per_sec": 1021029}},
+	"artifact/fig8/scale4": {Name: "artifact/fig8/scale4", NsPerOp: 48488197464},
+}
+
+// Result is one benchmark row.
+type Result struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the BENCH_2.json document.
+type Report struct {
+	GoVersion    string             `json:"go_version"`
+	GOOS         string             `json:"goos"`
+	GOARCH       string             `json:"goarch"`
+	Scale        uint64             `json:"scale"`
+	Results      []Result           `json:"results"`
+	SeedBaseline map[string]Result  `json:"seed_baseline"`
+	Speedup      map[string]float64 `json:"speedup_vs_seed,omitempty"`
+	AllocGate    string             `json:"alloc_gate"`
+}
+
+func bench(name string, f func(b *testing.B)) Result {
+	r := testing.Benchmark(f)
+	return Result{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+func main() {
+	var (
+		out          = flag.String("out", "BENCH_2.json", "output JSON path")
+		scale        = flag.Uint64("scale", 4, "artifact bench scale divisor (MICROLIB_SCALE)")
+		artifact     = flag.String("artifact", "fig8", "artifact experiment id for the end-to-end bench")
+		skipArtifact = flag.Bool("skip-artifact", false, "skip the (slow) artifact bench")
+	)
+	flag.Parse()
+
+	rep := Report{
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		Scale:        *scale,
+		SeedBaseline: seedBaseline,
+		Speedup:      map[string]float64{},
+	}
+
+	// Kernel microbenchmarks: the two steady-state scheduling paths,
+	// running the same canonical workload the sim and root-package
+	// benchmarks measure (sim.RunSteadyState), so the gated workload
+	// cannot drift from the documented one.
+	kernelClosure := bench("kernel/after-drain", func(b *testing.B) {
+		eng := sim.NewEngine()
+		b.ResetTimer()
+		sim.RunSteadyState(eng, b.N, false)
+	})
+	kernelPooled := bench("kernel/afterfunc-drain", func(b *testing.B) {
+		eng := sim.NewEngine()
+		b.ResetTimer()
+		sim.RunSteadyState(eng, b.N, true)
+	})
+	rep.Results = append(rep.Results, kernelClosure, kernelPooled)
+
+	// End-to-end simulator throughput (memory-bound bench + prefetch
+	// mechanism exercises the whole event path).
+	simThroughput := bench("sim-throughput", func(b *testing.B) {
+		opts := runner.DefaultOptions("swim", "GHB")
+		opts.Insts = 50_000
+		opts.Warmup = 10_000
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := runner.Run(opts); err != nil {
+				fatal(err)
+			}
+		}
+	})
+	// Each op simulates 60k instructions (10k warm-up + 50k measured).
+	simThroughput.Extra = map[string]float64{
+		"insts_per_sec": 60_000 / (simThroughput.NsPerOp * 1e-9),
+	}
+	rep.Results = append(rep.Results, simThroughput)
+
+	// One full artifact experiment, end to end.
+	if !*skipArtifact {
+		r := experiments.Default().Scale(*scale)
+		start := time.Now()
+		if _, err := experiments.Run(r, *artifact); err != nil {
+			fatal(err)
+		}
+		rep.Results = append(rep.Results, Result{
+			Name:    fmt.Sprintf("artifact/%s/scale%d", *artifact, *scale),
+			NsPerOp: float64(time.Since(start).Nanoseconds()),
+		})
+	}
+
+	for _, res := range rep.Results {
+		if base, ok := seedBaseline[res.Name]; ok && res.NsPerOp > 0 {
+			rep.Speedup[res.Name] = base.NsPerOp / res.NsPerOp
+		}
+	}
+
+	// The allocation gate: zero steady-state allocations per
+	// scheduled event on both kernel paths.
+	gateFailed := kernelClosure.AllocsPerOp > 0 || kernelPooled.AllocsPerOp > 0
+	if gateFailed {
+		rep.AllocGate = fmt.Sprintf("FAIL: after-drain=%d allocs/op, afterfunc-drain=%d allocs/op (want 0)",
+			kernelClosure.AllocsPerOp, kernelPooled.AllocsPerOp)
+	} else {
+		rep.AllocGate = "PASS: 0 allocs/op on both kernel scheduling paths"
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(data)
+	if gateFailed {
+		fmt.Fprintln(os.Stderr, "mlbench:", rep.AllocGate)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mlbench:", err)
+	os.Exit(1)
+}

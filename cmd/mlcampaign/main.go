@@ -12,6 +12,8 @@
 //	mlcampaign plan -spec sweep.json
 //	mlcampaign list
 //	mlcampaign list -cache .mlcache
+//	mlcampaign prune -cache .mlcache -older-than 720h
+//	mlcampaign prune -cache .mlcache -spec sweep.json -dry-run
 //
 // A campaign interrupted with ^C leaves every finished cell in the
 // cache; rerunning the same spec with the same -cache directory
@@ -53,6 +55,8 @@ func main() {
 		cmdPlan(os.Args[2:])
 	case "list":
 		cmdList(os.Args[2:])
+	case "prune":
+		cmdPrune(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -64,9 +68,10 @@ func main() {
 
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
-  mlcampaign run  -spec file [-cache dir] [-workers n] [-format text|csv|json] [-out file] [-quiet]
-  mlcampaign plan -spec file
-  mlcampaign list [-cache dir]
+  mlcampaign run   -spec file [-cache dir] [-workers n] [-format text|csv|json] [-out file] [-quiet]
+  mlcampaign plan  -spec file
+  mlcampaign list  [-cache dir]
+  mlcampaign prune -cache dir [-older-than dur] [-spec file] [-dry-run]
 `)
 }
 
@@ -214,6 +219,58 @@ func cmdList(args []string) {
 			fmt.Printf("%s  (corrupt entry; will be resimulated)\n", k)
 		}
 	}
+}
+
+// cmdPrune garbage-collects a result cache: cells older than
+// -older-than, or — when -spec is given — cells not reachable from
+// that spec's plan fingerprints, are deleted.
+func cmdPrune(args []string) {
+	fs := flag.NewFlagSet("prune", flag.ExitOnError)
+	var (
+		cacheDir  = fs.String("cache", "", "result cache directory to prune")
+		olderThan = fs.Duration("older-than", 0, "delete cells older than this (e.g. 720h)")
+		specPath  = fs.String("spec", "", "keep only cells reachable from this spec's plan")
+		dryRun    = fs.Bool("dry-run", false, "report what would be deleted without deleting")
+	)
+	fs.Parse(args)
+	if *cacheDir == "" {
+		fatal(fmt.Errorf("prune: -cache is required"))
+	}
+	if *olderThan == 0 && *specPath == "" {
+		fatal(fmt.Errorf("prune: need -older-than and/or -spec to select cells"))
+	}
+	// Inspect only: a mistyped path must fail, not be created.
+	if info, err := os.Stat(*cacheDir); err != nil || !info.IsDir() {
+		fatal(fmt.Errorf("prune: %s is not a cache directory", *cacheDir))
+	}
+	cache, err := microlib.OpenCampaignCache(*cacheDir)
+	if err != nil {
+		fatal(err)
+	}
+	opts := microlib.CampaignPruneOptions{OlderThan: *olderThan, DryRun: *dryRun}
+	if *specPath != "" {
+		spec, err := microlib.LoadCampaignSpec(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+		plan, err := microlib.NewCampaignPlan(spec)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Keep = plan
+	}
+	res, err := microlib.PruneCampaignCache(cache, opts)
+	if err != nil {
+		fatal(err)
+	}
+	verb := "removed"
+	if *dryRun {
+		verb = "would remove"
+	}
+	for _, e := range res.Removed {
+		fmt.Printf("%s %s (%s, %d bytes)\n", verb, e.Key, e.ModTime.Format("2006-01-02 15:04:05"), e.Size)
+	}
+	fmt.Printf("mlcampaign: %s %d cells (%d bytes), kept %d\n", verb, len(res.Removed), res.Bytes, res.Kept)
 }
 
 func fatal(err error) {

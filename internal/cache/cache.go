@@ -2,15 +2,24 @@ package cache
 
 import "microlib/internal/sim"
 
+// FillSink receives fetched line data. The requesting cache itself is
+// the sink (its FillLine method), so a backend needs no per-request
+// callback closure: it carries the (sink, lineAddr) pair in its own
+// pooled request state and delivers the fill with one interface call.
+type FillSink interface {
+	// FillLine delivers the line data at cycle now.
+	FillLine(lineAddr, now uint64)
+}
+
 // Backend is the downstream side of a cache: the next cache level or
 // main memory, reached across a bus. Fetch requests a full line;
-// done fires when the line data has arrived at this cache. A false
-// return means the request was not accepted this cycle (bus/queue
-// pressure) and must be retried; for prefetches a false return also
-// signals "the bus is not idle", implementing the demand-priority
-// rule the paper describes for prefetch queues.
+// sink.FillLine fires when the line data has arrived at this cache. A
+// false return means the request was not accepted this cycle
+// (bus/queue pressure) and must be retried; for prefetches a false
+// return also signals "the bus is not idle", implementing the
+// demand-priority rule the paper describes for prefetch queues.
 type Backend interface {
-	Fetch(lineAddr, pc uint64, prefetch bool, done func(now uint64)) bool
+	Fetch(lineAddr, pc uint64, prefetch bool, sink FillSink) bool
 	WriteBack(lineAddr uint64) bool
 	// FreeAtHint returns a cycle at which the backend is likely to
 	// accept again, used to schedule retries without polling.
@@ -52,6 +61,18 @@ type mshrEntry struct {
 	targets  []func(now uint64, hit bool)
 }
 
+// clear empties the entry but keeps the targets backing array, so the
+// steady-state miss path appends into recycled capacity instead of
+// reallocating per fill.
+func (e *mshrEntry) clear() {
+	tg := e.targets[:0]
+	for i := range e.targets {
+		e.targets[i] = nil
+	}
+	*e = mshrEntry{}
+	e.targets = tg
+}
+
 // Cache is one level of the hierarchy.
 type Cache struct {
 	cfg Config
@@ -73,8 +94,10 @@ type Cache struct {
 	portCycle uint64
 	portsUsed int
 
-	// Prefetch request queue (mechanism-facing).
+	// Prefetch request queue (mechanism-facing): a head-indexed slice
+	// so pops reuse the backing array instead of re-slicing it away.
 	pq         []prefetchReq
+	pqHead     int
 	pqRetryArm bool
 	// prefetchAsDemand disables the low-priority treatment of
 	// prefetches downstream (an ablation of the demand-priority
@@ -255,8 +278,7 @@ func (c *Cache) Access(a *Access) bool {
 			Hit: true, PrefetchedLine: wasPF, Now: now,
 		})
 		if a.Done != nil {
-			done := a.Done
-			c.eng.After(c.cfg.HitLatency, func() { done(c.eng.Now(), true) })
+			c.eng.AfterFunc(c.cfg.HitLatency, callDoneHit, a.Done, nil, 0, 0)
 		}
 		return true
 	}
@@ -317,8 +339,7 @@ func (c *Cache) Access(a *Access) bool {
 			Hit: true, Now: now,
 		})
 		if a.Done != nil {
-			done := a.Done
-			c.eng.After(c.cfg.HitLatency+1, func() { done(c.eng.Now(), true) })
+			c.eng.AfterFunc(c.cfg.HitLatency+1, callDoneHit, a.Done, nil, 0, 0)
 		}
 		return true
 	}
@@ -338,14 +359,12 @@ func (c *Cache) Access(a *Access) bool {
 		}
 	}
 	e := &c.mshrs[free]
-	*e = mshrEntry{
-		valid:     true,
-		lineAddr:  la,
-		firstAddr: a.Addr,
-		pc:        a.PC,
-		reads:     1,
-		fillDirty: a.Write && c.cfg.WriteBack,
-	}
+	e.valid = true
+	e.lineAddr = la
+	e.firstAddr = a.Addr
+	e.pc = a.PC
+	e.reads = 1
+	e.fillDirty = a.Write && c.cfg.WriteBack
 	if a.Done != nil {
 		e.targets = append(e.targets, a.Done)
 	}
@@ -396,15 +415,14 @@ func (c *Cache) freeMSHR() int {
 }
 
 // issueFetch pushes MSHR entry i downstream, retrying on backend
-// pushback.
+// pushback. The cache itself is the fill sink, so no per-request
+// callback is allocated.
 func (c *Cache) issueFetch(i int) {
 	e := &c.mshrs[i]
 	if e.issued || !e.valid {
 		return
 	}
-	la := e.lineAddr
-	ok := c.backend.Fetch(la, e.pc, e.prefetch, func(now uint64) { c.fill(la, now) })
-	if ok {
+	if c.backend.Fetch(e.lineAddr, e.pc, e.prefetch, c) {
 		e.issued = true
 		return
 	}
@@ -413,16 +431,27 @@ func (c *Cache) issueFetch(i int) {
 	if retry <= c.eng.Now() {
 		retry = c.eng.Now() + 1
 	}
-	c.eng.At(retry, func() {
-		if idx := c.findMSHR(la); idx >= 0 {
-			c.issueFetch(idx)
-		}
-	})
+	c.eng.AtFunc(retry, retryIssueFetch, c, nil, e.lineAddr, 0)
 }
 
-// fill receives line data from downstream, installs it (or redirects
-// it to a mechanism buffer) and wakes the waiting targets.
-func (c *Cache) fill(lineAddr uint64, now uint64) {
+// retryIssueFetch re-attempts a pushed-back downstream fetch, if the
+// MSHR entry still exists.
+func retryIssueFetch(_ uint64, o1, _ any, la, _ uint64) {
+	c := o1.(*Cache)
+	if idx := c.findMSHR(la); idx >= 0 {
+		c.issueFetch(idx)
+	}
+}
+
+// callDoneHit completes a hit: o1 is the Access.Done callback.
+func callDoneHit(now uint64, o1, _ any, _, _ uint64) {
+	o1.(func(uint64, bool))(now, true)
+}
+
+// FillLine implements FillSink: it receives line data from
+// downstream, installs it (or redirects it to a mechanism buffer) and
+// wakes the waiting targets.
+func (c *Cache) FillLine(lineAddr, now uint64) {
 	idx := c.findMSHR(lineAddr)
 	if idx < 0 {
 		return // entry was squashed (cannot happen in current flows)
@@ -442,7 +471,7 @@ func (c *Cache) fill(lineAddr uint64, now uint64) {
 	for _, t := range e.targets {
 		t(now, false)
 	}
-	*e = mshrEntry{}
+	e.clear()
 	c.mshrsIn--
 	c.drainPrefetch()
 }
@@ -493,7 +522,11 @@ func (c *Cache) writeBack(lineAddr uint64) {
 	if retry <= c.eng.Now() {
 		retry = c.eng.Now() + 1
 	}
-	c.eng.At(retry, func() { c.writeBack(lineAddr) })
+	c.eng.AtFunc(retry, retryWriteBack, c, nil, lineAddr, 0)
+}
+
+func retryWriteBack(_ uint64, o1, _ any, lineAddr, _ uint64) {
+	o1.(*Cache).writeBack(lineAddr)
 }
 
 // InstallDirect lets mechanisms (victim caches on swap, prefetch

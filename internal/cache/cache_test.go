@@ -17,13 +17,13 @@ type testBackend struct {
 	refuse  int
 }
 
-func (b *testBackend) Fetch(lineAddr, pc uint64, prefetch bool, done func(uint64)) bool {
+func (b *testBackend) Fetch(lineAddr, pc uint64, prefetch bool, sink FillSink) bool {
 	if b.refuse > 0 {
 		b.refuse--
 		return false
 	}
 	b.fetches = append(b.fetches, lineAddr)
-	b.eng.After(b.delay, func() { done(b.eng.Now()) })
+	b.eng.After(b.delay, func() { sink.FillLine(lineAddr, b.eng.Now()) })
 	return true
 }
 

@@ -16,13 +16,13 @@ type flakyBackend struct {
 	completeDelay uint64
 }
 
-func (b *flakyBackend) Fetch(lineAddr, pc uint64, prefetch bool, done func(uint64)) bool {
+func (b *flakyBackend) Fetch(lineAddr, pc uint64, prefetch bool, sink FillSink) bool {
 	if b.refuseFetch > 0 {
 		b.refuseFetch--
 		return false
 	}
 	b.fetches++
-	b.eng.After(b.completeDelay, func() { done(b.eng.Now()) })
+	b.eng.After(b.completeDelay, func() { sink.FillLine(lineAddr, b.eng.Now()) })
 	return true
 }
 
@@ -133,12 +133,12 @@ type prefetchRefusingBackend struct {
 	demandFetches   int
 }
 
-func (b *prefetchRefusingBackend) Fetch(lineAddr, pc uint64, prefetch bool, done func(uint64)) bool {
+func (b *prefetchRefusingBackend) Fetch(lineAddr, pc uint64, prefetch bool, sink FillSink) bool {
 	if prefetch {
 		return false
 	}
 	b.demandFetches++
-	b.eng.After(5, func() { done(b.eng.Now()) })
+	b.eng.After(5, func() { sink.FillLine(lineAddr, b.eng.Now()) })
 	return true
 }
 func (b *prefetchRefusingBackend) WriteBack(lineAddr uint64) bool { return true }

@@ -33,17 +33,44 @@ func (c *Cache) prefetchInto(addr uint64, sink func(lineAddr uint64, now uint64)
 		c.stats.PrefetchDup++
 		return false
 	}
-	if len(c.pq) >= c.cfg.PrefetchQueueCap {
+	if c.pqLen() >= c.cfg.PrefetchQueueCap {
 		c.stats.PrefetchDropped++
 		return false
 	}
-	c.pq = append(c.pq, prefetchReq{lineAddr: la, redirect: sink})
+	c.pqPush(prefetchReq{lineAddr: la, redirect: sink})
 	c.drainPrefetch()
 	return true
 }
 
+// --- head-indexed FIFO over a reused backing array -------------------
+
+func (c *Cache) pqLen() int { return len(c.pq) - c.pqHead }
+
+func (c *Cache) pqPush(r prefetchReq) {
+	if c.pqHead > 0 && len(c.pq) == cap(c.pq) {
+		// Compact the live region into the recycled backing array
+		// instead of letting append allocate a bigger one.
+		n := copy(c.pq, c.pq[c.pqHead:])
+		for i := n; i < len(c.pq); i++ {
+			c.pq[i] = prefetchReq{}
+		}
+		c.pq = c.pq[:n]
+		c.pqHead = 0
+	}
+	c.pq = append(c.pq, r)
+}
+
+func (c *Cache) pqPop() {
+	c.pq[c.pqHead] = prefetchReq{}
+	c.pqHead++
+	if c.pqHead == len(c.pq) {
+		c.pq = c.pq[:0]
+		c.pqHead = 0
+	}
+}
+
 func (c *Cache) queued(lineAddr uint64) bool {
-	for i := range c.pq {
+	for i := c.pqHead; i < len(c.pq); i++ {
 		if c.pq[i].lineAddr == lineAddr {
 			return true
 		}
@@ -52,7 +79,7 @@ func (c *Cache) queued(lineAddr uint64) bool {
 }
 
 // PrefetchQueueLen reports the number of buffered prefetch requests.
-func (c *Cache) PrefetchQueueLen() int { return len(c.pq) }
+func (c *Cache) PrefetchQueueLen() int { return c.pqLen() }
 
 // drainPrefetch issues queued prefetches while resources allow. It is
 // called on enqueue, on every fill completion, and re-arms itself at
@@ -65,11 +92,11 @@ func (c *Cache) drainPrefetch() {
 	if maxPF < 1 {
 		maxPF = 1
 	}
-	for len(c.pq) > 0 {
-		req := c.pq[0]
+	for c.pqLen() > 0 {
+		req := c.pq[c.pqHead]
 		la := req.lineAddr
 		if c.Contains(la) || c.MissPending(la) {
-			c.pq = c.pq[1:]
+			c.pqPop()
 			c.stats.PrefetchDup++
 			continue
 		}
@@ -83,22 +110,20 @@ func (c *Cache) drainPrefetch() {
 			return
 		}
 		e := &c.mshrs[free]
-		*e = mshrEntry{
-			valid:     true,
-			lineAddr:  la,
-			firstAddr: la,
-			prefetch:  true,
-			redirect:  req.redirect,
-		}
-		if !c.backend.Fetch(la, 0, !c.prefetchAsDemand, func(t uint64) { c.fill(la, t) }) {
-			*e = mshrEntry{}
+		e.valid = true
+		e.lineAddr = la
+		e.firstAddr = la
+		e.prefetch = true
+		e.redirect = req.redirect
+		if !c.backend.Fetch(la, 0, !c.prefetchAsDemand, c) {
+			e.clear()
 			c.armPrefetchRetry()
 			return
 		}
 		e.issued = true
 		c.mshrsIn++
 		c.stats.PrefetchIssued++
-		c.pq = c.pq[1:]
+		c.pqPop()
 	}
 }
 
@@ -121,8 +146,11 @@ func (c *Cache) armPrefetchRetry() {
 	if at <= c.eng.Now() {
 		at = c.eng.Now() + 1
 	}
-	c.eng.At(at, func() {
-		c.pqRetryArm = false
-		c.drainPrefetch()
-	})
+	c.eng.AtFunc(at, firePrefetchRetry, c, nil, 0, 0)
+}
+
+func firePrefetchRetry(_ uint64, o1, _ any, _, _ uint64) {
+	c := o1.(*Cache)
+	c.pqRetryArm = false
+	c.drainPrefetch()
 }

@@ -15,9 +15,12 @@ func (c *Cache) SetPrefetchQueueCap(n int) {
 // that deliberately shrink it (Figure 10's 1-entry TCP buffer).
 func (c *Cache) ForcePrefetchQueueCap(n int) {
 	c.cfg.PrefetchQueueCap = n
-	if len(c.pq) > n {
-		c.stats.PrefetchDropped += uint64(len(c.pq) - n)
-		c.pq = c.pq[:n]
+	if over := c.pqLen() - n; over > 0 {
+		c.stats.PrefetchDropped += uint64(over)
+		for i := len(c.pq) - over; i < len(c.pq); i++ {
+			c.pq[i] = prefetchReq{}
+		}
+		c.pq = c.pq[:len(c.pq)-over]
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // CellResult is the serializable outcome of one cell — the subset of
@@ -92,6 +93,108 @@ func (c *DiskCache) Put(res CellResult) error {
 		return fmt.Errorf("campaign: cache write: %w", err)
 	}
 	return os.Rename(tmp.Name(), c.path(res.Key))
+}
+
+// Entry describes one cached cell file.
+type Entry struct {
+	Key     string
+	ModTime time.Time
+	Size    int64
+}
+
+// Entries lists the cached cells with their file metadata, sorted by
+// key. Unreadable entries are skipped (a concurrent writer's temp
+// files never match the .json suffix, so only real cells appear).
+func (c *DiskCache) Entries() ([]Entry, error) {
+	keys, err := c.Keys()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Entry, 0, len(keys))
+	for _, k := range keys {
+		info, err := os.Stat(c.path(k))
+		if err != nil {
+			continue
+		}
+		out = append(out, Entry{Key: k, ModTime: info.ModTime(), Size: info.Size()})
+	}
+	return out, nil
+}
+
+// Remove deletes one cached cell. Removing a missing key is not an
+// error (a concurrent prune may have won the race).
+func (c *DiskCache) Remove(key string) error {
+	if err := os.Remove(c.path(key)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("campaign: remove cache entry: %w", err)
+	}
+	return nil
+}
+
+// PruneOptions selects which cached cells to delete.
+type PruneOptions struct {
+	// OlderThan removes entries whose file modification time is more
+	// than this duration before Now. Zero disables the age criterion.
+	OlderThan time.Duration
+	// Keep, when non-nil, removes every entry whose key is not one of
+	// the plan's cell fingerprints — cache GC down to exactly the
+	// cells a spec can still reach.
+	Keep *Plan
+	// Now anchors the age comparison; the zero value means
+	// time.Now().
+	Now time.Time
+	// DryRun reports what would be removed without deleting anything.
+	DryRun bool
+}
+
+// PruneResult reports what Prune did (or, for a dry run, would do).
+type PruneResult struct {
+	Removed []Entry
+	Kept    int
+	Bytes   int64 // total size of removed entries
+}
+
+// Prune deletes cached cells per opts: a cell is removed when it is
+// older than the age limit or unreachable from the keep-plan,
+// whichever criteria are enabled.
+func Prune(c *DiskCache, opts PruneOptions) (PruneResult, error) {
+	if opts.OlderThan < 0 {
+		return PruneResult{}, fmt.Errorf("campaign: negative prune age %v", opts.OlderThan)
+	}
+	if opts.OlderThan == 0 && opts.Keep == nil {
+		return PruneResult{}, fmt.Errorf("campaign: prune needs an age limit or a keep plan")
+	}
+	entries, err := c.Entries()
+	if err != nil {
+		return PruneResult{}, err
+	}
+	now := opts.Now
+	if now.IsZero() {
+		now = time.Now()
+	}
+	var reachable map[string]bool
+	if opts.Keep != nil {
+		reachable = make(map[string]bool, len(opts.Keep.Cells))
+		for _, cell := range opts.Keep.Cells {
+			reachable[cell.Key] = true
+		}
+	}
+	var res PruneResult
+	for _, e := range entries {
+		tooOld := opts.OlderThan > 0 && now.Sub(e.ModTime) > opts.OlderThan
+		unreachable := reachable != nil && !reachable[e.Key]
+		if !tooOld && !unreachable {
+			res.Kept++
+			continue
+		}
+		if !opts.DryRun {
+			if err := c.Remove(e.Key); err != nil {
+				return res, err
+			}
+		}
+		res.Removed = append(res.Removed, e)
+		res.Bytes += e.Size
+	}
+	return res, nil
 }
 
 // Keys lists the cached fingerprints, sorted.

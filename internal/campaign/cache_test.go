@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestDiskCacheRoundTrip(t *testing.T) {
@@ -38,6 +39,86 @@ func TestDiskCacheRejectsBadEntries(t *testing.T) {
 	}
 	if err := c.Put(CellResult{Key: "k", Err: "boom"}); err == nil {
 		t.Error("failed cell must not be cached")
+	}
+}
+
+func TestPruneByAge(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"old1", "old2", "fresh"} {
+		if err := c.Put(CellResult{Key: k, Bench: "gzip", Mechanism: "Base"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	past := time.Now().Add(-48 * time.Hour)
+	for _, k := range []string{"old1", "old2"} {
+		if err := os.Chtimes(filepath.Join(dir, k+".json"), past, past); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Dry run must delete nothing.
+	res, err := Prune(c, PruneOptions{OlderThan: 24 * time.Hour, DryRun: true})
+	if err != nil || len(res.Removed) != 2 || res.Kept != 1 {
+		t.Fatalf("dry run: %+v err=%v", res, err)
+	}
+	if keys, _ := c.Keys(); len(keys) != 3 {
+		t.Fatalf("dry run deleted entries: %v", keys)
+	}
+
+	res, err = Prune(c, PruneOptions{OlderThan: 24 * time.Hour})
+	if err != nil || len(res.Removed) != 2 || res.Kept != 1 {
+		t.Fatalf("prune: %+v err=%v", res, err)
+	}
+	keys, _ := c.Keys()
+	if len(keys) != 1 || keys[0] != "fresh" {
+		t.Fatalf("wrong survivors: %v", keys)
+	}
+}
+
+func TestPruneByPlanReachability(t *testing.T) {
+	c, err := OpenDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(Spec{
+		Benchmarks: []string{"gzip"},
+		Mechanisms: []string{"Base", "SP"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range plan.Cells {
+		if err := c.Put(CellResult{Key: cell.Key, Bench: cell.Bench, Mechanism: cell.Mech}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Put(CellResult{Key: "orphan", Bench: "mcf", Mechanism: "VC"}); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Prune(c, PruneOptions{Keep: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Removed) != 1 || res.Removed[0].Key != "orphan" || res.Kept != len(plan.Cells) {
+		t.Fatalf("prune: %+v", res)
+	}
+}
+
+func TestPruneNeedsCriteria(t *testing.T) {
+	c, err := OpenDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Prune(c, PruneOptions{}); err == nil {
+		t.Fatal("criterion-less prune must refuse (it would delete nothing or everything)")
+	}
+	if _, err := Prune(c, PruneOptions{OlderThan: -time.Hour}); err == nil {
+		t.Fatal("negative age must be rejected, not silently match nothing")
 	}
 }
 

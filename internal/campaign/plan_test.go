@@ -70,18 +70,26 @@ func TestPlanDeterministic(t *testing.T) {
 
 func TestPlanParamsOnlyNamedMechanism(t *testing.T) {
 	s := studySpec()
-	s.Params = map[string]map[string]int{"SP": {"stride": 2}}
+	s.Params = map[string]map[string]int{"SP": {"entries": 64}}
 	p, err := NewPlan(s)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, c := range p.Cells {
 		if c.Mech == "SP" {
-			if c.Opts.Params["stride"] != 2 {
+			if c.Opts.Params["entries"] != 64 {
 				t.Fatalf("SP cell missing params: %+v", c.Opts)
 			}
 		} else if c.Opts.Params != nil {
 			t.Fatalf("%s cell must have no params: %+v", c.Mech, c.Opts)
 		}
+	}
+}
+
+func TestPlanRejectsUndeclaredParamKey(t *testing.T) {
+	s := studySpec()
+	s.Params = map[string]map[string]int{"SP": {"stride": 2}}
+	if _, err := NewPlan(s); err == nil {
+		t.Fatal("misspelled param key must be rejected, not silently defaulted")
 	}
 }

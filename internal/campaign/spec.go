@@ -83,10 +83,10 @@ type Spec struct {
 	// Params overrides mechanism construction parameters, keyed by
 	// mechanism name then parameter name (e.g. {"TCP": {"queue": 1}}).
 	// Mechanism names are validated against the registry and the
-	// sweep axis; parameter *keys* are mechanism-defined and cannot
-	// be validated here — a misspelled key is silently ignored by
-	// the mechanism (it falls back to its default). Check the
-	// mechanism's documentation for its key names.
+	// sweep axis, and parameter keys against the key list each
+	// mechanism declares in its core.Description — a misspelled key
+	// is rejected at plan time instead of silently falling back to
+	// the mechanism's default.
 	Params map[string]map[string]int `json:"params,omitempty"`
 	// PrefetchAsDemand disables demand-priority prefetch treatment in
 	// every cell (design-choice ablation).
@@ -184,11 +184,12 @@ func (s *Spec) Normalize() error {
 			return fmt.Errorf("campaign: zero instruction budget in insts axis")
 		}
 	}
-	for mech := range s.Params {
+	for mech, overrides := range s.Params {
 		if mech == runner.BaseName {
 			return fmt.Errorf("campaign: params override for %q (the baseline takes no parameters)", mech)
 		}
-		if _, ok := core.Describe(mech); !ok {
+		desc, ok := core.Describe(mech)
+		if !ok {
 			return fmt.Errorf("campaign: params override for unknown mechanism %q", mech)
 		}
 		swept := false
@@ -200,6 +201,14 @@ func (s *Spec) Normalize() error {
 		}
 		if !swept {
 			return fmt.Errorf("campaign: params override for %q, which is not in the mechanisms axis (typo?)", mech)
+		}
+		for key := range overrides {
+			if !desc.HasParam(key) {
+				declared := append([]string(nil), desc.Params...)
+				sort.Strings(declared)
+				return fmt.Errorf("campaign: mechanism %s has no parameter %q (have %s)",
+					mech, key, strings.Join(declared, ", "))
+			}
 		}
 	}
 	axes := [][]string{s.Benchmarks, s.Mechanisms, s.Memories, s.Cores}

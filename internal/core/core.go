@@ -93,6 +93,22 @@ type Description struct {
 	Level   string // "L1" or "L2"
 	Year    int    // publication year, for the progress-over-time plot
 	Summary string
+	// Params declares the construction parameter keys the mechanism's
+	// factory understands (the Table 3 second-guessable knobs).
+	// Callers that accept user-written parameter maps (campaign
+	// specs, CLIs) validate keys against this list, so a misspelled
+	// key fails loudly instead of silently using the default.
+	Params []string
+}
+
+// HasParam reports whether the mechanism declares the parameter key.
+func (d Description) HasParam(key string) bool {
+	for _, p := range d.Params {
+		if p == key {
+			return true
+		}
+	}
+	return false
 }
 
 type registration struct {

@@ -52,10 +52,16 @@ func (c *InOrder) Run(maxInsts uint64) Result {
 				cycle++
 				c.eng.AdvanceTo(cycle)
 			}
-			// Blocking load: spin simulated time until the data is
-			// back.
+			// Blocking load: wind simulated time forward until the
+			// data is back. Nothing can change between calendar
+			// events while the scalar core blocks, so jump the clock
+			// from event to event instead of stepping every cycle.
 			for waiting {
-				cycle++
+				if t, ok := c.eng.NextEventAt(); ok && t > cycle {
+					cycle = t
+				} else {
+					cycle++
+				}
 				c.eng.AdvanceTo(cycle)
 			}
 			if doneAt > cycle {

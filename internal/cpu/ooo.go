@@ -48,14 +48,23 @@ type OoO struct {
 	// Front-end state.
 	fetchDone     bool   // stream exhausted or budget reached
 	fetchBlocked  bool   // waiting on an I-cache fill
+	fetchRetry    bool   // fetch bailed on a next-cycle-retriable resource
 	fetchResumeAt uint64 // earliest fetch cycle after redirect
 	haltOnBranch  bool   // a mispredicted branch is unresolved
 	haltBranchSeq uint64
 	curFetchLine  uint64
 	staged        trace.Inst // one-instruction fetch stage
 	hasStaged     bool
+	fetchScratch  trace.Inst // reused fetch-loop scratch (kept off the heap)
 	fetched       uint64
 	maxFetch      uint64
+
+	// Pooled request state: loadReq nodes carry a load's Access with a
+	// pre-bound completion callback, and ifetchDone is the one I-cache
+	// fill callback the front end ever needs. Steady-state issue and
+	// fetch therefore allocate nothing.
+	freeLoads  *loadReq
+	ifetchDone func(now uint64, hit bool)
 
 	// Per-cycle functional-unit usage.
 	fuCycle                        uint64
@@ -82,19 +91,63 @@ func (o *OoO) SetWarmup(insts uint64, fn func(cycles uint64)) {
 // NewOoO builds the core on an engine and hierarchy.
 func NewOoO(eng *sim.Engine, cfg Config, h *hier.Hierarchy, stream trace.Stream) *OoO {
 	cfg.Validate()
-	return &OoO{
+	o := &OoO{
 		cfg:    cfg,
 		eng:    eng,
 		h:      h,
 		stream: stream,
 		win:    make([]robEntry, cfg.RUUSize),
 	}
+	o.ifetchDone = func(now uint64, hit bool) { o.fetchBlocked = false }
+	return o
+}
+
+// loadReq is one in-flight load's pooled Access; its Done callback is
+// bound once at node construction.
+type loadReq struct {
+	o    *OoO
+	seq  uint64
+	acc  cache.Access
+	next *loadReq
+}
+
+func (o *OoO) getLoad(seq uint64) *loadReq {
+	lr := o.freeLoads
+	if lr == nil {
+		lr = &loadReq{o: o}
+		lr.acc.Done = lr.onDone
+	} else {
+		o.freeLoads = lr.next
+	}
+	lr.seq = seq
+	return lr
+}
+
+func (o *OoO) putLoad(lr *loadReq) {
+	lr.next = o.freeLoads
+	o.freeLoads = lr
+}
+
+func (lr *loadReq) onDone(now uint64, hit bool) {
+	o, seq := lr.o, lr.seq
+	o.putLoad(lr)
+	o.complete(seq)
 }
 
 func (o *OoO) slot(seq uint64) *robEntry { return &o.win[seq%uint64(len(o.win))] }
 
 // Run simulates until maxInsts instructions commit (or the stream
 // ends) and returns the result.
+//
+// The loop steps one cycle at a time while the pipeline is active,
+// but when a cycle makes no progress anywhere and every stage is
+// provably waiting on a calendar event (or the fetch-redirect timer),
+// it jumps the clock straight to the next event instead of stepping
+// through the dead cycles one by one. Memory-bound workloads spend
+// most of their time fully stalled on SDRAM, so this removes the
+// dominant per-cycle overhead without changing a single observable:
+// the skipped cycles are exactly those in which the per-cycle loop
+// would have done nothing.
 func (o *OoO) Run(maxInsts uint64) Result {
 	o.maxFetch = maxInsts
 	cycle := o.eng.Now()
@@ -102,9 +155,9 @@ func (o *OoO) Run(maxInsts uint64) Result {
 	lastHead := o.head
 	for {
 		o.eng.AdvanceTo(cycle)
-		o.commit()
-		o.issue(cycle)
-		o.fetch(cycle)
+		nc := o.commit()
+		ni := o.issue(cycle)
+		nf := o.fetch(cycle)
 		if o.fetchDone && o.head == o.tail {
 			break
 		}
@@ -115,6 +168,12 @@ func (o *OoO) Run(maxInsts uint64) Result {
 			panic(fmt.Sprintf("cpu: no commit progress for 2M cycles at cycle %d (head=%d tail=%d state=%d pending=%d)",
 				cycle, o.head, o.tail, o.slot(o.head).state, o.slot(o.head).pending))
 		}
+		if nc == 0 && ni == 0 && nf == 0 && len(o.readyQ) == 0 && !o.fetchRetry {
+			if t, ok := o.stallTarget(cycle); ok && t > cycle+1 {
+				cycle = t
+				continue
+			}
+		}
 		cycle++
 	}
 	o.res.Cycles = o.eng.Now()
@@ -124,18 +183,49 @@ func (o *OoO) Run(maxInsts uint64) Result {
 	return o.res
 }
 
+// stallTarget returns the next cycle at which the stalled core can
+// possibly make progress: the earliest pending calendar event, capped
+// by the fetch-redirect resume cycle. ok is false when the stall is
+// not provably event-bound (e.g. a store at the window head was
+// refused by a cache port this cycle — ports free again next cycle,
+// so skipping would be unsound).
+func (o *OoO) stallTarget(cycle uint64) (uint64, bool) {
+	if o.head != o.tail {
+		// The oldest instruction must itself be waiting on an event.
+		// A done head means commit is blocked on a retriable cache
+		// refusal instead.
+		if o.slot(o.head).state == stDone {
+			return 0, false
+		}
+	} else if !(o.fetchBlocked || o.haltOnBranch || o.fetchResumeAt > cycle) {
+		// Empty window: only an event-bound (or timer-bound) front
+		// end justifies a jump.
+		return 0, false
+	}
+	t, ok := o.eng.NextEventAt()
+	// A pending redirect wakes fetch at fetchResumeAt with no
+	// calendar event involved; never jump past it.
+	if o.fetchResumeAt > cycle && !o.fetchBlocked && !o.fetchDone && !o.haltOnBranch {
+		if !ok || o.fetchResumeAt < t {
+			t, ok = o.fetchResumeAt, true
+		}
+	}
+	return t, ok
+}
+
 // commit retires completed instructions in order; stores perform
 // their cache write at commit and stall retirement when the cache
-// refuses the access.
-func (o *OoO) commit() {
+// refuses the access. It returns the number of instructions retired.
+func (o *OoO) commit() (committed int) {
 	for n := 0; n < o.cfg.CommitWidth && o.head < o.tail; n++ {
 		e := o.slot(o.head)
 		if e.state != stDone {
-			return
+			return committed
 		}
 		if e.isStore {
-			if !o.h.L1D.Access(&cache.Access{Addr: e.addr, PC: e.pc, Write: true}) {
-				return // retry next cycle
+			acc := cache.Access{Addr: e.addr, PC: e.pc, Write: true}
+			if !o.h.L1D.Access(&acc) {
+				return committed // retry next cycle
 			}
 			o.res.Stores++
 		}
@@ -147,18 +237,21 @@ func (o *OoO) commit() {
 		}
 		e.waiters = e.waiters[:0]
 		o.head++
+		committed++
 		o.res.Insts++
 		if o.onWarm != nil && o.res.Insts == o.warmInsts {
 			o.onWarm(o.eng.Now())
 			o.onWarm = nil
 		}
 	}
+	return committed
 }
 
 // issue walks the ready queue and dispatches up to IssueWidth
 // instructions, respecting functional-unit counts; loads that the
 // cache refuses stay queued (the LSQ-stall behaviour of Section 2.2).
-func (o *OoO) issue(cycle uint64) {
+// It returns the number of instructions issued.
+func (o *OoO) issue(cycle uint64) int {
 	if cycle != o.fuCycle {
 		o.fuCycle = cycle
 		o.intALU, o.intMD, o.fpALU, o.fpMD, o.ls = 0, 0, 0, 0, 0
@@ -180,13 +273,11 @@ func (o *OoO) issue(cycle uint64) {
 			continue
 		}
 		if e.class == trace.Load {
-			s := seq
-			acc := &cache.Access{
-				Addr: e.addr,
-				PC:   e.pc,
-				Done: func(now uint64, hit bool) { o.complete(s) },
-			}
-			if !o.h.L1D.Access(acc) {
+			lr := o.getLoad(seq)
+			lr.acc.Addr = e.addr
+			lr.acc.PC = e.pc
+			if !o.h.L1D.Access(&lr.acc) {
+				o.putLoad(lr)
 				kept = append(kept, seq)
 				continue
 			}
@@ -201,11 +292,16 @@ func (o *OoO) issue(cycle uint64) {
 		o.takeFU(e.class)
 		e.state = stIssued
 		issued++
-		lat := e.class.Latency()
-		s := seq
-		o.eng.After(lat, func() { o.complete(s) })
+		o.eng.AfterFunc(e.class.Latency(), oooComplete, o, nil, seq, 0)
 	}
 	o.readyQ = kept
+	return issued
+}
+
+// oooComplete is the pooled-event completion trampoline for ALU,
+// branch and store-address operations.
+func oooComplete(_ uint64, o1, _ any, seq, _ uint64) {
+	o1.(*OoO).complete(seq)
 }
 
 func (o *OoO) fuAvailable(c trace.Class) bool {
@@ -280,27 +376,31 @@ func (o *OoO) stage(inst *trace.Inst) {
 
 // fetch brings up to FetchWidth instructions into the window,
 // modeling an I-cache access per line transition and halting on
-// unresolved mispredicted branches.
-func (o *OoO) fetch(cycle uint64) {
+// unresolved mispredicted branches. It returns the number of
+// instructions placed, and flags (via fetchRetry) bail-outs that a
+// plain next cycle could unblock — the idle-skip logic must not jump
+// over those.
+func (o *OoO) fetch(cycle uint64) (placed int) {
+	o.fetchRetry = false
 	if o.fetchDone || o.haltOnBranch || o.fetchBlocked || cycle < o.fetchResumeAt {
-		return
+		return 0
 	}
-	var inst trace.Inst
+	inst := &o.fetchScratch
 	for n := 0; n < o.cfg.FetchWidth; n++ {
 		if o.fetched >= o.maxFetch {
 			o.fetchDone = true
-			return
+			return placed
 		}
 		if o.tail-o.head >= uint64(o.cfg.RUUSize) {
-			return // window full
+			return placed // window full
 		}
-		if !o.nextInst(&inst) {
+		if !o.nextInst(inst) {
 			o.fetchDone = true
-			return
+			return placed
 		}
 		if inst.Class.IsMem() && o.lsqUsed >= o.cfg.LSQSize {
-			o.stage(&inst)
-			return // LSQ full
+			o.stage(inst)
+			return placed // LSQ full
 		}
 
 		// Instruction cache: one access per line transition.
@@ -308,34 +408,36 @@ func (o *OoO) fetch(cycle uint64) {
 		if lineAddr != o.curFetchLine {
 			present, _, _ := o.h.L1I.Probe(lineAddr)
 			if present {
-				if !o.h.L1I.Access(&cache.Access{Addr: lineAddr, PC: inst.PC}) {
-					o.stage(&inst)
-					return // I-port busy; retry next cycle
+				acc := cache.Access{Addr: lineAddr, PC: inst.PC}
+				if !o.h.L1I.Access(&acc) {
+					o.stage(inst)
+					o.fetchRetry = true
+					return placed // I-port busy; retry next cycle
 				}
 				o.curFetchLine = lineAddr
 			} else {
-				accepted := o.h.L1I.Access(&cache.Access{
-					Addr: lineAddr,
-					PC:   inst.PC,
-					Done: func(now uint64, hit bool) { o.fetchBlocked = false },
-				})
-				if accepted {
+				acc := cache.Access{Addr: lineAddr, PC: inst.PC, Done: o.ifetchDone}
+				if o.h.L1I.Access(&acc) {
 					o.fetchBlocked = true
 					o.curFetchLine = lineAddr
+				} else {
+					o.fetchRetry = true // I-cache refused the miss
 				}
-				o.stage(&inst)
-				return
+				o.stage(inst)
+				return placed
 			}
 		}
 
-		o.place(&inst)
+		o.place(inst)
+		placed++
 		o.fetched++
 		if inst.Class == trace.Branch && inst.Mispredict {
 			o.haltOnBranch = true
 			o.haltBranchSeq = o.tail - 1
-			return
+			return placed
 		}
 	}
+	return placed
 }
 
 // place allocates a window entry and resolves its dependences.

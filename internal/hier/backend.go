@@ -7,6 +7,14 @@ import (
 	"microlib/internal/sim"
 )
 
+// The backends in this file sit on the kernel's hottest paths (every
+// L1 and L2 miss flows through them), so their request state lives in
+// per-backend freelists of reusable nodes whose callbacks are bound
+// once at node construction. Steady-state miss traffic allocates
+// nothing: the (sink, lineAddr) pair a fill must come back to rides
+// in the pooled node, and timed hops between pipeline stages go
+// through the engine's pooled AtFunc events.
+
 // l2Backend carries L1 misses across the L1/L2 bus into the unified
 // L2. Both L1 caches share one instance's bus but use per-cache
 // wrappers that know their own line size for the data return.
@@ -19,49 +27,87 @@ type l2Backend struct {
 // l1DataBackend is the per-L1 view of the shared l2Backend.
 type l1DataBackend struct {
 	*l2Backend
-	lineSize uint64
+	lineSize  uint64
+	freeFetch *l1Fetch
+}
+
+// l1Fetch is one in-flight L1 miss: command beat, L2 lookup, data
+// return. Its L2 completion callback is bound once, at construction.
+type l1Fetch struct {
+	b    *l1DataBackend
+	sink cache.FillSink
+	acc  cache.Access
+	next *l1Fetch
+}
+
+func (b *l1DataBackend) getFetch() *l1Fetch {
+	f := b.freeFetch
+	if f == nil {
+		f = &l1Fetch{b: b}
+		f.acc.Done = f.onL2Done
+	} else {
+		b.freeFetch = f.next
+	}
+	return f
+}
+
+func (b *l1DataBackend) putFetch(f *l1Fetch) {
+	f.sink = nil
+	f.next = b.freeFetch
+	b.freeFetch = f
 }
 
 // Fetch implements cache.Backend for an L1 cache.
-func (b *l1DataBackend) Fetch(lineAddr, pc uint64, prefetch bool, done func(now uint64)) bool {
+func (b *l1DataBackend) Fetch(lineAddr, pc uint64, prefetch bool, sink cache.FillSink) bool {
 	now := b.eng.Now()
 	if prefetch && b.bus.Busy(now) {
 		return false // prefetches only use an idle bus
 	}
+	f := b.getFetch()
+	f.sink = sink
+	f.acc.Addr = lineAddr
+	f.acc.PC = pc
 	// Command transfer to L2 (one bus beat), then the L2 lookup, then
 	// the line returns across the bus.
 	cmdDone := b.bus.Reserve(now, 8)
-	b.eng.At(cmdDone, func() { b.submit(lineAddr, pc, done) })
+	b.eng.AtFunc(cmdDone, l1FetchSubmit, f, nil, 0, 0)
 	return true
 }
 
-func (b *l1DataBackend) submit(lineAddr, pc uint64, done func(now uint64)) {
-	acc := &cache.Access{
-		Addr: lineAddr,
-		PC:   pc,
-		Done: func(t uint64, hit bool) {
-			dataDone := b.bus.Reserve(t, b.lineSize)
-			b.eng.At(dataDone, func() { done(dataDone) })
-		},
+func l1FetchSubmit(_ uint64, o1, _ any, _, _ uint64) {
+	f := o1.(*l1Fetch)
+	if !f.b.l2.Access(&f.acc) {
+		f.b.eng.AfterFunc(1, l1FetchSubmit, f, nil, 0, 0)
 	}
-	if !b.l2.Access(acc) {
-		b.eng.After(1, func() { b.submit(lineAddr, pc, done) })
-	}
+}
+
+// onL2Done is the pre-bound Access.Done: the L2 has the line; book
+// the return beat on the L1/L2 bus and deliver.
+func (f *l1Fetch) onL2Done(t uint64, hit bool) {
+	dataDone := f.b.bus.Reserve(t, f.b.lineSize)
+	f.b.eng.AtFunc(dataDone, l1FetchDeliver, f, nil, 0, 0)
+}
+
+func l1FetchDeliver(now uint64, o1, _ any, _, _ uint64) {
+	f := o1.(*l1Fetch)
+	sink, la := f.sink, f.acc.Addr
+	f.b.putFetch(f)
+	sink.FillLine(la, now)
 }
 
 // WriteBack implements cache.Backend: dirty L1 lines move across the
 // bus and update (write-allocate) the L2.
 func (b *l1DataBackend) WriteBack(lineAddr uint64) bool {
-	now := b.eng.Now()
-	dataDone := b.bus.Reserve(now, b.lineSize)
-	b.eng.At(dataDone, func() { b.submitWB(lineAddr) })
+	dataDone := b.bus.Reserve(b.eng.Now(), b.lineSize)
+	b.eng.AtFunc(dataDone, l1SubmitWB, b, nil, lineAddr, 0)
 	return true
 }
 
-func (b *l1DataBackend) submitWB(lineAddr uint64) {
-	acc := &cache.Access{Addr: lineAddr, Write: true}
-	if !b.l2.Access(acc) {
-		b.eng.After(1, func() { b.submitWB(lineAddr) })
+func l1SubmitWB(_ uint64, o1, _ any, lineAddr, _ uint64) {
+	b := o1.(*l1DataBackend)
+	acc := cache.Access{Addr: lineAddr, Write: true}
+	if !b.l2.Access(&acc) {
+		b.eng.AfterFunc(1, l1SubmitWB, b, nil, lineAddr, 0)
 	}
 }
 
@@ -75,6 +121,66 @@ type memBackend struct {
 	fsb      *bus.Bus
 	m        mem.Model
 	lineSize uint64
+
+	freeFetch *memFetch
+	freeWB    *memWB
+}
+
+// memFetch is one in-flight L2 miss inside the memory controller; the
+// controller calls the pre-bound Done when the burst completes.
+type memFetch struct {
+	b    *memBackend
+	sink cache.FillSink
+	req  mem.Req
+	next *memFetch
+}
+
+func (b *memBackend) getFetch() *memFetch {
+	f := b.freeFetch
+	if f == nil {
+		f = &memFetch{b: b}
+		f.req.Done = f.onDone
+	} else {
+		b.freeFetch = f.next
+	}
+	return f
+}
+
+func (b *memBackend) putFetch(f *memFetch) {
+	f.sink = nil
+	f.next = b.freeFetch
+	b.freeFetch = f
+}
+
+func (f *memFetch) onDone(now uint64) {
+	sink, la := f.sink, f.req.Addr
+	f.b.putFetch(f)
+	sink.FillLine(la, now)
+}
+
+// memWB is one write-back in flight; its pre-bound Done returns the
+// node to the pool once the controller retires the write.
+type memWB struct {
+	b    *memBackend
+	req  mem.Req
+	next *memWB
+}
+
+func (b *memBackend) getWB() *memWB {
+	w := b.freeWB
+	if w == nil {
+		w = &memWB{b: b}
+		w.req.Done = w.onDone
+		w.req.Write = true
+	} else {
+		b.freeWB = w.next
+	}
+	return w
+}
+
+func (w *memWB) onDone(now uint64) {
+	w.next = w.b.freeWB
+	w.b.freeWB = w
 }
 
 // Fetch implements cache.Backend for the L2. The SDRAM burst already
@@ -82,33 +188,39 @@ type memBackend struct {
 // direct-attached controller), so the return path is not charged a
 // second time; prefetch admission is controlled by the memory
 // controller's queue policy.
-func (b *memBackend) Fetch(lineAddr, pc uint64, prefetch bool, done func(now uint64)) bool {
-	req := &mem.Req{
-		Addr:     lineAddr,
-		Size:     uint32(b.lineSize),
-		Prefetch: prefetch,
-		Done:     done,
+func (b *memBackend) Fetch(lineAddr, pc uint64, prefetch bool, sink cache.FillSink) bool {
+	f := b.getFetch()
+	f.sink = sink
+	f.req.Addr = lineAddr
+	f.req.Size = uint32(b.lineSize)
+	f.req.Prefetch = prefetch
+	if !b.m.Enqueue(&f.req) {
+		b.putFetch(f)
+		return false
 	}
-	return b.m.Enqueue(req)
+	return true
 }
 
 // WriteBack implements cache.Backend: the dirty line crosses the FSB
 // and is retired by the controller.
 func (b *memBackend) WriteBack(lineAddr uint64) bool {
 	dataDone := b.fsb.Reserve(b.eng.Now(), b.lineSize)
-	req := &mem.Req{Addr: lineAddr, Size: uint32(b.lineSize), Write: true}
-	if !b.m.Enqueue(req) {
+	w := b.getWB()
+	w.req.Addr = lineAddr
+	w.req.Size = uint32(b.lineSize)
+	if !b.m.Enqueue(&w.req) {
 		// Queue full: retry the controller entry once the bus beat
 		// lands; the bus reservation already happened (data is in
 		// flight) so this models controller-side buffering.
-		b.eng.At(dataDone, func() { b.retryWB(req) })
+		b.eng.AtFunc(dataDone, memRetryWB, w, nil, 0, 0)
 	}
 	return true
 }
 
-func (b *memBackend) retryWB(req *mem.Req) {
-	if !b.m.Enqueue(req) {
-		b.eng.After(4, func() { b.retryWB(req) })
+func memRetryWB(_ uint64, o1, _ any, _, _ uint64) {
+	w := o1.(*memWB)
+	if !w.b.m.Enqueue(&w.req) {
+		w.b.eng.AfterFunc(4, memRetryWB, w, nil, 0, 0)
 	}
 }
 
@@ -124,18 +236,61 @@ func (b *memBackend) FreeAtHint() uint64 {
 // constBackend is the SimpleScalar-style memory path: no bus, no
 // queue, a flat constant latency, unlimited concurrency.
 type constBackend struct {
-	eng *sim.Engine
-	m   mem.Model
+	eng       *sim.Engine
+	m         mem.Model
+	freeFetch *constFetch
+	wbScratch mem.Req
+}
+
+// constFetch carries (sink, addr) through the constant-latency delay.
+type constFetch struct {
+	b    *constBackend
+	sink cache.FillSink
+	req  mem.Req
+	next *constFetch
+}
+
+func (b *constBackend) getFetch() *constFetch {
+	f := b.freeFetch
+	if f == nil {
+		f = &constFetch{b: b}
+		f.req.Done = f.onDone
+		f.req.Size = 64
+	} else {
+		b.freeFetch = f.next
+	}
+	return f
+}
+
+func (f *constFetch) onDone(now uint64) {
+	sink, la := f.sink, f.req.Addr
+	f.sink = nil
+	f.next = f.b.freeFetch
+	f.b.freeFetch = f
+	sink.FillLine(la, now)
 }
 
 // Fetch implements cache.Backend.
-func (b *constBackend) Fetch(lineAddr, pc uint64, prefetch bool, done func(now uint64)) bool {
-	return b.m.Enqueue(&mem.Req{Addr: lineAddr, Size: 64, Prefetch: prefetch, Done: done})
+func (b *constBackend) Fetch(lineAddr, pc uint64, prefetch bool, sink cache.FillSink) bool {
+	f := b.getFetch()
+	f.sink = sink
+	f.req.Addr = lineAddr
+	f.req.Prefetch = prefetch
+	if !b.m.Enqueue(&f.req) {
+		f.sink = nil
+		f.next = b.freeFetch
+		b.freeFetch = f
+		return false
+	}
+	return true
 }
 
-// WriteBack implements cache.Backend.
+// WriteBack implements cache.Backend. The constant model neither
+// refuses nor retains requests and nobody waits on the write, so one
+// scratch request is reused for every write-back.
 func (b *constBackend) WriteBack(lineAddr uint64) bool {
-	return b.m.Enqueue(&mem.Req{Addr: lineAddr, Size: 64, Write: true})
+	b.wbScratch = mem.Req{Addr: lineAddr, Size: 64, Write: true}
+	return b.m.Enqueue(&b.wbScratch)
 }
 
 // FreeAtHint implements cache.Backend.

@@ -95,6 +95,7 @@ func init() {
 	core.Register(core.Description{
 		Name: "DBCP", Level: "L1", Year: 2001,
 		Summary: "Dead-Block Correlating Prefetcher: signature-indexed dead-block and successor prediction",
+		Params:  []string{"tableBytes", "ways", "history", "buggy", "queue"},
 	}, func(env *core.Env, p core.Params) (core.Mechanism, error) {
 		d := New(env.L1D, Config{
 			TableBytes: p.Get("tableBytes", 2<<20),

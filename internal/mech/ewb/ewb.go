@@ -42,6 +42,7 @@ func init() {
 	core.Register(core.Description{
 		Name: "EWB", Level: "L2", Year: 2000,
 		Summary: "Eager Writeback: retire dirty LRU lines during idle bus cycles (library extension)",
+		Params:  []string{"interval", "batch"},
 	}, func(env *core.Env, p core.Params) (core.Mechanism, error) {
 		e := New(env.Eng, env.L2,
 			uint64(p.Get("interval", 256)),

@@ -73,6 +73,7 @@ func init() {
 	core.Register(core.Description{
 		Name: "GHB", Level: "L2", Year: 2004,
 		Summary: "Global History Buffer: PC-localized delta correlation, prefetch degree 4",
+		Params:  []string{"itEntries", "ghbEntries", "degree", "queue"},
 	}, func(env *core.Env, p core.Params) (core.Mechanism, error) {
 		g := New(env.L2,
 			p.Get("itEntries", 256),

@@ -56,6 +56,7 @@ func init() {
 	core.Register(core.Description{
 		Name: "Markov", Level: "L1", Year: 1997,
 		Summary: "Markov Prefetcher: per-address successor prediction into a prefetch buffer",
+		Params:  []string{"tableBytes", "bufLines", "queue"},
 	}, func(env *core.Env, p core.Params) (core.Mechanism, error) {
 		m := New(env.L1D, p.Get("tableBytes", 1<<20), p.Get("bufLines", 128))
 		env.L1D.SetPrefetchQueueCap(p.Get("queue", 16))

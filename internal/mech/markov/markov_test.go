@@ -10,8 +10,8 @@ import (
 // fakeBackend accepts everything instantly.
 type fakeBackend struct{ eng *sim.Engine }
 
-func (f *fakeBackend) Fetch(lineAddr, pc uint64, prefetch bool, done func(uint64)) bool {
-	f.eng.After(10, func() { done(f.eng.Now()) })
+func (f *fakeBackend) Fetch(lineAddr, pc uint64, prefetch bool, sink cache.FillSink) bool {
+	f.eng.After(10, func() { sink.FillLine(lineAddr, f.eng.Now()) })
 	return true
 }
 func (f *fakeBackend) WriteBack(lineAddr uint64) bool { return true }

@@ -23,12 +23,12 @@ type Backend struct {
 }
 
 // Fetch implements cache.Backend.
-func (b *Backend) Fetch(lineAddr, pc uint64, prefetch bool, done func(uint64)) bool {
+func (b *Backend) Fetch(lineAddr, pc uint64, prefetch bool, sink cache.FillSink) bool {
 	if prefetch && b.RefusePrefetch {
 		return false
 	}
 	b.Fetches = append(b.Fetches, lineAddr)
-	b.Eng.After(b.Delay, func() { done(b.Eng.Now()) })
+	b.Eng.After(b.Delay, func() { sink.FillLine(lineAddr, b.Eng.Now()) })
 	return true
 }
 

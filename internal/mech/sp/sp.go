@@ -51,6 +51,7 @@ func init() {
 	core.Register(core.Description{
 		Name: "SP", Level: "L2", Year: 1992,
 		Summary: "Stride Prefetching: PC-indexed stride detection with steady-state prefetch",
+		Params:  []string{"entries", "queue"},
 	}, func(env *core.Env, p core.Params) (core.Mechanism, error) {
 		s := New(env.L2, p.Get("entries", 512))
 		env.L2.SetPrefetchQueueCap(p.Get("queue", 1))

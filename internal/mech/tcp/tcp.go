@@ -74,6 +74,7 @@ func init() {
 	core.Register(core.Description{
 		Name: "TCP", Level: "L2", Year: 2003,
 		Summary: "Tag Correlating Prefetching: per-set miss-tag pattern prediction",
+		Params:  []string{"thtSets", "phtSets", "phtWays", "queue"},
 	}, func(env *core.Env, p core.Params) (core.Mechanism, error) {
 		t := New(env.L2, p.Get("thtSets", 1024), p.Get("phtSets", 256), p.Get("phtWays", 8))
 		q := p.Get("queue", 128)

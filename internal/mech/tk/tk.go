@@ -67,6 +67,7 @@ func init() {
 	core.Register(core.Description{
 		Name: "TK", Level: "L1", Year: 2002,
 		Summary: "Timekeeping prefetcher: decay-based dead-block detection with replacement correlation",
+		Params:  []string{"refresh", "threshold", "corrBytes", "queue"},
 	}, func(env *core.Env, p core.Params) (core.Mechanism, error) {
 		t := New(env.Eng, env.L1D,
 			uint64(p.Get("refresh", 512)),
@@ -79,6 +80,7 @@ func init() {
 	core.Register(core.Description{
 		Name: "TKVC", Level: "L1", Year: 2002,
 		Summary: "Timekeeping Victim Cache: reuse-predicted filtering of victim-cache insertions",
+		Params:  []string{"bytes", "threshold"},
 	}, func(env *core.Env, p core.Params) (core.Mechanism, error) {
 		t := NewTKVC(env.Eng, env.L1D,
 			p.Get("bytes", 512),

@@ -25,6 +25,7 @@ func init() {
 	core.Register(core.Description{
 		Name: "TP", Level: "L2", Year: 1982,
 		Summary: "Tagged Prefetching: prefetch next line on a miss or on a hit on a prefetched line",
+		Params:  []string{"queue"},
 	}, func(env *core.Env, p core.Params) (core.Mechanism, error) {
 		t := &TP{l2: env.L2, lineSize: uint64(env.L2.Config().LineSize)}
 		env.L2.SetPrefetchQueueCap(p.Get("queue", 16))

@@ -43,6 +43,7 @@ func init() {
 	core.Register(core.Description{
 		Name: "VC", Level: "L1", Year: 1990,
 		Summary: "Victim Cache: small fully associative buffer for evicted L1 lines",
+		Params:  []string{"bytes"},
 	}, func(env *core.Env, p core.Params) (core.Mechanism, error) {
 		v := NewVC(env.Eng, env.L1D, p.Get("bytes", 512))
 		env.L1D.Attach(v)

@@ -32,10 +32,13 @@ func (m *ConstLatency) Enqueue(r *Req) bool {
 		m.stats.Prefetches++
 	}
 	if r.Done != nil {
-		done := r.Done
-		m.eng.After(m.latency, func() { done(m.eng.Now()) })
+		m.eng.AfterFunc(m.latency, callReqDone, r.Done, nil, 0, 0)
 	}
 	return true
+}
+
+func callReqDone(now uint64, o1, _ any, _, _ uint64) {
+	o1.(func(uint64))(now)
 }
 
 // Stats implements Model.

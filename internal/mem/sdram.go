@@ -297,17 +297,13 @@ func (s *SDRAM) kick() {
 			s.stats.Prefetches++
 		}
 		s.inflight++
-		cb := q.req.Done
-		s.eng.At(done, func() {
-			s.inflight--
-			if cb != nil {
-				cb(done)
-			}
-			s.kick()
-		})
+		s.eng.AtFunc(done, sdramXferDone, s, q.req.Done, 0, 0)
 
-		// Remove from queue preserving order.
+		// Remove from queue preserving order; clear the vacated tail
+		// slot so the backing array does not pin the retired request.
+		last := len(s.queue) - 1
 		s.queue = append(s.queue[:i], s.queue[i+1:]...)
+		s.queue[:last+1][last] = sdramReq{}
 	}
 }
 
@@ -327,6 +323,18 @@ func (s *SDRAM) serviceEstimate() uint64 {
 	return s.cfg.RASPre + s.cfg.RASToCAS + s.cfg.CASLatency + s.cfg.BurstCycles
 }
 
+// sdramXferDone fires at burst completion: o1 is the controller, o2
+// the request's Done callback (a typed-but-nil func for writes nobody
+// waits on, hence the value check rather than an interface check).
+func sdramXferDone(now uint64, o1, o2 any, _, _ uint64) {
+	s := o1.(*SDRAM)
+	s.inflight--
+	if cb, _ := o2.(func(uint64)); cb != nil {
+		cb(now)
+	}
+	s.kick()
+}
+
 func (s *SDRAM) scheduleKick(at uint64) {
 	if s.kickPlanned {
 		return
@@ -335,10 +343,13 @@ func (s *SDRAM) scheduleKick(at uint64) {
 	if at < s.eng.Now() {
 		at = s.eng.Now()
 	}
-	s.eng.At(at, func() {
-		s.kickPlanned = false
-		s.kick()
-	})
+	s.eng.AtFunc(at, sdramFireKick, s, nil, 0, 0)
+}
+
+func sdramFireKick(_ uint64, o1, _ any, _, _ uint64) {
+	s := o1.(*SDRAM)
+	s.kickPlanned = false
+	s.kick()
 }
 
 // Pending implements Model.

@@ -1,0 +1,131 @@
+package runner
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"microlib/internal/hier"
+)
+
+// The golden matrix pins the simulator's exact behaviour: every cell
+// below was recorded from the reference kernel, and any kernel or
+// scheduling change that alters a single cycle count or stat counter
+// fails this test. This is the determinism contract of the event
+// kernel — the calendar queue, event pooling and idle-cycle skipping
+// must be bit-identical to naive per-cycle simulation.
+//
+// Regenerate (after an intentional semantic change only!) with:
+//
+//	MICROLIB_GOLDEN_REGEN=1 go test ./internal/runner -run TestGoldenMatrix -v
+//
+// and paste the printed table over goldenResults.
+
+type goldenCell struct {
+	bench   string
+	mech    string
+	inorder bool
+	memory  hier.MemoryKind
+}
+
+type goldenValues struct {
+	Cycles      uint64
+	Insts       uint64
+	L1DAccesses uint64
+	L1DHits     uint64
+	L1DMisses   uint64
+	L2Misses    uint64
+	MemReads    uint64
+	Mispredicts uint64
+	Stores      uint64
+}
+
+func goldenMatrix() []goldenCell {
+	var cells []goldenCell
+	// Three benches spanning compute-bound to memory-bound, crossed
+	// with mechanisms that exercise every event pattern the kernel
+	// supports: plain demand misses (Base), prefetch queues (GHB, SP,
+	// TCP), aux-probe swaps (VC), and free-running refresh timers
+	// that fire during otherwise-dead cycles (EWB, TK).
+	for _, bench := range []string{"gzip", "mcf", "art"} {
+		for _, mech := range []string{"Base", "GHB", "SP", "VC", "EWB", "TK", "TCP"} {
+			cells = append(cells, goldenCell{bench: bench, mech: mech})
+		}
+	}
+	// The scalar in-order host and the constant-latency memory use
+	// different kernel idioms (blocking-wait loops, unlimited
+	// concurrency) and are pinned too.
+	cells = append(cells,
+		goldenCell{bench: "gzip", mech: "Base", inorder: true},
+		goldenCell{bench: "mcf", mech: "GHB", inorder: true},
+		goldenCell{bench: "mcf", mech: "Base", memory: hier.MemConst70},
+	)
+	return cells
+}
+
+func goldenKey(c goldenCell) string {
+	host := "ooo"
+	if c.inorder {
+		host = "inorder"
+	}
+	return fmt.Sprintf("%s/%s/%s/%s", c.bench, c.mech, host, c.memory)
+}
+
+func runGoldenCell(t *testing.T, c goldenCell) goldenValues {
+	t.Helper()
+	opts := DefaultOptions(c.bench, c.mech)
+	opts.Insts = 20_000
+	opts.Warmup = 5_000
+	opts.InOrder = c.inorder
+	opts.Hier = opts.Hier.WithMemory(c.memory)
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatalf("%s: %v", goldenKey(c), err)
+	}
+	return goldenValues{
+		Cycles:      res.CPU.Cycles,
+		Insts:       res.CPU.Insts,
+		L1DAccesses: res.L1D.Accesses,
+		L1DHits:     res.L1D.Hits,
+		L1DMisses:   res.L1D.Misses,
+		L2Misses:    res.L2.Misses,
+		MemReads:    res.Mem.Reads,
+		Mispredicts: res.CPU.Mispredicts,
+		Stores:      res.CPU.Stores,
+	}
+}
+
+// TestGoldenMatrix asserts bit-identical results against the recorded
+// reference for every covered bench x mechanism x host x memory cell.
+func TestGoldenMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden matrix is not short")
+	}
+	regen := os.Getenv("MICROLIB_GOLDEN_REGEN") != ""
+	if regen {
+		fmt.Println("var goldenResults = map[string]goldenValues{")
+	}
+	for _, c := range goldenMatrix() {
+		c := c
+		key := goldenKey(c)
+		t.Run(key, func(t *testing.T) {
+			got := runGoldenCell(t, c)
+			if regen {
+				fmt.Printf("\t%q: {%d, %d, %d, %d, %d, %d, %d, %d, %d},\n",
+					key, got.Cycles, got.Insts, got.L1DAccesses, got.L1DHits,
+					got.L1DMisses, got.L2Misses, got.MemReads, got.Mispredicts, got.Stores)
+				return
+			}
+			want, ok := goldenResults[key]
+			if !ok {
+				t.Fatalf("no golden entry for %s (regenerate with MICROLIB_GOLDEN_REGEN=1)", key)
+			}
+			if got != want {
+				t.Errorf("determinism broken:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+	if regen {
+		fmt.Println("}")
+	}
+}

@@ -1,0 +1,32 @@
+package sim
+
+// RunSteadyState drives the canonical kernel steady-state workload:
+// n near-future events scheduled through the closure path (pooled ==
+// false) or the pooled AfterFunc path (pooled == true), drained in
+// 64-cycle strides, then a final drain. The sim microbenchmarks, the
+// root-package benchmarks and the mlbench CI allocation gate all call
+// this one definition, so the workload the gate measures cannot
+// silently drift from the documented/benchmarked one. It returns the
+// number of events that fired.
+func RunSteadyState(eng *Engine, n int, pooled bool) uint64 {
+	var fired uint64
+	if pooled {
+		fn := Func(func(now uint64, o1, o2 any, a0, a1 uint64) { fired += a0 })
+		for i := 0; i < n; i++ {
+			eng.AfterFunc(uint64(i%64)+1, fn, nil, nil, 1, 0)
+			if i%64 == 63 {
+				eng.Drain(eng.Now() + 64)
+			}
+		}
+	} else {
+		fn := func() { fired++ }
+		for i := 0; i < n; i++ {
+			eng.After(uint64(i%64)+1, fn)
+			if i%64 == 63 {
+				eng.Drain(eng.Now() + 64)
+			}
+		}
+	}
+	eng.Drain(eng.Now() + 128)
+	return fired
+}

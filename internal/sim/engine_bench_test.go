@@ -1,0 +1,71 @@
+package sim
+
+import "testing"
+
+// BenchmarkAfterDrain is the canonical kernel steady state (see
+// RunSteadyState): schedule near-future events through the closure
+// API and drain them. The hoisted closure makes the measurement the
+// kernel's own cost; the CI bench gate requires 0 allocs/op here.
+func BenchmarkAfterDrain(b *testing.B) {
+	eng := NewEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	if RunSteadyState(eng, b.N, false) == 0 {
+		b.Fatal("no events ran")
+	}
+}
+
+// BenchmarkAfterFuncDrain measures the pooled static-trampoline path
+// used by the hot components.
+func BenchmarkAfterFuncDrain(b *testing.B) {
+	eng := NewEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	if RunSteadyState(eng, b.N, true) == 0 {
+		b.Fatal("no events ran")
+	}
+}
+
+// BenchmarkOverflowPromotion schedules exclusively beyond the ring
+// window, forcing every event through the overflow heap and the
+// promotion path.
+func BenchmarkOverflowPromotion(b *testing.B) {
+	eng := NewEngine()
+	n := 0
+	fn := func() { n++ }
+	// Prime the node pool and heap backing to the steady-state
+	// backlog (~2*ringSize events in flight).
+	for i := 0; i < 4*ringSize; i++ {
+		eng.After(ringSize+uint64(i%1024), fn)
+		if i%64 == 63 {
+			eng.AdvanceTo(eng.Now() + 64)
+		}
+	}
+	eng.AdvanceTo(eng.Now() + 16*ringSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(ringSize+uint64(i%1024), fn)
+		if i%64 == 63 {
+			eng.AdvanceTo(eng.Now() + 64)
+		}
+	}
+	eng.AdvanceTo(eng.Now() + 16*ringSize)
+	if n == 0 {
+		b.Fatal("no events ran")
+	}
+}
+
+// BenchmarkIdleAdvance measures jumping the clock across dead time
+// with one far event pending — the engine half of idle-cycle
+// skipping.
+func BenchmarkIdleAdvance(b *testing.B) {
+	eng := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(100_000, fn)
+		eng.AdvanceTo(eng.Now() + 100_000)
+	}
+}

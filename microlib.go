@@ -204,6 +204,18 @@ func LoadCampaignSpec(path string) (CampaignSpec, error) { return campaign.LoadS
 // NewCampaignPlan normalizes and expands a spec into its cell plan.
 func NewCampaignPlan(spec CampaignSpec) (*CampaignPlan, error) { return campaign.NewPlan(spec) }
 
+// CampaignPruneOptions selects which cached campaign cells to delete.
+type CampaignPruneOptions = campaign.PruneOptions
+
+// CampaignPruneResult reports what PruneCampaignCache removed.
+type CampaignPruneResult = campaign.PruneResult
+
+// PruneCampaignCache garbage-collects a campaign result cache by age
+// and/or reachability from a plan's cell fingerprints.
+func PruneCampaignCache(c *CampaignCache, opts CampaignPruneOptions) (CampaignPruneResult, error) {
+	return campaign.Prune(c, opts)
+}
+
 // OpenCampaignCache creates (if needed) and opens a result cache
 // directory.
 func OpenCampaignCache(dir string) (*CampaignCache, error) { return campaign.OpenDiskCache(dir) }
