@@ -14,6 +14,7 @@
 //	mlcampaign list -cache .mlcache
 //	mlcampaign prune -cache .mlcache -older-than 720h
 //	mlcampaign prune -cache .mlcache -spec sweep.json -dry-run
+//	mlcampaign record -workload gzip -out gzip.mlt -insts 250000
 //
 // A campaign interrupted with ^C leaves every finished cell in the
 // cache; rerunning the same spec with the same -cache directory
@@ -57,6 +58,8 @@ func main() {
 		cmdList(os.Args[2:])
 	case "prune":
 		cmdPrune(os.Args[2:])
+	case "record":
+		cmdRecord(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -72,6 +75,7 @@ func usage() {
   mlcampaign plan  -spec file
   mlcampaign list  [-cache dir]
   mlcampaign prune -cache dir [-older-than dur] [-spec file] [-dry-run]
+  mlcampaign record -workload name -out file.mlt [-insts n] [-seed n] [-spec file]
 `)
 }
 
@@ -271,6 +275,55 @@ func cmdPrune(args []string) {
 		fmt.Printf("%s %s (%s, %d bytes)\n", verb, e.Key, e.ModTime.Format("2006-01-02 15:04:05"), e.Size)
 	}
 	fmt.Printf("mlcampaign: %s %d cells (%d bytes), kept %d\n", verb, len(res.Removed), res.Bytes, res.Kept)
+}
+
+// cmdRecord captures a workload — a built-in benchmark, or any
+// custom workload of a spec — to a binary trace file, which another
+// spec can then replay through a "trace" workload entry.
+func cmdRecord(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	var (
+		name     = fs.String("workload", "", "workload to record: a built-in benchmark or, with -spec, a spec-defined workload")
+		out      = fs.String("out", "", "trace file to write")
+		insts    = fs.Uint64("insts", 250_000, "instructions to record")
+		seed     = fs.Uint64("seed", 42, "generator seed (ignored for trace-backed workloads)")
+		specPath = fs.String("spec", "", "campaign spec defining custom workloads (optional)")
+	)
+	fs.Parse(args)
+	if *name == "" || *out == "" {
+		fatal(fmt.Errorf("record: -workload and -out are required"))
+	}
+
+	var spec microlib.CampaignSpec
+	if *specPath != "" {
+		s, err := microlib.LoadCampaignSpec(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+		spec = s
+	}
+
+	// Record into a temp file and rename on success: -out may name an
+	// existing trace — including the very trace being re-recorded
+	// from — and neither a failed run nor the recording itself may
+	// clobber it before the new content is complete.
+	tmp := *out + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		fatal(err)
+	}
+	n, rerr := microlib.RecordTrace(spec, *name, *seed, *insts, f)
+	if cerr := f.Close(); rerr == nil {
+		rerr = cerr
+	}
+	if rerr == nil {
+		rerr = os.Rename(tmp, *out)
+	}
+	if rerr != nil {
+		os.Remove(tmp)
+		fatal(rerr)
+	}
+	fmt.Printf("recorded %d instructions of %s to %s\n", n, *name, *out)
 }
 
 func fatal(err error) {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	"microlib"
 )
@@ -54,4 +55,55 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nsecond run: %d/%d cells from cache\n", again.Sched.CacheHits, again.Sched.Total)
+
+	customWorkloads(cacheDir)
+}
+
+// customWorkloads sweeps two user-authored workloads — an inline
+// synthetic profile and a trace recorded on the spot — against a
+// built-in benchmark (see examples/campaign/custom-workloads.json
+// for the same campaign as a JSON spec for mlcampaign).
+func customWorkloads(cacheDir string) {
+	tracePath := filepath.Join(cacheDir, "recorded.mlt")
+	f, err := os.Create(tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := microlib.RecordTrace(microlib.CampaignSpec{}, "gzip", 42, 45_000, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrecorded %d instructions of gzip to %s\n", n, tracePath)
+
+	warmup := uint64(10_000)
+	spec := microlib.CampaignSpec{
+		Name: "custom-workloads",
+		Workloads: []microlib.CampaignWorkload{
+			{
+				Name: "pointer-storm",
+				Profile: &microlib.WorkloadProfile{
+					LoadFrac: 0.3, StoreFrac: 0.1, Mispredict: 0.04,
+					CodeKB: 16, BlockLen: 6, DepMean: 5,
+					Patterns: []microlib.WorkloadPattern{
+						{Kind: microlib.PatHot, Size: 8 << 10},
+						{Kind: microlib.PatChase, Size: 2 << 20, NodeSize: 64, PtrOff: 8, Serial: true},
+					},
+					Phases: []microlib.WorkloadPhase{{Len: 60_000, Weights: []float64{8, 2}}},
+				},
+			},
+			{Name: "recorded-gzip", Trace: tracePath},
+		},
+		Benchmarks: []string{"gzip", "pointer-storm", "recorded-gzip"},
+		Mechanisms: []string{microlib.BaseMechanism, "SP", "GHB"},
+		Insts:      []uint64{30_000},
+		Warmup:     &warmup,
+	}
+	sum, err := microlib.RunCampaign(context.Background(), spec, microlib.CampaignConfig{CacheDir: cacheDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(sum.Text())
 }

@@ -59,12 +59,20 @@ func NewPlan(spec Spec) (*Plan, error) {
 		len(spec.Cores) * len(spec.Queues) * len(spec.Insts) * len(spec.Seeds)
 	p := &Plan{Spec: spec, Cells: make([]Cell, 0, n)}
 	for _, bench := range spec.Benchmarks {
+		// A trace workload replays fixed bytes: the seed axis cannot
+		// replicate it, so only the first seed's cell is emitted —
+		// honest single-sample cells instead of N identical
+		// "replicates" with a fake zero-width confidence interval.
+		seeds := spec.Seeds
+		if cw := spec.customWorkload(bench); cw != nil && cw.TracePath != "" {
+			seeds = spec.Seeds[:1]
+		}
 		for _, mech := range spec.Mechanisms {
 			for _, mem := range spec.Memories {
 				for _, coreName := range spec.Cores {
 					for _, queue := range spec.Queues {
 						for _, insts := range spec.Insts {
-							for _, seed := range spec.Seeds {
+							for _, seed := range seeds {
 								cell := Cell{
 									Index:  len(p.Cells),
 									Bench:  bench,
@@ -92,7 +100,10 @@ func NewPlan(spec Spec) (*Plan, error) {
 // spec.
 func (s *Spec) resolve(c Cell) runner.Options {
 	opts := runner.Options{
-		Bench:            c.Bench,
+		Bench: c.Bench,
+		// Nil for built-in benchmarks; for spec-defined workloads the
+		// source carries the content identity the fingerprint keys on.
+		Workload:         s.customWorkload(c.Bench),
 		Mechanism:        c.Mech,
 		Hier:             hier.DefaultConfig().WithMemory(memoryKind(c.Memory)),
 		CPU:              cpu.DefaultConfig(),

@@ -1,0 +1,86 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+
+	"microlib/internal/trace"
+	"microlib/internal/workload"
+)
+
+// Record captures insts instructions of a workload to w in the
+// binary trace format. The name resolves like a benchmarks-axis
+// value of the spec: a built-in benchmark, a spec-defined inline
+// profile, or a spec-defined trace (re-recorded, e.g. to cut a
+// shorter window). Pass a zero Spec for built-ins. The count of
+// written instructions is returned; a source that ends before insts
+// is an error, consistent with the runner's refusal to silently
+// measure a shorter run than requested.
+func Record(spec Spec, name string, seed, insts uint64, w io.Writer) (uint64, error) {
+	if insts == 0 {
+		return 0, fmt.Errorf("campaign: record: zero instruction count")
+	}
+
+	// Only the named workload is resolved — not the whole spec — so
+	// recording one entry works even while the spec's other trace
+	// files do not exist yet (the bootstrap case: a spec declaring
+	// both the profile to record from and the trace to be recorded).
+	var entry *WorkloadSpec
+	for i := range spec.Workloads {
+		if spec.Workloads[i].Name == name {
+			entry = &spec.Workloads[i]
+			break
+		}
+	}
+
+	var (
+		stream trace.Stream
+		src    *trace.File
+	)
+	switch {
+	case entry != nil:
+		if err := spec.resolveWorkload(entry); err != nil {
+			return 0, err
+		}
+		if entry.Profile != nil {
+			stream = workload.NewGenerator(*entry.Profile, seed)
+		} else {
+			tf, err := trace.Open(entry.tracePath)
+			if err != nil {
+				return 0, fmt.Errorf("campaign: record: %w", err)
+			}
+			defer tf.Close()
+			stream, src = tf, tf
+		}
+	default:
+		prof, ok := workload.ByName(name)
+		if !ok {
+			return 0, fmt.Errorf("campaign: record: unknown workload %q", name)
+		}
+		stream = workload.NewGenerator(prof, seed)
+	}
+
+	tw, err := trace.NewWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	var inst trace.Inst
+	for i := uint64(0); i < insts; i++ {
+		if !stream.Next(&inst) {
+			if src != nil {
+				if err := src.Err(); err != nil {
+					return tw.Count(), fmt.Errorf("campaign: record: %w", err)
+				}
+			}
+			return tw.Count(), fmt.Errorf("campaign: record: workload %q ended after %d of %d instructions",
+				name, tw.Count(), insts)
+		}
+		if err := tw.Write(&inst); err != nil {
+			return tw.Count(), fmt.Errorf("campaign: record: %w", err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return tw.Count(), fmt.Errorf("campaign: record: %w", err)
+	}
+	return tw.Count(), nil
+}

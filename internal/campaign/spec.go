@@ -13,6 +13,13 @@
 // configuration space can be compared under identical, reproducible
 // conditions — and re-compared incrementally as the spec grows,
 // because finished cells are served from the cache.
+//
+// The benchmark axis itself is user-extensible: a spec's "workloads"
+// section defines campaign-local workloads — inline synthetic
+// profiles or recorded trace files — swept by name alongside the
+// built-ins but fingerprinted by content, so the cache can never
+// conflate two custom workloads or serve stale cells for an edited
+// one.
 package campaign
 
 import (
@@ -20,11 +27,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
 	"microlib/internal/core"
 	"microlib/internal/runner"
+	"microlib/internal/trace"
 	"microlib/internal/workload"
 )
 
@@ -56,7 +65,13 @@ type Spec struct {
 	Name        string `json:"name"`
 	Description string `json:"description,omitempty"`
 
-	// Benchmarks to sweep; empty means all 26 workloads.
+	// Workloads are campaign-local custom workloads: inline synthetic
+	// profiles or recorded trace files. Their names extend the
+	// benchmark namespace of this spec (collisions with built-ins are
+	// rejected) and may appear in Benchmarks.
+	Workloads []WorkloadSpec `json:"workloads,omitempty"`
+	// Benchmarks to sweep; empty means all 26 built-in workloads
+	// plus every spec-defined custom workload.
 	Benchmarks []string `json:"benchmarks,omitempty"`
 	// Mechanisms to sweep; empty means Base plus every registered
 	// mechanism. "Base" is the unmodified hierarchy.
@@ -91,6 +106,37 @@ type Spec struct {
 	// PrefetchAsDemand disables demand-priority prefetch treatment in
 	// every cell (design-choice ablation).
 	PrefetchAsDemand bool `json:"prefetch_as_demand,omitempty"`
+
+	// baseDir anchors relative trace paths when the spec was loaded
+	// from a file (LoadSpec sets it to the spec file's directory).
+	baseDir string
+	// reg resolves benchmark names after Normalize: built-ins plus
+	// this spec's custom workloads.
+	reg *workload.Registry
+}
+
+// WorkloadSpec defines one campaign-local workload: exactly one of
+// Profile (an inline synthetic profile) or Trace (a recorded trace
+// file) is set. The workload is swept by Name on the benchmarks
+// axis, but its cache identity is its content — the canonical
+// profile serialization or the trace file's SHA-256 — so renaming it
+// keeps its cached cells and editing it invalidates them.
+type WorkloadSpec struct {
+	Name string `json:"name"`
+	// Profile is an inline synthetic workload; its profile name
+	// defaults to Name (a differing explicit name is rejected, since
+	// the profile name seeds the generator).
+	Profile *workload.Profile `json:"profile,omitempty"`
+	// Trace is the path of a recorded trace file; relative paths
+	// resolve against the spec file's directory when the spec was
+	// loaded from disk. Note trace workloads carry no memory
+	// contents, so value-inspecting mechanisms (CDP, FVC, ...) error
+	// on their cells.
+	Trace string `json:"trace,omitempty"`
+
+	// Resolved by Normalize.
+	tracePath string // Trace with baseDir applied
+	traceSHA  string // content hash of the trace file
 }
 
 // DefaultWarmup is the warm-up budget when the spec omits it.
@@ -125,6 +171,10 @@ func LoadSpec(path string) (Spec, error) {
 	if err != nil {
 		return Spec{}, fmt.Errorf("%s: %w", path, err)
 	}
+	// Trace paths inside the spec are relative to the spec file, so a
+	// spec directory (examples/campaign) is self-contained wherever
+	// the campaign is launched from.
+	s.baseDir = filepath.Dir(path)
 	return s, nil
 }
 
@@ -135,8 +185,11 @@ func (s *Spec) Normalize() error {
 	if s.Name == "" {
 		s.Name = "campaign"
 	}
+	if err := s.normalizeWorkloads(); err != nil {
+		return err
+	}
 	if len(s.Benchmarks) == 0 {
-		s.Benchmarks = workload.Names()
+		s.Benchmarks = s.reg.Names()
 	}
 	if len(s.Mechanisms) == 0 {
 		s.Mechanisms = append([]string{runner.BaseName}, core.Names()...)
@@ -161,7 +214,7 @@ func (s *Spec) Normalize() error {
 		s.Warmup = &w
 	}
 
-	if err := validateAxis("benchmark", s.Benchmarks, workload.Names()); err != nil {
+	if err := validateAxis("benchmark", s.Benchmarks, s.reg.Names()); err != nil {
 		return err
 	}
 	mechs := append([]string{runner.BaseName}, core.Names()...)
@@ -173,6 +226,23 @@ func (s *Spec) Normalize() error {
 	}
 	if err := validateAxis("core", s.Cores, CoreNames()); err != nil {
 		return err
+	}
+	// A recorded trace carries no memory contents, so value-inspecting
+	// mechanisms (Description.NeedsValues) cannot run on its cells.
+	// Reject the combination here: letting the cells fail at run time
+	// would also suppress speedup/ranking aggregation for the whole
+	// scenario, hiding 25 good columns behind one impossible one.
+	for _, b := range s.Benchmarks {
+		cw := s.customWorkload(b)
+		if cw == nil || cw.TracePath == "" {
+			continue
+		}
+		for _, m := range s.Mechanisms {
+			if desc, ok := core.Describe(m); ok && desc.NeedsValues {
+				return fmt.Errorf("campaign: trace workload %q cannot run %s (a recorded trace carries no memory values); list mechanisms without %s or use an inline profile",
+					b, m, m)
+			}
+		}
 	}
 	for _, q := range s.Queues {
 		if q < 0 {
@@ -244,6 +314,88 @@ func validateAxis(kind string, values, valid []string) error {
 			sort.Strings(sorted)
 			return fmt.Errorf("campaign: unknown %s %q (have %s)", kind, v, strings.Join(sorted, ", "))
 		}
+	}
+	return nil
+}
+
+// normalizeWorkloads validates the custom-workload section and
+// builds the spec's name registry: every workload needs exactly one
+// source (inline profile or trace file), a name that collides with
+// neither the built-ins nor another custom workload, a profile that
+// passes full validation, and a readable, well-formed trace file
+// (hashed here, so every expansion of the plan keys on the trace's
+// current content).
+func (s *Spec) normalizeWorkloads() error {
+	s.reg = workload.NewRegistry()
+	for i := range s.Workloads {
+		w := &s.Workloads[i]
+		if w.Name == "" {
+			return fmt.Errorf("campaign: workload %d needs a name", i)
+		}
+		if err := s.resolveWorkload(w); err != nil {
+			return err
+		}
+		var err error
+		if w.Profile != nil {
+			err = s.reg.Add(*w.Profile)
+		} else {
+			err = s.reg.Reserve(w.Name)
+		}
+		if err != nil {
+			return fmt.Errorf("campaign: %w", err)
+		}
+	}
+	return nil
+}
+
+// resolveWorkload validates one workloads entry in isolation and
+// resolves its trace path and content hash. Record uses it for just
+// the workload being recorded, so a spec whose other trace files do
+// not exist yet can still bootstrap them.
+func (s *Spec) resolveWorkload(w *WorkloadSpec) error {
+	switch {
+	case w.Profile != nil && w.Trace != "":
+		return fmt.Errorf("campaign: workload %q sets both profile and trace", w.Name)
+	case w.Profile == nil && w.Trace == "":
+		return fmt.Errorf("campaign: workload %q sets neither profile nor trace", w.Name)
+	case w.Profile != nil:
+		if w.Profile.Name == "" {
+			w.Profile.Name = w.Name
+		} else if w.Profile.Name != w.Name {
+			// The profile name seeds the generator, so letting it
+			// drift from the sweep name would make "the workload
+			// named X" ambiguous.
+			return fmt.Errorf("campaign: workload %q embeds a profile named %q", w.Name, w.Profile.Name)
+		}
+		if err := w.Profile.Validate(); err != nil {
+			return fmt.Errorf("campaign: workload %q: %w", w.Name, err)
+		}
+	default:
+		w.tracePath = w.Trace
+		if s.baseDir != "" && !filepath.IsAbs(w.tracePath) {
+			w.tracePath = filepath.Join(s.baseDir, w.tracePath)
+		}
+		sha, err := trace.HashFile(w.tracePath)
+		if err != nil {
+			return fmt.Errorf("campaign: workload %q: %w", w.Name, err)
+		}
+		w.traceSHA = sha
+	}
+	return nil
+}
+
+// customWorkload returns the runner source for a spec-defined
+// workload name, or nil when the name is a built-in benchmark.
+func (s *Spec) customWorkload(name string) *runner.Workload {
+	for i := range s.Workloads {
+		w := &s.Workloads[i]
+		if w.Name != name {
+			continue
+		}
+		if w.Profile != nil {
+			return &runner.Workload{Profile: w.Profile}
+		}
+		return &runner.Workload{TracePath: w.tracePath, TraceSHA: w.traceSHA}
 	}
 	return nil
 }

@@ -1,0 +1,359 @@
+package campaign
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"microlib/internal/workload"
+)
+
+func customProfile(name string) *workload.Profile {
+	return &workload.Profile{
+		Name:     name,
+		LoadFrac: 0.3, StoreFrac: 0.1, BranchFrac: 0.1, Mispredict: 0.04,
+		CodeKB: 16, BlockLen: 6, DepMean: 5, FVProb: 0.1,
+		Patterns: []workload.PatternSpec{
+			{Kind: workload.PatHot, Size: 8 << 10},
+			{Kind: workload.PatStride, Size: 1 << 20, Stride: 64},
+		},
+		Phases: []workload.PhaseSpec{{Len: 10_000, Weights: []float64{8, 2}}},
+	}
+}
+
+// recordWorkload captures a built-in benchmark to dir via Record.
+func recordWorkload(t *testing.T, dir, bench string, seed, insts uint64) string {
+	t.Helper()
+	path := filepath.Join(dir, bench+".mlt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Record(Spec{}, bench, seed, insts, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != insts {
+		t.Fatalf("recorded %d of %d", n, insts)
+	}
+	return path
+}
+
+func TestWorkloadSpecValidation(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := recordWorkload(t, dir, "gzip", 42, 100)
+	badProfile := customProfile("bad")
+	badProfile.Phases[0].Weights = []float64{1} // length mismatch
+
+	cases := []struct {
+		label string
+		wls   []WorkloadSpec
+		want  string
+	}{
+		{"unnamed", []WorkloadSpec{{Profile: customProfile("")}}, "needs a name"},
+		{"both", []WorkloadSpec{{Name: "w", Profile: customProfile("w"), Trace: tracePath}}, "both profile and trace"},
+		{"neither", []WorkloadSpec{{Name: "w"}}, "neither profile nor trace"},
+		{"shadow builtin", []WorkloadSpec{{Name: "mcf", Profile: customProfile("mcf")}}, "built-in"},
+		{"dup", []WorkloadSpec{
+			{Name: "w", Profile: customProfile("w")},
+			{Name: "w", Trace: tracePath},
+		}, "duplicate"},
+		{"name mismatch", []WorkloadSpec{{Name: "w", Profile: customProfile("other")}}, "embeds a profile named"},
+		{"invalid profile", []WorkloadSpec{{Name: "bad", Profile: badProfile}}, "weights"},
+		{"missing trace", []WorkloadSpec{{Name: "w", Trace: filepath.Join(dir, "absent.mlt")}}, "absent.mlt"},
+		{"bad magic", []WorkloadSpec{{Name: "w", Trace: writeJunk(t, dir)}}, "bad magic"},
+		{"truncated trace", []WorkloadSpec{{Name: "w", Trace: truncateCopy(t, dir, tracePath)}}, "truncated"},
+	}
+	for _, c := range cases {
+		s := Spec{Workloads: c.wls}
+		err := s.Normalize()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: want %q in error, got %v", c.label, c.want, err)
+		}
+	}
+}
+
+// truncateCopy clones a trace file and cuts its last record in half.
+func truncateCopy(t *testing.T, dir, src string) string {
+	t.Helper()
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, "cut.mlt")
+	if err := os.WriteFile(p, data[:len(data)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func writeJunk(t *testing.T, dir string) string {
+	t.Helper()
+	p := filepath.Join(dir, "junk.mlt")
+	if err := os.WriteFile(p, []byte("this is not a trace file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDefaultBenchmarksIncludeCustomWorkloads(t *testing.T) {
+	dir := t.TempDir()
+	// Mechanisms listed explicitly: the all-mechanisms default
+	// includes value-inspecting ones, which trace workloads reject.
+	s := Spec{
+		Mechanisms: []string{"Base"},
+		Workloads: []WorkloadSpec{
+			{Name: "mine", Profile: customProfile("mine")},
+			{Name: "recorded", Trace: recordWorkload(t, dir, "gzip", 42, 100)},
+		},
+	}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if want := len(workload.Names()) + 2; len(s.Benchmarks) != want {
+		t.Fatalf("default benchmarks: %d, want %d", len(s.Benchmarks), want)
+	}
+	last := s.Benchmarks[len(s.Benchmarks)-2:]
+	if last[0] != "mine" || last[1] != "recorded" {
+		t.Fatalf("customs not appended: %v", last)
+	}
+}
+
+// TestCustomWorkloadsNeverShareFingerprints is the issue-mandated
+// cache-safety test: across inline profiles, trace files and
+// built-ins, two different workloads must never produce the same
+// cell key.
+func TestCustomWorkloadsNeverShareFingerprints(t *testing.T) {
+	dir := t.TempDir()
+	profA := customProfile("loada")
+	profB := customProfile("loadb")
+	profB.Patterns[1].Stride = 256 // genuinely different content
+
+	spec := Spec{
+		Benchmarks: []string{"gzip", "loada", "loadb", "recA", "recB"},
+		Mechanisms: []string{"Base"},
+		Workloads: []WorkloadSpec{
+			{Name: "loada", Profile: profA},
+			{Name: "loadb", Profile: profB},
+			{Name: "recA", Trace: recordWorkload(t, dir, "gzip", 42, 500)},
+			{Name: "recB", Trace: recordWorkload(t, dir, "mcf", 42, 500)},
+		},
+	}
+	plan, err := NewPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{}
+	for _, c := range plan.Cells {
+		if prev, ok := seen[c.Key]; ok {
+			t.Fatalf("cells %s and %s share fingerprint %s", prev, c.Bench, c.Key)
+		}
+		seen[c.Key] = c.Bench
+	}
+
+	// Renaming a workload must keep its fingerprint (identity is
+	// content)...
+	renamed := spec
+	renamed.Workloads = append([]WorkloadSpec(nil), spec.Workloads...)
+	renamed.Workloads[2] = WorkloadSpec{Name: "recA2", Trace: renamed.Workloads[2].Trace}
+	renamed.Benchmarks = []string{"recA2"}
+	rplan, err := NewPlan(renamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := seen[rplan.Cells[0].Key]; !ok {
+		t.Fatal("renaming a trace workload changed its fingerprint")
+	}
+
+	// ...while editing profile content must change it.
+	edited := spec
+	edited.Workloads = append([]WorkloadSpec(nil), spec.Workloads...)
+	editedProf := customProfile("loada")
+	editedProf.Mispredict = 0.2
+	edited.Workloads[0] = WorkloadSpec{Name: "loada", Profile: editedProf}
+	edited.Benchmarks = []string{"loada"}
+	eplan, err := NewPlan(edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := seen[eplan.Cells[0].Key]; ok {
+		t.Fatal("edited profile kept its fingerprint")
+	}
+}
+
+// TestTraceWorkloadRejectsValueMechanisms: the plan refuses trace ×
+// value-inspecting mechanism up front, instead of failing the cells
+// at run time (which would also mute scenario aggregation).
+func TestTraceWorkloadRejectsValueMechanisms(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := recordWorkload(t, dir, "gzip", 42, 200)
+	spec := Spec{
+		Benchmarks: []string{"rec"},
+		Mechanisms: []string{"Base", "CDP"},
+		Workloads:  []WorkloadSpec{{Name: "rec", Trace: tracePath}},
+	}
+	if err := spec.Normalize(); err == nil || !strings.Contains(err.Error(), "memory values") {
+		t.Fatalf("trace x CDP must be rejected at plan time, got %v", err)
+	}
+	// An inline profile supplies a value oracle: same mechanisms pass.
+	ok := Spec{
+		Benchmarks: []string{"mine"},
+		Mechanisms: []string{"Base", "CDP"},
+		Workloads:  []WorkloadSpec{{Name: "mine", Profile: customProfile("mine")}},
+	}
+	if err := ok.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceWorkloadSeedAxisCollapses: seeds cannot replicate fixed
+// bytes, so a trace bench emits one cell whose key ignores the seed.
+func TestTraceWorkloadSeedAxisCollapses(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := recordWorkload(t, dir, "gzip", 42, 200)
+	spec := Spec{
+		Benchmarks: []string{"gzip", "rec"},
+		Mechanisms: []string{"Base"},
+		Seeds:      []uint64{1, 2, 3},
+		Workloads:  []WorkloadSpec{{Name: "rec", Trace: tracePath}},
+	}
+	plan, err := NewPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gzipCells, recCells []Cell
+	for _, c := range plan.Cells {
+		if c.Bench == "rec" {
+			recCells = append(recCells, c)
+		} else {
+			gzipCells = append(gzipCells, c)
+		}
+	}
+	if len(gzipCells) != 3 || len(recCells) != 1 {
+		t.Fatalf("got %d gzip and %d rec cells, want 3 and 1", len(gzipCells), len(recCells))
+	}
+
+	// The single trace cell's key is seed-independent: a different
+	// seed list still hits the same cache entries.
+	spec2 := spec
+	spec2.Workloads = append([]WorkloadSpec(nil), spec.Workloads...)
+	spec2.Seeds = []uint64{9}
+	plan2, err := NewPlan(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range plan2.Cells {
+		if c.Bench == "rec" && c.Key != recCells[0].Key {
+			t.Fatalf("trace cell key depends on seed: %s vs %s", c.Key, recCells[0].Key)
+		}
+	}
+}
+
+// TestCampaignEndToEndCustomWorkloads runs a spec mixing an inline
+// profile and a recorded trace through Execute twice: simulated
+// first, fully cache-served second, and re-simulated for the trace
+// cells after the trace content changes.
+func TestCampaignEndToEndCustomWorkloads(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := recordWorkload(t, dir, "gzip", 42, 4_000)
+	warm := uint64(500)
+	spec := Spec{
+		Name:       "custom-e2e",
+		Benchmarks: []string{"mine", "recorded"},
+		Mechanisms: []string{"Base", "SP"},
+		Insts:      []uint64{2_000},
+		Warmup:     &warm,
+		Workloads: []WorkloadSpec{
+			{Name: "mine", Profile: customProfile("mine")},
+			{Name: "recorded", Trace: tracePath},
+		},
+	}
+	cacheDir := filepath.Join(dir, "cache")
+	cfg := RunConfig{Workers: 2, CacheDir: cacheDir}
+
+	sum, err := Execute(context.Background(), spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Sched.Errors > 0 || sum.Sched.Simulated != 4 {
+		t.Fatalf("first run: %+v", sum.Sched)
+	}
+
+	sum2, err := Execute(context.Background(), spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum2.Sched.CacheHits != 4 || sum2.Sched.Simulated != 0 {
+		t.Fatalf("second run must be all cache hits: %+v", sum2.Sched)
+	}
+
+	// Re-record the trace with different content: its two cells (and
+	// only those) must re-simulate.
+	recordWorkload(t, dir, "gzip", 7, 4_000)
+	sum3, err := Execute(context.Background(), spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum3.Sched.CacheHits != 2 || sum3.Sched.Simulated != 2 {
+		t.Fatalf("after trace change: %+v", sum3.Sched)
+	}
+}
+
+func TestRecordCustomAndUnknown(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{Workloads: []WorkloadSpec{{Name: "mine", Profile: customProfile("mine")}}}
+
+	path := filepath.Join(dir, "mine.mlt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, rerr := Record(spec, "mine", 1, 300, f)
+	if cerr := f.Close(); rerr == nil {
+		rerr = cerr
+	}
+	if rerr != nil || n != 300 {
+		t.Fatalf("record custom: n=%d err=%v", n, rerr)
+	}
+	// The recording replays through a trace workload of another spec.
+	replay := Spec{
+		Benchmarks: []string{"rec"},
+		Mechanisms: []string{"Base"},
+		Workloads:  []WorkloadSpec{{Name: "rec", Trace: path}},
+	}
+	if err := replay.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bootstrap: recording a spec's inline profile must work even
+	// while the same spec's trace workload file does not exist yet.
+	boot := Spec{Workloads: []WorkloadSpec{
+		{Name: "mine", Profile: customProfile("mine")},
+		{Name: "later", Trace: filepath.Join(dir, "not-recorded-yet.mlt")},
+	}}
+	bf, err := os.Create(filepath.Join(dir, "boot.mlt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, rerr2 := Record(boot, "mine", 1, 100, bf)
+	if cerr := bf.Close(); rerr2 == nil {
+		rerr2 = cerr
+	}
+	if rerr2 != nil || n2 != 100 {
+		t.Fatalf("bootstrap record: n=%d err=%v", n2, rerr2)
+	}
+
+	if _, err := Record(Spec{}, "nosuch", 1, 10, os.NewFile(0, "")); err == nil ||
+		!strings.Contains(err.Error(), "unknown workload") {
+		t.Fatalf("unknown workload: %v", err)
+	}
+	if _, err := Record(Spec{}, "gzip", 1, 0, nil); err == nil ||
+		!strings.Contains(err.Error(), "zero instruction") {
+		t.Fatalf("zero insts: %v", err)
+	}
+}

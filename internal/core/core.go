@@ -99,6 +99,12 @@ type Description struct {
 	// specs, CLIs) validate keys against this list, so a misspelled
 	// key fails loudly instead of silently using the default.
 	Params []string
+	// NeedsValues marks mechanisms that inspect memory contents
+	// (Env.Values): they cannot run on hosts without a value source,
+	// such as recorded-trace workloads. Declaring it lets planners
+	// reject the combination up front instead of failing every cell
+	// at run time.
+	NeedsValues bool
 }
 
 // HasParam reports whether the mechanism declares the parameter key.

@@ -52,8 +52,9 @@ func New(l2 *cache.Cache, values core.ValueSource, depthCap int) *CDP {
 func init() {
 	core.Register(core.Description{
 		Name: "CDP", Level: "L2", Year: 2002,
-		Summary: "Content-Directed Data Prefetching: scan filled lines for pointers, prefetch targets",
-		Params:  []string{"depth", "queue"},
+		Summary:     "Content-Directed Data Prefetching: scan filled lines for pointers, prefetch targets",
+		Params:      []string{"depth", "queue"},
+		NeedsValues: true,
 	}, func(env *core.Env, p core.Params) (core.Mechanism, error) {
 		if env.Values == nil {
 			return nil, errors.New("cdp: host supplies no memory values")
@@ -65,8 +66,9 @@ func init() {
 	})
 	core.Register(core.Description{
 		Name: "CDPSP", Level: "L2", Year: 2002,
-		Summary: "CDP + SP combination as proposed in the CDP article",
-		Params:  []string{"depth", "entries", "queue"},
+		Summary:     "CDP + SP combination as proposed in the CDP article",
+		Params:      []string{"depth", "entries", "queue"},
+		NeedsValues: true,
 	}, func(env *core.Env, p core.Params) (core.Mechanism, error) {
 		if env.Values == nil {
 			return nil, errors.New("cdpsp: host supplies no memory values")

@@ -57,8 +57,9 @@ type FrequentValueProvider interface {
 func init() {
 	core.Register(core.Description{
 		Name: "FVC", Level: "L1", Year: 2000,
-		Summary: "Frequent Value Cache: victim-cache-like store for value-compressible lines",
-		Params:  []string{"lines"},
+		Summary:     "Frequent Value Cache: victim-cache-like store for value-compressible lines",
+		Params:      []string{"lines"},
+		NeedsValues: true,
 	}, func(env *core.Env, p core.Params) (core.Mechanism, error) {
 		if env.Values == nil {
 			return nil, errors.New("fvc: host supplies no memory values (address-only simulator)")

@@ -15,7 +15,12 @@ import (
 // simulation results for unchanged Options — persistent campaign
 // caches key on the fingerprint, and a stale version would silently
 // serve an older simulator's numbers as current.
-const FingerprintVersion = 1
+//
+// v2: Options gained custom workload sources (Workload), the
+// canonical form gained the workload content identity, and the
+// generator's phase-transition loopIters reset changed long-run
+// streams of every built-in benchmark.
+const FingerprintVersion = 2
 
 // Canonical returns the deterministic textual form of the
 // fully-resolved options: defaults applied (empty mechanism becomes
@@ -38,8 +43,17 @@ func (o Options) Canonical() string {
 	}
 	sort.Strings(keys)
 
+	// A custom workload's identity is its content — the canonical
+	// profile serialization or the trace file's hash — never the
+	// Bench label or the file path: two custom workloads can only
+	// share a fingerprint by being the same workload.
+	bench := o.Bench
+	if o.Workload != nil {
+		bench = o.Workload.identity()
+	}
+
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "v%d|bench=%s|mech=%s|params={", FingerprintVersion, o.Bench, mech)
+	fmt.Fprintf(&sb, "v%d|bench=%s|mech=%s|params={", FingerprintVersion, bench, mech)
 	for i, k := range keys {
 		if i > 0 {
 			sb.WriteByte(',')
@@ -48,9 +62,17 @@ func (o Options) Canonical() string {
 	}
 	// Hier and CPU are plain value structs (no maps or pointers), so
 	// their %+v rendering is deterministic.
+	// A trace replays fixed bytes; the seed never reaches it, so it
+	// is normalized out — rerunning a trace cell under a different
+	// seed list still hits the cache.
+	seed := o.Seed
+	if o.Workload != nil && o.Workload.TracePath != "" {
+		seed = 0
+	}
+
 	fmt.Fprintf(&sb, "}|hier=%+v|cpu=%+v", o.Hier, o.CPU)
 	fmt.Fprintf(&sb, "|insts=%d|warmup=%d|skip=%d|seed=%d|inorder=%t|queue=%d|pfd=%t",
-		insts, o.Warmup, o.Skip, o.Seed, o.InOrder, o.QueueOverride, o.PrefetchAsDemand)
+		insts, o.Warmup, o.Skip, seed, o.InOrder, o.QueueOverride, o.PrefetchAsDemand)
 	return sb.String()
 }
 

@@ -27,7 +27,15 @@ const defaultInsts = 200_000
 
 // Options selects one simulation.
 type Options struct {
-	Bench     string
+	// Bench names a built-in benchmark — or, when Workload is set,
+	// merely labels it in results (the workload's own name is the
+	// fallback label).
+	Bench string
+	// Workload, when non-nil, replaces the built-in benchmark with a
+	// custom instruction source: an inline synthetic profile or a
+	// recorded trace file. Fingerprints then key on the workload's
+	// content, not on Bench.
+	Workload  *Workload
 	Mechanism string // BaseName (or "") for the plain hierarchy
 	Params    core.Params
 	Hier      hier.Config
@@ -106,25 +114,56 @@ func RunContext(ctx context.Context, opts Options) (Result, error) {
 	if opts.Insts == 0 {
 		opts.Insts = defaultInsts
 	}
-	gen, err := workload.New(opts.Bench, opts.Seed)
-	if err != nil {
-		return Result{}, err
+
+	// Resolve the instruction source: a built-in benchmark, an inline
+	// profile, or a recorded trace file.
+	var (
+		source trace.Stream
+		oracle *workload.Oracle
+		// traceDone surfaces deferred read errors (a truncated trace
+		// file must fail the run, not read as a shorter clean one).
+		traceDone func() error
+	)
+	if opts.Workload != nil {
+		stream, values, done, closeFn, err := opts.Workload.open(opts.Seed)
+		if err != nil {
+			return Result{}, err
+		}
+		if closeFn != nil {
+			defer closeFn()
+		}
+		source, oracle, traceDone = stream, values, done
+		if opts.Bench == "" {
+			opts.Bench = opts.Workload.label()
+		}
+	} else {
+		gen, err := workload.New(opts.Bench, opts.Seed)
+		if err != nil {
+			return Result{}, err
+		}
+		source, oracle = gen, gen.Oracle()
 	}
 
 	eng := sim.NewEngine()
 	h := hier.Build(eng, opts.Hier)
 
-	env := &core.Env{Eng: eng, L1D: h.L1D, L2: h.L2, Values: gen.Oracle()}
+	env := &core.Env{Eng: eng, L1D: h.L1D, L2: h.L2}
+	if oracle != nil {
+		// Assigned only when present: a typed nil in the interface
+		// would defeat the mechanisms' Values == nil guard.
+		env.Values = oracle
+	}
 	var mech core.Mechanism
 	name := opts.Mechanism
 	if name == "" {
 		name = BaseName
 	}
 	if name != BaseName {
-		mech, err = core.New(name, env, opts.Params)
+		m, err := core.New(name, env, opts.Params)
 		if err != nil {
 			return Result{}, fmt.Errorf("runner: %w", err)
 		}
+		mech = m
 	}
 	if opts.QueueOverride > 0 {
 		h.L1D.ForcePrefetchQueueCap(opts.QueueOverride)
@@ -138,7 +177,7 @@ func RunContext(ctx context.Context, opts Options) (Result, error) {
 	// The cancel wrap goes on before Skip: Skip consumes its
 	// discarded instructions eagerly, so on an uncancelable stream a
 	// large skip would stall cancellation until it finished.
-	var stream trace.Stream = gen
+	stream := source
 	if ctx.Done() != nil {
 		stream = &cancelStream{ctx: ctx, s: stream}
 	}
@@ -184,6 +223,20 @@ func RunContext(ctx context.Context, opts Options) (Result, error) {
 	if cres.Insts < total {
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
+		}
+	}
+	if traceDone != nil {
+		// Trace-file streams are finite and may be damaged: a decode
+		// error (truncated mid-record, torn copy) or a trace shorter
+		// than the simulation budget must fail the run — silently
+		// measuring the prefix would report numbers for a different
+		// experiment than the one the options name.
+		if err := traceDone(); err != nil {
+			return Result{}, fmt.Errorf("runner: %s: %w", opts.Workload.TracePath, err)
+		}
+		if cres.Insts < total {
+			return Result{}, fmt.Errorf("runner: trace %s ended after %d of %d instructions (skip=%d warmup=%d measure=%d)",
+				opts.Workload.TracePath, cres.Insts, total, opts.Skip, opts.Warmup, opts.Insts)
 		}
 	}
 

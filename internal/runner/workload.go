@@ -1,0 +1,114 @@
+package runner
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"microlib/internal/trace"
+	"microlib/internal/workload"
+)
+
+// Workload selects a custom instruction source instead of a built-in
+// benchmark name: exactly one of Profile or TracePath is set. Its
+// identity in Options.Canonical — and therefore in the campaign
+// result cache — is the workload's content (the canonical profile
+// serialization, or the trace file's SHA-256): two custom workloads
+// can only share a fingerprint by being the same workload. A trace
+// file can be moved or its campaign entry renamed without
+// invalidating cached cells (bytes are the identity); a profile's
+// name, by contrast, is part of its content — it seeds the generator
+// — so renaming an inline profile genuinely is a different stream.
+type Workload struct {
+	// Profile is an inline synthetic workload (validated at run and
+	// at canonicalization time).
+	Profile *workload.Profile
+	// TracePath replays a recorded trace file through the binary
+	// trace reader. Value-inspecting mechanisms (CDP, FVC) cannot run
+	// on trace workloads: a trace carries no memory contents.
+	TracePath string
+	// TraceSHA is the hex SHA-256 of the trace file's content. The
+	// NewTraceWorkload constructor fills it and campaign plans
+	// compute it at expansion time; for hand-built values it is
+	// computed (and memoized here) on first fingerprint use, so cache
+	// identity is always content, never the path.
+	TraceSHA string
+}
+
+// NewProfileWorkload wraps a validated inline profile.
+func NewProfileWorkload(p workload.Profile) (*Workload, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Workload{Profile: &p}, nil
+}
+
+// NewTraceWorkload opens path far enough to validate the magic and
+// hash its content.
+func NewTraceWorkload(path string) (*Workload, error) {
+	sha, err := trace.HashFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{TracePath: path, TraceSHA: sha}, nil
+}
+
+// identity is the content form folded into Options.Canonical.
+func (w *Workload) identity() string {
+	switch {
+	case w.Profile != nil:
+		data, err := w.Profile.CanonicalJSON()
+		if err != nil {
+			// An invalid profile cannot simulate; the run fails before
+			// any result could be cached under this fingerprint.
+			return "profile-invalid:" + err.Error()
+		}
+		return "profile:" + string(data)
+	case w.TracePath != "":
+		if w.TraceSHA == "" {
+			// Hand-built value without the constructor: hash now so
+			// identity is still content-based. An unreadable or
+			// damaged file yields a non-content marker; such a run
+			// fails before any result could be cached under it.
+			sha, err := trace.HashFile(w.TracePath)
+			if err != nil {
+				return "trace-unreadable:" + err.Error()
+			}
+			w.TraceSHA = sha
+		}
+		return "trace:" + w.TraceSHA
+	}
+	return "empty"
+}
+
+// label names the workload in results when Options.Bench is unset.
+func (w *Workload) label() string {
+	switch {
+	case w.Profile != nil:
+		return w.Profile.Name
+	case w.TracePath != "":
+		return filepath.Base(w.TracePath)
+	}
+	return "custom"
+}
+
+// open builds the instruction stream and, for synthetic workloads,
+// the memory-value oracle. The returned close func is non-nil for
+// file-backed streams; done must be called after the simulation to
+// surface deferred read errors (a truncated trace).
+func (w *Workload) open(seed uint64) (stream trace.Stream, values *workload.Oracle, done func() error, closeFn func() error, err error) {
+	switch {
+	case w.Profile != nil:
+		if err := w.Profile.Validate(); err != nil {
+			return nil, nil, nil, nil, err
+		}
+		gen := workload.NewGenerator(*w.Profile, seed)
+		return gen, gen.Oracle(), nil, nil, nil
+	case w.TracePath != "":
+		tf, err := trace.Open(w.TracePath)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		return tf, nil, tf.Err, tf.Close, nil
+	}
+	return nil, nil, nil, nil, fmt.Errorf("runner: workload selects neither a profile nor a trace file")
+}

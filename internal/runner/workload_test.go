@@ -1,0 +1,262 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"microlib/internal/trace"
+	"microlib/internal/workload"
+)
+
+func testProfile(name string) workload.Profile {
+	return workload.Profile{
+		Name:     name,
+		LoadFrac: 0.3, StoreFrac: 0.1, BranchFrac: 0.1, Mispredict: 0.04,
+		CodeKB: 16, BlockLen: 6, DepMean: 5, FVProb: 0.1,
+		Patterns: []workload.PatternSpec{
+			{Kind: workload.PatHot, Size: 8 << 10},
+			{Kind: workload.PatStride, Size: 1 << 20, Stride: 64},
+		},
+		Phases: []workload.PhaseSpec{{Len: 20_000, Weights: []float64{8, 2}}},
+	}
+}
+
+func smallOpts() Options {
+	o := DefaultOptions("", "Base")
+	o.Insts = 8_000
+	o.Warmup = 2_000
+	return o
+}
+
+// recordTrace captures insts instructions of a stream to a temp file.
+func recordTrace(t *testing.T, s trace.Stream, insts uint64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "w.mlt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inst trace.Inst
+	for i := uint64(0); i < insts && s.Next(&inst); i++ {
+		if err := w.Write(&inst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestProfileWorkloadRunsDeterministically(t *testing.T) {
+	w, err := NewProfileWorkload(testProfile("prof-det"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := smallOpts()
+	opts.Workload = w
+	r1, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CPU.Cycles != r2.CPU.Cycles || r1.L1D != r2.L1D {
+		t.Fatalf("profile workload not deterministic: %d vs %d cycles", r1.CPU.Cycles, r2.CPU.Cycles)
+	}
+	if r1.Bench != "prof-det" {
+		t.Fatalf("bench label %q, want profile name", r1.Bench)
+	}
+	if r1.CPU.Insts != opts.Warmup+opts.Insts {
+		t.Fatalf("ran %d insts", r1.CPU.Insts)
+	}
+}
+
+// TestTraceReplayMatchesGenerator: replaying a recorded built-in
+// stream must be bit-identical to generating it live — the trace
+// format carries everything the host core and hierarchy consume.
+func TestTraceReplayMatchesGenerator(t *testing.T) {
+	opts := smallOpts()
+	opts.Bench = "gzip"
+	direct, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen, err := workload.New("gzip", opts.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := recordTrace(t, gen, opts.Warmup+opts.Insts)
+	w, err := NewTraceWorkload(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topts := smallOpts()
+	topts.Bench = "gzip-replay"
+	topts.Workload = w
+	replay, err := Run(topts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.CPU.Cycles != direct.CPU.Cycles ||
+		replay.L1D != direct.L1D || replay.L2 != direct.L2 || replay.Mem != direct.Mem {
+		t.Fatalf("replay diverged from generator:\n replay %d cycles %+v\n direct %d cycles %+v",
+			replay.CPU.Cycles, replay.L1D, direct.CPU.Cycles, direct.L1D)
+	}
+}
+
+func TestTraceTooShortIsError(t *testing.T) {
+	gen, _ := workload.New("gzip", 42)
+	path := recordTrace(t, gen, 3_000)
+	w, err := NewTraceWorkload(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := smallOpts()
+	opts.Workload = w
+	_, err = Run(opts)
+	if err == nil || !strings.Contains(err.Error(), "ended after") {
+		t.Fatalf("short trace must fail the run, got %v", err)
+	}
+}
+
+func TestTruncatedTraceIsError(t *testing.T) {
+	gen, _ := workload.New("gzip", 42)
+	// Fewer records than the 10k budget, cut mid-record: the reader
+	// hits the damage inside the simulated window.
+	path := recordTrace(t, gen, 9_000)
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-17); err != nil {
+		t.Fatal(err)
+	}
+	// The constructor already refuses the damaged file (HashFile
+	// validates whole-record length)...
+	if _, err := NewTraceWorkload(path); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("NewTraceWorkload must reject a truncated trace, got %v", err)
+	}
+	// ...and the runtime reader is the defense in depth when the
+	// damage postdates hashing (hand-built Workload, no constructor).
+	opts := smallOpts()
+	opts.Workload = &Workload{TracePath: path}
+	_, err = Run(opts)
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncated trace must fail the run, got %v", err)
+	}
+}
+
+func TestValueMechanismRejectsTraceWorkload(t *testing.T) {
+	gen, _ := workload.New("gzip", 42)
+	path := recordTrace(t, gen, 11_000)
+	w, err := NewTraceWorkload(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := smallOpts()
+	opts.Mechanism = "CDP"
+	opts.Workload = w
+	_, err = Run(opts)
+	if err == nil || !strings.Contains(err.Error(), "memory values") {
+		t.Fatalf("CDP on a trace must fail (no value oracle), got %v", err)
+	}
+}
+
+// TestWorkloadFingerprintIdentity: custom workload identity is
+// content, not name or path.
+func TestWorkloadFingerprintIdentity(t *testing.T) {
+	wA, err := NewProfileWorkload(testProfile("same"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wB, err := NewProfileWorkload(testProfile("same"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := smallOpts(), smallOpts()
+	a.Workload, b.Workload = wA, wB
+	a.Bench, b.Bench = "label-one", "label-two"
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("equal profile content must share a fingerprint regardless of label")
+	}
+
+	// Any profile edit changes the fingerprint.
+	edited := testProfile("same")
+	edited.Patterns[1].Stride = 128
+	wC, err := NewProfileWorkload(edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := smallOpts()
+	c.Workload = wC
+	if c.Fingerprint() == a.Fingerprint() {
+		t.Fatal("edited profile kept its fingerprint")
+	}
+
+	// Built-in bench named like the profile never conflates with it.
+	d := smallOpts()
+	d.Bench = "same"
+	if d.Fingerprint() == a.Fingerprint() {
+		t.Fatal("built-in name conflated with custom workload")
+	}
+
+	// Trace identity: path is irrelevant, bytes are everything.
+	gen, _ := workload.New("gzip", 42)
+	p1 := recordTrace(t, gen, 5_000)
+	data, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := filepath.Join(t.TempDir(), "elsewhere.mlt")
+	if err := os.WriteFile(p2, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t1, err := NewTraceWorkload(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := NewTraceWorkload(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, f := smallOpts(), smallOpts()
+	e.Workload, f.Workload = t1, t2
+	if e.Fingerprint() != f.Fingerprint() {
+		t.Fatal("identical trace content at two paths must share a fingerprint")
+	}
+	gen2, _ := workload.New("gzip", 43)
+	p3 := recordTrace(t, gen2, 5_000)
+	t3, err := NewTraceWorkload(p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := smallOpts()
+	g.Workload = t3
+	if g.Fingerprint() == e.Fingerprint() {
+		t.Fatal("different trace content shared a fingerprint")
+	}
+	if e.Fingerprint() == a.Fingerprint() {
+		t.Fatal("trace and profile workloads conflated")
+	}
+
+	// A hand-built Workload (no constructor, no SHA) still keys on
+	// content: identity hashes the file lazily.
+	h := smallOpts()
+	h.Workload = &Workload{TracePath: p1}
+	if h.Fingerprint() != e.Fingerprint() {
+		t.Fatal("hand-built trace workload fingerprint is not content-based")
+	}
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+)
+
+// File is a trace file opened for replay. It implements Stream; the
+// caller must Close it and should check Err after the stream ends —
+// a truncated file surfaces there, not as a clean shorter run.
+type File struct {
+	f *os.File
+	r *Reader
+}
+
+// Open validates the header of a recorded trace and returns it as a
+// replayable stream.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	r, err := NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	return &File{f: f, r: r}, nil
+}
+
+// Next implements Stream.
+func (f *File) Next(inst *Inst) bool { return f.r.Next(inst) }
+
+// Err returns the terminal read error, if any (see Reader.Err).
+func (f *File) Err() error { return f.r.Err() }
+
+// Count returns the number of records decoded so far.
+func (f *File) Count() uint64 { return f.r.Count() }
+
+// Close releases the underlying file.
+func (f *File) Close() error { return f.f.Close() }
+
+// HashFile returns the hex SHA-256 of the file's full content after
+// validating the trace magic. It is the content identity of a
+// recorded workload: the runner fingerprint folds it in, so a cache
+// entry can never be served for a trace whose bytes changed.
+func HashFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	var m [4]byte
+	if _, err := io.ReadFull(f, m[:]); err != nil {
+		return "", fmt.Errorf("trace: %s: %w", path, err)
+	}
+	if m != magic {
+		return "", fmt.Errorf("trace: %s: %w", path, ErrBadMagic)
+	}
+	h := sha256.New()
+	h.Write(m[:])
+	n, err := io.Copy(h, f)
+	if err != nil {
+		return "", fmt.Errorf("trace: %s: %w", path, err)
+	}
+	// A well-formed trace is the header plus whole records; anything
+	// else is a truncated or torn file, rejected here — at
+	// plan/record time — rather than trusted until (and only if) a
+	// simulation happens to read past the damage.
+	if n%recordSize != 0 {
+		return "", fmt.Errorf("trace: %s: truncated: %d bytes after the header is not a whole number of %d-byte records",
+			path, n, recordSize)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTraceFile writes n pseudo-random records and returns the path
+// and the records themselves.
+func writeTraceFile(t *testing.T, dir string, n int, seed int64) (string, []Inst) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	insts := make([]Inst, n)
+	for i := range insts {
+		insts[i] = Inst{
+			PC:     rng.Uint64(),
+			Addr:   rng.Uint64(),
+			DataPC: rng.Uint64(),
+			Dep1:   uint16(rng.Intn(1 << 16)),
+			Dep2:   uint16(rng.Intn(1 << 16)),
+			Class:  Class(rng.Intn(int(numClasses))),
+			BB:     rng.Uint32(),
+		}
+		insts[i].Mispredict = insts[i].Class == Branch && rng.Intn(4) == 0
+	}
+	path := filepath.Join(dir, "t.mlt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range insts {
+		if err := w.Write(&insts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, insts
+}
+
+// TestFileRoundTrip is the write/read property over a real file:
+// every record survives byte-identically through the file codec.
+func TestFileRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 1000} {
+		path, insts := writeTraceFile(t, t.TempDir(), n, int64(n)+1)
+		f, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Inst
+		for i := range insts {
+			if !f.Next(&got) {
+				t.Fatalf("n=%d: stream ended at %d", n, i)
+			}
+			if got != insts[i] {
+				t.Fatalf("n=%d record %d: got %+v want %+v", n, i, got, insts[i])
+			}
+		}
+		if f.Next(&got) {
+			t.Fatalf("n=%d: extra record", n)
+		}
+		if err := f.Err(); err != nil {
+			t.Fatalf("n=%d: clean trace reported %v", n, err)
+		}
+		if f.Count() != uint64(n) {
+			t.Fatalf("n=%d: count %d", n, f.Count())
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTruncatedTraceSurfacesError pins the headline fix: a file cut
+// mid-record must report an error from Err, not end as a clean
+// shorter trace.
+func TestTruncatedTraceSurfacesError(t *testing.T) {
+	path, _ := writeTraceFile(t, t.TempDir(), 10, 3)
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the last record in half.
+	if err := os.Truncate(path, info.Size()-recordSize/2); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var inst Inst
+	n := 0
+	for f.Next(&inst) {
+		n++
+	}
+	if n != 9 {
+		t.Fatalf("read %d whole records, want 9", n)
+	}
+	err = f.Err()
+	if err == nil {
+		t.Fatal("truncated trace read as a clean run")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want ErrUnexpectedEOF in the chain, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "truncated") || !strings.Contains(err.Error(), "9") {
+		t.Fatalf("error should name truncation and the record count: %v", err)
+	}
+}
+
+func TestOpenRejectsBadMagicAndMissing(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.mlt")
+	if err := os.WriteFile(bad, []byte("NOPE-not-a-trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(bad); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: got %v", err)
+	}
+	if _, err := Open(filepath.Join(dir, "absent.mlt")); err == nil {
+		t.Fatal("missing file must error")
+	}
+	if _, err := HashFile(bad); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("HashFile bad magic: got %v", err)
+	}
+	if _, err := HashFile(filepath.Join(dir, "absent.mlt")); err == nil {
+		t.Fatal("HashFile on missing file must error")
+	}
+}
+
+// TestHashFileIsContentIdentity: equal bytes hash equal, any content
+// change hashes different, and the path plays no part.
+func TestHashFileIsContentIdentity(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := writeTraceFile(t, dir, 50, 7)
+	h1, err := HashFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same content at a different path.
+	data, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := filepath.Join(dir, "copy.mlt")
+	if err := os.WriteFile(b, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := HashFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("same content, different hash: %s vs %s", h1, h2)
+	}
+	// Flip one payload byte.
+	data[len(data)-1] ^= 1
+	if err := os.WriteFile(b, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h3, err := HashFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 == h1 {
+		t.Fatal("changed content kept its hash")
+	}
+}
+
+// TestHashFileRejectsPartialRecords: a file cut mid-record fails at
+// hash time, before any plan or simulation trusts it.
+func TestHashFileRejectsPartialRecords(t *testing.T) {
+	path, _ := writeTraceFile(t, t.TempDir(), 20, 11)
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := HashFile(path); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("want truncation error, got %v", err)
+	}
+}

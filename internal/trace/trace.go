@@ -10,6 +10,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"io"
 )
 
@@ -173,6 +174,7 @@ func (w *Writer) Flush() error { return w.w.Flush() }
 type Reader struct {
 	r   *bufio.Reader
 	buf [recordSize]byte
+	n   uint64
 	err error
 }
 
@@ -210,14 +212,24 @@ func (r *Reader) Next(inst *Inst) bool {
 	inst.Dep2 = binary.LittleEndian.Uint16(b[30:])
 	inst.Class = Class(b[32])
 	inst.Mispredict = b[33]&1 != 0
+	r.n++
 	return true
 }
 
-// Err returns the terminal error, if any (io.EOF is normal
-// end-of-trace and is not reported).
+// Count returns the number of records decoded so far.
+func (r *Reader) Count() uint64 { return r.n }
+
+// Err returns the terminal error, if any. io.EOF at a record
+// boundary is normal end-of-trace and is not reported;
+// io.ErrUnexpectedEOF is — it means the file was cut mid-record
+// (truncated copy, interrupted recording), and reading it as a
+// shorter clean run would silently change the measurement.
 func (r *Reader) Err() error {
-	if r.err == io.EOF || r.err == io.ErrUnexpectedEOF {
+	if r.err == io.EOF {
 		return nil
+	}
+	if r.err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("trace: truncated mid-record after %d records: %w", r.n, r.err)
 	}
 	return r.err
 }

@@ -1,0 +1,250 @@
+package workload
+
+// This file is the profile codec: the JSON form of Profile /
+// PatternSpec / PhaseSpec that campaign specs embed as inline custom
+// workloads, the validation that turns NewGenerator's panics into
+// errors at spec-parse time, and the Registry that layers
+// campaign-local workload names over the 26 built-ins.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// kindNames maps pattern kinds to their JSON names, in kind order.
+var kindNames = []string{
+	PatHot:      "hot",
+	PatSeq:      "seq",
+	PatStride:   "stride",
+	PatTile:     "tile",
+	PatChase:    "chase",
+	PatTour:     "tour",
+	PatRand:     "rand",
+	PatConflict: "conflict",
+}
+
+// String names the pattern kind as it appears in profile JSON.
+func (k PatternKind) String() string {
+	if int(k) >= 0 && int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("PatternKind(%d)", int(k))
+}
+
+// PatternKindNames returns the valid JSON pattern-kind names.
+func PatternKindNames() []string {
+	return append([]string(nil), kindNames...)
+}
+
+// ParsePatternKind resolves a JSON pattern-kind name.
+func ParsePatternKind(name string) (PatternKind, error) {
+	for k, n := range kindNames {
+		if n == name {
+			return PatternKind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown pattern kind %q (have hot, seq, stride, tile, chase, tour, rand, conflict)", name)
+}
+
+// MarshalJSON encodes the kind by name.
+func (k PatternKind) MarshalJSON() ([]byte, error) {
+	if int(k) < 0 || int(k) >= len(kindNames) {
+		return nil, fmt.Errorf("workload: cannot encode invalid pattern kind %d", int(k))
+	}
+	return json.Marshal(kindNames[k])
+}
+
+// UnmarshalJSON decodes a kind name.
+func (k *PatternKind) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return fmt.Errorf("workload: pattern kind must be a name string: %w", err)
+	}
+	parsed, err := ParsePatternKind(name)
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
+}
+
+// ParseProfile decodes and validates one profile from its JSON form.
+// Unknown fields are rejected — a misspelled knob ("load_fraction")
+// must fail loudly, not silently simulate a different workload.
+func ParseProfile(data []byte) (Profile, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var p Profile
+	if err := dec.Decode(&p); err != nil {
+		return Profile{}, fmt.Errorf("workload: parse profile: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+// CanonicalJSON returns the deterministic serialization of the
+// profile: struct fields encode in declaration order and pattern
+// kinds by name, so equal profiles always produce equal bytes. It is
+// the content identity the runner fingerprint folds in for inline
+// custom workloads — any byte change means a different workload.
+func (p Profile) CanonicalJSON() ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(p)
+}
+
+// Validate checks everything NewGenerator would panic on, plus the
+// geometry mistakes that would silently generate a degenerate stream
+// (a chase pointer outside its node, a phase that disables every
+// pattern). A nil error means NewGenerator accepts the profile.
+func (p *Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: profile needs a name")
+	}
+	if p.LoadFrac < 0 || p.StoreFrac < 0 {
+		return fmt.Errorf("workload: %s: negative instruction-mix fraction", p.Name)
+	}
+	if p.LoadFrac+p.StoreFrac > 1 {
+		return fmt.Errorf("workload: %s: load_frac+store_frac = %.3f exceeds 1", p.Name, p.LoadFrac+p.StoreFrac)
+	}
+	if p.Mispredict < 0 || p.Mispredict > 1 {
+		return fmt.Errorf("workload: %s: mispredict %.3f outside [0,1]", p.Name, p.Mispredict)
+	}
+	if p.FVProb < 0 || p.FVProb > 1 {
+		return fmt.Errorf("workload: %s: fv_prob %.3f outside [0,1]", p.Name, p.FVProb)
+	}
+	if p.CodeKB < 0 || p.BlockLen < 0 || p.DepMean < 0 {
+		return fmt.Errorf("workload: %s: negative code_kb/block_len/dep_mean", p.Name)
+	}
+	if len(p.Patterns) == 0 {
+		return fmt.Errorf("workload: %s: profile needs at least one pattern", p.Name)
+	}
+	if len(p.Phases) == 0 {
+		return fmt.Errorf("workload: %s: profile needs at least one phase", p.Name)
+	}
+	for i := range p.Patterns {
+		if err := p.Patterns[i].validate(); err != nil {
+			return fmt.Errorf("workload: %s: pattern %d: %w", p.Name, i, err)
+		}
+	}
+	for i, ph := range p.Phases {
+		if ph.Len == 0 {
+			return fmt.Errorf("workload: %s: phase %d has zero length", p.Name, i)
+		}
+		if len(ph.Weights) != len(p.Patterns) {
+			return fmt.Errorf("workload: %s: phase %d has %d weights for %d patterns",
+				p.Name, i, len(ph.Weights), len(p.Patterns))
+		}
+		sum := 0.0
+		for j, w := range ph.Weights {
+			if w < 0 {
+				return fmt.Errorf("workload: %s: phase %d weight %d is negative", p.Name, i, j)
+			}
+			sum += w
+		}
+		if sum == 0 {
+			return fmt.Errorf("workload: %s: phase %d disables every pattern (all-zero weights)", p.Name, i)
+		}
+	}
+	return nil
+}
+
+func (s *PatternSpec) validate() error {
+	if int(s.Kind) < 0 || int(s.Kind) >= len(kindNames) {
+		return fmt.Errorf("invalid pattern kind %d", int(s.Kind))
+	}
+	if s.Chains < 0 || s.Decoys < 0 || s.InnerSteps < 0 || s.TourLines < 0 {
+		return fmt.Errorf("%s: negative chains/decoys/inner_steps/tour_lines", s.Kind)
+	}
+	if s.FVProb < 0 || s.FVProb > 1 {
+		return fmt.Errorf("%s: fv_prob %.3f outside [0,1]", s.Kind, s.FVProb)
+	}
+	switch s.Kind {
+	case PatStride:
+		if s.Stride == 0 {
+			return fmt.Errorf("stride pattern needs stride > 0")
+		}
+	case PatTile:
+		if s.Stride == 0 || s.InnerSteps == 0 || s.Jump == 0 {
+			return fmt.Errorf("tile pattern needs stride, inner_steps and jump > 0")
+		}
+	case PatChase:
+		// The generator defaults NodeSize to 64; validate against the
+		// effective value so "ptr_off": 8 with no node_size passes.
+		nodeSize := s.NodeSize
+		if nodeSize == 0 {
+			nodeSize = 64
+		}
+		if s.PtrOff+8 > nodeSize {
+			return fmt.Errorf("chase ptr_off %d does not fit a pointer in a %d-byte node", s.PtrOff, nodeSize)
+		}
+		for i, f := range s.Fields {
+			if f+8 > nodeSize {
+				return fmt.Errorf("chase field %d at offset %d falls outside the %d-byte node", i, f, nodeSize)
+			}
+		}
+	}
+	return nil
+}
+
+// Registry is the workload namespace of one campaign: the 26
+// built-in benchmarks plus campaign-local custom names (profiles and
+// reserved trace names). Custom names may not collide with built-ins
+// or each other — a spec that shadowed "mcf" would silently change
+// what every other spec means by it. Resolution of a name to its
+// source stays with the spec that defined it; the registry only
+// guards the namespace and orders Names.
+type Registry struct {
+	custom map[string]bool
+	order  []string
+}
+
+// NewRegistry returns a registry holding only the built-ins.
+func NewRegistry() *Registry {
+	return &Registry{custom: map[string]bool{}}
+}
+
+func (r *Registry) reserve(name string) error {
+	if name == "" {
+		return fmt.Errorf("workload: custom workload needs a name")
+	}
+	if _, ok := ByName(name); ok {
+		return fmt.Errorf("workload: custom workload %q collides with a built-in benchmark", name)
+	}
+	if r.custom[name] {
+		return fmt.Errorf("workload: duplicate custom workload %q", name)
+	}
+	return nil
+}
+
+// Add claims a custom name for a validated inline profile.
+func (r *Registry) Add(p Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	return r.Reserve(p.Name)
+}
+
+// Reserve claims a custom name (profile or trace workload alike).
+func (r *Registry) Reserve(name string) error {
+	if err := r.reserve(name); err != nil {
+		return err
+	}
+	r.custom[name] = true
+	r.order = append(r.order, name)
+	return nil
+}
+
+// Names returns every resolvable name: built-ins first, then custom
+// workloads in registration order.
+func (r *Registry) Names() []string {
+	names := Names()
+	if r != nil {
+		names = append(names, r.order...)
+	}
+	return names
+}

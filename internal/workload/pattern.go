@@ -42,37 +42,40 @@ const (
 	PatConflict
 )
 
-// PatternSpec parameterizes one pattern instance in a profile.
+// PatternSpec parameterizes one pattern instance in a profile. The
+// JSON encoding names the kind ("hot", "stride", "chase", ...); see
+// codec.go.
 type PatternSpec struct {
-	Kind   PatternKind
-	Weight float64 // share of memory slots bound to this pattern
-	Size   uint64  // region size in bytes
-	Stride uint64  // PatStride / PatTile inner stride
+	// Kind selects the state machine; how often the pattern is used
+	// comes from the per-phase weight vectors, not from the pattern.
+	Kind   PatternKind `json:"kind"`
+	Size   uint64      `json:"size,omitempty"`   // region size in bytes
+	Stride uint64      `json:"stride,omitempty"` // PatStride / PatTile inner stride
 	// Tile geometry: inner steps before an outer jump of Jump bytes.
-	InnerSteps int
-	Jump       uint64
+	InnerSteps int    `json:"inner_steps,omitempty"`
+	Jump       uint64 `json:"jump,omitempty"`
 	// Chase geometry.
-	NodeSize uint64 // bytes per node
-	PtrOff   uint64 // offset of the true next pointer inside a node
-	Decoys   int    // pointer-looking fields per node that mislead CDP
+	NodeSize uint64 `json:"node_size,omitempty"` // bytes per node
+	PtrOff   uint64 `json:"ptr_off,omitempty"`   // offset of the true next pointer inside a node
+	Decoys   int    `json:"decoys,omitempty"`    // pointer-looking fields per node that mislead CDP
 	// Fields are the node offsets touched per visit, in order; the
 	// default is just PtrOff. ammp-style structures access data at
 	// +0 before reaching the pointer 88 bytes down (outside the
 	// first fetched line).
-	Fields []uint64
+	Fields []uint64 `json:"fields,omitempty"`
 	// Chains is the number of independent traversals interleaved
 	// over the structure (memory-level parallelism of the chase);
 	// default 1.
-	Chains int
+	Chains int `json:"chains,omitempty"`
 	// Serial marks the pattern's accesses as address-dependent on
 	// the previous access of the same pattern (hash-chain walks,
 	// index chasing): the load's latency is then on the critical
 	// path, which is what makes L1-level mechanisms matter.
-	Serial bool
+	Serial bool `json:"serial,omitempty"`
 	// Tour geometry.
-	TourLines int
+	TourLines int `json:"tour_lines,omitempty"`
 	// Value locality: probability a data word holds a frequent value.
-	FVProb float64
+	FVProb float64 `json:"fv_prob,omitempty"`
 }
 
 // pattern is the run-time state of one PatternSpec instance.

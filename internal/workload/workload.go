@@ -31,29 +31,38 @@ import (
 // weights (one per Profile.Patterns entry; zero disables a pattern
 // in the phase).
 type PhaseSpec struct {
-	Len     uint64
-	Weights []float64
+	Len     uint64    `json:"len"`
+	Weights []float64 `json:"weights"`
 }
 
-// Profile is the static description of one synthetic benchmark.
+// Profile is the static description of one synthetic benchmark. The
+// JSON encoding (see codec.go) is the campaign-spec form of an
+// inline custom workload; field order is the canonical serialization
+// order, so do not reorder fields without bumping the runner
+// fingerprint version.
 type Profile struct {
-	Name string
-	FP   bool
+	Name string `json:"name"`
+	FP   bool   `json:"fp,omitempty"`
 	// Instruction mix (fractions of the dynamic stream).
-	LoadFrac, StoreFrac, BranchFrac float64
+	LoadFrac  float64 `json:"load_frac"`
+	StoreFrac float64 `json:"store_frac"`
+	// BranchFrac is descriptive only: realized branch density is one
+	// block-ending branch per BlockLen instructions, so set BlockLen
+	// ≈ 1/BranchFrac rather than expecting this field to act.
+	BranchFrac float64 `json:"branch_frac,omitempty"`
 	// Mispredict is the branch misprediction rate.
-	Mispredict float64
+	Mispredict float64 `json:"mispredict,omitempty"`
 	// CodeKB approximates the active code footprint.
-	CodeKB int
+	CodeKB int `json:"code_kb,omitempty"`
 	// BlockLen is the mean basic-block length in instructions.
-	BlockLen int
+	BlockLen int `json:"block_len,omitempty"`
 	// DepMean is the mean register-dependence distance.
-	DepMean float64
+	DepMean float64 `json:"dep_mean,omitempty"`
 	// FVProb is the benchmark's frequent-value density.
-	FVProb float64
+	FVProb float64 `json:"fv_prob,omitempty"`
 	// Patterns is the benchmark's shared access-pattern set.
-	Patterns []PatternSpec
-	Phases   []PhaseSpec
+	Patterns []PatternSpec `json:"patterns"`
+	Phases   []PhaseSpec   `json:"phases"`
 }
 
 // codeBase is where synthetic text segments start; heap regions are
@@ -438,7 +447,9 @@ func (g *Generator) Next(inst *trace.Inst) bool {
 	if g.inPhase >= st.spec.Len {
 		g.inPhase = 0
 		g.phaseIdx = (g.phaseIdx + 1) % len(g.phases)
-		g.blockIdx, g.instIdx, g.curLoop = 0, 0, 0
+		// loopIters resets with the other loop cursors: a residual
+		// count would cut the first loop of the new phase short.
+		g.blockIdx, g.instIdx, g.curLoop, g.loopIters = 0, 0, 0, 0
 	}
 	return true
 }

@@ -34,6 +34,7 @@ package microlib
 
 import (
 	"context"
+	"io"
 
 	"microlib/internal/cache"
 	"microlib/internal/campaign"
@@ -171,6 +172,70 @@ func Experiments() []string { return experiments.IDs() }
 
 // CampaignSpec declares a simulation campaign.
 type CampaignSpec = campaign.Spec
+
+// CampaignWorkload defines one campaign-local custom workload: an
+// inline synthetic profile or a recorded trace file, swept by name
+// on the benchmarks axis but cached by content.
+type CampaignWorkload = campaign.WorkloadSpec
+
+// WorkloadProfile is the static description of a synthetic workload
+// (the built-in benchmarks are instances of it); its JSON form is
+// the inline-profile section of a campaign spec.
+type WorkloadProfile = workload.Profile
+
+// WorkloadPattern parameterizes one access pattern of a profile.
+type WorkloadPattern = workload.PatternSpec
+
+// WorkloadPatternKind selects an access-pattern state machine.
+type WorkloadPatternKind = workload.PatternKind
+
+// Access-pattern kinds for custom workload profiles (their String
+// forms are the JSON names).
+const (
+	PatHot      = workload.PatHot
+	PatSeq      = workload.PatSeq
+	PatStride   = workload.PatStride
+	PatTile     = workload.PatTile
+	PatChase    = workload.PatChase
+	PatTour     = workload.PatTour
+	PatRand     = workload.PatRand
+	PatConflict = workload.PatConflict
+)
+
+// WorkloadPhase is one program phase of a profile.
+type WorkloadPhase = workload.PhaseSpec
+
+// CustomWorkload is a runner-level workload source (inline profile
+// or trace file) assignable to Options.Workload.
+type CustomWorkload = runner.Workload
+
+// NewProfileWorkload wraps a validated inline profile as a custom
+// workload for Options.Workload.
+func NewProfileWorkload(p WorkloadProfile) (*CustomWorkload, error) {
+	return runner.NewProfileWorkload(p)
+}
+
+// NewTraceWorkload opens and hashes a recorded trace file as a
+// custom workload for Options.Workload.
+func NewTraceWorkload(path string) (*CustomWorkload, error) {
+	return runner.NewTraceWorkload(path)
+}
+
+// ParseWorkloadProfile decodes and validates a profile's JSON form.
+func ParseWorkloadProfile(data []byte) (WorkloadProfile, error) {
+	return workload.ParseProfile(data)
+}
+
+// WorkloadPatternKinds returns the valid pattern-kind names of the
+// profile JSON form.
+func WorkloadPatternKinds() []string { return workload.PatternKindNames() }
+
+// RecordTrace captures insts instructions of a workload — a built-in
+// benchmark or a spec-defined custom workload — to w in the binary
+// trace format. Pass a zero CampaignSpec for built-ins.
+func RecordTrace(spec CampaignSpec, name string, seed, insts uint64, w io.Writer) (uint64, error) {
+	return campaign.Record(spec, name, seed, insts, w)
+}
 
 // CampaignPlan is the deterministic expansion of a spec.
 type CampaignPlan = campaign.Plan
