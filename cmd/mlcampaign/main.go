@@ -1,15 +1,18 @@
 // Command mlcampaign executes declarative simulation campaigns: a
-// JSON spec names the axes to sweep (benchmarks, mechanisms, memory
-// models, host cores, prefetch-queue overrides, instruction budgets,
-// seeds) and the engine runs the cross-product on a worker pool with
-// a persistent result cache, then prints speedup grids, rankings and
-// per-cell confidence intervals.
+// JSON spec names the axes to sweep (benchmarks, mechanisms,
+// hierarchy variants, memory models, host cores, prefetch-queue
+// overrides, parameter sets, trace-selection policies, warm-up and
+// measured budgets, seeds) and the engine runs the cross-product on
+// a worker pool with a persistent result cache, then prints speedup
+// grids, rankings and per-cell confidence intervals per scenario.
 //
 // Usage:
 //
 //	mlcampaign run -spec sweep.json -cache .mlcache -workers 8
 //	mlcampaign run -spec sweep.json -format csv -out results.csv
+//	mlcampaign run -spec examples/campaign/figures/fig8.json -cache .mlcache
 //	mlcampaign plan -spec sweep.json
+//	mlcampaign validate examples/campaign/*.json examples/campaign/figures/*.json
 //	mlcampaign list
 //	mlcampaign list -cache .mlcache
 //	mlcampaign prune -cache .mlcache -older-than 720h
@@ -54,6 +57,8 @@ func main() {
 		cmdRun(os.Args[2:])
 	case "plan":
 		cmdPlan(os.Args[2:])
+	case "validate":
+		cmdValidate(os.Args[2:])
 	case "list":
 		cmdList(os.Args[2:])
 	case "prune":
@@ -73,6 +78,7 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   mlcampaign run   -spec file [-cache dir] [-workers n] [-format text|csv|json] [-out file] [-quiet]
   mlcampaign plan  -spec file
+  mlcampaign validate [-quiet] file.json [file2.json ...]
   mlcampaign list  [-cache dir]
   mlcampaign prune -cache dir [-older-than dur] [-spec file] [-dry-run]
   mlcampaign record -workload name -out file.mlt [-insts n] [-seed n] [-spec file]
@@ -117,7 +123,7 @@ func cmdRun(args []string) {
 				src = "ERR"
 			}
 			fmt.Fprintf(os.Stderr, "\r[%d/%d] %s %s/%s seed=%d        ",
-				p.Done, p.Total, src, p.Cell.Bench, p.Cell.Mech, p.Cell.Seed)
+				p.Done, p.Total, src, p.Cell.Bench(), p.Cell.Mech(), p.Cell.Seed())
 		}
 	}
 
@@ -179,15 +185,80 @@ func cmdPlan(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	printPlan(plan)
+}
+
+// printPlan renders a plan: the axis table, the scenarios, and one
+// row per cell with a column for every axis.
+func printPlan(plan *microlib.CampaignPlan) {
 	fmt.Printf("campaign %q: %d cells, fingerprint %s\n", plan.Spec.Name, len(plan.Cells), plan.Fingerprint())
+	for _, ax := range plan.Axes {
+		kind := "scenario axis"
+		if !ax.Scenario {
+			kind = "axis"
+		}
+		fmt.Printf("%-13s %-7s %s\n", kind, ax.Name, strings.Join(ax.Values, " "))
+	}
 	for _, sc := range plan.Scenarios() {
 		fmt.Printf("scenario %s\n", sc)
 	}
-	fmt.Printf("%-5s %-10s %-8s %-8s %-8s %6s %8s %6s  %s\n",
-		"idx", "bench", "mech", "memory", "core", "queue", "insts", "seed", "key")
+
+	// Column widths follow the widest value of each axis.
+	widths := make([]int, len(plan.Axes))
+	for i, ax := range plan.Axes {
+		widths[i] = len(ax.Name)
+		for _, v := range ax.Values {
+			if len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	fmt.Printf("%-5s", "idx")
+	for i, ax := range plan.Axes {
+		fmt.Printf(" %-*s", widths[i], ax.Name)
+	}
+	fmt.Println("  key")
 	for _, c := range plan.Cells {
-		fmt.Printf("%-5d %-10s %-8s %-8s %-8s %6d %8d %6d  %s\n",
-			c.Index, c.Bench, c.Mech, c.Memory, c.Core, c.Queue, c.Insts, c.Seed, c.Key)
+		fmt.Printf("%-5d", c.Index)
+		for i, v := range c.Values {
+			fmt.Printf(" %-*s", widths[i], v.Value)
+		}
+		fmt.Printf("  %s\n", c.Key)
+	}
+}
+
+// cmdValidate parses, normalizes and plans every given spec file
+// without executing any cell — the CI gate that keeps shipped specs
+// from rotting. SimPoint selections are resolved (that is plan-time
+// analysis, not simulation), so a spec that cannot expand fails here.
+func cmdValidate(args []string) {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	quiet := fs.Bool("quiet", false, "print failures only")
+	fs.Parse(args)
+	files := fs.Args()
+	if len(files) == 0 {
+		fatal(fmt.Errorf("validate: no spec files given"))
+	}
+	bad := 0
+	for _, f := range files {
+		spec, err := microlib.LoadCampaignSpec(f)
+		var plan *microlib.CampaignPlan
+		if err == nil {
+			plan, err = microlib.NewCampaignPlan(spec)
+		}
+		if err != nil {
+			bad++
+			fmt.Printf("FAIL %s: %v\n", f, err)
+			continue
+		}
+		if !*quiet {
+			fmt.Printf("ok   %s: campaign %q, %d cells, %d scenarios, plan %s\n",
+				f, plan.Spec.Name, len(plan.Cells), len(plan.Scenarios()), plan.Fingerprint())
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "mlcampaign: %d of %d specs failed validation\n", bad, len(files))
+		os.Exit(1)
 	}
 }
 
@@ -197,10 +268,12 @@ func cmdList(args []string) {
 	fs.Parse(args)
 
 	if *cacheDir == "" {
-		fmt.Println("benchmarks:", strings.Join(microlib.Benchmarks(), " "))
-		fmt.Println("mechanisms:", microlib.BaseMechanism, strings.Join(microlib.Mechanisms(), " "))
-		fmt.Println("memories:  ", strings.Join(microlib.CampaignMemories(), " "))
-		fmt.Println("cores:     ", strings.Join(microlib.CampaignCores(), " "))
+		fmt.Println("benchmarks: ", strings.Join(microlib.Benchmarks(), " "))
+		fmt.Println("mechanisms: ", microlib.BaseMechanism, strings.Join(microlib.Mechanisms(), " "))
+		fmt.Println("hiers:      ", strings.Join(microlib.CampaignHiers(), " "))
+		fmt.Println("memories:   ", strings.Join(microlib.CampaignMemories(), " "))
+		fmt.Println("cores:      ", strings.Join(microlib.CampaignCores(), " "))
+		fmt.Println("selections: ", strings.Join(microlib.CampaignSelections(), " "), "(or skip:N)")
 		return
 	}
 	// Inspect only: a mistyped path must fail, not be created.

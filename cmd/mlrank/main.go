@@ -1,12 +1,14 @@
-// Command mlrank regenerates the paper's tables and figures: it runs
-// the experiment drivers (Figures 1-11, Tables 1-7) and prints their
-// report tables. This is the "regularly updated comparison (ranking)"
-// the MicroLib project maintains.
+// Command mlrank regenerates the paper's tables and figures: every
+// data-driven figure is a thin formatter over its shipped campaign
+// spec (examples/campaign/figures), executed through the campaign
+// scheduler and cell cache, and this command prints the report
+// tables. This is the "regularly updated comparison (ranking)" the
+// MicroLib project maintains.
 //
 // Usage:
 //
 //	mlrank -exp fig4
-//	mlrank -exp all -scale 2
+//	mlrank -exp all -scale 2 -cache .mlcache
 //	mlrank -list
 package main
 
@@ -27,6 +29,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
 		insts    = flag.Uint64("insts", 0, "override measured instructions per run")
 		warmup   = flag.Uint64("warmup", 0, "override warm-up instructions per run")
+		cacheDir = flag.String("cache", "", "persistent cell cache directory (shared with mlcampaign)")
 	)
 	flag.Parse()
 
@@ -47,6 +50,15 @@ func main() {
 	}
 	if *warmup > 0 {
 		r.Warmup = *warmup
+	}
+	if *cacheDir != "" {
+		// Open it once up front so a mistyped or unwritable path is a
+		// clean CLI error, not a panic mid-experiment.
+		if _, err := microlib.OpenCampaignCache(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "mlrank:", err)
+			os.Exit(1)
+		}
+		r.CacheDir = *cacheDir
 	}
 
 	ids := []string{*exp}

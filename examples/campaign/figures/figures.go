@@ -1,0 +1,38 @@
+// Package figures ships the campaign specs behind the paper's
+// figures. Every validation and methodology figure of the evaluation
+// (Figures 1-3 and 8-11) plus the main comparison grid (Figures 4-7,
+// Tables 6-7) is a plain mlcampaign spec in this directory: run one
+// directly with
+//
+//	mlcampaign run -spec examples/campaign/figures/fig8.json -cache .mlcache
+//
+// or let the mlrank experiment drivers replay them — the drivers
+// embed these exact files, so the shipped spec and the regenerated
+// figure can never drift apart. The specs carry the paper-scale
+// budgets; mlrank rescales budgets and sweeps without touching the
+// swept axes.
+package figures
+
+import (
+	"embed"
+	"sort"
+)
+
+// FS holds the shipped figure specs.
+//
+//go:embed *.json
+var FS embed.FS
+
+// Files lists the shipped spec filenames, sorted.
+func Files() []string {
+	entries, err := FS.ReadDir(".")
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		out = append(out, e.Name())
+	}
+	sort.Strings(out)
+	return out
+}

@@ -39,7 +39,7 @@ func main() {
 	cfg := microlib.CampaignConfig{
 		CacheDir: cacheDir,
 		OnProgress: func(p microlib.CampaignProgress) {
-			fmt.Printf("\r[%d/%d] %s/%s", p.Done, p.Total, p.Cell.Bench, p.Cell.Mech)
+			fmt.Printf("\r[%d/%d] %s/%s", p.Done, p.Total, p.Cell.Bench(), p.Cell.Mech())
 		},
 	}
 	sum, err := microlib.RunCampaign(context.Background(), spec, cfg)

@@ -20,13 +20,17 @@ type RankEntry struct {
 	MeanIPC     float64 `json:"mean_ipc"`
 }
 
-// Scenario aggregates the cells sharing one non-swept configuration
-// (memory model, core, queue override, budget): a benchmark ×
-// mechanism grid of mean IPC over seeds, the per-cell 95% confidence
+// Scenario aggregates the cells sharing one point on every scenario
+// axis (hierarchy variant, memory model, core, queue override,
+// parameter set, selection policy, budgets): a benchmark × mechanism
+// grid of mean IPC over seeds, the per-cell 95% confidence
 // half-widths, the speedup grid vs Base when a baseline column
 // exists, and the mechanism ranking.
 type Scenario struct {
 	Label string `json:"label"`
+	// Values are the scenario's coordinates on the plan's scenario
+	// axes, in axis order (the Label is their rendered form).
+	Values []AxisValue `json:"values,omitempty"`
 	// Seeds is the replication factor (number of seeds swept).
 	Seeds int         `json:"seeds"`
 	Mean  *stats.Grid `json:"mean_ipc"`
@@ -49,6 +53,17 @@ type Scenario struct {
 // measurement.
 func (sc *Scenario) Complete() bool { return sc.Missing == 0 && len(sc.Failed) == 0 }
 
+// Value returns the scenario's coordinate on a named axis ("" when
+// the plan has no such axis).
+func (sc *Scenario) Value(axis string) string {
+	for _, v := range sc.Values {
+		if v.Axis == axis {
+			return v.Value
+		}
+	}
+	return ""
+}
+
 // Summary is the aggregated outcome of a campaign run.
 type Summary struct {
 	Name            string         `json:"name"`
@@ -56,6 +71,18 @@ type Summary struct {
 	Spec            Spec           `json:"spec"`
 	Scenarios       []Scenario     `json:"scenarios"`
 	Sched           SchedulerStats `json:"scheduler"`
+}
+
+// Find returns the first scenario whose coordinates include
+// axis=value, or nil when no scenario matches. Figure formatters use
+// it to pick the arm of a study by the axis the spec sweeps.
+func (s *Summary) Find(axis, value string) *Scenario {
+	for i := range s.Scenarios {
+		if s.Scenarios[i].Value(axis) == value {
+			return &s.Scenarios[i]
+		}
+	}
+	return nil
 }
 
 // Aggregate folds per-cell results into per-scenario grids and
@@ -78,6 +105,7 @@ func Aggregate(p *Plan, results map[string]CellResult, sched SchedulerStats) *Su
 		cells := byScenario[label]
 		sc := Scenario{
 			Label:  label,
+			Values: cells[0].scenarioValues(),
 			Seeds:  len(p.Spec.Seeds),
 			Mean:   stats.NewGrid(p.Spec.Benchmarks, p.Spec.Mechanisms),
 			CI:     stats.NewGrid(p.Spec.Benchmarks, p.Spec.Mechanisms),
@@ -91,9 +119,9 @@ func Aggregate(p *Plan, results map[string]CellResult, sched SchedulerStats) *Su
 			case !ok:
 				sc.Missing++
 			case res.Err != "":
-				sc.Failed = append(sc.Failed, fmt.Sprintf("%s/%s seed=%d: %s", c.Bench, c.Mech, c.Seed, res.Err))
+				sc.Failed = append(sc.Failed, fmt.Sprintf("%s/%s seed=%d: %s", c.Bench(), c.Mech(), c.Seed(), res.Err))
 			default:
-				k := [2]string{c.Bench, c.Mech}
+				k := [2]string{c.Bench(), c.Mech()}
 				samples[k] = append(samples[k], res.IPC)
 			}
 		}

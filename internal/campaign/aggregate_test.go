@@ -13,15 +13,15 @@ func syntheticResults(p *Plan) map[string]CellResult {
 	results := map[string]CellResult{}
 	for _, c := range p.Cells {
 		ipc := 1.0
-		if c.Mech == "TP" {
+		if c.Mech() == "TP" {
 			ipc = 1.2
 		}
-		if c.Mech == "SP" {
+		if c.Mech() == "SP" {
 			ipc = 0.9
 		}
-		ipc += 0.01 * float64(c.Seed) // seed jitter for the CI
+		ipc += 0.01 * float64(c.Seed()) // seed jitter for the CI
 		results[c.Key] = CellResult{
-			Key: c.Key, Bench: c.Bench, Mechanism: c.Mech, Seed: c.Seed, IPC: ipc,
+			Key: c.Key, Bench: c.Bench(), Mechanism: c.Mech(), Seed: c.Seed(), IPC: ipc,
 		}
 	}
 	return results

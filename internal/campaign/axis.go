@@ -1,0 +1,288 @@
+package campaign
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"microlib/internal/core"
+	"microlib/internal/cpu"
+	"microlib/internal/hier"
+	"microlib/internal/runner"
+)
+
+// Axis names of the campaign engine, in cross-product order
+// (benchmark outermost, selection innermost). An axis is a named,
+// ordered value list plus a deterministic resolver that writes the
+// value into runner.Options; the plan is the cross-product over the
+// whole table, and every axis resolves into fields that existed
+// before the table did — so a cell's fingerprint depends only on the
+// options it resolves to, never on which axis put them there.
+const (
+	AxisBench  = "bench"
+	AxisMech   = "mech"
+	AxisHier   = "hier"
+	AxisMemory = "mem"
+	AxisCore   = "core"
+	AxisQueue  = "queue"
+	AxisParams = "pset"
+	AxisWarmup = "warmup"
+	AxisInsts  = "insts"
+	AxisSeed   = "seed"
+	AxisSelect = "sel"
+)
+
+// Trace-selection policy values of the "selections" axis. SelSkip
+// discards Spec.Skip instructions ("skip N, simulate M", Section
+// 3.5's arbitrary selection; "skip:N" pins an explicit offset
+// instead). SelSimPoint runs the SimPoint analysis at plan time and
+// resolves the chosen interval's offset into the same Options.Skip
+// field.
+const (
+	SelSkip     = "skip"
+	SelSimPoint = "simpoint"
+)
+
+// SelectionNames returns the valid Spec.Selections values (the
+// explicit-offset form "skip:N" is also accepted).
+func SelectionNames() []string { return []string{SelSkip, SelSimPoint} }
+
+// DefaultParamSet names the implicit parameter set when a spec does
+// not sweep "paramsets": the spec's base "params" overrides alone.
+const DefaultParamSet = "default"
+
+// AxisValue is one coordinate of a cell: the axis name and the value
+// label the cell takes on it.
+type AxisValue struct {
+	Axis  string `json:"axis"`
+	Value string `json:"value"`
+}
+
+// AxisInfo describes one expanded axis of a plan for listings.
+type AxisInfo struct {
+	Name string `json:"name"`
+	// Scenario marks axes whose values define a sub-experiment (all
+	// but benchmark, mechanism and seed).
+	Scenario bool     `json:"scenario"`
+	Values   []string `json:"values"`
+}
+
+// scenarioAxis reports whether an axis participates in the scenario
+// key. Benchmarks and mechanisms are the rows and columns of every
+// scenario grid, and seeds replicate cells within it; every other
+// axis splits the campaign into sub-experiments.
+func scenarioAxis(name string) bool {
+	switch name {
+	case AxisBench, AxisMech, AxisSeed:
+		return false
+	}
+	return true
+}
+
+// axis is one compiled dimension of the table: the ordered value
+// labels and one deterministic options resolver per value.
+type axis struct {
+	name   string
+	values []axisValue
+}
+
+type axisValue struct {
+	label string
+	apply func(*runner.Options) error
+}
+
+// expander compiles a normalized spec into the axis table and holds
+// the plan-time analysis memos shared across cells.
+type expander struct {
+	spec *Spec
+	axes []axis
+	// spMemo caches SimPoint offsets: the analysis is deterministic
+	// per (workload, seed, warmup, insts) but costs a full stream
+	// scan, and every mechanism/memory/... combination shares it.
+	spMemo map[string]uint64
+}
+
+func newExpander(s *Spec) *expander {
+	e := &expander{spec: s, spMemo: map[string]uint64{}}
+
+	bench := axis{name: AxisBench}
+	for _, b := range s.Benchmarks {
+		b := b
+		bench.values = append(bench.values, axisValue{label: b, apply: func(o *runner.Options) error {
+			o.Bench = b
+			// Nil for built-in benchmarks; for spec-defined workloads
+			// the source carries the content identity the fingerprint
+			// keys on.
+			o.Workload = s.customWorkload(b)
+			return nil
+		}})
+	}
+
+	mech := axis{name: AxisMech}
+	for _, m := range s.Mechanisms {
+		m := m
+		mech.values = append(mech.values, axisValue{label: m, apply: func(o *runner.Options) error {
+			o.Mechanism = m
+			return nil
+		}})
+	}
+
+	hiers := axis{name: AxisHier}
+	for _, h := range s.Hiers {
+		h := h
+		hiers.values = append(hiers.values, axisValue{label: h, apply: func(o *runner.Options) error {
+			cfg, err := o.Hier.WithVariant(h)
+			if err != nil {
+				return fmt.Errorf("campaign: %w", err)
+			}
+			o.Hier = cfg
+			return nil
+		}})
+	}
+
+	mems := axis{name: AxisMemory}
+	for _, m := range s.Memories {
+		m := m
+		mems.values = append(mems.values, axisValue{label: m, apply: func(o *runner.Options) error {
+			o.Hier = o.Hier.WithMemory(memoryKind(m))
+			return nil
+		}})
+	}
+
+	cores := axis{name: AxisCore}
+	for _, c := range s.Cores {
+		c := c
+		cores.values = append(cores.values, axisValue{label: c, apply: func(o *runner.Options) error {
+			o.InOrder = c == CoreInOrder
+			return nil
+		}})
+	}
+
+	queues := axis{name: AxisQueue}
+	for _, q := range s.Queues {
+		q := q
+		queues.values = append(queues.values, axisValue{label: queueLabel(q), apply: func(o *runner.Options) error {
+			o.QueueOverride = q
+			return nil
+		}})
+	}
+
+	psets := axis{name: AxisParams}
+	for i := range s.ParamSets {
+		ps := s.ParamSets[i]
+		psets.values = append(psets.values, axisValue{label: ps.Name, apply: func(o *runner.Options) error {
+			o.Params = s.mergedParams(ps, o.Mechanism)
+			return nil
+		}})
+	}
+
+	warmups := axis{name: AxisWarmup}
+	for _, w := range s.Warmups {
+		w := w
+		warmups.values = append(warmups.values, axisValue{label: strconv.FormatUint(w, 10), apply: func(o *runner.Options) error {
+			o.Warmup = w
+			return nil
+		}})
+	}
+
+	insts := axis{name: AxisInsts}
+	for _, n := range s.Insts {
+		n := n
+		insts.values = append(insts.values, axisValue{label: strconv.FormatUint(n, 10), apply: func(o *runner.Options) error {
+			o.Insts = n
+			return nil
+		}})
+	}
+
+	seeds := axis{name: AxisSeed}
+	for _, sd := range s.Seeds {
+		sd := sd
+		seeds.values = append(seeds.values, axisValue{label: strconv.FormatUint(sd, 10), apply: func(o *runner.Options) error {
+			o.Seed = sd
+			return nil
+		}})
+	}
+
+	// Selection resolves last: the SimPoint analysis keys on the
+	// workload, seed and budgets the earlier axes wrote.
+	sels := axis{name: AxisSelect}
+	for _, sel := range s.Selections {
+		sel := sel
+		sels.values = append(sels.values, axisValue{label: sel, apply: func(o *runner.Options) error {
+			return e.applySelection(sel, o)
+		}})
+	}
+
+	e.axes = []axis{bench, mech, hiers, mems, cores, queues, psets, warmups, insts, seeds, sels}
+	return e
+}
+
+func (e *expander) applySelection(sel string, o *runner.Options) error {
+	switch {
+	case sel == SelSkip:
+		o.Skip = e.spec.Skip
+	case sel == SelSimPoint:
+		key := fmt.Sprintf("%s|%d|%d|%d", o.Bench, o.Seed, o.Warmup, o.Insts)
+		off, ok := e.spMemo[key]
+		if !ok {
+			var err error
+			off, err = runner.SimPointSkip(*o)
+			if err != nil {
+				return fmt.Errorf("campaign: simpoint selection for %q: %w", o.Bench, err)
+			}
+			e.spMemo[key] = off
+		}
+		o.Skip = off
+	default:
+		n, err := parseSkipSelection(sel)
+		if err != nil {
+			return err
+		}
+		o.Skip = n
+	}
+	return nil
+}
+
+// parseSkipSelection parses the explicit-offset form "skip:N".
+func parseSkipSelection(sel string) (uint64, error) {
+	rest, ok := strings.CutPrefix(sel, SelSkip+":")
+	if !ok {
+		return 0, fmt.Errorf("campaign: unknown selection %q (have %s, or %s:N)",
+			sel, strings.Join(SelectionNames(), ", "), SelSkip)
+	}
+	n, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("campaign: selection %q: offset is not a number", sel)
+	}
+	return n, nil
+}
+
+// mergedParams resolves the construction parameters of one mechanism
+// under a parameter set: the spec's base "params" overrides with the
+// set's own overrides layered on top. Nil when the mechanism has
+// none, matching the pre-axis resolver exactly (fingerprint parity).
+func (s *Spec) mergedParams(ps ParamSetSpec, mech string) core.Params {
+	base := s.Params[mech]
+	over := ps.Params[mech]
+	if len(base) == 0 && len(over) == 0 {
+		return nil
+	}
+	p := core.Params{}
+	for k, v := range base {
+		p[k] = v
+	}
+	for k, v := range over {
+		p[k] = v
+	}
+	return p
+}
+
+// baseOptions is the axis-independent part of every cell's options.
+func (s *Spec) baseOptions() runner.Options {
+	return runner.Options{
+		Hier:             hier.DefaultConfig(),
+		CPU:              cpu.DefaultConfig(),
+		Skip:             s.Skip,
+		PrefetchAsDemand: s.PrefetchAsDemand,
+	}
+}

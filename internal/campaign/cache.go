@@ -7,7 +7,10 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
+
+	"microlib/internal/core"
 )
 
 // CellResult is the serializable outcome of one cell — the subset of
@@ -29,7 +32,81 @@ type CellResult struct {
 	PrefetchUseful uint64  `json:"prefetch_useful,omitempty"`
 	AvgReadLatency float64 `json:"avg_read_latency"`
 
+	// Hardware lists the mechanism's SRAM structures with their
+	// activity counters, and BaseCacheAccesses approximates base
+	// cache activity — the inputs of the CACTI/XCACTI-style cost and
+	// power models (Figure 5). Fresh results always carry a non-nil
+	// (possibly empty) Hardware slice; nil marks an entry cached
+	// before these fields existed, which is still valid for IPC but
+	// carries no cost data — the Figure 5 formatter flags such cells
+	// instead of silently reporting the mechanism as cost-free.
+	Hardware          []core.HWTable `json:"hardware"`
+	BaseCacheAccesses uint64         `json:"base_cache_accesses,omitempty"`
+
 	Err string `json:"err,omitempty"`
+}
+
+// MemCache is an in-process CellCache: a plain map under a mutex.
+// The experiments harness layers it in front of the disk cache so
+// every figure of one run shares cells (the paper's figures overlap
+// heavily — fig8's SDRAM arm is the main grid).
+type MemCache struct {
+	mu sync.Mutex
+	m  map[string]CellResult
+}
+
+// NewMemCache returns an empty in-process cell cache.
+func NewMemCache() *MemCache { return &MemCache{m: map[string]CellResult{}} }
+
+// Get implements CellCache.
+func (c *MemCache) Get(key string) (CellResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, ok := c.m[key]
+	return res, ok
+}
+
+// Put implements CellCache.
+func (c *MemCache) Put(res CellResult) error {
+	if res.Key == "" {
+		return fmt.Errorf("campaign: cache entry without key")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[res.Key] = res
+	return nil
+}
+
+// LayeredCache chains caches: Get tries each layer in order, filling
+// the earlier (faster) layers on a hit; Put writes through to all.
+type LayeredCache struct {
+	Layers []CellCache
+}
+
+// Get implements CellCache.
+func (c *LayeredCache) Get(key string) (CellResult, bool) {
+	for i, layer := range c.Layers {
+		if res, ok := layer.Get(key); ok {
+			for _, front := range c.Layers[:i] {
+				_ = front.Put(res)
+			}
+			return res, true
+		}
+	}
+	return CellResult{}, false
+}
+
+// Put implements CellCache. The first layer error is returned, but
+// every layer sees the entry (a full disk degrades to recomputation,
+// not to a poisoned run).
+func (c *LayeredCache) Put(res CellResult) error {
+	var first error
+	for _, layer := range c.Layers {
+		if err := layer.Put(res); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // DiskCache persists cell results under one directory, one JSON file

@@ -3,6 +3,7 @@ package campaign
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -20,7 +21,7 @@ func TestDiskCacheRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	got, ok := c.Get("deadbeef")
-	if !ok || got != res {
+	if !ok || !reflect.DeepEqual(got, res) {
 		t.Fatalf("got %+v ok=%v, want %+v", got, ok, res)
 	}
 	keys, err := c.Keys()
@@ -92,7 +93,7 @@ func TestPruneByPlanReachability(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, cell := range plan.Cells {
-		if err := c.Put(CellResult{Key: cell.Key, Bench: cell.Bench, Mechanism: cell.Mech}); err != nil {
+		if err := c.Put(CellResult{Key: cell.Key, Bench: cell.Bench(), Mechanism: cell.Mech()}); err != nil {
 			t.Fatal(err)
 		}
 	}

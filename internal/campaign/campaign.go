@@ -23,14 +23,14 @@ func Execute(ctx context.Context, spec Spec, cfg RunConfig) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
-	var cache *DiskCache
+	sched := &Scheduler{Workers: cfg.Workers, OnProgress: cfg.OnProgress}
 	if cfg.CacheDir != "" {
-		cache, err = OpenDiskCache(cfg.CacheDir)
+		cache, err := OpenDiskCache(cfg.CacheDir)
 		if err != nil {
 			return nil, err
 		}
+		sched.Cache = cache
 	}
-	sched := &Scheduler{Workers: cfg.Workers, Cache: cache, OnProgress: cfg.OnProgress}
 	results, sstats, err := sched.Run(ctx, plan.Cells)
 	return Aggregate(plan, results, sstats), err
 }

@@ -8,12 +8,6 @@ import (
 	"microlib/internal/runner"
 )
 
-// KeyOf returns the cache key of fully-resolved runner options — the
-// canonical runner fingerprint. Exposed so callers that build cells
-// by hand (the experiments harness) key them identically to
-// spec-driven plans.
-func KeyOf(opts runner.Options) string { return opts.Fingerprint() }
-
 // Fingerprint identifies the whole plan: a hash over the ordered
 // cell keys plus the runner fingerprint format version. Two plans
 // with equal fingerprints request bit-identical campaigns, so their

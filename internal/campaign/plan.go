@@ -2,36 +2,73 @@ package campaign
 
 import (
 	"fmt"
+	"strings"
 
-	"microlib/internal/core"
-	"microlib/internal/cpu"
 	"microlib/internal/hier"
 	"microlib/internal/runner"
 )
 
-// Cell is one fully-resolved simulation of a plan. The axis fields
-// (Bench .. Seed) label the cell in reports; Opts is authoritative
-// for execution and Key is the cache fingerprint of Opts.
+// Cell is one fully-resolved simulation of a plan. Values labels the
+// cell on every axis of the table (in axis order); Opts is
+// authoritative for execution and Key is the cache fingerprint of
+// Opts.
 type Cell struct {
-	Index  int    `json:"index"`
-	Bench  string `json:"bench"`
-	Mech   string `json:"mech"`
-	Memory string `json:"memory,omitempty"`
-	Core   string `json:"core,omitempty"`
-	Queue  int    `json:"queue,omitempty"`
-	Insts  uint64 `json:"insts,omitempty"`
-	Seed   uint64 `json:"seed"`
+	Index  int         `json:"index"`
+	Values []AxisValue `json:"values"`
 
 	Opts runner.Options `json:"-"`
 	Key  string         `json:"key"`
 }
 
-// Scenario labels the sub-experiment a cell belongs to: every axis
-// except benchmark, mechanism and seed. Cells sharing a scenario are
+// Axis returns the cell's value on a named axis ("" when the plan
+// has no such axis).
+func (c Cell) Axis(name string) string {
+	for _, v := range c.Values {
+		if v.Axis == name {
+			return v.Value
+		}
+	}
+	return ""
+}
+
+// Bench returns the cell's benchmark-axis value.
+func (c Cell) Bench() string { return c.Axis(AxisBench) }
+
+// Mech returns the cell's mechanism-axis value.
+func (c Cell) Mech() string { return c.Axis(AxisMech) }
+
+// Seed returns the cell's workload-generator seed.
+func (c Cell) Seed() uint64 { return c.Opts.Seed }
+
+// Scenario labels the sub-experiment a cell belongs to: the cell's
+// values on every scenario axis (everything except benchmark,
+// mechanism and seed), in axis order. Cells sharing a scenario are
 // aggregated into one grid; seeds replicate within it.
 func (c Cell) Scenario() string {
-	return fmt.Sprintf("mem=%s core=%s queue=%s insts=%d",
-		c.Memory, c.Core, queueLabel(c.Queue), c.Insts)
+	var sb strings.Builder
+	for _, v := range c.Values {
+		if !scenarioAxis(v.Axis) {
+			continue
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(v.Axis)
+		sb.WriteByte('=')
+		sb.WriteString(v.Value)
+	}
+	return sb.String()
+}
+
+// scenarioValues returns the cell's coordinates on the scenario axes.
+func (c Cell) scenarioValues() []AxisValue {
+	var out []AxisValue
+	for _, v := range c.Values {
+		if scenarioAxis(v.Axis) {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 func queueLabel(q int) string {
@@ -41,88 +78,78 @@ func queueLabel(q int) string {
 	return fmt.Sprintf("%d", q)
 }
 
-// Plan is a deterministic expansion of a Spec: the cross-product of
-// every axis, in spec order (benchmark outermost, seed innermost),
-// with each cell's runner options fully resolved and fingerprinted.
+// Plan is a deterministic expansion of a Spec: the ordered
+// cross-product over the axis table (benchmark outermost, selection
+// innermost), with each cell's runner options fully resolved and
+// fingerprinted.
 type Plan struct {
 	Spec  Spec
+	Axes  []AxisInfo
 	Cells []Cell
 }
 
 // NewPlan normalizes the spec and expands it. The same spec always
-// yields the same plan, cell order and cell keys.
+// yields the same plan, cell order and cell keys. Axis combinations
+// that provably request the same simulation within one aggregation
+// group — a recorded trace replayed under several seeds is the one
+// such case, since a trace replays fixed bytes — collapse to their
+// first cell: honest single-sample cells instead of N identical
+// "replicates" with a fake zero-width confidence interval. The same
+// fingerprint appearing in *different* scenarios (e.g. a baseline
+// untouched by a parameter-set axis) is kept: each scenario needs
+// the cell, and the result cache makes the reruns free.
 func NewPlan(spec Spec) (*Plan, error) {
 	if err := spec.Normalize(); err != nil {
 		return nil, err
 	}
-	n := len(spec.Benchmarks) * len(spec.Mechanisms) * len(spec.Memories) *
-		len(spec.Cores) * len(spec.Queues) * len(spec.Insts) * len(spec.Seeds)
+	e := newExpander(&spec)
+
+	n := 1
+	for _, ax := range e.axes {
+		n *= len(ax.values)
+	}
 	p := &Plan{Spec: spec, Cells: make([]Cell, 0, n)}
-	for _, bench := range spec.Benchmarks {
-		// A trace workload replays fixed bytes: the seed axis cannot
-		// replicate it, so only the first seed's cell is emitted —
-		// honest single-sample cells instead of N identical
-		// "replicates" with a fake zero-width confidence interval.
-		seeds := spec.Seeds
-		if cw := spec.customWorkload(bench); cw != nil && cw.TracePath != "" {
-			seeds = spec.Seeds[:1]
+	for _, ax := range e.axes {
+		info := AxisInfo{Name: ax.name, Scenario: scenarioAxis(ax.name)}
+		for _, v := range ax.values {
+			info.Values = append(info.Values, v.label)
 		}
-		for _, mech := range spec.Mechanisms {
-			for _, mem := range spec.Memories {
-				for _, coreName := range spec.Cores {
-					for _, queue := range spec.Queues {
-						for _, insts := range spec.Insts {
-							for _, seed := range seeds {
-								cell := Cell{
-									Index:  len(p.Cells),
-									Bench:  bench,
-									Mech:   mech,
-									Memory: mem,
-									Core:   coreName,
-									Queue:  queue,
-									Insts:  insts,
-									Seed:   seed,
-								}
-								cell.Opts = spec.resolve(cell)
-								cell.Key = cell.Opts.Fingerprint()
-								p.Cells = append(p.Cells, cell)
-							}
-						}
-					}
-				}
+		p.Axes = append(p.Axes, info)
+	}
+
+	seen := map[string]bool{}
+	idx := make([]int, len(e.axes))
+	for {
+		opts := spec.baseOptions()
+		values := make([]AxisValue, len(e.axes))
+		for i, ax := range e.axes {
+			v := ax.values[idx[i]]
+			values[i] = AxisValue{Axis: ax.name, Value: v.label}
+			if err := v.apply(&opts); err != nil {
+				return nil, err
 			}
+		}
+		cell := Cell{Index: len(p.Cells), Values: values, Opts: opts, Key: opts.Fingerprint()}
+		group := cell.Scenario() + "\x00" + cell.Bench() + "\x00" + cell.Mech() + "\x00" + cell.Key
+		if !seen[group] {
+			seen[group] = true
+			p.Cells = append(p.Cells, cell)
+		}
+
+		// Odometer increment, innermost axis fastest.
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(e.axes[i].values) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
 		}
 	}
 	return p, nil
-}
-
-// resolve builds the runner options of one cell from the normalized
-// spec.
-func (s *Spec) resolve(c Cell) runner.Options {
-	opts := runner.Options{
-		Bench: c.Bench,
-		// Nil for built-in benchmarks; for spec-defined workloads the
-		// source carries the content identity the fingerprint keys on.
-		Workload:         s.customWorkload(c.Bench),
-		Mechanism:        c.Mech,
-		Hier:             hier.DefaultConfig().WithMemory(memoryKind(c.Memory)),
-		CPU:              cpu.DefaultConfig(),
-		Insts:            c.Insts,
-		Warmup:           *s.Warmup,
-		Skip:             s.Skip,
-		Seed:             c.Seed,
-		InOrder:          c.Core == CoreInOrder,
-		QueueOverride:    c.Queue,
-		PrefetchAsDemand: s.PrefetchAsDemand,
-	}
-	if overrides, ok := s.Params[c.Mech]; ok && len(overrides) > 0 {
-		p := core.Params{}
-		for k, v := range overrides {
-			p[k] = v
-		}
-		opts.Params = p
-	}
-	return opts
 }
 
 func memoryKind(name string) hier.MemoryKind {

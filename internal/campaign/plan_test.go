@@ -1,9 +1,13 @@
 package campaign
 
 import (
+	"strings"
 	"testing"
 
+	"microlib/internal/core"
+	"microlib/internal/cpu"
 	"microlib/internal/hier"
+	"microlib/internal/runner"
 )
 
 func studySpec() Spec {
@@ -27,16 +31,16 @@ func TestPlanExpansion(t *testing.T) {
 	if want := 2 * 3 * 2 * 2; len(p.Cells) != want {
 		t.Fatalf("cells: got %d, want %d", len(p.Cells), want)
 	}
-	// Deterministic order: benchmark outermost, seed innermost.
-	if p.Cells[0].Bench != "gzip" || p.Cells[0].Seed != 1 || p.Cells[1].Seed != 2 {
+	// Deterministic order: benchmark outermost, seed near-innermost.
+	if p.Cells[0].Bench() != "gzip" || p.Cells[0].Seed() != 1 || p.Cells[1].Seed() != 2 {
 		t.Errorf("unexpected order: %+v %+v", p.Cells[0], p.Cells[1])
 	}
 	keys := map[string]int{}
 	for _, c := range p.Cells {
-		if c.Opts.Bench != c.Bench || c.Opts.Seed != c.Seed {
+		if c.Opts.Bench != c.Bench() || c.Opts.Seed != c.Seed() || c.Opts.Mechanism != c.Mech() {
 			t.Fatalf("cell/opts mismatch: %+v", c)
 		}
-		if c.Memory == MemNameConst70 && c.Opts.Hier.Memory != hier.MemConst70 {
+		if c.Axis(AxisMemory) == MemNameConst70 && c.Opts.Hier.Memory != hier.MemConst70 {
 			t.Fatalf("memory not resolved: %+v", c)
 		}
 		if prev, dup := keys[c.Key]; dup {
@@ -46,6 +50,17 @@ func TestPlanExpansion(t *testing.T) {
 	}
 	if len(p.Scenarios()) != 2 {
 		t.Errorf("scenarios: got %v", p.Scenarios())
+	}
+	// The axis table covers every dimension, single-valued ones
+	// included, so plan listings always show the full coordinates.
+	var names []string
+	for _, ax := range p.Axes {
+		names = append(names, ax.Name)
+	}
+	want := []string{AxisBench, AxisMech, AxisHier, AxisMemory, AxisCore,
+		AxisQueue, AxisParams, AxisWarmup, AxisInsts, AxisSeed, AxisSelect}
+	if strings.Join(names, " ") != strings.Join(want, " ") {
+		t.Errorf("axis table: got %v, want %v", names, want)
 	}
 }
 
@@ -68,6 +83,48 @@ func TestPlanDeterministic(t *testing.T) {
 	}
 }
 
+// TestPlanFingerprintCompat pins the acceptance criterion of the
+// axis refactor: a cell expressible before the axis engine existed
+// resolves to byte-identical runner options — and therefore the same
+// fingerprint, so existing disk caches stay valid. The expectation
+// is the pre-refactor resolver, written out by hand.
+func TestPlanFingerprintCompat(t *testing.T) {
+	spec := studySpec()
+	spec.Cores = []string{CoreOoO, CoreInOrder}
+	spec.Queues = []int{0, 4}
+	spec.Skip = 300
+	spec.Params = map[string]map[string]int{"SP": {"entries": 64}}
+	spec.PrefetchAsDemand = true
+	p, err := NewPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 3 * 2 * 2 * 2 * 2; len(p.Cells) != want {
+		t.Fatalf("cells: got %d, want %d", len(p.Cells), want)
+	}
+	for _, c := range p.Cells {
+		legacy := runner.Options{
+			Bench:            c.Bench(),
+			Mechanism:        c.Mech(),
+			Hier:             hier.DefaultConfig().WithMemory(memoryKind(c.Axis(AxisMemory))),
+			CPU:              cpu.DefaultConfig(),
+			Insts:            2000,
+			Warmup:           500,
+			Skip:             300,
+			Seed:             c.Seed(),
+			InOrder:          c.Axis(AxisCore) == CoreInOrder,
+			QueueOverride:    c.Opts.QueueOverride,
+			PrefetchAsDemand: true,
+		}
+		if c.Mech() == "SP" {
+			legacy.Params = core.Params{"entries": 64}
+		}
+		if got, want := c.Key, legacy.Fingerprint(); got != want {
+			t.Fatalf("cell %d (%s): fingerprint drifted from the pre-axis resolver", c.Index, c.Scenario())
+		}
+	}
+}
+
 func TestPlanParamsOnlyNamedMechanism(t *testing.T) {
 	s := studySpec()
 	s.Params = map[string]map[string]int{"SP": {"entries": 64}}
@@ -76,12 +133,12 @@ func TestPlanParamsOnlyNamedMechanism(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, c := range p.Cells {
-		if c.Mech == "SP" {
+		if c.Mech() == "SP" {
 			if c.Opts.Params["entries"] != 64 {
 				t.Fatalf("SP cell missing params: %+v", c.Opts)
 			}
 		} else if c.Opts.Params != nil {
-			t.Fatalf("%s cell must have no params: %+v", c.Mech, c.Opts)
+			t.Fatalf("%s cell must have no params: %+v", c.Mech(), c.Opts)
 		}
 	}
 }
@@ -91,5 +148,158 @@ func TestPlanRejectsUndeclaredParamKey(t *testing.T) {
 	s.Params = map[string]map[string]int{"SP": {"stride": 2}}
 	if _, err := NewPlan(s); err == nil {
 		t.Fatal("misspelled param key must be rejected, not silently defaulted")
+	}
+	s = studySpec()
+	s.ParamSets = []ParamSetSpec{{Name: "a"}, {Name: "b", Params: map[string]map[string]int{"SP": {"stride": 2}}}}
+	if _, err := NewPlan(s); err == nil {
+		t.Fatal("misspelled paramset key must be rejected, not silently defaulted")
+	}
+}
+
+func TestHierAxis(t *testing.T) {
+	s := studySpec()
+	s.Memories = []string{MemNameSDRAM}
+	s.Hiers = []string{hier.VariantDefault, hier.VariantInfiniteMSHR, hier.VariantSimpleScalar}
+	p, err := NewPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Scenarios()) != 3 {
+		t.Fatalf("scenarios: %v", p.Scenarios())
+	}
+	for _, c := range p.Cells {
+		inf, ss := c.Opts.Hier.L1D.InfiniteMSHR, c.Opts.Hier.L1D.NoPipelineStall
+		switch c.Axis(AxisHier) {
+		case hier.VariantDefault:
+			if inf || ss {
+				t.Fatalf("default variant altered: %+v", c.Opts.Hier.L1D)
+			}
+		case hier.VariantInfiniteMSHR:
+			if !inf || ss {
+				t.Fatalf("infinite-mshr variant wrong: %+v", c.Opts.Hier.L1D)
+			}
+		case hier.VariantSimpleScalar:
+			if !inf || !ss {
+				t.Fatalf("simplescalar variant wrong: %+v", c.Opts.Hier.L1D)
+			}
+		}
+	}
+}
+
+func TestParamSetAxis(t *testing.T) {
+	s := studySpec()
+	s.Memories = []string{MemNameSDRAM}
+	s.Params = map[string]map[string]int{"SP": {"entries": 32}}
+	s.ParamSets = []ParamSetSpec{
+		{Name: "published"},
+		{Name: "small", Params: map[string]map[string]int{"SP": {"entries": 8}, "TP": {"queue": 2}}},
+	}
+	p, err := NewPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Scenarios()) != 2 {
+		t.Fatalf("scenarios: %v", p.Scenarios())
+	}
+	baseKeys := map[string][]string{}
+	for _, c := range p.Cells {
+		ps := c.Axis(AxisParams)
+		switch {
+		case c.Mech() == "SP" && ps == "published":
+			if c.Opts.Params["entries"] != 32 {
+				t.Fatalf("base params must apply in every set: %+v", c.Opts.Params)
+			}
+		case c.Mech() == "SP" && ps == "small":
+			if c.Opts.Params["entries"] != 8 {
+				t.Fatalf("set overrides must win over base params: %+v", c.Opts.Params)
+			}
+		case c.Mech() == "TP" && ps == "small":
+			if c.Opts.Params["queue"] != 2 {
+				t.Fatalf("set params missing: %+v", c.Opts.Params)
+			}
+		case c.Mech() == "Base":
+			baseKeys[c.Bench()+"/"+ps] = append(baseKeys[c.Bench()+"/"+ps], c.Key)
+		}
+	}
+	// A baseline untouched by the set shares its fingerprint across
+	// both scenarios — and both scenarios keep their copy, so each
+	// grid has its Base column (the cache makes the rerun free).
+	if len(baseKeys) != 2*2 { // grouped by bench × set, two seeds each
+		t.Fatalf("base cells: %v", baseKeys)
+	}
+	for bench := range map[string]bool{"gzip": true, "mcf": true} {
+		a := baseKeys[bench+"/published"]
+		b := baseKeys[bench+"/small"]
+		if len(a) != 2 || len(b) != 2 || a[0] != b[0] || a[1] != b[1] {
+			t.Fatalf("base fingerprints must match across paramsets: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSelectionAxis(t *testing.T) {
+	s := studySpec()
+	s.Memories = []string{MemNameSDRAM}
+	s.Skip = 700
+	s.Selections = []string{SelSkip, "skip:123"}
+	p, err := NewPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range p.Cells {
+		want := uint64(700)
+		if c.Axis(AxisSelect) == "skip:123" {
+			want = 123
+		}
+		if c.Opts.Skip != want {
+			t.Fatalf("selection %s resolved skip=%d, want %d", c.Axis(AxisSelect), c.Opts.Skip, want)
+		}
+	}
+}
+
+func TestSimPointSelectionMatchesRunner(t *testing.T) {
+	s := studySpec()
+	s.Benchmarks = []string{"gzip"}
+	s.Mechanisms = []string{"Base", "TP"}
+	s.Memories = []string{MemNameSDRAM}
+	s.Seeds = []uint64{1}
+	s.Selections = []string{SelSimPoint}
+	p, err := NewPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := p.Cells[0].Opts
+	want, err := runner.SimPointSkip(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range p.Cells {
+		if c.Opts.Skip != want {
+			t.Fatalf("simpoint offset %d, want %d (mechanisms must share the per-benchmark offset)", c.Opts.Skip, want)
+		}
+	}
+}
+
+func TestWarmupAxis(t *testing.T) {
+	s := studySpec()
+	s.Warmup = nil
+	s.Memories = []string{MemNameSDRAM}
+	s.Warmups = []uint64{100, 200}
+	p, err := NewPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Scenarios()) != 2 {
+		t.Fatalf("scenarios: %v", p.Scenarios())
+	}
+	for _, c := range p.Cells {
+		if got := c.Opts.Warmup; got != 100 && got != 200 {
+			t.Fatalf("warmup not resolved: %+v", c.Opts)
+		}
+	}
+
+	both := studySpec() // studySpec sets Warmup
+	both.Warmups = []uint64{100}
+	if _, err := NewPlan(both); err == nil || !strings.Contains(err.Error(), "not both") {
+		t.Fatalf("warmup+warmups must be rejected, got %v", err)
 	}
 }

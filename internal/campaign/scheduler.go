@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 
+	"microlib/internal/core"
 	"microlib/internal/runner"
 )
 
@@ -29,6 +30,16 @@ type Progress struct {
 	Err       error
 }
 
+// CellCache serves and persists finished cells by fingerprint key.
+// DiskCache is the persistent implementation, MemCache the
+// in-process one, and LayeredCache chains them.
+type CellCache interface {
+	// Get returns the cached result for key, if present and intact.
+	Get(key string) (CellResult, bool)
+	// Put stores a successful result under its key.
+	Put(res CellResult) error
+}
+
 // Scheduler executes plan cells on a bounded worker pool. The zero
 // value runs with GOMAXPROCS workers and no cache.
 type Scheduler struct {
@@ -36,16 +47,10 @@ type Scheduler struct {
 	Workers int
 	// Cache, when non-nil, serves finished cells and persists new
 	// ones, making interrupted or extended campaigns incremental.
-	Cache *DiskCache
+	Cache CellCache
 	// OnProgress, when non-nil, observes every finished cell. Called
 	// serially under the scheduler's lock.
 	OnProgress func(Progress)
-	// OnResult, when non-nil, receives the full runner.Result of
-	// every freshly simulated (non-cached, non-failed) cell. Called
-	// serially under the scheduler's lock. The experiments harness
-	// uses it to capture hardware tables and live mechanism state the
-	// serializable CellResult does not carry.
-	OnResult func(Cell, runner.Result)
 }
 
 // Run executes the cells and returns their results keyed by cell
@@ -80,8 +85,20 @@ func (s *Scheduler) Run(ctx context.Context, cells []Cell) (map[string]CellResul
 		}()
 	}
 
+	// A plan may repeat a fingerprint across scenarios (a baseline
+	// untouched by a parameter-set axis), anywhere in plan order.
+	// Dispatching the copies would simulate the same cell on several
+	// workers; feed each distinct key once and serve the copies from
+	// the finished result afterwards.
+	fed := map[string]bool{}
+	var dups []Cell
 feed:
 	for _, c := range cells {
+		if fed[c.Key] {
+			dups = append(dups, c)
+			continue
+		}
+		fed[c.Key] = true
 		select {
 		case jobs <- c:
 		case <-ctx.Done():
@@ -90,6 +107,25 @@ feed:
 	}
 	close(jobs)
 	wg.Wait()
+	for _, c := range dups {
+		res, ok := results[c.Key]
+		if !ok {
+			continue // first copy canceled: this one is missing too
+		}
+		var dupErr error
+		stats.Completed++
+		if res.Err != "" {
+			// Simulations are deterministic: a rerun would fail the
+			// same way, so the copy shares the recorded failure.
+			stats.Errors++
+			dupErr = errors.New(res.Err)
+		} else {
+			stats.CacheHits++
+		}
+		if s.OnProgress != nil {
+			s.OnProgress(Progress{Done: stats.Completed, Total: stats.Total, Cell: c, FromCache: dupErr == nil, Err: dupErr})
+		}
+	}
 	// Cancellation that landed after the last cell finished did not
 	// interrupt anything: the campaign is complete.
 	err := ctx.Err()
@@ -136,9 +172,6 @@ func (s *Scheduler) runCell(ctx context.Context, cell Cell, mu *sync.Mutex, resu
 		stats.Errors++
 	} else {
 		stats.Simulated++
-		if s.OnResult != nil {
-			s.OnResult(cell, full)
-		}
 	}
 	if s.OnProgress != nil {
 		s.OnProgress(Progress{Done: stats.Completed, Total: stats.Total, Cell: cell, Err: err})
@@ -151,9 +184,9 @@ func (s *Scheduler) runCell(ctx context.Context, cell Cell, mu *sync.Mutex, resu
 func toCellResult(cell Cell, full runner.Result, err error) CellResult {
 	res := CellResult{
 		Key:       cell.Key,
-		Bench:     cell.Bench,
-		Mechanism: cell.Mech,
-		Seed:      cell.Seed,
+		Bench:     cell.Bench(),
+		Mechanism: cell.Mech(),
+		Seed:      cell.Seed(),
 	}
 	if err != nil {
 		res.Err = err.Error()
@@ -167,5 +200,13 @@ func toCellResult(cell Cell, full runner.Result, err error) CellResult {
 	res.PrefetchIssued = full.L1D.PrefetchIssued + full.L2.PrefetchIssued
 	res.PrefetchUseful = full.L1D.PrefetchUseful + full.L2.PrefetchUseful
 	res.AvgReadLatency = full.Mem.AvgReadLatency()
+	// Always non-nil, even when the mechanism adds no hardware: a
+	// nil Hardware marks an entry cached before the cost fields
+	// existed, so consumers can tell "cost-free" from "stale entry".
+	res.Hardware = full.Hardware
+	if res.Hardware == nil {
+		res.Hardware = []core.HWTable{}
+	}
+	res.BaseCacheAccesses = full.BaseCacheAccesses
 	return res
 }

@@ -4,8 +4,6 @@ import (
 	"context"
 	"path/filepath"
 	"testing"
-
-	"microlib/internal/runner"
 )
 
 func tinySpec() Spec {
@@ -61,9 +59,11 @@ func TestExecuteAndCacheResume(t *testing.T) {
 	}
 }
 
-func TestSchedulerOnResultOnlyForFreshCells(t *testing.T) {
-	dir := t.TempDir()
-	cache, err := OpenDiskCache(dir)
+// Fresh results always carry a non-nil Hardware slice (nil marks a
+// pre-cost-model cache entry), and cached reruns serve the same
+// cells without resimulating.
+func TestSchedulerCellResultsCarryHardwareMarker(t *testing.T) {
+	cache, err := OpenDiskCache(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,27 +71,25 @@ func TestSchedulerOnResultOnlyForFreshCells(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-
-	fresh := 0
-	s := &Scheduler{Cache: cache, OnResult: func(c Cell, r runner.Result) {
-		if r.IPC <= 0 {
-			t.Errorf("OnResult with empty result for %s/%s", c.Bench, c.Mech)
+	s := &Scheduler{Cache: cache}
+	results, _, err := s.Run(context.Background(), plan.Cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range plan.Cells {
+		if res := results[c.Key]; res.Hardware == nil {
+			t.Fatalf("%s/%s: fresh result must carry a non-nil hardware slice", c.Bench(), c.Mech())
 		}
-		fresh++
-	}}
-	if _, _, err := s.Run(context.Background(), plan.Cells); err != nil {
+	}
+	// The disk round-trip must preserve the marker.
+	again, _, err := s.Run(context.Background(), plan.Cells)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if fresh != len(plan.Cells) {
-		t.Fatalf("OnResult calls: got %d, want %d", fresh, len(plan.Cells))
-	}
-
-	fresh = 0
-	if _, _, err := s.Run(context.Background(), plan.Cells); err != nil {
-		t.Fatal(err)
-	}
-	if fresh != 0 {
-		t.Fatalf("OnResult must not fire for cached cells, got %d", fresh)
+	for _, c := range plan.Cells {
+		if res := again[c.Key]; res.Hardware == nil {
+			t.Fatalf("%s/%s: cached result lost the hardware marker", c.Bench(), c.Mech())
+		}
 	}
 }
 
@@ -144,6 +142,42 @@ func TestSchedulerCancellationLeavesResumableCache(t *testing.T) {
 	for _, sc := range resumed.Scenarios {
 		if sc.Missing != 0 {
 			t.Fatalf("resumed summary still missing cells: %+v", sc)
+		}
+	}
+}
+
+// A plan repeating a fingerprint across scenarios (the Base column
+// of a paramsets sweep) must simulate each distinct cell exactly
+// once, deterministically — duplicates are served from the finished
+// result, not raced onto a second worker.
+func TestSchedulerDeduplicatesPlanCells(t *testing.T) {
+	spec := tinySpec()
+	spec.Seeds = []uint64{1}
+	spec.ParamSets = []ParamSetSpec{
+		{Name: "pub"},
+		{Name: "q1", Params: map[string]map[string]int{"TP": {"queue": 1}}},
+	}
+	plan, err := NewPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 bench × (Base, TP) × 2 paramsets; the two Base copies per
+	// benchmark share a fingerprint.
+	if len(plan.Cells) != 8 {
+		t.Fatalf("cells: %d", len(plan.Cells))
+	}
+	s := &Scheduler{Workers: 4}
+	results, stats, err := s.Run(context.Background(), plan.Cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Simulated != 6 || stats.CacheHits != 2 || stats.Completed != 8 {
+		t.Fatalf("duplicates must be served, not resimulated: %+v", stats)
+	}
+	sum := Aggregate(plan, results, stats)
+	for _, sc := range sum.Scenarios {
+		if !sc.Complete() {
+			t.Fatalf("every scenario must have its Base column: %+v", sc)
 		}
 	}
 }

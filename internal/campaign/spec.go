@@ -1,12 +1,15 @@
 // Package campaign is MicroLib's declarative sweep engine. A Spec —
 // a small JSON document — names the axes of a simulation campaign
-// (benchmarks, mechanisms, memory models, host cores, prefetch-queue
-// overrides, instruction budgets, seeds) and per-mechanism parameter
-// overrides; the engine expands the cross-product into a
-// deterministic Plan, executes it on a bounded worker pool with
-// context cancellation and a persistent fingerprint-keyed result
-// cache, and aggregates the cells into speedup grids, rankings and
-// per-cell confidence intervals.
+// (benchmarks, mechanisms, hierarchy variants, memory models, host
+// cores, prefetch-queue overrides, parameter sets, trace-selection
+// policies, warm-up and measured budgets, seeds); the engine
+// compiles the spec into an axis table — every axis is an ordered
+// value list plus a deterministic resolver into runner.Options —
+// expands the cross-product into a deterministic Plan, executes it
+// on a bounded worker pool with context cancellation and a
+// persistent fingerprint-keyed result cache, and aggregates the
+// cells into speedup grids, rankings and per-cell confidence
+// intervals, grouped by the axis-derived scenario key.
 //
 // This generalizes the paper's methodology: instead of replaying the
 // fixed figures of the evaluation, any user-specified region of the
@@ -32,6 +35,7 @@ import (
 	"strings"
 
 	"microlib/internal/core"
+	"microlib/internal/hier"
 	"microlib/internal/runner"
 	"microlib/internal/trace"
 	"microlib/internal/workload"
@@ -81,19 +85,38 @@ type Spec struct {
 	Memories []string `json:"memories,omitempty"`
 	// Cores are host cores: "ooo", "inorder". Empty means ["ooo"].
 	Cores []string `json:"cores,omitempty"`
+	// Hiers are named hierarchy accuracy variants: "default",
+	// "infinite-mshr" (Figure 9), "simplescalar" (Figure 1). Empty
+	// means ["default"].
+	Hiers []string `json:"hiers,omitempty"`
 	// Queues are prefetch request queue overrides (Figure 10); the
 	// value 0 keeps each mechanism's default. Empty means [0].
 	Queues []int `json:"queues,omitempty"`
+	// ParamSets sweep named per-mechanism parameter overrides as an
+	// axis (the second-guessing studies: TCP queue 1 vs 128, DBCP
+	// initial vs fixed). Each set layers over Params. Empty means one
+	// implicit set named "default" carrying Params alone.
+	ParamSets []ParamSetSpec `json:"paramsets,omitempty"`
+	// Selections are trace-selection policies: "simpoint" (offsets
+	// computed at plan time), "skip" (discard Skip instructions), or
+	// "skip:N" (an explicit offset). Empty means ["skip"].
+	Selections []string `json:"selections,omitempty"`
+	// Warmups are warm-up instruction budgets; empty means [Warmup]
+	// (or its 50000 default).
+	Warmups []uint64 `json:"warmups,omitempty"`
 	// Insts are measured instruction budgets; empty means [150000].
 	Insts []uint64 `json:"insts,omitempty"`
 	// Seeds key the workload generator; multiple seeds replicate
 	// every cell for confidence intervals. Empty means [42].
 	Seeds []uint64 `json:"seeds,omitempty"`
 
-	// Warmup instructions before measurement (default 50000; the
-	// field must be present to choose 0 explicitly, hence pointer).
+	// Warmup is the single-value shorthand for the Warmups axis (the
+	// field must be present to choose 0 explicitly, hence pointer;
+	// setting both it and Warmups is rejected). Normalize folds it
+	// into Warmups.
 	Warmup *uint64 `json:"warmup,omitempty"`
-	// Skip discards instructions before the trace window.
+	// Skip discards instructions before the trace window (the offset
+	// of the "skip" selection policy).
 	Skip uint64 `json:"skip,omitempty"`
 	// Params overrides mechanism construction parameters, keyed by
 	// mechanism name then parameter name (e.g. {"TCP": {"queue": 1}}).
@@ -137,6 +160,15 @@ type WorkloadSpec struct {
 	// Resolved by Normalize.
 	tracePath string // Trace with baseDir applied
 	traceSHA  string // content hash of the trace file
+}
+
+// ParamSetSpec is one value of the "paramsets" axis: a named bundle
+// of per-mechanism parameter overrides, layered over the spec's base
+// Params (set keys win). A set with no params is the mechanisms'
+// published defaults — the usual comparison point.
+type ParamSetSpec struct {
+	Name   string                    `json:"name"`
+	Params map[string]map[string]int `json:"params,omitempty"`
 }
 
 // DefaultWarmup is the warm-up budget when the spec omits it.
@@ -200,18 +232,34 @@ func (s *Spec) Normalize() error {
 	if len(s.Cores) == 0 {
 		s.Cores = []string{CoreOoO}
 	}
+	if len(s.Hiers) == 0 {
+		s.Hiers = []string{hier.VariantDefault}
+	}
 	if len(s.Queues) == 0 {
 		s.Queues = []int{0}
 	}
+	if len(s.ParamSets) == 0 {
+		s.ParamSets = []ParamSetSpec{{Name: DefaultParamSet}}
+	}
+	if len(s.Selections) == 0 {
+		s.Selections = []string{SelSkip}
+	}
+	if len(s.Warmups) > 0 && s.Warmup != nil {
+		return fmt.Errorf("campaign: set warmup or warmups, not both")
+	}
+	if len(s.Warmups) == 0 {
+		w := uint64(DefaultWarmup)
+		if s.Warmup != nil {
+			w = *s.Warmup
+		}
+		s.Warmups = []uint64{w}
+	}
+	s.Warmup = nil
 	if len(s.Insts) == 0 {
 		s.Insts = []uint64{DefaultInsts}
 	}
 	if len(s.Seeds) == 0 {
 		s.Seeds = []uint64{DefaultSeed}
-	}
-	if s.Warmup == nil {
-		w := uint64(DefaultWarmup)
-		s.Warmup = &w
 	}
 
 	if err := validateAxis("benchmark", s.Benchmarks, s.reg.Names()); err != nil {
@@ -221,11 +269,22 @@ func (s *Spec) Normalize() error {
 	if err := validateAxis("mechanism", s.Mechanisms, mechs); err != nil {
 		return err
 	}
+	if err := validateAxis("hier", s.Hiers, hier.VariantNames()); err != nil {
+		return err
+	}
 	if err := validateAxis("memory", s.Memories, MemoryNames()); err != nil {
 		return err
 	}
 	if err := validateAxis("core", s.Cores, CoreNames()); err != nil {
 		return err
+	}
+	for _, sel := range s.Selections {
+		if sel == SelSkip || sel == SelSimPoint {
+			continue
+		}
+		if _, err := parseSkipSelection(sel); err != nil {
+			return err
+		}
 	}
 	// A recorded trace carries no memory contents, so value-inspecting
 	// mechanisms (Description.NeedsValues) cannot run on its cells.
@@ -254,13 +313,61 @@ func (s *Spec) Normalize() error {
 			return fmt.Errorf("campaign: zero instruction budget in insts axis")
 		}
 	}
-	for mech, overrides := range s.Params {
+	if err := s.validateParams(s.Params, "params"); err != nil {
+		return err
+	}
+	var psetNames []string
+	for i := range s.ParamSets {
+		ps := &s.ParamSets[i]
+		if ps.Name == "" {
+			return fmt.Errorf("campaign: paramset %d needs a name", i)
+		}
+		psetNames = append(psetNames, ps.Name)
+		if err := s.validateParams(ps.Params, fmt.Sprintf("paramset %q", ps.Name)); err != nil {
+			return err
+		}
+	}
+
+	// Duplicate axis values — numeric ones included — would silently
+	// halve the real replication factor (identical fingerprints
+	// collapse in the result map while aggregation counts the cell
+	// twice), so they are rejected like duplicate names.
+	axes := []struct {
+		name   string
+		values []string
+	}{
+		{"benchmark", s.Benchmarks},
+		{"mechanism", s.Mechanisms},
+		{"hier", s.Hiers},
+		{"memory", s.Memories},
+		{"core", s.Cores},
+		{"queue", formatAxis(s.Queues)},
+		{"paramset", psetNames},
+		{"selection", s.Selections},
+		{"warmup", formatAxis(s.Warmups)},
+		{"insts", formatAxis(s.Insts)},
+		{"seed", formatAxis(s.Seeds)},
+	}
+	for _, axis := range axes {
+		if err := checkDup(axis.name, axis.values); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateParams checks one per-mechanism override map (the spec's
+// base "params" or one paramset's) against the mechanism registry,
+// the sweep axis and each mechanism's declared parameter keys. ctx
+// names the map in errors.
+func (s *Spec) validateParams(params map[string]map[string]int, ctx string) error {
+	for mech, overrides := range params {
 		if mech == runner.BaseName {
-			return fmt.Errorf("campaign: params override for %q (the baseline takes no parameters)", mech)
+			return fmt.Errorf("campaign: %s override for %q (the baseline takes no parameters)", ctx, mech)
 		}
 		desc, ok := core.Describe(mech)
 		if !ok {
-			return fmt.Errorf("campaign: params override for unknown mechanism %q", mech)
+			return fmt.Errorf("campaign: %s override for unknown mechanism %q", ctx, mech)
 		}
 		swept := false
 		for _, m := range s.Mechanisms {
@@ -270,7 +377,7 @@ func (s *Spec) Normalize() error {
 			}
 		}
 		if !swept {
-			return fmt.Errorf("campaign: params override for %q, which is not in the mechanisms axis (typo?)", mech)
+			return fmt.Errorf("campaign: %s override for %q, which is not in the mechanisms axis (typo?)", ctx, mech)
 		}
 		for key := range overrides {
 			if !desc.HasParam(key) {
@@ -279,17 +386,6 @@ func (s *Spec) Normalize() error {
 				return fmt.Errorf("campaign: mechanism %s has no parameter %q (have %s)",
 					mech, key, strings.Join(declared, ", "))
 			}
-		}
-	}
-	axes := [][]string{s.Benchmarks, s.Mechanisms, s.Memories, s.Cores}
-	// Duplicate numeric axis values would silently halve the real
-	// replication factor (identical fingerprints collapse in the
-	// result map while aggregation counts the cell twice), so they
-	// are rejected like duplicate names.
-	axes = append(axes, formatAxis(s.Queues), formatAxis(s.Insts), formatAxis(s.Seeds))
-	for _, axis := range axes {
-		if err := checkDup(axis); err != nil {
-			return err
 		}
 	}
 	return nil
@@ -400,11 +496,13 @@ func (s *Spec) customWorkload(name string) *runner.Workload {
 	return nil
 }
 
-func checkDup(values []string) error {
+// checkDup rejects repeated values on one axis, naming the axis so
+// the spec author can find the typo.
+func checkDup(axis string, values []string) error {
 	seen := map[string]bool{}
 	for _, v := range values {
 		if seen[v] {
-			return fmt.Errorf("campaign: duplicate axis value %q", v)
+			return fmt.Errorf("campaign: duplicate %s axis value %q", axis, v)
 		}
 		seen[v] = true
 	}

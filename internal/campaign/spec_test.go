@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"microlib/internal/core"
+	"microlib/internal/hier"
 	"microlib/internal/runner"
 	"microlib/internal/workload"
 )
@@ -36,8 +37,17 @@ func TestNormalizeDefaults(t *testing.T) {
 	if len(s.Seeds) != 1 || s.Seeds[0] != DefaultSeed {
 		t.Errorf("seeds default: %v", s.Seeds)
 	}
-	if s.Warmup == nil || *s.Warmup != DefaultWarmup {
-		t.Errorf("warmup default: %v", s.Warmup)
+	if len(s.Warmups) != 1 || s.Warmups[0] != DefaultWarmup {
+		t.Errorf("warmups default: %v", s.Warmups)
+	}
+	if len(s.Hiers) != 1 || s.Hiers[0] != hier.VariantDefault {
+		t.Errorf("hiers default: %v", s.Hiers)
+	}
+	if len(s.ParamSets) != 1 || s.ParamSets[0].Name != DefaultParamSet {
+		t.Errorf("paramsets default: %v", s.ParamSets)
+	}
+	if len(s.Selections) != 1 || s.Selections[0] != SelSkip {
+		t.Errorf("selections default: %v", s.Selections)
 	}
 }
 
@@ -59,10 +69,19 @@ func TestNormalizeValidation(t *testing.T) {
 			Mechanisms: []string{"Base", "TCP"},
 			Params:     map[string]map[string]int{"TP": {"queue": 1}},
 		}, "not in the mechanisms axis"},
-		{"dup", Spec{Benchmarks: []string{"gzip", "gzip"}}, "duplicate"},
-		{"dup-seed", Spec{Seeds: []uint64{42, 42}}, "duplicate"},
-		{"dup-insts", Spec{Insts: []uint64{5000, 5000}}, "duplicate"},
-		{"dup-queue", Spec{Queues: []int{1, 1}}, "duplicate"},
+		{"hier", Spec{Hiers: []string{"perfect"}}, "unknown hier"},
+		{"selection", Spec{Selections: []string{"warmest"}}, "unknown selection"},
+		{"selection-offset", Spec{Selections: []string{"skip:many"}}, "not a number"},
+		{"paramset-name", Spec{ParamSets: []ParamSetSpec{{}}}, "needs a name"},
+		{"paramset-params", Spec{ParamSets: []ParamSetSpec{{Name: "x", Params: map[string]map[string]int{"NOPE": {"x": 1}}}}}, "unknown mechanism"},
+		// Duplicate-value errors name the axis, so the typo is findable.
+		{"dup", Spec{Benchmarks: []string{"gzip", "gzip"}}, "duplicate benchmark axis value"},
+		{"dup-seed", Spec{Seeds: []uint64{42, 42}}, "duplicate seed axis value"},
+		{"dup-insts", Spec{Insts: []uint64{5000, 5000}}, "duplicate insts axis value"},
+		{"dup-queue", Spec{Queues: []int{1, 1}}, "duplicate queue axis value"},
+		{"dup-warmup", Spec{Warmups: []uint64{9, 9}}, "duplicate warmup axis value"},
+		{"dup-paramset", Spec{ParamSets: []ParamSetSpec{{Name: "a"}, {Name: "a"}}}, "duplicate paramset axis value"},
+		{"dup-selection", Spec{Selections: []string{"skip", "skip"}}, "duplicate selection axis value"},
 	}
 	for _, tc := range cases {
 		err := tc.spec.Normalize()
@@ -91,8 +110,8 @@ func TestParseSpecRoundTrip(t *testing.T) {
 	if err := s.Normalize(); err != nil {
 		t.Fatal(err)
 	}
-	if *s.Warmup != 0 {
-		t.Errorf("explicit zero warmup must survive, got %d", *s.Warmup)
+	if len(s.Warmups) != 1 || s.Warmups[0] != 0 {
+		t.Errorf("explicit zero warmup must survive, got %v", s.Warmups)
 	}
 	if len(s.Seeds) != 3 || s.Params["TCP"]["queue"] != 128 {
 		t.Errorf("lost fields: %+v", s)

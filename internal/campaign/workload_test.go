@@ -151,9 +151,9 @@ func TestCustomWorkloadsNeverShareFingerprints(t *testing.T) {
 	seen := map[string]string{}
 	for _, c := range plan.Cells {
 		if prev, ok := seen[c.Key]; ok {
-			t.Fatalf("cells %s and %s share fingerprint %s", prev, c.Bench, c.Key)
+			t.Fatalf("cells %s and %s share fingerprint %s", prev, c.Bench(), c.Key)
 		}
-		seen[c.Key] = c.Bench
+		seen[c.Key] = c.Bench()
 	}
 
 	// Renaming a workload must keep its fingerprint (identity is
@@ -228,7 +228,7 @@ func TestTraceWorkloadSeedAxisCollapses(t *testing.T) {
 	}
 	var gzipCells, recCells []Cell
 	for _, c := range plan.Cells {
-		if c.Bench == "rec" {
+		if c.Bench() == "rec" {
 			recCells = append(recCells, c)
 		} else {
 			gzipCells = append(gzipCells, c)
@@ -248,7 +248,7 @@ func TestTraceWorkloadSeedAxisCollapses(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, c := range plan2.Cells {
-		if c.Bench == "rec" && c.Key != recCells[0].Key {
+		if c.Bench() == "rec" && c.Key != recCells[0].Key {
 			t.Fatalf("trace cell key depends on seed: %s vs %s", c.Key, recCells[0].Key)
 		}
 	}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"testing"
+
+	"microlib/internal/campaign"
+	"microlib/internal/cpu"
+	"microlib/internal/hier"
+	"microlib/internal/runner"
+)
+
+// TestFig8SpecMatchesLegacyDriver pins the axis refactor end to end:
+// the spec-driven fig8 campaign must reproduce, cell for cell and
+// bit for bit, the numbers the pre-refactor fixed driver computed.
+// The expectation below IS that driver, written out by hand — per
+// memory model, one runner.Run per benchmark × mechanism under the
+// main configuration, with the per-benchmark SimPoint offset shared
+// across mechanisms — so a regression in the axis resolvers, the
+// scenario grouping or the plan-time SimPoint hook shows up as a
+// numeric diff here.
+func TestFig8SpecMatchesLegacyDriver(t *testing.T) {
+	r := Default()
+	r.Insts = 10_000
+	r.Warmup = 5_000
+	r.Benchmarks = []string{"gzip", "swim"}
+	r.Mechs = []string{"Base", "TP", "GHB"}
+	// SimPoint on: the legacy driver computed one offset per
+	// benchmark at the grid's budgets; the spec path must agree.
+	r.UseSimPoint = true
+
+	sum := r.Campaign("fig8")
+
+	kinds := map[string]hier.MemoryKind{
+		campaign.MemNameConst70: hier.MemConst70,
+		campaign.MemNameSDRAM:   hier.MemSDRAM,
+		campaign.MemNameSDRAM70: hier.MemSDRAM70,
+	}
+	// Legacy per-benchmark SimPoint offsets (shared across
+	// mechanisms and memory models, computed at the main budgets).
+	skips := map[string]uint64{}
+	for _, b := range r.Benchmarks {
+		skip, err := runner.SimPointSkip(runner.Options{
+			Bench: b, Insts: r.Insts, Warmup: r.Warmup, Seed: r.Seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		skips[b] = skip
+	}
+
+	for mem, kind := range kinds {
+		sc := sum.Find(campaign.AxisMemory, mem)
+		if sc == nil {
+			t.Fatalf("no scenario for memory %s", mem)
+		}
+		if !sc.Complete() {
+			t.Fatalf("scenario %s incomplete: %+v", sc.Label, sc)
+		}
+		for i, b := range r.Benchmarks {
+			for m, mech := range r.Mechs {
+				res, err := runner.Run(runner.Options{
+					Bench:     b,
+					Mechanism: mech,
+					Hier:      hier.DefaultConfig().WithMemory(kind),
+					CPU:       cpu.DefaultConfig(),
+					Insts:     r.Insts,
+					Warmup:    r.Warmup,
+					Seed:      r.Seed,
+					Skip:      skips[b],
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := sc.Mean.Values[i][m]; got != res.IPC {
+					t.Errorf("%s %s/%s: campaign IPC %v, legacy driver IPC %v",
+						mem, b, mech, got, res.IPC)
+				}
+			}
+		}
+	}
+}

@@ -2,8 +2,12 @@
 // paper's evaluation (Sections 2.2 and 3): the validation studies
 // (Figures 1-3), the main quantitative comparison (Figures 4-7,
 // Tables 5-7) and the methodology studies (Figures 8-11). Each
-// experiment returns a Report with a pre-formatted text table; the
-// mlrank CLI and the root bench harness print them.
+// experiment is a thin report formatter over a shipped campaign spec
+// (examples/campaign/figures): the spec is rescaled to the runner's
+// budgets, expanded by the campaign axis engine, executed on the
+// campaign scheduler through a shared cell cache, and the formatter
+// renders the aggregated scenarios into the paper's table shape. The
+// mlrank CLI and the root bench harness print the reports.
 package experiments
 
 import (
@@ -14,13 +18,9 @@ import (
 	"strings"
 	"sync"
 
+	"microlib/examples/campaign/figures"
 	"microlib/internal/campaign"
-	"microlib/internal/cpu"
-	"microlib/internal/hier"
-	"microlib/internal/runner"
-	"microlib/internal/simpoint"
 	"microlib/internal/stats"
-	"microlib/internal/trace"
 	"microlib/internal/workload"
 )
 
@@ -49,20 +49,26 @@ type Runner struct {
 	// UseSimPoint enables SimPoint trace selection for the main
 	// experiments (the paper's default).
 	UseSimPoint bool
+	// CacheDir, when non-empty, persists finished cells on disk so
+	// repeated runs — and spec-driven mlcampaign runs over the same
+	// cells — are incremental.
+	CacheDir string
 
 	Benchmarks []string
 	Mechs      []string
 
-	mu    sync.Mutex
-	grids map[string]*gridResult
+	mu   sync.Mutex
+	mem  *campaign.MemCache
+	runs map[string]*figureRun
+}
+
+// figureRun memoizes one executed figure campaign.
+type figureRun struct {
+	sum *campaign.Summary
+	res map[cellKey]campaign.CellResult
 }
 
 type cellKey struct{ bench, mech string }
-
-type gridResult struct {
-	grid *stats.Grid
-	res  map[cellKey]runner.Result
-}
 
 // Default returns the standard experiment configuration.
 func Default() *Runner {
@@ -76,7 +82,8 @@ func Default() *Runner {
 		UseSimPoint: true,
 		Benchmarks:  workload.Names(),
 		Mechs:       append([]string(nil), PaperMechs...),
-		grids:       map[string]*gridResult{},
+		mem:         campaign.NewMemCache(),
+		runs:        map[string]*figureRun{},
 	}
 }
 
@@ -91,106 +98,164 @@ func (r *Runner) Scale(f uint64) *Runner {
 	return r
 }
 
-// Variant mutates the per-run options of a grid.
-type Variant func(*runner.Options)
-
-// simPointSkip computes the SimPoint offset for a benchmark.
-func (r *Runner) simPointSkip(bench string) uint64 {
-	gen, err := workload.New(bench, r.Seed)
-	if err != nil {
-		return 0
-	}
-	cfg := simpoint.DefaultConfig()
-	cfg.IntervalLen = (r.Warmup + r.Insts) / 8
-	if cfg.IntervalLen == 0 {
-		cfg.IntervalLen = 1
-	}
-	cfg.Intervals = 12
-	var s trace.Stream = gen
-	return simpoint.Analyze(s, cfg).SkipInsts
+// figureSpecs maps each experiment grid to its shipped campaign spec
+// in examples/campaign/figures. pinMechs keeps the spec's own
+// mechanism subset (the figure compares those specific mechanisms);
+// valInsts/valSkip rescale against the Section 2.2 validation
+// budgets instead of the main ones.
+var figureSpecs = map[string]struct {
+	file     string
+	pinMechs bool
+	valInsts bool
+	valSkip  bool
+}{
+	"main":  {file: "main.json"},
+	"fig1":  {file: "fig1.json", pinMechs: true},
+	"fig2":  {file: "fig2.json", pinMechs: true, valInsts: true, valSkip: true},
+	"fig3":  {file: "fig3.json", pinMechs: true, valInsts: true, valSkip: true},
+	"fig8":  {file: "fig8.json"},
+	"fig9":  {file: "fig9.json"},
+	"fig10": {file: "fig10.json", pinMechs: true},
+	"fig11": {file: "fig11.json", valSkip: true},
 }
 
-// Grid runs (or returns the memoized) benchmark × mechanism IPC grid
-// for a named configuration. Execution goes through the campaign
-// scheduler, so the paper-replay experiments and spec-driven
-// campaigns share one worker-pool engine.
-func (r *Runner) Grid(name string, variant Variant) (*stats.Grid, map[cellKey]runner.Result) {
-	r.mu.Lock()
-	if g, ok := r.grids[name]; ok {
-		r.mu.Unlock()
-		return g.grid, g.res
-	}
-	r.mu.Unlock()
+// FigureSpecFile returns the shipped spec filename behind a figure
+// grid id ("" when the id has no spec — the static tables).
+func FigureSpecFile(id string) string { return figureSpecs[id].file }
 
-	grid := stats.NewGrid(r.Benchmarks, r.Mechs)
-	results := make(map[cellKey]runner.Result, len(r.Benchmarks)*len(r.Mechs))
-
-	// SimPoint offsets are per benchmark, shared across mechanisms.
-	spSkip := map[string]uint64{}
-	if r.UseSimPoint {
-		for _, b := range r.Benchmarks {
-			spSkip[b] = r.simPointSkip(b)
-		}
+// figureSpec loads a shipped figure spec and rescales it to the
+// runner's configuration: the benchmark list, seed and budgets come
+// from the runner, the swept axes stay exactly as shipped. With
+// UseSimPoint off, "simpoint" selections degrade to a zero skip.
+func (r *Runner) figureSpec(id string) campaign.Spec {
+	fd, ok := figureSpecs[id]
+	if !ok {
+		panic(fmt.Errorf("experiments: no figure spec for %q", id))
 	}
-
-	cells := make([]campaign.Cell, 0, len(r.Benchmarks)*len(r.Mechs))
-	for _, b := range r.Benchmarks {
-		for _, m := range r.Mechs {
-			opts := runner.Options{
-				Bench:     b,
-				Mechanism: m,
-				Hier:      hier.DefaultConfig(),
-				CPU:       cpu.DefaultConfig(),
-				Insts:     r.Insts,
-				Warmup:    r.Warmup,
-				Seed:      r.Seed,
-				Skip:      spSkip[b],
-			}
-			if variant != nil {
-				variant(&opts)
-			}
-			cells = append(cells, campaign.Cell{
-				Index: len(cells),
-				Bench: b,
-				Mech:  m,
-				Insts: opts.Insts,
-				Seed:  opts.Seed,
-				Opts:  opts,
-				Key:   campaign.KeyOf(opts),
-			})
-		}
+	data, err := figures.FS.ReadFile(fd.file)
+	if err != nil {
+		panic(fmt.Errorf("experiments: %s: %w", fd.file, err))
 	}
-
-	sched := campaign.Scheduler{
-		Workers: r.Parallel,
-		// OnResult runs serially under the scheduler lock; the full
-		// runner.Result carries the hardware tables and live
-		// mechanism state the cost/power experiments inspect.
-		OnResult: func(c campaign.Cell, res runner.Result) {
-			grid.Set(c.Bench, c.Mech, res.IPC)
-			results[cellKey{c.Bench, c.Mech}] = res
-		},
-	}
-	cellResults, _, err := sched.Run(context.Background(), cells)
+	spec, err := campaign.ParseSpec(data)
 	if err != nil {
 		panic(err)
 	}
-	for _, c := range cells {
-		if res, ok := cellResults[c.Key]; ok && res.Err != "" {
-			panic(fmt.Errorf("%s/%s: %s", c.Bench, c.Mech, res.Err)) // configuration error: fail loudly
+	spec.Benchmarks = append([]string(nil), r.Benchmarks...)
+	if !fd.pinMechs {
+		spec.Mechanisms = append([]string(nil), r.Mechs...)
+	}
+	spec.Seeds = []uint64{r.Seed}
+	insts := r.Insts
+	if fd.valInsts {
+		insts = r.ValInsts
+	}
+	spec.Insts = []uint64{insts}
+	spec.Warmup = nil
+	spec.Warmups = []uint64{r.Warmup}
+	if fd.valSkip {
+		spec.Skip = r.ValSkip
+	}
+	if !r.UseSimPoint {
+		for i, sel := range spec.Selections {
+			if sel == campaign.SelSimPoint {
+				spec.Selections[i] = campaign.SelSkip + ":0"
+			}
 		}
 	}
+	return spec
+}
+
+// cellCache returns the cache every figure campaign runs through:
+// the runner's shared in-memory cache, layered over the disk cache
+// when CacheDir is set. Figures overlap heavily (fig8's SDRAM arm is
+// the main grid), so shared cells simulate once per process — or
+// once ever, with a disk cache.
+func (r *Runner) cellCache() campaign.CellCache {
+	r.mu.Lock()
+	if r.mem == nil {
+		r.mem = campaign.NewMemCache()
+	}
+	mem := r.mem
+	r.mu.Unlock()
+	if r.CacheDir == "" {
+		return mem
+	}
+	disk, err := campaign.OpenDiskCache(r.CacheDir)
+	if err != nil {
+		panic(err) // configuration error: fail loudly
+	}
+	return &campaign.LayeredCache{Layers: []campaign.CellCache{mem, disk}}
+}
+
+// Campaign runs (or returns the memoized run of) the shipped figure
+// spec behind a grid id, rescaled to the runner's configuration.
+// Execution always goes through the campaign scheduler and the cell
+// cache; a failed cell panics, as a misconfigured paper replay is a
+// programming error, not data.
+func (r *Runner) Campaign(id string) *campaign.Summary {
+	run := r.campaign(id)
+	return run.sum
+}
+
+func (r *Runner) campaign(id string) *figureRun {
+	r.mu.Lock()
+	if r.runs == nil {
+		r.runs = map[string]*figureRun{}
+	}
+	if run, ok := r.runs[id]; ok {
+		r.mu.Unlock()
+		return run
+	}
+	r.mu.Unlock()
+
+	plan, err := campaign.NewPlan(r.figureSpec(id))
+	if err != nil {
+		panic(err)
+	}
+	sched := campaign.Scheduler{Workers: r.Parallel, Cache: r.cellCache()}
+	results, sstats, err := sched.Run(context.Background(), plan.Cells)
+	if err != nil {
+		panic(err)
+	}
+	res := make(map[cellKey]campaign.CellResult, len(plan.Cells))
+	for _, c := range plan.Cells {
+		cr, ok := results[c.Key]
+		if !ok {
+			panic(fmt.Errorf("experiments: %s: cell %s/%s missing", id, c.Bench(), c.Mech()))
+		}
+		if cr.Err != "" {
+			panic(fmt.Errorf("%s/%s: %s", c.Bench(), c.Mech(), cr.Err)) // configuration error: fail loudly
+		}
+		// Single-scenario figures index results by (bench, mech); for
+		// multi-scenario figures the map holds the last scenario's
+		// cell, and formatters use the Summary grids instead.
+		res[cellKey{c.Bench(), c.Mech()}] = cr
+	}
+	run := &figureRun{sum: campaign.Aggregate(plan, results, sstats), res: res}
 
 	r.mu.Lock()
-	r.grids[name] = &gridResult{grid: grid, res: results}
+	r.runs[id] = run
 	r.mu.Unlock()
-	return grid, results
+	return run
+}
+
+// scenario picks one arm of a figure campaign by its coordinate on
+// the axis the spec sweeps, panicking when absent (the shipped specs
+// pin these axes).
+func scenario(sum *campaign.Summary, axis, value string) *campaign.Scenario {
+	sc := sum.Find(axis, value)
+	if sc == nil {
+		panic(fmt.Errorf("experiments: campaign %q has no scenario %s=%s", sum.Name, axis, value))
+	}
+	return sc
 }
 
 // MainGrid is the paper's primary configuration: Table 1 hierarchy,
-// detailed SDRAM, SimPoint-selected traces.
-func (r *Runner) MainGrid() (*stats.Grid, map[cellKey]runner.Result) {
-	return r.Grid("main", nil)
+// detailed SDRAM, SimPoint-selected traces. It returns the
+// benchmark × mechanism mean-IPC grid and the per-cell results.
+func (r *Runner) MainGrid() (*stats.Grid, map[cellKey]campaign.CellResult) {
+	run := r.campaign("main")
+	return run.sum.Scenarios[0].Mean, run.res
 }
 
 // Report is one regenerated artifact.

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"microlib/examples/campaign/figures"
+	"microlib/internal/campaign"
+)
+
+// figureGoldens pins each shipped figure spec's plan at paper scale:
+// the cell count, the scenario count, and the plan fingerprint (a
+// hash over every cell's options fingerprint). A diff here means the
+// shipped spec or the axis engine changed what a figure simulates —
+// and that existing disk caches no longer cover the figure. Expected
+// diffs (a new axis value, a deliberate spec change) are re-pinned
+// with MICROLIB_GOLDEN_REGEN=1 go test -run TestShippedFigureSpecs.
+var figureGoldens = map[string]struct {
+	cells       int
+	scenarios   int
+	fingerprint string
+}{
+	"fig1.json":  {cells: 52, scenarios: 2, fingerprint: "85091777d0b54d35d22d6126b576e13f"},
+	"fig10.json": {cells: 104, scenarios: 2, fingerprint: "fbcbfe79069ed5ff7bd0100563c6a604"},
+	"fig11.json": {cells: 676, scenarios: 2, fingerprint: "76392a71024119374f45690a0283759f"},
+	"fig2.json":  {cells: 104, scenarios: 1, fingerprint: "571c08bc73dee69e315ea8570ccb0a71"},
+	"fig3.json":  {cells: 156, scenarios: 2, fingerprint: "6f9fa774965506180d020ab4ae0f8b95"},
+	"fig8.json":  {cells: 1014, scenarios: 3, fingerprint: "fcbd7c8e119cfa7bb8e7b6f4329e06e0"},
+	"fig9.json":  {cells: 676, scenarios: 2, fingerprint: "44f957826ceb2bfc3521abd6feb88069"},
+	"main.json":  {cells: 338, scenarios: 1, fingerprint: "5efd8d1d24c709a37840ca21a20afc10"},
+}
+
+// TestShippedFigureSpecs plans every shipped spec exactly as shipped
+// (paper-scale budgets, SimPoint offsets resolved at plan time — no
+// simulation) and checks the plans against the pinned goldens.
+func TestShippedFigureSpecs(t *testing.T) {
+	files := figures.Files()
+	if len(files) != len(figureGoldens) {
+		t.Errorf("shipped specs: %v, goldens cover %d — pin the new spec", files, len(figureGoldens))
+	}
+	regen := os.Getenv("MICROLIB_GOLDEN_REGEN") != ""
+	for _, f := range files {
+		data, err := figures.FS.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := campaign.ParseSpec(data)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		plan, err := campaign.NewPlan(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if regen {
+			fmt.Printf("\t%q:  {cells: %d, scenarios: %d, fingerprint: %q},\n",
+				f, len(plan.Cells), len(plan.Scenarios()), plan.Fingerprint())
+			continue
+		}
+		want, ok := figureGoldens[f]
+		if !ok {
+			t.Errorf("%s: no golden pinned", f)
+			continue
+		}
+		if len(plan.Cells) != want.cells || len(plan.Scenarios()) != want.scenarios {
+			t.Errorf("%s: %d cells / %d scenarios, want %d / %d",
+				f, len(plan.Cells), len(plan.Scenarios()), want.cells, want.scenarios)
+		}
+		if got := plan.Fingerprint(); got != want.fingerprint {
+			t.Errorf("%s: plan fingerprint %s, want %s (cells this figure simulates changed; existing caches no longer apply)",
+				f, got, want.fingerprint)
+		}
+	}
+}
+
+// TestFigureSpecsRegistered checks every registered figure grid maps
+// to a shipped file and vice versa — a spec in the directory that no
+// experiment replays (or the reverse) is a drift bug.
+func TestFigureSpecsRegistered(t *testing.T) {
+	used := map[string]bool{}
+	for id := range figureSpecs {
+		file := FigureSpecFile(id)
+		if file == "" {
+			t.Errorf("%s: empty spec file", id)
+		}
+		used[file] = true
+		if _, err := figures.FS.ReadFile(file); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+	for _, f := range figures.Files() {
+		if !used[f] {
+			t.Errorf("%s is shipped but no experiment replays it", f)
+		}
+	}
+}

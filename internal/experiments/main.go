@@ -48,6 +48,7 @@ func Fig5(r *Runner) Report {
 	_, results := r.MainGrid()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-8s %12s %12s\n", "mech", "area-ratio", "power-ratio")
+	stale := 0
 	for _, m := range r.Mechs {
 		if m == "Base" {
 			continue
@@ -58,6 +59,12 @@ func Fig5(r *Runner) Report {
 		powerSum, powerN := 0.0, 0
 		for _, b := range r.Benchmarks {
 			res, ok := results[cellKey{b, m}]
+			if ok && res.Hardware == nil {
+				// Cached before the cost fields existed: valid for
+				// IPC, useless here — flag it rather than silently
+				// reporting the mechanism as cost-free.
+				stale++
+			}
 			if !ok || len(res.Hardware) == 0 {
 				continue
 			}
@@ -85,6 +92,9 @@ func Fig5(r *Runner) Report {
 			power = powerSum / float64(powerN)
 		}
 		fmt.Fprintf(&sb, "%-8s %12.4f %12.4f\n", m, area, power)
+	}
+	if stale > 0 {
+		fmt.Fprintf(&sb, "!! %d cells served from a cache recorded before the cost model; their hardware tables are unknown — prune the cache (mlcampaign prune) and rerun for trustworthy cost numbers\n", stale)
 	}
 	return Report{ID: "fig5", Title: Title("fig5"), Table: sb.String()}
 }

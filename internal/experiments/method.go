@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"strings"
 
-	"microlib/internal/core"
+	"microlib/internal/campaign"
 	"microlib/internal/hier"
-	"microlib/internal/runner"
 )
 
 func init() {
@@ -17,36 +16,34 @@ func init() {
 }
 
 // Fig8 compares mechanism speedups under the three memory models of
-// Section 3.3. The paper reports average speedups shrinking by ~58%
-// from the constant-latency model to the detailed SDRAM, with GHB
-// losing 18.7% of its speedup and SP only 2.8%, and ranking flips
-// such as DBCP vs VC/TKVC.
+// Section 3.3 (shipped spec: fig8.json, memories axis). The paper
+// reports average speedups shrinking by ~58% from the
+// constant-latency model to the detailed SDRAM, with GHB losing
+// 18.7% of its speedup and SP only 2.8%, and ranking flips such as
+// DBCP vs VC/TKVC.
 func Fig8(r *Runner) Report {
-	sdram, _ := r.MainGrid()
-	c70, _ := r.Grid("fig8-const", func(o *runner.Options) {
-		o.Hier = o.Hier.WithMemory(hier.MemConst70)
-	})
-	s70, _ := r.Grid("fig8-sdram70", func(o *runner.Options) {
-		o.Hier = o.Hier.WithMemory(hier.MemSDRAM70)
-	})
+	sum := r.Campaign("fig8")
+	spS := scenario(sum, campaign.AxisMemory, campaign.MemNameSDRAM).Speedup
+	spC := scenario(sum, campaign.AxisMemory, campaign.MemNameConst70).Speedup
+	sp7 := scenario(sum, campaign.AxisMemory, campaign.MemNameSDRAM70).Speedup
 
-	spS := sdram.Speedups("Base").MeanPerMech()
-	spC := c70.Speedups("Base").MeanPerMech()
-	sp7 := s70.Speedups("Base").MeanPerMech()
+	mS := spS.MeanPerMech()
+	mC := spC.MeanPerMech()
+	m7 := sp7.MeanPerMech()
 
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-8s %10s %10s %10s %12s\n", "mech", "const-70", "sdram-170", "sdram-70", "gain-drop%")
 	var dropSum float64
 	var dropN int
-	for m, name := range sdram.Mechs {
+	for m, name := range spS.Mechs {
 		drop := 0.0
-		if gainC := spC[m] - 1; gainC > 0 {
-			gainS := spS[m] - 1
+		if gainC := mC[m] - 1; gainC > 0 {
+			gainS := mS[m] - 1
 			drop = (gainC - gainS) / gainC * 100
 			dropSum += drop
 			dropN++
 		}
-		fmt.Fprintf(&sb, "%-8s %10.4f %10.4f %10.4f %+12.1f\n", name, spC[m], spS[m], sp7[m], drop)
+		fmt.Fprintf(&sb, "%-8s %10.4f %10.4f %10.4f %+12.1f\n", name, mC[m], mS[m], m7[m], drop)
 	}
 	if dropN > 0 {
 		fmt.Fprintf(&sb, "average speedup-gain reduction const->sdram: %.1f%% (paper: 57.9%%)\n", dropSum/float64(dropN))
@@ -56,46 +53,37 @@ func Fig8(r *Runner) Report {
 
 // Fig9 relaxes only the miss address file to the SimpleScalar
 // infinite MSHR and compares against the finite Table 1 MSHRs
-// (Section 3.3's cache-accuracy study; the paper finds it can flip
-// TCP vs TK).
+// (shipped spec: fig9.json, hiers axis; Section 3.3's cache-accuracy
+// study — the paper finds it can flip TCP vs TK).
 func Fig9(r *Runner) Report {
-	finite, _ := r.MainGrid()
-	infinite, _ := r.Grid("fig9-inf", func(o *runner.Options) {
-		o.Hier = o.Hier.InfiniteMSHRMode()
-	})
-	spF := finite.Speedups("Base").MeanPerMech()
-	spI := infinite.Speedups("Base").MeanPerMech()
+	sum := r.Campaign("fig9")
+	spF := scenario(sum, campaign.AxisHier, hier.VariantDefault).Speedup.MeanPerMech()
+	inf := scenario(sum, campaign.AxisHier, hier.VariantInfiniteMSHR).Speedup
+	spI := inf.MeanPerMech()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-8s %14s %14s\n", "mech", "finite-MSHR", "infinite-MSHR")
-	for m, name := range finite.Mechs {
+	for m, name := range inf.Mechs {
 		fmt.Fprintf(&sb, "%-8s %14.4f %14.4f\n", name, spF[m], spI[m])
 	}
 	return Report{ID: "fig9", Title: Title("fig9"), Table: sb.String()}
 }
 
-// Fig10 reproduces the second-guessing study: the TCP article never
-// stated how prefetch requests reach memory, and a 1-entry versus
-// 128-entry request queue changes results per benchmark (the paper
-// highlights crafty/eon barely moving while lucas, mgrid and art
-// change dramatically).
+// Fig10 reproduces the second-guessing study (shipped spec:
+// fig10.json, paramsets axis): the TCP article never stated how
+// prefetch requests reach memory, and a 1-entry versus 128-entry
+// request queue changes results per benchmark (the paper highlights
+// crafty/eon barely moving while lucas, mgrid and art change
+// dramatically).
 func Fig10(r *Runner) Report {
-	saved := r.Mechs
-	r.Mechs = []string{"Base", "TCP"}
-	q128, _ := r.Grid("fig10-q128", nil)
-	q1, _ := r.Grid("fig10-q1", func(o *runner.Options) {
-		if o.Mechanism == "TCP" {
-			o.Params = core.Params{"queue": 1}
-		}
-	})
-	r.Mechs = saved
+	sum := r.Campaign("fig10")
+	sp128 := scenario(sum, campaign.AxisParams, "q128").Speedup
+	sp1 := scenario(sum, campaign.AxisParams, "q1").Speedup
 
-	sp128 := q128.Speedups("Base")
-	sp1 := q1.Speedups("Base")
 	t128 := sp128.MechIndex("TCP")
 	t1 := sp1.MechIndex("TCP")
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-10s %10s %10s %8s\n", "bench", "queue-128", "queue-1", "diff%")
-	for i, b := range r.Benchmarks {
+	for i, b := range sp128.Benchmarks {
 		v128 := sp128.Values[i][t128]
 		v1 := sp1.Values[i][t1]
 		d := 0.0
@@ -110,17 +98,20 @@ func Fig10(r *Runner) Report {
 }
 
 // Fig11 compares SimPoint-selected traces against the traditional
-// "skip N, simulate M" selection (Section 3.5). The paper finds most
-// mechanisms look better on the arbitrary trace, with TP the notable
-// exception, and concludes trace selection alone can change research
-// decisions.
+// "skip N, simulate M" selection (shipped spec: fig11.json,
+// selections axis; Section 3.5). The paper finds most mechanisms
+// look better on the arbitrary trace, with TP the notable exception,
+// and concludes trace selection alone can change research decisions.
 func Fig11(r *Runner) Report {
-	simPt, _ := r.MainGrid() // SimPoint selection (default)
-	arb, _ := r.Grid("fig11-arbitrary", func(o *runner.Options) {
-		o.Skip = r.ValSkip // fixed arbitrary skip
-	})
-	spS := simPt.Speedups("Base").MeanPerMech()
-	spA := arb.Speedups("Base").MeanPerMech()
+	sum := r.Campaign("fig11")
+	// The spec sweeps exactly two selection policies: the SimPoint
+	// one first, the arbitrary skip second (with UseSimPoint off the
+	// first degrades to "skip:0" but stays first).
+	sels := sum.Spec.Selections
+	simPt := scenario(sum, campaign.AxisSelect, sels[0]).Speedup
+	arb := scenario(sum, campaign.AxisSelect, sels[1]).Speedup
+	spS := simPt.MeanPerMech()
+	spA := arb.MeanPerMech()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-8s %10s %12s\n", "mech", "simpoint", "skip/simulate")
 	for m, name := range simPt.Mechs {

@@ -4,10 +4,9 @@ import (
 	"fmt"
 	"strings"
 
-	"microlib/internal/core"
+	"microlib/internal/campaign"
 	"microlib/internal/hier"
 	"microlib/internal/refdata"
-	"microlib/internal/runner"
 	"microlib/internal/stats"
 )
 
@@ -18,42 +17,22 @@ func init() {
 	register("genref", "Regenerate the refdata goldens (prints Go source)", GenRef)
 }
 
-// validationVariant applies the Section 2.2 validation setup: the
-// original SimpleScalar constant-latency memory and long arbitrary
-// traces ("2-billion instructions, skipping the first billion",
-// scaled).
-func (r *Runner) validationVariant() Variant {
-	return func(o *runner.Options) {
-		o.Hier = o.Hier.WithMemory(hier.MemConst70)
-		o.Skip = r.ValSkip
-		o.Insts = r.ValInsts
-		o.Warmup = r.Warmup
-	}
-}
-
 // Fig1 compares the detailed MicroLib cache model against the
 // SimpleScalar-style cache (infinite MSHRs, free refill ports, no
-// pipeline stalls) on the baseline hierarchy. The paper reports a
-// 6.8% average IPC difference against stock SimpleScalar, reduced to
-// 2% once SimpleScalar was aligned with the remaining differences;
-// our two models bracket the same effect.
+// pipeline stalls) on the baseline hierarchy (shipped spec:
+// fig1.json, hiers axis). The paper reports a 6.8% average IPC
+// difference against stock SimpleScalar, reduced to 2% once
+// SimpleScalar was aligned with the remaining differences; our two
+// models bracket the same effect.
 func Fig1(r *Runner) Report {
-	mechs := []string{"Base"}
-	saved := r.Mechs
-	r.Mechs = mechs
-	defer func() { r.Mechs = saved }()
-
-	detailed, _ := r.Grid("fig1-detailed", func(o *runner.Options) {
-		o.Hier = o.Hier.WithMemory(hier.MemConst70)
-	})
-	ss, _ := r.Grid("fig1-ss", func(o *runner.Options) {
-		o.Hier = o.Hier.SimpleScalarCacheMode().WithMemory(hier.MemConst70)
-	})
+	sum := r.Campaign("fig1")
+	detailed := scenario(sum, campaign.AxisHier, hier.VariantDefault).Mean
+	ss := scenario(sum, campaign.AxisHier, hier.VariantSimpleScalar).Mean
 
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-10s %10s %10s %8s\n", "bench", "microlib", "ss-like", "diff%")
-	sum := 0.0
-	for i, b := range r.Benchmarks {
+	sum2 := 0.0
+	for i, b := range detailed.Benchmarks {
 		ml := detailed.Values[i][0]
 		sl := ss.Values[i][0]
 		d := 0.0
@@ -61,25 +40,24 @@ func Fig1(r *Runner) Report {
 			d = (sl - ml) / ml * 100
 		}
 		if d < 0 {
-			sum += -d
+			sum2 += -d
 		} else {
-			sum += d
+			sum2 += d
 		}
 		fmt.Fprintf(&sb, "%-10s %10.3f %10.3f %+8.2f\n", b, ml, sl, d)
 	}
 	fmt.Fprintf(&sb, "average |IPC diff|: %.2f%% (paper: 6.8%% before alignment, 2%% after)\n",
-		sum/float64(len(r.Benchmarks)))
+		sum2/float64(len(detailed.Benchmarks)))
 	return Report{ID: "fig1", Title: Title("fig1"), Table: sb.String()}
 }
 
-// validationGrid runs the three validated mechanisms plus Base under
-// the validation setup.
-func (r *Runner) validationGrid() *stats.Grid {
-	saved := r.Mechs
-	r.Mechs = []string{"Base", "TK", "TKVC", "TCP"}
-	defer func() { r.Mechs = saved }()
-	g, _ := r.Grid("validation", r.validationVariant())
-	return g
+// validationSpeedups runs the three validated mechanisms plus Base
+// under the Section 2.2 setup (shipped spec: fig2.json — the
+// original SimpleScalar constant-latency memory and long arbitrary
+// traces, "2-billion instructions, skipping the first billion",
+// scaled) and returns the speedup grid vs Base.
+func (r *Runner) validationSpeedups() *stats.Grid {
+	return r.Campaign("fig2").Scenarios[0].Speedup
 }
 
 // Fig2 compares the current implementation of TK, TCP and TKVC
@@ -92,12 +70,12 @@ func (r *Runner) validationGrid() *stats.Grid {
 // of the implementation from the validated state is surfaced
 // per benchmark.
 func Fig2(r *Runner) Report {
-	g := r.validationGrid().Speedups("Base")
 	var sb strings.Builder
 	if len(refdata.Validation) == 0 {
 		sb.WriteString("no reference data recorded; run `mlrank -exp genref` and check in internal/refdata/data.go\n")
 		return Report{ID: "fig2", Title: Title("fig2"), Table: sb.String()}
 	}
+	g := r.validationSpeedups()
 	mechs := []string{"TK", "TKVC", "TCP"}
 	fmt.Fprintf(&sb, "%-10s", "bench")
 	for _, m := range mechs {
@@ -106,7 +84,7 @@ func Fig2(r *Runner) Report {
 	sb.WriteByte('\n')
 	var totalErr float64
 	var n int
-	for i, b := range r.Benchmarks {
+	for i, b := range g.Benchmarks {
 		fmt.Fprintf(&sb, "%-10s", b)
 		for _, m := range mechs {
 			cur := g.Values[i][g.MechIndex(m)]
@@ -131,27 +109,16 @@ func Fig2(r *Runner) Report {
 	return Report{ID: "fig2", Title: Title("fig2"), Table: sb.String()}
 }
 
-// Fig3 reproduces the DBCP reverse-engineering case study: the
-// "initial" implementation (half-size table, no PC pre-hashing, no
-// confidence decrement — the three mistakes Section 2.2 documents)
-// versus the fixed one, under the validation setup, with TK alongside
-// (the TK article's own reverse-engineered DBCP had landed close to
-// the buggy version).
+// Fig3 reproduces the DBCP reverse-engineering case study (shipped
+// spec: fig3.json, paramsets axis): the "initial" implementation
+// (half-size table, no PC pre-hashing, no confidence decrement — the
+// three mistakes Section 2.2 documents) versus the fixed one, under
+// the validation setup, with TK alongside (the TK article's own
+// reverse-engineered DBCP had landed close to the buggy version).
 func Fig3(r *Runner) Report {
-	saved := r.Mechs
-	r.Mechs = []string{"Base", "DBCP", "TK"}
-	gFixed, _ := r.Grid("fig3-fixed", r.validationVariant())
-	r.Mechs = []string{"Base", "DBCP"}
-	gInit, _ := r.Grid("fig3-initial", func(o *runner.Options) {
-		r.validationVariant()(o)
-		if o.Mechanism == "DBCP" {
-			o.Params = core.Params{"buggy": 1}
-		}
-	})
-	r.Mechs = saved
-
-	spFixed := gFixed.Speedups("Base")
-	spInit := gInit.Speedups("Base")
+	sum := r.Campaign("fig3")
+	spFixed := scenario(sum, campaign.AxisParams, "fixed").Speedup
+	spInit := scenario(sum, campaign.AxisParams, "initial").Speedup
 
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-10s %10s %10s %10s %8s\n", "bench", "initial", "fixed", "TK", "diff%")
@@ -159,7 +126,7 @@ func Fig3(r *Runner) Report {
 	dbcpF := spFixed.MechIndex("DBCP")
 	dbcpI := spInit.MechIndex("DBCP")
 	tkI := spFixed.MechIndex("TK")
-	for i, b := range r.Benchmarks {
+	for i, b := range spFixed.Benchmarks {
 		ini := spInit.Values[i][dbcpI]
 		fix := spFixed.Values[i][dbcpF]
 		tk := spFixed.Values[i][tkI]
@@ -174,7 +141,7 @@ func Fig3(r *Runner) Report {
 	mi := meanColumn(spInit, "DBCP")
 	mt := meanColumn(spFixed, "TK")
 	fmt.Fprintf(&sb, "mean: initial %.4f, fixed %.4f, TK %.4f\n", mi, mf, mt)
-	fmt.Fprintf(&sb, "average speedup change from fixing: %+.2f%% (paper: 38%%)\n", sumDiff/float64(len(r.Benchmarks)))
+	fmt.Fprintf(&sb, "average speedup change from fixing: %+.2f%% (paper: 38%%)\n", sumDiff/float64(len(spFixed.Benchmarks)))
 	fmt.Fprintf(&sb, "fixed DBCP vs TK: %+.2f%% (paper: fixed DBCP outperforms TK by 32%% in this setup)\n",
 		(mf/mt-1)*100)
 	return Report{ID: "fig3", Title: Title("fig3"), Table: sb.String()}
@@ -187,7 +154,7 @@ func meanColumn(g *stats.Grid, mech string) float64 {
 // GenRef prints the Go source of the refdata goldens from the
 // current validation grid.
 func GenRef(r *Runner) Report {
-	g := r.validationGrid().Speedups("Base")
+	g := r.validationSpeedups()
 	var sb strings.Builder
 	sb.WriteString("// Code generated by mlrank -exp genref; DO NOT EDIT.\n\npackage refdata\n\n")
 	sb.WriteString("func init() {\n\tValidation = map[string]map[string]float64{\n")

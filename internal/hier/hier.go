@@ -5,6 +5,9 @@
 package hier
 
 import (
+	"fmt"
+	"strings"
+
 	"microlib/internal/bus"
 	"microlib/internal/cache"
 	"microlib/internal/mem"
@@ -76,6 +79,40 @@ func DefaultConfig() Config {
 		FSBBytes:       64,
 		FSBCPUCycles:   5,
 	}
+}
+
+// Named hierarchy variants: the cache-model accuracy points the
+// paper's validation and methodology studies compare. They are the
+// values of a campaign spec's "hiers" axis.
+const (
+	// VariantDefault is the detailed Table 1 hierarchy as built.
+	VariantDefault = "default"
+	// VariantInfiniteMSHR relaxes only the miss address files
+	// (Figure 9's cache-accuracy study).
+	VariantInfiniteMSHR = "infinite-mshr"
+	// VariantSimpleScalar flips every cache to the SimpleScalar-like
+	// behaviour (Figure 1's comparison point).
+	VariantSimpleScalar = "simplescalar"
+)
+
+// VariantNames returns the named hierarchy variants, default first.
+func VariantNames() []string {
+	return []string{VariantDefault, VariantInfiniteMSHR, VariantSimpleScalar}
+}
+
+// WithVariant returns the config with a named variant applied. The
+// variant only flips accuracy flags, so it composes with WithMemory
+// in either order.
+func (c Config) WithVariant(name string) (Config, error) {
+	switch name {
+	case VariantDefault:
+		return c, nil
+	case VariantInfiniteMSHR:
+		return c.InfiniteMSHRMode(), nil
+	case VariantSimpleScalar:
+		return c.SimpleScalarCacheMode(), nil
+	}
+	return c, fmt.Errorf("hier: unknown variant %q (have %s)", name, strings.Join(VariantNames(), ", "))
 }
 
 // SimpleScalarCacheMode flips every cache to the less-detailed

@@ -1,0 +1,65 @@
+package runner
+
+import (
+	"fmt"
+
+	"microlib/internal/simpoint"
+	"microlib/internal/trace"
+	"microlib/internal/workload"
+)
+
+// SimPointSkip computes the SimPoint-selected trace offset for the
+// options' workload: the instruction stream is cut into intervals
+// scaled to the simulation budget (warmup + measured instructions),
+// each interval is summarized by its basic-block vector, and the
+// offset of the representative interval is returned.
+//
+// Campaign plans call this at expansion time, so a spec's
+// "selections": ["simpoint"] axis value resolves into the existing
+// Options.Skip field — the fingerprint of a SimPoint-selected cell
+// is exactly the fingerprint of the same cell with the offset written
+// out by hand. A workload that cannot be opened (misconfigured
+// benchmark, unreadable trace) fails here, loudly, instead of
+// silently analyzing from offset 0.
+func SimPointSkip(opts Options) (uint64, error) {
+	var (
+		s    trace.Stream
+		done func() error
+	)
+	if opts.Workload != nil {
+		stream, _, doneFn, closeFn, err := opts.Workload.open(opts.Seed)
+		if err != nil {
+			return 0, fmt.Errorf("runner: simpoint analysis: %w", err)
+		}
+		if closeFn != nil {
+			defer closeFn()
+		}
+		s, done = stream, doneFn
+	} else {
+		gen, err := workload.New(opts.Bench, opts.Seed)
+		if err != nil {
+			return 0, fmt.Errorf("runner: simpoint analysis: %w", err)
+		}
+		s = gen
+	}
+
+	insts := opts.Insts
+	if insts == 0 {
+		insts = defaultInsts
+	}
+	cfg := simpoint.DefaultConfig()
+	cfg.IntervalLen = (opts.Warmup + insts) / 8
+	if cfg.IntervalLen == 0 {
+		cfg.IntervalLen = 1
+	}
+	cfg.Intervals = 12
+	res := simpoint.Analyze(s, cfg)
+	if done != nil {
+		// A torn trace file must fail the analysis, not be read as a
+		// shorter clean stream (the offset would silently move).
+		if err := done(); err != nil {
+			return 0, fmt.Errorf("runner: simpoint analysis: %s: %w", opts.Workload.TracePath, err)
+		}
+	}
+	return res.SkipInsts, nil
+}

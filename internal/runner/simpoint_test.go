@@ -1,0 +1,40 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSimPointSkipDeterministic(t *testing.T) {
+	opts := Options{Bench: "gzip", Insts: 20_000, Warmup: 10_000, Seed: 42}
+	a, err := SimPointSkip(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimPointSkip(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("offsets differ: %d vs %d", a, b)
+	}
+	// The offset is an interval boundary of the budget-scaled
+	// analysis: intervals are (warmup+insts)/8 instructions long.
+	if interval := (opts.Warmup + opts.Insts) / 8; a%interval != 0 {
+		t.Fatalf("offset %d is not a multiple of the interval length %d", a, interval)
+	}
+}
+
+// A workload that cannot be opened must fail the analysis loudly —
+// the old experiments helper silently returned offset 0, quietly
+// replacing the SimPoint window with the start of the trace.
+func TestSimPointSkipPropagatesWorkloadError(t *testing.T) {
+	if _, err := SimPointSkip(Options{Bench: "nosuchbench", Insts: 1000}); err == nil {
+		t.Fatal("unknown benchmark must fail the analysis, not select offset 0")
+	} else if !strings.Contains(err.Error(), "nosuchbench") {
+		t.Fatalf("error must name the workload: %v", err)
+	}
+	if _, err := SimPointSkip(Options{Workload: &Workload{TracePath: "/nonexistent/file.mlt"}, Insts: 1000}); err == nil {
+		t.Fatal("unreadable trace must fail the analysis")
+	}
+}

@@ -163,12 +163,15 @@ func Experiments() []string { return experiments.IDs() }
 
 // --- campaign engine ---
 // A campaign is a declarative simulation sweep: a JSON spec names
-// the axes (benchmarks, mechanisms, memory models, cores, queue
-// overrides, budgets, seeds), the engine expands the cross-product
-// into a deterministic plan, executes it on a worker pool with a
-// persistent fingerprint-keyed result cache, and aggregates speedup
-// grids, rankings and confidence intervals. See cmd/mlcampaign and
-// examples/campaign.
+// the axes (benchmarks, mechanisms, hierarchy variants, memory
+// models, cores, queue overrides, parameter sets, trace-selection
+// policies, budgets, seeds), the engine compiles them into a single
+// axis table, expands the cross-product into a deterministic plan,
+// executes it on a worker pool with a persistent fingerprint-keyed
+// result cache, and aggregates speedup grids, rankings and
+// confidence intervals per scenario. See cmd/mlcampaign,
+// examples/campaign, and examples/campaign/figures for the paper's
+// own figures as shipped specs.
 
 // CampaignSpec declares a simulation campaign.
 type CampaignSpec = campaign.Spec
@@ -292,6 +295,36 @@ func CampaignMemories() []string { return campaign.MemoryNames() }
 // CampaignCores returns the valid host-core names for a campaign
 // spec.
 func CampaignCores() []string { return campaign.CoreNames() }
+
+// CampaignHiers returns the valid hierarchy-variant names for a
+// campaign spec's "hiers" axis.
+func CampaignHiers() []string { return hier.VariantNames() }
+
+// CampaignSelections returns the valid trace-selection policy names
+// for a campaign spec's "selections" axis (the explicit-offset form
+// "skip:N" is also accepted).
+func CampaignSelections() []string { return campaign.SelectionNames() }
+
+// CampaignAxisValue is one coordinate of a cell or scenario: an axis
+// name and the value taken on it.
+type CampaignAxisValue = campaign.AxisValue
+
+// CampaignAxis describes one expanded axis of a plan.
+type CampaignAxis = campaign.AxisInfo
+
+// CampaignParamSet is one value of a spec's "paramsets" axis: a
+// named bundle of per-mechanism parameter overrides.
+type CampaignParamSet = campaign.ParamSetSpec
+
+// CampaignScenario is one aggregated sub-experiment of a campaign.
+type CampaignScenario = campaign.Scenario
+
+// CampaignCellResult is the serializable outcome of one cell.
+type CampaignCellResult = campaign.CellResult
+
+// CampaignCellCache serves and persists finished cells by
+// fingerprint; DiskCache, MemCache and LayeredCache implement it.
+type CampaignCellCache = campaign.CellCache
 
 // RunCampaign executes a whole campaign: plan, schedule, aggregate.
 // Canceling ctx stops the sweep but keeps finished cells in the

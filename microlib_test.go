@@ -143,3 +143,44 @@ func TestCampaignFacade(t *testing.T) {
 		t.Fatalf("second run must hit the cache: %+v", again.Sched)
 	}
 }
+
+// TestCampaignAxesFacade sweeps the axis-engine axes (hierarchy
+// variants, parameter sets, selection policies) through the public
+// API and picks scenarios by axis coordinate.
+func TestCampaignAxesFacade(t *testing.T) {
+	spec, err := microlib.ParseCampaignSpec([]byte(`{
+		"name": "axes",
+		"benchmarks": ["gzip"],
+		"mechanisms": ["Base", "TP"],
+		"hiers": ["default", "infinite-mshr"],
+		"paramsets": [{"name": "pub"}, {"name": "q1", "params": {"TP": {"queue": 1}}}],
+		"selections": ["skip", "skip:1000"],
+		"insts": [2000],
+		"warmup": 500
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := microlib.NewCampaignPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 bench × 2 mechs × 2 hiers × 2 paramsets × 2 selections.
+	if len(plan.Cells) != 16 || len(plan.Scenarios()) != 8 {
+		t.Fatalf("plan: %d cells, %d scenarios", len(plan.Cells), len(plan.Scenarios()))
+	}
+	sum, err := microlib.RunCampaign(context.Background(), spec, microlib.CampaignConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Sched.Errors != 0 || sum.Sched.Completed != 16 {
+		t.Fatalf("run: %+v", sum.Sched)
+	}
+	sc := sum.Find("hier", "infinite-mshr")
+	if sc == nil || sc.Value("hier") != "infinite-mshr" {
+		t.Fatalf("scenario lookup by axis failed: %+v", sc)
+	}
+	if sum.Find("pset", "q1") == nil || sum.Find("sel", "skip:1000") == nil {
+		t.Fatal("paramset/selection scenarios must be addressable by coordinate")
+	}
+}
