@@ -2,9 +2,12 @@
 // one mechanism, one hierarchy configuration, and prints the
 // statistics.
 //
-// Usage:
+// Any config field of the simulated system — cache geometry, SDRAM
+// timing, CPU window sizes — can be overridden by dotted path with
+// the repeatable -set flag (`mlcampaign paths` prints the namespace):
 //
 //	microsim -bench gzip -mech GHB -insts 150000 -warmup 50000
+//	microsim -bench mcf -set cpu.ruu=32 -set cpu.lsq=32 -set hier.l1d.assoc=2
 //	microsim -list
 package main
 
@@ -18,6 +21,8 @@ import (
 )
 
 func main() {
+	var sets microlib.SetFlags
+	flag.Var(&sets, "set", "set a config field by dotted path, e.g. -set cpu.ruu=64 (repeatable; mlcampaign paths lists them)")
 	var (
 		bench   = flag.String("bench", "gzip", "benchmark name (see -list)")
 		mech    = flag.String("mech", microlib.BaseMechanism, "mechanism name (see -list)")
@@ -47,16 +52,28 @@ func main() {
 	opts.InOrder = *inorder
 	opts.QueueOverride = *queue
 	opts.PrefetchAsDemand = *pfd
-	switch *memory {
-	case "sdram":
-		opts.Hier = opts.Hier.WithMemory(microlib.MemSDRAM)
-	case "const70":
-		opts.Hier = opts.Hier.WithMemory(microlib.MemConst70)
-	case "sdram70":
-		opts.Hier = opts.Hier.WithMemory(microlib.MemSDRAM70)
-	default:
+	// -memory is shorthand for -set hier.mem.kind=...; an explicit
+	// -set (applied after) wins.
+	if err := microlib.SetOptionField(&opts, "hier.mem.kind", *memory); err != nil {
 		fmt.Fprintf(os.Stderr, "microsim: unknown memory model %q\n", *memory)
 		os.Exit(2)
+	}
+	if err := sets.Apply(&opts); err != nil {
+		fmt.Fprintln(os.Stderr, "microsim:", err)
+		os.Exit(2)
+	}
+	// -queue force-sets both caps after mechanism attach, so it would
+	// silently discard an explicit cap -set.
+	if *queue > 0 {
+		for _, kv := range sets {
+			p, _, _ := strings.Cut(kv, "=")
+			for _, cp := range microlib.QueueOverrideConflictPaths() {
+				if p == cp {
+					fmt.Fprintf(os.Stderr, "microsim: -set %s conflicts with -queue %d (the override forces both caps)\n", p, *queue)
+					os.Exit(2)
+				}
+			}
+		}
 	}
 
 	res, err := microlib.Run(opts)

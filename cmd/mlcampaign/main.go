@@ -61,6 +61,8 @@ func main() {
 		cmdValidate(os.Args[2:])
 	case "list":
 		cmdList(os.Args[2:])
+	case "paths":
+		cmdPaths(os.Args[2:])
 	case "prune":
 		cmdPrune(os.Args[2:])
 	case "record":
@@ -76,17 +78,20 @@ func main() {
 
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
-  mlcampaign run   -spec file [-cache dir] [-workers n] [-format text|csv|json] [-out file] [-quiet]
-  mlcampaign plan  -spec file
-  mlcampaign validate [-quiet] file.json [file2.json ...]
+  mlcampaign run   -spec file [-cache dir] [-workers n] [-format text|csv|json] [-out file] [-quiet] [-set path=value]...
+  mlcampaign plan  -spec file [-set path=value]...
+  mlcampaign validate [-quiet] [-set path=value]... file.json [file2.json ...]
   mlcampaign list  [-cache dir]
+  mlcampaign paths
   mlcampaign prune -cache dir [-older-than dur] [-spec file] [-dry-run]
-  mlcampaign record -workload name -out file.mlt [-insts n] [-seed n] [-spec file]
+  mlcampaign record -workload name -out file.mlt [-insts n] [-warmup n] [-seed n] [-skip n] [-selection simpoint|skip:N] [-spec file]
 `)
 }
 
 func cmdRun(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var sets microlib.SetFlags
+	fs.Var(&sets, "set", "pin a config field for every cell, e.g. -set cpu.ruu=64 (repeatable)")
 	var (
 		specPath = fs.String("spec", "", "campaign spec file (JSON)")
 		cacheDir = fs.String("cache", "", "persistent result cache directory (enables resume)")
@@ -107,6 +112,7 @@ func cmdRun(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	sets.Pin(&spec)
 
 	// ^C cancels the campaign; finished cells stay in the cache.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -172,6 +178,8 @@ func cmdRun(args []string) {
 
 func cmdPlan(args []string) {
 	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	var sets microlib.SetFlags
+	fs.Var(&sets, "set", "pin a config field for every cell (repeatable)")
 	specPath := fs.String("spec", "", "campaign spec file (JSON)")
 	fs.Parse(args)
 	if *specPath == "" {
@@ -181,6 +189,7 @@ func cmdPlan(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	sets.Pin(&spec)
 	plan, err := microlib.NewCampaignPlan(spec)
 	if err != nil {
 		fatal(err)
@@ -233,6 +242,8 @@ func printPlan(plan *microlib.CampaignPlan) {
 // analysis, not simulation), so a spec that cannot expand fails here.
 func cmdValidate(args []string) {
 	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	var sets microlib.SetFlags
+	fs.Var(&sets, "set", "pin a config field for every cell (repeatable)")
 	quiet := fs.Bool("quiet", false, "print failures only")
 	fs.Parse(args)
 	files := fs.Args()
@@ -242,6 +253,9 @@ func cmdValidate(args []string) {
 	bad := 0
 	for _, f := range files {
 		spec, err := microlib.LoadCampaignSpec(f)
+		if err == nil {
+			sets.Pin(&spec)
+		}
 		var plan *microlib.CampaignPlan
 		if err == nil {
 			plan, err = microlib.NewCampaignPlan(spec)
@@ -295,6 +309,28 @@ func cmdList(args []string) {
 		} else {
 			fmt.Printf("%s  (corrupt entry; will be resimulated)\n", k)
 		}
+	}
+}
+
+// cmdPaths prints the config-field registry: every dotted path a
+// "fields" axis, a "set" section or a -set flag can address, with its
+// type, Table 1 default and description. This is the generated
+// namespace table the README refers to.
+func cmdPaths(args []string) {
+	fs := flag.NewFlagSet("paths", flag.ExitOnError)
+	fs.Parse(args)
+	defaults := microlib.NewOptions("", microlib.BaseMechanism)
+	fmt.Printf("%-28s %-5s %-13s %s\n", "path", "kind", "default", "description")
+	for _, f := range microlib.ConfigFields() {
+		def, err := microlib.GetOptionField(&defaults, f.Path)
+		if err != nil {
+			fatal(err)
+		}
+		doc := f.Doc
+		if len(f.Enum) > 0 {
+			doc += " (one of: " + strings.Join(f.Enum, ", ") + ")"
+		}
+		fmt.Printf("%-28s %-5s %-13s %s\n", f.Path, f.Kind, def, doc)
 	}
 }
 
@@ -352,14 +388,20 @@ func cmdPrune(args []string) {
 
 // cmdRecord captures a workload — a built-in benchmark, or any
 // custom workload of a spec — to a binary trace file, which another
-// spec can then replay through a "trace" workload entry.
+// spec can then replay through a "trace" workload entry. A window
+// (-skip, or -selection simpoint/skip:N) records a chosen execution
+// region instead of the stream prefix; replaying it is bit-identical
+// to a live run skipped to the same offset.
 func cmdRecord(args []string) {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
 	var (
 		name     = fs.String("workload", "", "workload to record: a built-in benchmark or, with -spec, a spec-defined workload")
 		out      = fs.String("out", "", "trace file to write")
-		insts    = fs.Uint64("insts", 250_000, "instructions to record")
+		insts    = fs.Uint64("insts", 250_000, "measured instruction budget of the runs the trace will feed")
+		warmup   = fs.Uint64("warmup", 0, "their warm-up budget: widens the recording to warmup+insts and the simpoint analysis to match a campaign cell")
 		seed     = fs.Uint64("seed", 42, "generator seed (ignored for trace-backed workloads)")
+		skip     = fs.Uint64("skip", 0, "instructions to discard before the recorded window")
+		sel      = fs.String("selection", "", "resolve the window offset by policy: simpoint, skip:N")
 		specPath = fs.String("spec", "", "campaign spec defining custom workloads (optional)")
 	)
 	fs.Parse(args)
@@ -385,7 +427,8 @@ func cmdRecord(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	n, rerr := microlib.RecordTrace(spec, *name, *seed, *insts, f)
+	ropts := microlib.TraceRecordOptions{Seed: *seed, Insts: *insts, Warmup: *warmup, Skip: *skip, Selection: *sel}
+	n, rerr := microlib.RecordTraceWindow(spec, *name, ropts, f)
 	if cerr := f.Close(); rerr == nil {
 		rerr = cerr
 	}

@@ -9,6 +9,7 @@
 //
 //	mlrank -exp fig4
 //	mlrank -exp all -scale 2 -cache .mlcache
+//	mlrank -exp fig8 -set cpu.ruu=32 -set cpu.lsq=32
 //	mlrank -list
 package main
 
@@ -22,6 +23,8 @@ import (
 )
 
 func main() {
+	var sets microlib.SetFlags
+	flag.Var(&sets, "set", "pin a config field for every figure cell, e.g. -set cpu.ruu=64 (repeatable; mlcampaign paths lists them)")
 	var (
 		exp      = flag.String("exp", "fig4", "experiment id, or 'all'")
 		list     = flag.Bool("list", false, "list experiment ids")
@@ -41,6 +44,7 @@ func main() {
 	}
 
 	r := microlib.NewExperiments()
+	r.SetFields = sets.Map()
 	r.Scale(*scale)
 	if *parallel > 0 {
 		r.Parallel = *parallel
@@ -64,6 +68,14 @@ func main() {
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = microlib.Experiments()
+	}
+	// Pre-flight -set against the grids of exactly these experiments:
+	// a conflict with a spec's own swept fields must fail now, not
+	// after hours of earlier figures — and must not block experiments
+	// that never touch the conflicting grid.
+	if err := r.CheckSetFields(ids...); err != nil {
+		fmt.Fprintln(os.Stderr, "mlrank:", err)
+		os.Exit(1)
 	}
 	for _, id := range ids {
 		if id == "genref" && *exp == "all" {

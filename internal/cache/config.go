@@ -10,6 +10,8 @@
 // paper validates against in Figure 1 and ablates in Figure 9.
 package cache
 
+import "fmt"
+
 // Config describes one cache level.
 type Config struct {
 	Name     string
@@ -35,22 +37,27 @@ type Config struct {
 	PrefetchQueueCap int
 }
 
-// Validate panics on a structurally impossible configuration; caches
-// are built at simulation start so a panic is the right failure mode.
-func (c Config) Validate() {
+// Check reports a structurally impossible configuration as an error.
+// Plan-time validation (campaign expansion, runner.Options.Validate)
+// uses it so a bad sweep value fails before any worker starts.
+func (c Config) Check() error {
 	switch {
 	case c.Size <= 0 || c.LineSize <= 0:
-		panic("cache: size and line size must be positive: " + c.Name)
+		return c.errorf("size and line size must be positive")
 	case c.Size%c.LineSize != 0:
-		panic("cache: size must be a multiple of line size: " + c.Name)
+		return c.errorf("size must be a multiple of line size")
 	case c.LineSize&(c.LineSize-1) != 0:
-		panic("cache: line size must be a power of two: " + c.Name)
+		return c.errorf("line size must be a power of two")
 	case c.Ports <= 0:
-		panic("cache: need at least one port: " + c.Name)
+		return c.errorf("need at least one port")
 	case c.MSHRs <= 0 && !c.InfiniteMSHR:
-		panic("cache: need at least one MSHR: " + c.Name)
+		return c.errorf("need at least one MSHR")
 	case c.ReadsPerMSHR <= 0:
-		c.panicf("reads per MSHR must be positive")
+		return c.errorf("reads per MSHR must be positive")
+	case c.Assoc < 0:
+		return c.errorf("associativity must not be negative")
+	case c.PrefetchQueueCap < 0:
+		return c.errorf("prefetch queue capacity must not be negative")
 	}
 	lines := c.Size / c.LineSize
 	assoc := c.Assoc
@@ -58,15 +65,25 @@ func (c Config) Validate() {
 		assoc = lines
 	}
 	if lines%assoc != 0 {
-		c.panicf("lines not divisible by associativity")
+		return c.errorf("lines not divisible by associativity")
 	}
 	sets := lines / assoc
 	if sets&(sets-1) != 0 {
-		c.panicf("set count must be a power of two")
+		return c.errorf("set count must be a power of two")
+	}
+	return nil
+}
+
+// Validate panics on a structurally impossible configuration; caches
+// are built at simulation start so a panic is the right failure mode
+// (validated entry points catch the problem earlier via Check).
+func (c Config) Validate() {
+	if err := c.Check(); err != nil {
+		panic(err.Error())
 	}
 }
 
-func (c Config) panicf(msg string) { panic("cache: " + msg + ": " + c.Name) }
+func (c Config) errorf(msg string) error { return fmt.Errorf("cache: %s: %s", msg, c.Name) }
 
 // NumLines returns the line count.
 func (c Config) NumLines() int { return c.Size / c.LineSize }

@@ -96,6 +96,10 @@ type axisValue struct {
 type expander struct {
 	spec *Spec
 	axes []axis
+	// pinAfter is the axis index after which the spec's pinned config
+	// fields ("set") apply: past the named axes, so pins override
+	// their defaults, but before the "fields" axes and selection.
+	pinAfter int
 	// spMemo caches SimPoint offsets: the analysis is deterministic
 	// per (workload, seed, warmup, insts) but costs a full stream
 	// scan, and every mechanism/memory/... combination shares it.
@@ -213,7 +217,16 @@ func newExpander(s *Spec) *expander {
 		}})
 	}
 
-	e.axes = []axis{bench, mech, hiers, mems, cores, queues, psets, warmups, insts, seeds, sels}
+	named := []axis{bench, mech, hiers, mems, cores, queues, psets}
+	// Registry paths resolve after every named axis — first the spec's
+	// pinned "set" fields (NewPlan applies them at pinAfter), then the
+	// "fields" axes — so an explicit path always wins over a named
+	// axis's default (a pinned "hier.mem.kind" over the defaulted
+	// memories axis). A *multi-valued* named axis colliding with a
+	// pinned/swept path is rejected by normalizeFields instead.
+	e.pinAfter = len(named) - 1
+	e.axes = append(named, s.fieldAxes()...)
+	e.axes = append(e.axes, warmups, insts, seeds, sels)
 	return e
 }
 
@@ -285,4 +298,11 @@ func (s *Spec) baseOptions() runner.Options {
 		Skip:             s.Skip,
 		PrefetchAsDemand: s.PrefetchAsDemand,
 	}
+}
+
+// applyPins writes the spec's pinned config fields ("set") onto the
+// options, in sorted path order.
+func (s *Spec) applyPins(o *runner.Options) error {
+	paths := sortedFieldPaths(s.Set)
+	return applyFields(o, paths, func(p string) string { return string(s.Set[p]) })
 }

@@ -1,0 +1,392 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"microlib/internal/cfgreg"
+	"microlib/internal/hier"
+	"microlib/internal/runner"
+)
+
+// FieldValue is one config-field value as its canonical token text:
+// JSON numbers and bools keep their literal form ("64", "true"),
+// strings their unquoted content ("const70"). Keeping the raw token
+// preserves full integer precision and lets the registry's own parser
+// produce the type error, naming the field.
+type FieldValue string
+
+// UnmarshalJSON accepts any JSON scalar.
+func (v *FieldValue) UnmarshalJSON(data []byte) error {
+	tok := bytes.TrimSpace(data)
+	if len(tok) == 0 {
+		return fmt.Errorf("campaign: empty config-field value")
+	}
+	switch tok[0] {
+	case '"':
+		var s string
+		if err := json.Unmarshal(tok, &s); err != nil {
+			return err
+		}
+		*v = FieldValue(s)
+		return nil
+	case '[', '{', 'n': // arrays, objects, null
+		return fmt.Errorf("campaign: config-field value must be a number, bool or string, got %s", tok)
+	}
+	*v = FieldValue(tok)
+	return nil
+}
+
+// MarshalJSON renders numbers and bools as bare literals and
+// everything else as a string, so a normalized spec round-trips.
+func (v FieldValue) MarshalJSON() ([]byte, error) {
+	s := string(v)
+	if s == "true" || s == "false" {
+		return []byte(s), nil
+	}
+	if _, err := strconv.ParseFloat(s, 64); err == nil && json.Valid([]byte(s)) {
+		return []byte(s), nil
+	}
+	return json.Marshal(s)
+}
+
+// FieldValues is the ordered value list of one swept path. The JSON
+// form is a scalar list; a single scalar is accepted as shorthand.
+type FieldValues []FieldValue
+
+// UnmarshalJSON accepts a list or a single scalar.
+func (vs *FieldValues) UnmarshalJSON(data []byte) error {
+	tok := bytes.TrimSpace(data)
+	if len(tok) > 0 && tok[0] == '[' {
+		var raw []FieldValue
+		if err := json.Unmarshal(tok, &raw); err != nil {
+			return err
+		}
+		*vs = raw
+		return nil
+	}
+	var one FieldValue
+	if err := one.UnmarshalJSON(tok); err != nil {
+		return err
+	}
+	*vs = FieldValues{one}
+	return nil
+}
+
+// FieldGroup is one zipped axis over registry config fields: every
+// path's value list must have the same length, and value i of every
+// path applies together as the axis's i-th value. Zipping is what a
+// geometry sweep wants — RUU and LSQ scale together — while
+// independent fields go in separate groups (cross-product via the
+// plan odometer, like any other axis pair).
+type FieldGroup map[string]FieldValues
+
+// paths returns the group's paths, sorted (the deterministic axis
+// identity of a JSON map).
+func (g FieldGroup) paths() []string {
+	out := make([]string, 0, len(g))
+	for p := range g {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AxisName is the group's axis name in plans, scenario labels and
+// Summary.Find: its sorted paths joined by "+".
+func (g FieldGroup) AxisName() string { return strings.Join(g.paths(), "+") }
+
+// valueLabel renders the group's i-th zipped value ("32" for a single
+// field, "32+32" for a zipped pair, path order).
+func (g FieldGroup) valueLabel(i int) string {
+	parts := make([]string, 0, len(g))
+	for _, p := range g.paths() {
+		parts = append(parts, string(g[p][i]))
+	}
+	return strings.Join(parts, "+")
+}
+
+// FieldsSpec is the "fields" section of a campaign spec: one or more
+// field groups, each expanding to one axis. The JSON form is a single
+// object (the common case — one axis) or a list of objects.
+type FieldsSpec []FieldGroup
+
+// UnmarshalJSON accepts an object or a list of objects.
+func (fs *FieldsSpec) UnmarshalJSON(data []byte) error {
+	tok := bytes.TrimSpace(data)
+	if len(tok) > 0 && tok[0] == '{' {
+		var g FieldGroup
+		if err := json.Unmarshal(tok, &g); err != nil {
+			return err
+		}
+		*fs = FieldsSpec{g}
+		return nil
+	}
+	var groups []FieldGroup
+	if err := json.Unmarshal(tok, &groups); err != nil {
+		return err
+	}
+	*fs = groups
+	return nil
+}
+
+// MarshalJSON round-trips the single-group shorthand.
+func (fs FieldsSpec) MarshalJSON() ([]byte, error) {
+	if len(fs) == 1 {
+		return json.Marshal(fs[0])
+	}
+	return json.Marshal([]FieldGroup(fs))
+}
+
+// normalizeFields validates the "set" and "fields" sections against
+// the config-field registry: every path must be registered, every
+// value must parse and pass the field's own validation (an enum typo
+// or out-of-range value fails `mlcampaign validate`, not a worker),
+// value lists within a group must zip (equal lengths), and no path
+// may be swept twice or both pinned and swept.
+func (s *Spec) normalizeFields() error {
+	for _, p := range sortedFieldPaths(s.Set) {
+		if err := cfgreg.Validate(p, string(s.Set[p])); err != nil {
+			return fmt.Errorf("campaign: set: %w", err)
+		}
+	}
+
+	seen := map[string]bool{}
+	for gi, g := range s.Fields {
+		if len(g) == 0 {
+			return fmt.Errorf("campaign: fields group %d is empty", gi)
+		}
+		paths := g.paths()
+		n := len(g[paths[0]])
+		for _, p := range paths {
+			if p == "hier.mem.kind" {
+				// The memories axis IS this sweep; a fields version
+				// would leave the plan's mem coordinate contradicting
+				// half its cells.
+				return fmt.Errorf("campaign: hier.mem.kind cannot be swept via fields; sweep the memories axis instead")
+			}
+			if seen[p] {
+				return fmt.Errorf("campaign: config field %s swept in two fields groups", p)
+			}
+			seen[p] = true
+			if _, pinned := s.Set[p]; pinned {
+				return fmt.Errorf("campaign: config field %s is both pinned in set and swept in fields", p)
+			}
+			vs := g[p]
+			if len(vs) == 0 {
+				return fmt.Errorf("campaign: fields %s has no values", p)
+			}
+			if len(vs) != n {
+				return fmt.Errorf("campaign: fields group %q zips unequal value counts (%s has %d, %s has %d)",
+					g.AxisName(), paths[0], n, p, len(vs))
+			}
+			for _, v := range vs {
+				if err := cfgreg.Validate(p, string(v)); err != nil {
+					return fmt.Errorf("campaign: fields: %w", err)
+				}
+			}
+		}
+		labels := make([]string, n)
+		for i := range labels {
+			labels[i] = g.valueLabel(i)
+		}
+		if err := checkDup("fields "+g.AxisName(), labels); err != nil {
+			return err
+		}
+	}
+
+	return s.checkNamedAxisConflicts(seen)
+}
+
+// checkNamedAxisConflicts rejects registry paths that fight a named
+// axis writing the same struct fields — both varying one knob breeds
+// scenarios that silently simulate the same machine, a pin the sweep
+// overwrites, or plan coordinates that misdescribe their cells.
+// (hier.mem.kind never reaches here: Normalize folds the pin into
+// the memories axis and normalizeFields rejects the fields form.)
+func (s *Spec) checkNamedAxisConflicts(swept map[string]bool) error {
+	used := func(p string) bool {
+		if swept[p] {
+			return true
+		}
+		_, pinned := s.Set[p]
+		return pinned
+	}
+	// The accuracy flags compose only with the identity variant: under
+	// "infinite-mshr" or "simplescalar" the hier coordinate names the
+	// flag state a path would then falsify.
+	if len(s.Hiers) != 1 || s.Hiers[0] != hier.VariantDefault {
+		for _, p := range hierVariantPaths() {
+			if used(p) {
+				return fmt.Errorf("campaign: %s conflicts with the hiers axis (variant flags compose only with the %q variant)",
+					p, hier.VariantDefault)
+			}
+		}
+	}
+	// usedWithPrefix lists every pinned or swept path under a prefix,
+	// sorted so conflict errors are deterministic.
+	usedWithPrefix := func(prefix string) []string {
+		all := make([]string, 0, len(swept)+len(s.Set))
+		for p := range swept {
+			all = append(all, p)
+		}
+		all = append(all, sortedFieldPaths(s.Set)...)
+		sort.Strings(all)
+		var out []string
+		for _, p := range all {
+			if strings.HasPrefix(p, prefix) {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	onlyMemory := func(kind string) bool {
+		for _, m := range s.Memories {
+			if m != kind {
+				return false
+			}
+		}
+		return true
+	}
+
+	// The scalar in-order core takes no core geometry, but cpu.* is
+	// part of the fingerprint: a cpu sweep would simulate the same
+	// machine under distinct labels and cache keys.
+	for _, c := range s.Cores {
+		if c == CoreInOrder {
+			if ps := usedWithPrefix("cpu."); len(ps) > 0 {
+				return fmt.Errorf("campaign: %s conflicts with the inorder core (the scalar core has no core geometry)", ps[0])
+			}
+		}
+	}
+
+	// The SDRAM device parameters are read only by the "sdram" memory
+	// kind and the constant latency only by "const70"; under any other
+	// kind they are fingerprint-relevant but behavior-irrelevant, so a
+	// sweep or pin would breed distinct cache keys (and an apparent
+	// effect) for byte-identical machines. Split the campaign instead.
+	if !onlyMemory(MemNameSDRAM) {
+		if ps := usedWithPrefix("hier.sdram."); len(ps) > 0 {
+			return fmt.Errorf("campaign: %s is ignored by memory model(s) other than %s in the memories axis (split the campaign)",
+				ps[0], MemNameSDRAM)
+		}
+	}
+	if !onlyMemory(MemNameConst70) {
+		if ps := usedWithPrefix("hier.mem.const-latency"); len(ps) > 0 {
+			return fmt.Errorf("campaign: %s is ignored by memory model(s) other than %s in the memories axis (split the campaign)",
+				ps[0], MemNameConst70)
+		}
+	}
+	// A nonzero queues value forces the L1D and L2 prefetch queue caps
+	// after mechanism attach (runner.Options.QueueOverride), clobbering
+	// those paths no matter when they resolve.
+	for _, q := range s.Queues {
+		if q == 0 {
+			continue
+		}
+		for _, p := range QueueOverridePaths() {
+			if used(p) {
+				return fmt.Errorf("campaign: %s conflicts with the queues axis override %d (drop one)", p, q)
+			}
+		}
+		break
+	}
+
+	// MSHR capacity is read only by a finite miss address file: under
+	// an infinite-MSHR hiers variant, or with the level's own
+	// infinite-mshr flag pinned or swept, a capacity sweep or pin is
+	// fingerprint-relevant but behavior-irrelevant on the infinite
+	// arms — distinct cache keys, identical machines.
+	infiniteAll := false
+	for _, h := range s.Hiers {
+		if h != hier.VariantDefault {
+			infiniteAll = true // both non-default variants relax the MSHRs
+		}
+	}
+	for _, lvl := range []string{"hier.l1d", "hier.l1i", "hier.l2"} {
+		inf := infiniteAll
+		if v, pinned := s.Set[lvl+".infinite-mshr"]; pinned && string(v) == "true" {
+			inf = true
+		}
+		if swept[lvl+".infinite-mshr"] {
+			inf = true // conservatively: some arm may be infinite
+		}
+		if !inf {
+			continue
+		}
+		for _, f := range []string{".mshrs", ".reads-per-mshr"} {
+			if used(lvl + f) {
+				return fmt.Errorf("campaign: %s is ignored while %s.infinite-mshr is in effect (drop one)", lvl+f, lvl)
+			}
+		}
+	}
+	return nil
+}
+
+// QueueOverridePaths are the registry paths a nonzero prefetch-queue
+// override (Options.QueueOverride — the queues axis, microsim
+// -queue) force-clobbers after mechanism attach; both conflict
+// checks share this one list.
+func QueueOverridePaths() []string {
+	return []string{"hier.l1d.prefetch-queue-cap", "hier.l2.prefetch-queue-cap"}
+}
+
+// hierVariantPaths lists the registry paths the hiers-axis variants
+// write — the accuracy flags WithVariant flips. A test pins this
+// list against the variants' actual behavior through the registry,
+// so a new variant knob cannot silently fall outside the conflict
+// check.
+func hierVariantPaths() []string {
+	var out []string
+	for _, lvl := range []string{"hier.l1d", "hier.l1i", "hier.l2"} {
+		for _, flag := range []string{".infinite-mshr", ".free-refill-ports", ".no-pipeline-stall"} {
+			out = append(out, lvl+flag)
+		}
+	}
+	return out
+}
+
+// fieldAxes compiles the fields groups into plan axes (one axis per
+// group, in spec order).
+func (s *Spec) fieldAxes() []axis {
+	var out []axis
+	for _, g := range s.Fields {
+		g := g
+		paths := g.paths()
+		ax := axis{name: g.AxisName()}
+		n := len(g[paths[0]])
+		for i := 0; i < n; i++ {
+			i := i
+			ax.values = append(ax.values, axisValue{label: g.valueLabel(i), apply: func(o *runner.Options) error {
+				return applyFields(o, paths, func(p string) string { return string(g[p][i]) })
+			}})
+		}
+		out = append(out, ax)
+	}
+	return out
+}
+
+// applyFields writes path values into the options' config structs
+// through the registry.
+func applyFields(o *runner.Options, paths []string, value func(string) string) error {
+	t := cfgreg.Target{Hier: &o.Hier, CPU: &o.CPU}
+	for _, p := range paths {
+		if err := cfgreg.Set(t, p, value(p)); err != nil {
+			return fmt.Errorf("campaign: %w", err)
+		}
+	}
+	return nil
+}
+
+func sortedFieldPaths(m map[string]FieldValue) []string {
+	out := make([]string, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,493 @@
+package campaign
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"microlib/internal/cfgreg"
+	"microlib/internal/cpu"
+	"microlib/internal/hier"
+)
+
+func fieldsSpec(raw string) (Spec, error) {
+	return ParseSpec([]byte(raw))
+}
+
+func TestFieldsAxisExpansion(t *testing.T) {
+	s, err := fieldsSpec(`{
+		"name": "geom",
+		"benchmarks": ["gzip"],
+		"mechanisms": ["Base", "TP"],
+		"insts": [2000],
+		"warmup": 500,
+		"fields": {"cpu.ruu": [32, 64, 128], "cpu.lsq": [32, 64, 128]}
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 * 2 * 3; len(p.Cells) != want {
+		t.Fatalf("cells: got %d, want %d", len(p.Cells), want)
+	}
+	// One scenario per zipped window value; the axis name is the
+	// sorted paths joined.
+	if len(p.Scenarios()) != 3 {
+		t.Fatalf("scenarios: %v", p.Scenarios())
+	}
+	const axisName = "cpu.lsq+cpu.ruu"
+	for _, c := range p.Cells {
+		label := c.Axis(axisName)
+		want := map[string]int{"32+32": 32, "64+64": 64, "128+128": 128}[label]
+		if want == 0 {
+			t.Fatalf("unexpected axis label %q", label)
+		}
+		if c.Opts.CPU.RUUSize != want || c.Opts.CPU.LSQSize != want {
+			t.Fatalf("label %s resolved ruu=%d lsq=%d", label, c.Opts.CPU.RUUSize, c.Opts.CPU.LSQSize)
+		}
+	}
+}
+
+// TestFieldsAxisFingerprintCompat is the cache-compatibility pin of
+// the registry refactor: a fields axis whose single value equals the
+// Table 1 default resolves to byte-identical options — and therefore
+// the same cell fingerprints — as the same spec without any fields
+// section. FingerprintVersion stays 2; pre-registry disk caches keep
+// serving.
+func TestFieldsAxisFingerprintCompat(t *testing.T) {
+	plain := studySpec()
+	swept := studySpec()
+	swept.Fields = FieldsSpec{{"cpu.ruu": {"128"}, "hier.l1d.size": {"32768"}}}
+
+	a, err := NewPlan(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPlan(swept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatalf("cells: %d vs %d", len(a.Cells), len(b.Cells))
+	}
+	for i := range a.Cells {
+		if a.Cells[i].Key != b.Cells[i].Key {
+			t.Fatalf("cell %d: sweeping a field at its default changed the fingerprint (%s vs %s)",
+				i, a.Cells[i].Key, b.Cells[i].Key)
+		}
+	}
+}
+
+func TestFieldsGroupsCrossProduct(t *testing.T) {
+	s, err := fieldsSpec(`{
+		"benchmarks": ["gzip"],
+		"mechanisms": ["Base"],
+		"insts": [2000],
+		"warmup": 0,
+		"fields": [
+			{"cpu.ruu": [64, 128]},
+			{"hier.l1d.assoc": [1, 2, 4]}
+		]
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 3; len(p.Cells) != want {
+		t.Fatalf("cells: got %d, want %d (groups must cross-product)", len(p.Cells), want)
+	}
+	seen := map[[2]string]bool{}
+	for _, c := range p.Cells {
+		seen[[2]string{c.Axis("cpu.ruu"), c.Axis("hier.l1d.assoc")}] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("coordinates not distinct: %v", seen)
+	}
+}
+
+func TestSetPinsEveryCell(t *testing.T) {
+	s := studySpec()
+	s.Set = map[string]FieldValue{"hier.l1d.assoc": "2", "cpu.fetch-width": "4"}
+	p, err := NewPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range p.Cells {
+		if c.Opts.Hier.L1D.Assoc != 2 || c.Opts.CPU.FetchWidth != 4 {
+			t.Fatalf("set not applied: %+v", c.Opts.Hier.L1D)
+		}
+	}
+	// And pinning genuinely changes fingerprints (it is a different
+	// machine).
+	plain, err := NewPlan(studySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Fingerprint() == p.Fingerprint() {
+		t.Fatal("pinned spec shares the plain plan fingerprint")
+	}
+}
+
+// TestSetWinsOverDefaultedNamedAxis: the named axes always exist
+// (Normalize fills their defaults) and resolve before the pins, so a
+// pinned path must still take effect. hier.mem.kind is special-cased
+// into the memories axis itself, keeping the plan's mem coordinate
+// truthful; flag pins apply after the hiers axis.
+func TestSetWinsOverDefaultedNamedAxis(t *testing.T) {
+	s := studySpec()
+	s.Memories = nil // defaulted by Normalize
+	s.Set = map[string]FieldValue{"hier.mem.kind": "const70", "hier.l1d.infinite-mshr": "true"}
+	p, err := NewPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range p.Cells {
+		if c.Opts.Hier.Memory != hier.MemConst70 {
+			t.Fatalf("pinned memory kind clobbered by the defaulted memories axis: %+v", c.Opts.Hier.Memory)
+		}
+		if got := c.Axis(AxisMemory); got != MemNameConst70 {
+			t.Fatalf("mem coordinate %q contradicts the pinned memory kind", got)
+		}
+		if !c.Opts.Hier.L1D.InfiniteMSHR {
+			t.Fatalf("pinned accuracy flag clobbered by the defaulted hiers axis")
+		}
+	}
+	// The fold must not consume the caller's spec: a second plan of
+	// the same value sees the same pins.
+	q, err := NewPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Fingerprint() != p.Fingerprint() {
+		t.Fatal("re-planning the same spec drifted")
+	}
+}
+
+// TestFieldsConflictWithSweptNamedAxis: a path and a multi-valued
+// named axis varying the same knob is ambiguous and rejected.
+func TestFieldsConflictWithSweptNamedAxis(t *testing.T) {
+	s := studySpec() // sweeps memories: sdram, const70
+	s.Set = map[string]FieldValue{"hier.mem.kind": "sdram70"}
+	if _, err := NewPlan(s); err == nil || !strings.Contains(err.Error(), "memories axis") {
+		t.Fatalf("pin vs swept memories axis accepted: %v", err)
+	}
+
+	// hier.mem.kind is never sweepable via fields: the memories axis
+	// is that sweep, and only it keeps the mem coordinate truthful.
+	s = studySpec()
+	s.Memories = []string{MemNameSDRAM}
+	s.Fields = FieldsSpec{{"hier.mem.kind": {"sdram", "const70"}}}
+	if _, err := NewPlan(s); err == nil || !strings.Contains(err.Error(), "sweep the memories axis instead") {
+		t.Fatalf("fields sweep of hier.mem.kind accepted: %v", err)
+	}
+
+	s = studySpec()
+	s.Memories = []string{MemNameSDRAM}
+	s.Hiers = []string{hier.VariantDefault, hier.VariantInfiniteMSHR}
+	s.Fields = FieldsSpec{{"hier.l2.infinite-mshr": {"true", "false"}}}
+	if _, err := NewPlan(s); err == nil || !strings.Contains(err.Error(), "hiers axis") {
+		t.Fatalf("fields sweep vs swept hiers axis accepted: %v", err)
+	}
+
+	// Accuracy flags compose only with the identity variant: under an
+	// explicit non-default variant the hier coordinate would name a
+	// flag state the pin falsifies.
+	s = studySpec()
+	s.Memories = []string{MemNameSDRAM}
+	s.Hiers = []string{hier.VariantInfiniteMSHR}
+	s.Set = map[string]FieldValue{"hier.l1d.infinite-mshr": "false"}
+	if _, err := NewPlan(s); err == nil || !strings.Contains(err.Error(), "hiers axis") {
+		t.Fatalf("flag pin under a non-default variant accepted: %v", err)
+	}
+
+	// The in-order core has no core geometry, but cpu.* is in the
+	// fingerprint: a sweep would simulate identical machines under
+	// distinct labels and cache keys.
+	s = studySpec()
+	s.Memories = []string{MemNameSDRAM}
+	s.Cores = []string{CoreOoO, CoreInOrder}
+	s.Fields = FieldsSpec{{"cpu.ruu": {"32", "64"}}}
+	if _, err := NewPlan(s); err == nil || !strings.Contains(err.Error(), "inorder core") {
+		t.Fatalf("cpu sweep with inorder core accepted: %v", err)
+	}
+	s = studySpec()
+	s.Memories = []string{MemNameSDRAM}
+	s.Cores = []string{CoreInOrder}
+	s.Set = map[string]FieldValue{"cpu.lsq": "32"}
+	if _, err := NewPlan(s); err == nil || !strings.Contains(err.Error(), "inorder core") {
+		t.Fatalf("cpu pin with inorder core accepted: %v", err)
+	}
+
+	// A nonzero queue override forces the L1D/L2 prefetch queue caps
+	// at build time, clobbering the path whenever it resolves.
+	s = studySpec()
+	s.Memories = []string{MemNameSDRAM}
+	s.Queues = []int{128}
+	s.Fields = FieldsSpec{{"hier.l1d.prefetch-queue-cap": {"4", "64"}}}
+	if _, err := NewPlan(s); err == nil || !strings.Contains(err.Error(), "queues axis") {
+		t.Fatalf("fields sweep vs queue override accepted: %v", err)
+	}
+	s = studySpec()
+	s.Memories = []string{MemNameSDRAM}
+	s.Queues = []int{0, 128}
+	s.Set = map[string]FieldValue{"hier.l2.prefetch-queue-cap": "4"}
+	if _, err := NewPlan(s); err == nil || !strings.Contains(err.Error(), "queues axis") {
+		t.Fatalf("pin vs swept queue override accepted: %v", err)
+	}
+	// The default queues [0] forces nothing, so the paths are free.
+	s = studySpec()
+	s.Memories = []string{MemNameSDRAM}
+	s.Set = map[string]FieldValue{"hier.l1d.prefetch-queue-cap": "4"}
+	if _, err := NewPlan(s); err != nil {
+		t.Fatalf("prefetch-queue-cap pin without override must work: %v", err)
+	}
+
+	// SDRAM device timing is read only by the "sdram" kind: swept or
+	// pinned under any other kind it is fingerprint-relevant but
+	// behavior-irrelevant — distinct cache keys, identical machines.
+	s = studySpec()
+	s.Memories = []string{MemNameConst70}
+	s.Fields = FieldsSpec{{"hier.sdram.cas-latency": {"20", "40"}}}
+	if _, err := NewPlan(s); err == nil || !strings.Contains(err.Error(), "ignored by memory model") {
+		t.Fatalf("sdram timing sweep under const70 accepted: %v", err)
+	}
+	s = studySpec() // memories sdram+const70: mixed is rejected too
+	s.Set = map[string]FieldValue{"hier.sdram.banks": "4"}
+	if _, err := NewPlan(s); err == nil || !strings.Contains(err.Error(), "ignored by memory model") {
+		t.Fatalf("sdram pin under mixed memories accepted: %v", err)
+	}
+	s = studySpec()
+	s.Memories = []string{MemNameSDRAM}
+	s.Set = map[string]FieldValue{"hier.sdram.banks": "4"}
+	if _, err := NewPlan(s); err != nil {
+		t.Fatalf("sdram pin under sdram-only memories must work: %v", err)
+	}
+
+	// MSHR capacity is ignored under an infinite miss address file —
+	// via a non-default hiers variant or the level's own flag.
+	s = studySpec()
+	s.Memories = []string{MemNameSDRAM}
+	s.Hiers = []string{hier.VariantDefault, hier.VariantInfiniteMSHR}
+	s.Fields = FieldsSpec{{"hier.l1d.mshrs": {"4", "8", "16"}}}
+	if _, err := NewPlan(s); err == nil || !strings.Contains(err.Error(), "infinite-mshr is in effect") {
+		t.Fatalf("mshrs sweep under infinite-mshr variant accepted: %v", err)
+	}
+	s = studySpec()
+	s.Memories = []string{MemNameSDRAM}
+	s.Set = map[string]FieldValue{"hier.l2.infinite-mshr": "true"}
+	s.Fields = FieldsSpec{{"hier.l2.reads-per-mshr": {"2", "8"}}}
+	if _, err := NewPlan(s); err == nil || !strings.Contains(err.Error(), "infinite-mshr is in effect") {
+		t.Fatalf("reads-per-mshr sweep under pinned infinite flag accepted: %v", err)
+	}
+	s = studySpec()
+	s.Memories = []string{MemNameSDRAM}
+	s.Fields = FieldsSpec{{"hier.l1d.mshrs": {"4", "16"}}}
+	if _, err := NewPlan(s); err != nil {
+		t.Fatalf("mshrs sweep with finite MSHRs must work: %v", err)
+	}
+
+	// The constant latency is read only by "const70".
+	s = studySpec()
+	s.Memories = []string{MemNameSDRAM}
+	s.Set = map[string]FieldValue{"hier.mem.const-latency": "100"}
+	if _, err := NewPlan(s); err == nil || !strings.Contains(err.Error(), "ignored by memory model") {
+		t.Fatalf("const-latency pin under sdram accepted: %v", err)
+	}
+	s = studySpec()
+	s.Memories = []string{MemNameConst70}
+	s.Fields = FieldsSpec{{"hier.mem.const-latency": {"70", "140"}}}
+	if _, err := NewPlan(s); err != nil {
+		t.Fatalf("const-latency sweep under const70-only must work: %v", err)
+	}
+}
+
+// TestPinWinsOverExplicitSingleMemories: a pinned hier.mem.kind
+// rewrites a single-valued explicit memories axis — SetFlags.Pin
+// promises the CLI wins over the file, and -set on a shipped figure
+// spec is the advertised replay-on-a-different-machine path — with
+// the mem coordinate following the pin.
+func TestPinWinsOverExplicitSingleMemories(t *testing.T) {
+	s := studySpec()
+	s.Memories = []string{MemNameConst70}
+	s.Set = map[string]FieldValue{"hier.mem.kind": "sdram70"}
+	p, err := NewPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range p.Cells {
+		if c.Opts.Hier.Memory != hier.MemSDRAM70 || c.Axis(AxisMemory) != MemNameSDRAM70 {
+			t.Fatalf("pin did not rewrite the axis: mem=%s opts=%v", c.Axis(AxisMemory), c.Opts.Hier.Memory)
+		}
+	}
+}
+
+// TestPinnedMemKindErrorNamesThePath: an invalid pinned value must
+// blame the set path the user wrote, not the memories axis the fold
+// would have produced.
+func TestPinnedMemKindErrorNamesThePath(t *testing.T) {
+	s := studySpec()
+	s.Memories = nil
+	s.Set = map[string]FieldValue{"hier.mem.kind": "bogus"}
+	_, err := NewPlan(s)
+	if err == nil || !strings.Contains(err.Error(), "set: cfgreg: hier.mem.kind") {
+		t.Fatalf("error must name the pinned path: %v", err)
+	}
+}
+
+// TestHierVariantPathsMatchVariants pins the hand-written hiers-axis
+// conflict list against what WithVariant actually changes, observed
+// through the registry itself: every hier.* path a variant flips
+// must be in the list, and every listed path must be flipped by some
+// variant (no stale entries).
+func TestHierVariantPathsMatchVariants(t *testing.T) {
+	listed := map[string]bool{}
+	for _, p := range hierVariantPaths() {
+		listed[p] = true
+	}
+	flipped := map[string]bool{}
+	base := hier.DefaultConfig()
+	baseCPU := cpu.DefaultConfig()
+	for _, variant := range hier.VariantNames() {
+		applied, err := base.WithVariant(variant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		appliedCPU := baseCPU
+		for _, path := range cfgreg.Paths() {
+			if !strings.HasPrefix(path, "hier.") {
+				continue
+			}
+			before, err := cfgreg.Get(cfgreg.Target{Hier: &base, CPU: &baseCPU}, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			after, err := cfgreg.Get(cfgreg.Target{Hier: &applied, CPU: &appliedCPU}, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if before == after {
+				continue
+			}
+			flipped[path] = true
+			if !listed[path] {
+				t.Errorf("variant %q writes %s, which the hiers-axis conflict list misses", variant, path)
+			}
+		}
+	}
+	for p := range listed {
+		if !flipped[p] {
+			t.Errorf("conflict list entry %s is written by no variant (stale)", p)
+		}
+	}
+}
+
+func TestFieldsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  string
+		want string
+	}{
+		{"unknown path", `{"fields": {"cpu.rru": [32]}}`, "unknown config field"},
+		{"bad value type", `{"fields": {"cpu.ruu": ["many"]}}`, "not an integer"},
+		{"out of range", `{"fields": {"cpu.ruu": [0]}}`, "positive"},
+		{"enum typo names set", `{"fields": {"hier.sdram.policy": ["lifo"]}}`, "have fcfs, row-hit-first"},
+		{"mem kind not sweepable", `{"fields": {"hier.mem.kind": ["const70"]}}`, "sweep the memories axis instead"},
+		{"power of two", `{"fields": {"hier.l1d.line-size": [48]}}`, "power of two"},
+		{"unequal zip", `{"fields": {"cpu.ruu": [32, 64], "cpu.lsq": [32]}}`, "unequal value counts"},
+		{"duplicate value", `{"fields": {"cpu.ruu": [64, 64]}}`, "duplicate"},
+		{"empty values", `{"fields": {"cpu.ruu": []}}`, "no values"},
+		{"swept twice", `{"fields": [{"cpu.ruu": [32]}, {"cpu.ruu": [64]}]}`, "swept in two"},
+		{"pinned and swept", `{"set": {"cpu.ruu": 64}, "fields": {"cpu.ruu": [32]}}`, "both pinned"},
+		{"bad set value", `{"set": {"hier.sdram.policy": "lifo"}}`, "have fcfs, row-hit-first"},
+		{"compound value", `{"fields": {"cpu.ruu": [[32]]}}`, "number, bool or string"},
+	}
+	for _, tc := range cases {
+		s, err := fieldsSpec(tc.raw)
+		if err == nil {
+			_, err = NewPlan(s)
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestPlanRejectsInvalidCombination: each value passes its own field
+// check, but the combination breaks a cross-field constraint — the
+// plan must fail with the cell named, not a worker.
+func TestPlanRejectsInvalidCombination(t *testing.T) {
+	s, err := fieldsSpec(`{
+		"benchmarks": ["gzip"],
+		"mechanisms": ["Base"],
+		"set": {"hier.l1d.size": 49152},
+		"fields": {"hier.l1d.line-size": [32, 64]}
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewPlan(s)
+	// 49152 bytes at 32-byte lines is 1536 direct-mapped sets — not a
+	// power of two, a constraint no single field can see.
+	if err == nil || !strings.Contains(err.Error(), "set count must be a power of two") {
+		t.Fatalf("want cross-field error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "hier.l1d.line-size=") {
+		t.Fatalf("error must name the failing cell: %v", err)
+	}
+}
+
+// TestZeroWindowFailsPlanNotWorker pins the satellite bugfix end to
+// end: a sweep value that builds an impossible core is a plan error.
+func TestZeroWindowFailsPlanNotWorker(t *testing.T) {
+	s := studySpec()
+	s.Set = map[string]FieldValue{"cpu.lsq": "0"}
+	if _, err := NewPlan(s); err == nil || !strings.Contains(err.Error(), "positive") {
+		t.Fatalf("zero LSQ must fail at plan time, got %v", err)
+	}
+}
+
+// TestExecuteFieldsCampaign runs a tiny fields sweep end-to-end
+// through the scheduler and the cell cache: the geometry axis changes
+// simulated results, and rerunning is served from the cache.
+func TestExecuteFieldsCampaign(t *testing.T) {
+	s, err := fieldsSpec(`{
+		"name": "tiny-geometry",
+		"benchmarks": ["gzip"],
+		"mechanisms": ["Base"],
+		"insts": [3000],
+		"warmup": 500,
+		"fields": {"cpu.ruu": [8, 128], "cpu.lsq": [8, 128]}
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	sum, err := Execute(context.Background(), s, RunConfig{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Sched.Errors > 0 || sum.Sched.Simulated != 2 {
+		t.Fatalf("scheduler: %+v", sum.Sched)
+	}
+	if len(sum.Scenarios) != 2 {
+		t.Fatalf("scenarios: %d", len(sum.Scenarios))
+	}
+	ipcSmall := sum.Scenarios[0].Mean.Values[0][0]
+	ipcBig := sum.Scenarios[1].Mean.Values[0][0]
+	if ipcSmall <= 0 || ipcBig <= 0 || ipcSmall == ipcBig {
+		t.Fatalf("window size must change IPC: %f vs %f", ipcSmall, ipcBig)
+	}
+	resumed, err := Execute(context.Background(), s, RunConfig{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Sched.Simulated != 0 || resumed.Sched.CacheHits != 2 {
+		t.Fatalf("rerun not served from cache: %+v", resumed.Sched)
+	}
+}

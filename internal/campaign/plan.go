@@ -128,6 +128,18 @@ func NewPlan(spec Spec) (*Plan, error) {
 			if err := v.apply(&opts); err != nil {
 				return nil, err
 			}
+			if i == e.pinAfter {
+				if err := spec.applyPins(&opts); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// The combination of axis values can be invalid even when every
+		// value passed its own field check (a swept line size may stop
+		// dividing a pinned cache size). Catch it at plan time, naming
+		// the cell, instead of letting a worker hit a model panic.
+		if err := opts.Validate(); err != nil {
+			return nil, fmt.Errorf("campaign: cell %s: %w", describeValues(values), err)
 		}
 		cell := Cell{Index: len(p.Cells), Values: values, Opts: opts, Key: opts.Fingerprint()}
 		group := cell.Scenario() + "\x00" + cell.Bench() + "\x00" + cell.Mech() + "\x00" + cell.Key
@@ -152,14 +164,29 @@ func NewPlan(spec Spec) (*Plan, error) {
 	return p, nil
 }
 
-func memoryKind(name string) hier.MemoryKind {
-	switch name {
-	case MemNameConst70:
-		return hier.MemConst70
-	case MemNameSDRAM70:
-		return hier.MemSDRAM70
+// describeValues renders a cell's full coordinates for error
+// messages ("bench=gzip mech=TP ...").
+func describeValues(values []AxisValue) string {
+	var sb strings.Builder
+	for _, v := range values {
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(v.Axis)
+		sb.WriteByte('=')
+		sb.WriteString(v.Value)
 	}
-	return hier.MemSDRAM
+	return sb.String()
+}
+
+func memoryKind(name string) hier.MemoryKind {
+	k, err := hier.ParseMemoryKind(name)
+	if err != nil {
+		// Axis values are validated against MemoryNames by Normalize
+		// before any resolver runs.
+		return hier.MemSDRAM
+	}
+	return k
 }
 
 // Scenarios returns the distinct scenario labels of the plan, in

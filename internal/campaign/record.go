@@ -4,9 +4,38 @@ import (
 	"fmt"
 	"io"
 
+	"microlib/internal/runner"
 	"microlib/internal/trace"
 	"microlib/internal/workload"
 )
+
+// RecordOptions selects which window of a workload's execution a
+// recording captures.
+type RecordOptions struct {
+	// Seed keys synthetic generators (ignored for trace sources).
+	Seed uint64
+	// Insts is the measured instruction budget of the runs the trace
+	// will feed; the recording captures Warmup+Insts instructions.
+	Insts uint64
+	// Warmup is the warm-up budget of those runs: it widens the
+	// recording (a replayed cell consumes warm-up before measuring)
+	// and the SimPoint analysis budget, so "simpoint" resolves the
+	// same offset a campaign cell with the same warmup/insts split
+	// selects. Zero records exactly Insts.
+	Warmup uint64
+	// Skip discards instructions before the recorded window (the
+	// "skip N" half of Section 3.5's arbitrary selection), so a trace
+	// can capture a chosen execution region instead of the stream
+	// prefix. Replaying the trace is then bit-identical to a live run
+	// with Options.Skip set to the same offset.
+	Skip uint64
+	// Selection optionally resolves the offset by policy instead:
+	// "simpoint" runs the SimPoint analysis over the source (budgeted
+	// at Warmup+Insts, exactly like a campaign cell); "skip" or ""
+	// uses Skip; "skip:N" pins an explicit offset. Setting both Skip
+	// and a selection that computes its own offset is rejected.
+	Selection string
+}
 
 // Record captures insts instructions of a workload to w in the
 // binary trace format. The name resolves like a benchmarks-axis
@@ -17,7 +46,13 @@ import (
 // is an error, consistent with the runner's refusal to silently
 // measure a shorter run than requested.
 func Record(spec Spec, name string, seed, insts uint64, w io.Writer) (uint64, error) {
-	if insts == 0 {
+	return RecordWindow(spec, name, RecordOptions{Seed: seed, Insts: insts}, w)
+}
+
+// RecordWindow is Record with a trace window: the recording starts
+// after the resolved skip offset (explicit or SimPoint-selected).
+func RecordWindow(spec Spec, name string, opts RecordOptions, w io.Writer) (uint64, error) {
+	if opts.Insts == 0 {
 		return 0, fmt.Errorf("campaign: record: zero instruction count")
 	}
 
@@ -43,7 +78,7 @@ func Record(spec Spec, name string, seed, insts uint64, w io.Writer) (uint64, er
 			return 0, err
 		}
 		if entry.Profile != nil {
-			stream = workload.NewGenerator(*entry.Profile, seed)
+			stream = workload.NewGenerator(*entry.Profile, opts.Seed)
 		} else {
 			tf, err := trace.Open(entry.tracePath)
 			if err != nil {
@@ -57,23 +92,40 @@ func Record(spec Spec, name string, seed, insts uint64, w io.Writer) (uint64, er
 		if !ok {
 			return 0, fmt.Errorf("campaign: record: unknown workload %q", name)
 		}
-		stream = workload.NewGenerator(prof, seed)
+		stream = workload.NewGenerator(prof, opts.Seed)
+	}
+
+	skip, err := opts.resolveSkip(name, entry)
+	if err != nil {
+		return 0, err
+	}
+	var inst trace.Inst
+	for i := uint64(0); i < skip; i++ {
+		if !stream.Next(&inst) {
+			if src != nil {
+				if err := src.Err(); err != nil {
+					return 0, fmt.Errorf("campaign: record: %w", err)
+				}
+			}
+			return 0, fmt.Errorf("campaign: record: workload %q ended after %d of %d skipped instructions",
+				name, i, skip)
+		}
 	}
 
 	tw, err := trace.NewWriter(w)
 	if err != nil {
 		return 0, err
 	}
-	var inst trace.Inst
-	for i := uint64(0); i < insts; i++ {
+	total := opts.Warmup + opts.Insts
+	for i := uint64(0); i < total; i++ {
 		if !stream.Next(&inst) {
 			if src != nil {
 				if err := src.Err(); err != nil {
 					return tw.Count(), fmt.Errorf("campaign: record: %w", err)
 				}
 			}
-			return tw.Count(), fmt.Errorf("campaign: record: workload %q ended after %d of %d instructions",
-				name, tw.Count(), insts)
+			return tw.Count(), fmt.Errorf("campaign: record: workload %q ended after %d of %d instructions (skip=%d)",
+				name, tw.Count(), total, skip)
 		}
 		if err := tw.Write(&inst); err != nil {
 			return tw.Count(), fmt.Errorf("campaign: record: %w", err)
@@ -83,4 +135,34 @@ func Record(spec Spec, name string, seed, insts uint64, w io.Writer) (uint64, er
 		return tw.Count(), fmt.Errorf("campaign: record: %w", err)
 	}
 	return tw.Count(), nil
+}
+
+// resolveSkip turns the window options into a concrete instruction
+// offset. entry is the spec-defined workload being recorded (nil for
+// built-ins).
+func (o RecordOptions) resolveSkip(name string, entry *WorkloadSpec) (uint64, error) {
+	if o.Skip != 0 && o.Selection != "" && o.Selection != SelSkip {
+		return 0, fmt.Errorf("campaign: record: set a skip offset or a selection that computes one, not both")
+	}
+	switch o.Selection {
+	case "", SelSkip:
+		return o.Skip, nil
+	case SelSimPoint:
+		ropts := runner.Options{Seed: o.Seed, Warmup: o.Warmup, Insts: o.Insts}
+		if entry != nil {
+			if entry.Profile != nil {
+				ropts.Workload = &runner.Workload{Profile: entry.Profile}
+			} else {
+				ropts.Workload = &runner.Workload{TracePath: entry.tracePath, TraceSHA: entry.traceSHA}
+			}
+		} else {
+			ropts.Bench = name
+		}
+		off, err := runner.SimPointSkip(ropts)
+		if err != nil {
+			return 0, fmt.Errorf("campaign: record: %w", err)
+		}
+		return off, nil
+	}
+	return parseSkipSelection(o.Selection)
 }

@@ -1,0 +1,229 @@
+package campaign
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"microlib/internal/runner"
+	"microlib/internal/trace"
+)
+
+// TestRecordWindowReplaysLikeLiveSkip is the windowed-recording
+// contract: a trace recorded with a skip offset, replayed from its
+// start, is bit-identical to the live workload simulated with
+// Options.Skip at the same offset — same cycles, same cache
+// counters, not just close.
+func TestRecordWindowReplaysLikeLiveSkip(t *testing.T) {
+	const (
+		seed   = 7
+		skip   = 12_345
+		warmup = 1_000
+		insts  = 8_000
+	)
+	var buf bytes.Buffer
+	n, err := RecordWindow(Spec{}, "gzip", RecordOptions{Seed: seed, Insts: warmup + insts, Skip: skip}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != warmup+insts {
+		t.Fatalf("recorded %d of %d", n, warmup+insts)
+	}
+	path := filepath.Join(t.TempDir(), "window.mlt")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	live := runner.DefaultOptions("gzip", "Base")
+	live.Seed = seed
+	live.Skip = skip
+	live.Warmup = warmup
+	live.Insts = insts
+	liveRes, err := runner.Run(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wl, err := runner.NewTraceWorkload(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := runner.DefaultOptions("gzip", "Base")
+	replay.Workload = wl
+	replay.Warmup = warmup
+	replay.Insts = insts
+	replayRes, err := runner.Run(replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if liveRes.CPU != replayRes.CPU {
+		t.Errorf("CPU result drifted: live %+v, replay %+v", liveRes.CPU, replayRes.CPU)
+	}
+	if liveRes.L1D != replayRes.L1D || liveRes.L2 != replayRes.L2 || liveRes.Mem != replayRes.Mem {
+		t.Errorf("cache/memory counters drifted:\nlive   %+v\nreplay %+v", liveRes.L1D, replayRes.L1D)
+	}
+	if liveRes.IPC != replayRes.IPC {
+		t.Errorf("IPC drifted: live %v, replay %v", liveRes.IPC, replayRes.IPC)
+	}
+}
+
+func TestRecordWindowSkipExhaustsSource(t *testing.T) {
+	// Record a short trace, then re-record from it with a skip larger
+	// than its length: the skip itself must fail loudly.
+	dir := t.TempDir()
+	short := filepath.Join(dir, "short.mlt")
+	f, err := os.Create(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Record(Spec{}, "gzip", 42, 1_000, f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := Spec{Workloads: []WorkloadSpec{{Name: "short", Trace: short}}}
+	_, err = RecordWindow(spec, "short", RecordOptions{Insts: 10, Skip: 5_000}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "skipped") {
+		t.Fatalf("want skip-exhaustion error, got %v", err)
+	}
+}
+
+// TestRecordSimPointMatchesCampaignCell: a windowed recording with
+// the same seed/warmup/insts split as a campaign cell under
+// "selections": ["simpoint"] captures exactly the stream that cell
+// consumes — same resolved offset, warmup+insts instructions long.
+func TestRecordSimPointMatchesCampaignCell(t *testing.T) {
+	w := uint64(4_000)
+	spec := Spec{
+		Benchmarks: []string{"twolf"},
+		Mechanisms: []string{"Base"},
+		Selections: []string{SelSimPoint},
+		Warmup:     &w,
+		Insts:      []uint64{16_000},
+		Seeds:      []uint64{11},
+	}
+	p, err := NewPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := p.Cells[0]
+
+	var rec bytes.Buffer
+	n, err := RecordWindow(Spec{}, "twolf",
+		RecordOptions{Seed: 11, Warmup: 4_000, Insts: 16_000, Selection: SelSimPoint}, &rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 20_000 {
+		t.Fatalf("recorded %d, want warmup+insts", n)
+	}
+
+	var explicit bytes.Buffer
+	if _, err := RecordWindow(Spec{}, "twolf",
+		RecordOptions{Seed: 11, Warmup: 4_000, Insts: 16_000, Skip: cell.Opts.Skip}, &explicit); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec.Bytes(), explicit.Bytes()) {
+		t.Fatalf("record simpoint window differs from the campaign cell's (cell skip %d)", cell.Opts.Skip)
+	}
+}
+
+func TestRecordSelectionSimPoint(t *testing.T) {
+	const insts = 20_000
+	off, err := runner.SimPointSkip(runner.Options{Bench: "mcf", Seed: 42, Insts: insts})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var viaSel, viaSkip bytes.Buffer
+	if _, err := RecordWindow(Spec{}, "mcf", RecordOptions{Seed: 42, Insts: insts, Selection: SelSimPoint}, &viaSel); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RecordWindow(Spec{}, "mcf", RecordOptions{Seed: 42, Insts: insts, Skip: off}, &viaSkip); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaSel.Bytes(), viaSkip.Bytes()) {
+		t.Fatal("simpoint selection must record the same window as its explicit offset")
+	}
+
+	// "skip:N" pins an explicit offset through the selection syntax.
+	var viaN bytes.Buffer
+	if _, err := RecordWindow(Spec{}, "mcf", RecordOptions{Seed: 42, Insts: insts, Selection: "skip:" + uitoa(off)}, &viaN); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaN.Bytes(), viaSkip.Bytes()) {
+		t.Fatal("skip:N selection must match the explicit offset")
+	}
+
+	// Both an offset and an offset-computing selection is ambiguous.
+	if _, err := RecordWindow(Spec{}, "mcf", RecordOptions{Insts: 10, Skip: 3, Selection: SelSimPoint}, &bytes.Buffer{}); err == nil {
+		t.Fatal("skip+simpoint accepted")
+	}
+	if _, err := RecordWindow(Spec{}, "mcf", RecordOptions{Insts: 10, Skip: 3, Selection: "skip:4"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("skip+skip:N accepted")
+	}
+}
+
+func uitoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+// TestRecordWindowFromTraceCutsRegion re-records a region out of an
+// existing trace: the new file must hold exactly the skipped window.
+func TestRecordWindowFromTraceCutsRegion(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.mlt")
+	f, err := os.Create(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Record(Spec{}, "twolf", 9, 5_000, f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := Spec{Workloads: []WorkloadSpec{{Name: "full", Trace: full}}}
+	var window bytes.Buffer
+	if _, err := RecordWindow(spec, "full", RecordOptions{Insts: 1_000, Skip: 2_000}, &window); err != nil {
+		t.Fatal(err)
+	}
+
+	// Compare instruction-by-instruction against the source region.
+	src, err := trace.Open(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	cut, err := trace.NewReader(bytes.NewReader(window.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b trace.Inst
+	trace.Skip(src, 2_000)
+	for i := 0; i < 1_000; i++ {
+		if !src.Next(&a) || !cut.Next(&b) {
+			t.Fatalf("stream ended at %d", i)
+		}
+		if a != b {
+			t.Fatalf("instruction %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	if cut.Next(&b) {
+		t.Fatal("window longer than requested")
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"sort"
 	"strings"
 
+	"microlib/internal/cfgreg"
 	"microlib/internal/core"
 	"microlib/internal/hier"
 	"microlib/internal/runner"
@@ -41,8 +42,9 @@ import (
 	"microlib/internal/workload"
 )
 
-// Memory model names accepted in Spec.Memories (matching the
-// microsim -memory flag).
+// Memory model names accepted in Spec.Memories (the hier selector
+// names, matching the microsim -memory flag and the "hier.mem.kind"
+// config field).
 const (
 	MemNameSDRAM   = "sdram"
 	MemNameConst70 = "const70"
@@ -55,8 +57,9 @@ const (
 	CoreInOrder = "inorder"
 )
 
-// MemoryNames returns the valid Spec.Memories values.
-func MemoryNames() []string { return []string{MemNameSDRAM, MemNameConst70, MemNameSDRAM70} }
+// MemoryNames returns the valid Spec.Memories values (one name
+// table: hier owns it, the MemName constants are its spellings).
+func MemoryNames() []string { return hier.MemoryKindNames() }
 
 // CoreNames returns the valid Spec.Cores values.
 func CoreNames() []string { return []string{CoreOoO, CoreInOrder} }
@@ -109,6 +112,13 @@ type Spec struct {
 	// Seeds key the workload generator; multiple seeds replicate
 	// every cell for confidence intervals. Empty means [42].
 	Seeds []uint64 `json:"seeds,omitempty"`
+	// Fields sweeps registry config fields (dotted paths over the
+	// hierarchy and CPU structs — `mlcampaign paths` prints the
+	// namespace) as axes. An object is one axis whose paths zip
+	// together ({"cpu.ruu": [32, 64], "cpu.lsq": [32, 64]} scales the
+	// window as a unit); a list of objects makes one axis per group,
+	// cross-product like any other axes.
+	Fields FieldsSpec `json:"fields,omitempty"`
 
 	// Warmup is the single-value shorthand for the Warmups axis (the
 	// field must be present to choose 0 explicitly, hence pointer;
@@ -118,6 +128,11 @@ type Spec struct {
 	// Skip discards instructions before the trace window (the offset
 	// of the "skip" selection policy).
 	Skip uint64 `json:"skip,omitempty"`
+	// Set pins registry config fields for every cell of the campaign
+	// (the single-value counterpart of Fields, and the spec form of
+	// the CLIs' -set flag): {"hier.l1d.assoc": 2} runs the whole sweep
+	// on a 2-way L1D.
+	Set map[string]FieldValue `json:"set,omitempty"`
 	// Params overrides mechanism construction parameters, keyed by
 	// mechanism name then parameter name (e.g. {"TCP": {"queue": 1}}).
 	// Mechanism names are validated against the registry and the
@@ -226,6 +241,47 @@ func (s *Spec) Normalize() error {
 	if len(s.Mechanisms) == 0 {
 		s.Mechanisms = append([]string{runner.BaseName}, core.Names()...)
 	}
+	// A pinned "hier.mem.kind" is the memories axis in disguise: fold
+	// it into the axis so the plan's mem coordinate names the memory
+	// the cells actually run (the value is validated with the axis
+	// below). An explicitly different axis is a conflict, not a
+	// silent override.
+	if v, ok := s.Set["hier.mem.kind"]; ok {
+		// The fold consumes the pin before normalizeFields runs its
+		// pinned+swept and value checks, so both must happen here —
+		// an invalid value has to blame the set path the user wrote,
+		// not the memories axis their spec does not contain.
+		if err := cfgreg.Validate("hier.mem.kind", string(v)); err != nil {
+			return fmt.Errorf("campaign: set: %w", err)
+		}
+		for _, g := range s.Fields {
+			if _, swept := g["hier.mem.kind"]; swept {
+				return fmt.Errorf("campaign: config field hier.mem.kind is both pinned in set and swept in fields")
+			}
+		}
+		switch {
+		case len(s.Memories) == 0:
+			s.Memories = []string{string(v)}
+		case len(s.Memories) == 1:
+			// The pin wins over a single-valued axis — SetFlags.Pin
+			// promises the CLI beats the file, and -set on a shipped
+			// figure spec is the advertised way to replay it on a
+			// different machine. The axis is rewritten, so the plan's
+			// mem coordinate names the memory the cells actually run.
+			s.Memories = []string{string(v)}
+		default:
+			return fmt.Errorf("campaign: hier.mem.kind conflicts with the swept memories axis (drop one)")
+		}
+		set := make(map[string]FieldValue, len(s.Set)-1)
+		for p, pv := range s.Set {
+			if p != "hier.mem.kind" {
+				set[p] = pv
+			}
+		}
+		// Reassign instead of deleting: the map is shared with the
+		// caller's spec value, which must stay re-plannable.
+		s.Set = set
+	}
 	if len(s.Memories) == 0 {
 		s.Memories = []string{MemNameSDRAM}
 	}
@@ -314,6 +370,9 @@ func (s *Spec) Normalize() error {
 		}
 	}
 	if err := s.validateParams(s.Params, "params"); err != nil {
+		return err
+	}
+	if err := s.normalizeFields(); err != nil {
 		return err
 	}
 	var psetNames []string

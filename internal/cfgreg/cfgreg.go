@@ -1,0 +1,410 @@
+// Package cfgreg is the config-field registry: every tunable knob of
+// the simulated system — cache geometry, bus widths, SDRAM device
+// timing, memory-model selection, CPU window sizes and widths — is
+// addressable by a dotted path ("hier.l1d.size", "cpu.ruu",
+// "hier.sdram.cas-latency") with a typed getter/setter over the
+// existing hier.Config and cpu.Config value structs.
+//
+// The registry is what turns the configuration space from three named
+// hierarchy variants into the full grid: the campaign engine's
+// "fields" axis sweeps any registered path as a first-class axis, the
+// CLIs' repeatable -set flag pins any path for a single run, and
+// `mlcampaign paths` prints the complete table. Per-field validation
+// (enum names, positivity, power-of-two where the model requires it)
+// runs at set time, so a bad sweep value fails at plan/validate time
+// rather than inside a worker; cross-field constraints (cache size
+// divisible by line size, power-of-two set counts) remain with the
+// config structs' own Check methods, which runner.Options.Validate
+// applies after every field has been resolved.
+//
+// A reflection-driven completeness test (cfgreg_test.go) asserts
+// that every exported field of hier.Config, cpu.Config, cache.Config
+// and mem.SDRAMConfig is either reachable through a registered path
+// or listed in Exemptions with a reason — a config knob added without
+// registry wiring fails the build loudly.
+package cfgreg
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"microlib/internal/cache"
+	"microlib/internal/cpu"
+	"microlib/internal/hier"
+	"microlib/internal/mem"
+)
+
+// Target is the set of config structs a path resolves into. Both
+// pointers must be non-nil; runner.Options embeds the structs by
+// value, so callers pass &opts.Hier and &opts.CPU.
+type Target struct {
+	Hier *hier.Config
+	CPU  *cpu.Config
+}
+
+// Field describes one registered config field.
+type Field struct {
+	// Path is the dotted address ("hier.l1d.size").
+	Path string
+	// Kind is the value type: "int", "uint", "bool" or "enum".
+	Kind string
+	// Enum lists the valid value names when Kind is "enum".
+	Enum []string
+	// Doc is a one-line description for the generated path table.
+	Doc string
+
+	// covers lists the "pkg.Type.Field" tokens this path reaches; the
+	// completeness test checks the union against reflection.
+	covers []string
+	get    func(Target) string
+	set    func(Target, string) error
+}
+
+var registry = map[string]*Field{}
+
+func register(f *Field) {
+	if _, dup := registry[f.Path]; dup {
+		panic("cfgreg: duplicate path " + f.Path)
+	}
+	registry[f.Path] = f
+}
+
+// Paths returns every registered path, sorted.
+func Paths() []string {
+	out := make([]string, 0, len(registry))
+	for p := range registry {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Fields returns every registered field, sorted by path.
+func Fields() []Field {
+	out := make([]Field, 0, len(registry))
+	for _, p := range Paths() {
+		out = append(out, *registry[p])
+	}
+	return out
+}
+
+// Lookup returns a registered field by path.
+func Lookup(path string) (Field, bool) {
+	f, ok := registry[path]
+	if !ok {
+		return Field{}, false
+	}
+	return *f, true
+}
+
+// unknownPath names the failure every caller shares: a typo'd path
+// must point the user at the generated table, not guess.
+func unknownPath(path string) error {
+	return fmt.Errorf("cfgreg: unknown config field %q (mlcampaign paths prints the full registry)", path)
+}
+
+// Get returns the current value of a path on the target, in the
+// canonical string form Set accepts.
+func Get(t Target, path string) (string, error) {
+	f, ok := registry[path]
+	if !ok {
+		return "", unknownPath(path)
+	}
+	return f.get(t), nil
+}
+
+// Set parses value and writes it through to the target, running the
+// field's own validation. The error names the path and, for enums,
+// the valid value set.
+func Set(t Target, path, value string) error {
+	f, ok := registry[path]
+	if !ok {
+		return unknownPath(path)
+	}
+	if err := f.set(t, value); err != nil {
+		return fmt.Errorf("cfgreg: %s: %w", path, err)
+	}
+	return nil
+}
+
+// Validate parses value against a path's checks without needing a
+// target (a scratch Table 1 default absorbs the write). Campaign
+// normalization uses it so an out-of-range sweep value fails spec
+// validation, before any plan is expanded.
+func Validate(path, value string) error {
+	if _, ok := registry[path]; !ok {
+		return unknownPath(path)
+	}
+	h, c := hier.DefaultConfig(), cpu.DefaultConfig()
+	return Set(Target{Hier: &h, CPU: &c}, path, value)
+}
+
+// --- field constructors ---
+
+// checkFn validates a parsed integer value field-locally.
+type checkFn func(int64) error
+
+func positive(v int64) error {
+	if v <= 0 {
+		return fmt.Errorf("must be positive")
+	}
+	return nil
+}
+
+func nonNegative(v int64) error {
+	if v < 0 {
+		return fmt.Errorf("must not be negative")
+	}
+	return nil
+}
+
+func powerOfTwo(v int64) error {
+	if v <= 0 || v&(v-1) != 0 {
+		return fmt.Errorf("must be a positive power of two")
+	}
+	return nil
+}
+
+func intField(path, doc string, covers []string, acc func(Target) *int, check checkFn) {
+	register(&Field{
+		Path: path, Kind: "int", Doc: doc, covers: covers,
+		get: func(t Target) string { return strconv.Itoa(*acc(t)) },
+		set: func(t Target, s string) error {
+			v, err := strconv.ParseInt(s, 10, 0)
+			if err != nil {
+				return fmt.Errorf("%q is not an integer", s)
+			}
+			if err := check(v); err != nil {
+				return fmt.Errorf("%d %w", v, err)
+			}
+			*acc(t) = int(v)
+			return nil
+		},
+	})
+}
+
+func uintField(path, doc string, covers []string, acc func(Target) *uint64, check checkFn) {
+	register(&Field{
+		Path: path, Kind: "uint", Doc: doc, covers: covers,
+		get: func(t Target) string { return strconv.FormatUint(*acc(t), 10) },
+		set: func(t Target, s string) error {
+			v, err := strconv.ParseUint(s, 10, 63)
+			if err != nil {
+				return fmt.Errorf("%q is not a non-negative integer", s)
+			}
+			if err := check(int64(v)); err != nil {
+				return fmt.Errorf("%d %w", v, err)
+			}
+			*acc(t) = v
+			return nil
+		},
+	})
+}
+
+func boolField(path, doc string, covers []string, acc func(Target) *bool) {
+	register(&Field{
+		Path: path, Kind: "bool", Doc: doc, covers: covers,
+		get: func(t Target) string { return strconv.FormatBool(*acc(t)) },
+		set: func(t Target, s string) error {
+			switch s {
+			case "true":
+				*acc(t) = true
+			case "false":
+				*acc(t) = false
+			default:
+				return fmt.Errorf("%q is not a bool (have true, false)", s)
+			}
+			return nil
+		},
+	})
+}
+
+// enumField registers a named-value field over parse/name functions
+// (the enum's own canonical forms).
+func enumField(path, doc string, covers, names []string, get func(Target) string, set func(Target, string) error) {
+	register(&Field{
+		Path: path, Kind: "enum", Enum: names, Doc: doc, covers: covers,
+		get: get,
+		set: set,
+	})
+}
+
+// --- the registered namespace ---
+
+func init() {
+	registerCaches()
+	registerMemory()
+	registerSDRAM()
+	registerBuses()
+	registerCPU()
+}
+
+// registerCaches maps the three cache levels under hier.l1d, hier.l1i
+// and hier.l2. One subtree per level; each carries the same
+// cache.Config field set.
+func registerCaches() {
+	levels := []struct {
+		prefix string
+		label  string
+		covers string // the hier.Config field the subtree reaches
+		sel    func(Target) *cache.Config
+	}{
+		{"hier.l1d", "L1 data cache", "hier.Config.L1D", func(t Target) *cache.Config { return &t.Hier.L1D }},
+		{"hier.l1i", "L1 instruction cache", "hier.Config.L1I", func(t Target) *cache.Config { return &t.Hier.L1I }},
+		{"hier.l2", "unified L2 cache", "hier.Config.L2", func(t Target) *cache.Config { return &t.Hier.L2 }},
+	}
+	for _, lv := range levels {
+		sel := lv.sel
+		cov := func(field string) []string {
+			return []string{lv.covers, "cache.Config." + field}
+		}
+		intField(lv.prefix+".size", lv.label+" total bytes", cov("Size"),
+			func(t Target) *int { return &sel(t).Size }, positive)
+		intField(lv.prefix+".line-size", lv.label+" line size in bytes", cov("LineSize"),
+			func(t Target) *int { return &sel(t).LineSize }, powerOfTwo)
+		intField(lv.prefix+".assoc", lv.label+" associativity in ways (0 = fully associative)", cov("Assoc"),
+			func(t Target) *int { return &sel(t).Assoc }, nonNegative)
+		uintField(lv.prefix+".hit-latency", lv.label+" hit latency in CPU cycles", cov("HitLatency"),
+			func(t Target) *uint64 { return &sel(t).HitLatency }, positive)
+		intField(lv.prefix+".ports", lv.label+" access ports per cycle", cov("Ports"),
+			func(t Target) *int { return &sel(t).Ports }, positive)
+		intField(lv.prefix+".mshrs", lv.label+" miss-address-file entries", cov("MSHRs"),
+			func(t Target) *int { return &sel(t).MSHRs }, positive)
+		intField(lv.prefix+".reads-per-mshr", lv.label+" read merges per MSHR line", cov("ReadsPerMSHR"),
+			func(t Target) *int { return &sel(t).ReadsPerMSHR }, positive)
+		boolField(lv.prefix+".write-back", lv.label+" write-back (vs write-through)", cov("WriteBack"),
+			func(t Target) *bool { return &sel(t).WriteBack })
+		boolField(lv.prefix+".alloc-on-write", lv.label+" allocate lines on write misses", cov("AllocOnWrite"),
+			func(t Target) *bool { return &sel(t).AllocOnWrite })
+		boolField(lv.prefix+".infinite-mshr", lv.label+" SimpleScalar-like infinite MSHRs (Figure 9)", cov("InfiniteMSHR"),
+			func(t Target) *bool { return &sel(t).InfiniteMSHR })
+		boolField(lv.prefix+".free-refill-ports", lv.label+" refills bypass port accounting (Figure 1)", cov("FreeRefillPorts"),
+			func(t Target) *bool { return &sel(t).FreeRefillPorts })
+		boolField(lv.prefix+".no-pipeline-stall", lv.label+" disable the Section 2.2 pipeline-stall rules", cov("NoPipelineStall"),
+			func(t Target) *bool { return &sel(t).NoPipelineStall })
+		intField(lv.prefix+".prefetch-queue-cap", lv.label+" prefetch request queue bound (0 disables buffering)", cov("PrefetchQueueCap"),
+			func(t Target) *int { return &sel(t).PrefetchQueueCap }, nonNegative)
+	}
+}
+
+func registerMemory() {
+	enumField("hier.mem.kind", "main-memory model (Figure 8 compares all three)",
+		[]string{"hier.Config.Memory"}, hier.MemoryKindNames(),
+		func(t Target) string { return t.Hier.Memory.Name() },
+		func(t Target, s string) error {
+			k, err := hier.ParseMemoryKind(s)
+			if err != nil {
+				return err // names the valid set
+			}
+			t.Hier.Memory = k
+			return nil
+		})
+	uintField("hier.mem.const-latency", "constant memory latency in CPU cycles (const70 model only)",
+		[]string{"hier.Config.ConstLatency"},
+		func(t Target) *uint64 { return &t.Hier.ConstLatency }, positive)
+}
+
+// registerSDRAM maps the Table 1 SDRAM device under hier.sdram. The
+// detailed "sdram" memory kind reads these; const70 and the
+// fixed-parameter sdram70 variant ignore them.
+func registerSDRAM() {
+	cov := func(field string) []string {
+		c := []string{"mem.SDRAMConfig." + field}
+		if field == "Banks" {
+			c = append(c, "hier.Config.SDRAM")
+		}
+		return c
+	}
+	sd := func(t Target) *mem.SDRAMConfig { return &t.Hier.SDRAM }
+	intField("hier.sdram.banks", "independently schedulable banks", cov("Banks"),
+		func(t Target) *int { return &sd(t).Banks }, positive)
+	intField("hier.sdram.rows", "rows per bank", cov("Rows"),
+		func(t Target) *int { return &sd(t).Rows }, positive)
+	intField("hier.sdram.columns", "columns (8-byte words) per row", cov("Columns"),
+		func(t Target) *int { return &sd(t).Columns }, positive)
+	uintField("hier.sdram.ras-to-ras", "tRRD: min cycles between ACTs to distinct banks", cov("RASToRAS"),
+		func(t Target) *uint64 { return &sd(t).RASToRAS }, positive)
+	uintField("hier.sdram.ras-active", "tRAS: min row open time before precharge", cov("RASActive"),
+		func(t Target) *uint64 { return &sd(t).RASActive }, positive)
+	uintField("hier.sdram.ras-to-cas", "tRCD: ACT to column command", cov("RASToCAS"),
+		func(t Target) *uint64 { return &sd(t).RASToCAS }, positive)
+	uintField("hier.sdram.cas-latency", "tCL: column command to first data", cov("CASLatency"),
+		func(t Target) *uint64 { return &sd(t).CASLatency }, positive)
+	uintField("hier.sdram.ras-pre", "tRP: precharge time", cov("RASPre"),
+		func(t Target) *uint64 { return &sd(t).RASPre }, positive)
+	uintField("hier.sdram.ras-cycle", "tRC: min time between ACTs to one bank", cov("RASCycle"),
+		func(t Target) *uint64 { return &sd(t).RASCycle }, positive)
+	intField("hier.sdram.queue-size", "controller queue entries", cov("QueueSize"),
+		func(t Target) *int { return &sd(t).QueueSize }, positive)
+	uintField("hier.sdram.burst-cycles", "data-bus occupancy of one line transfer", cov("BurstCycles"),
+		func(t Target) *uint64 { return &sd(t).BurstCycles }, positive)
+	uintField("hier.sdram.line-size", "transfer granularity in bytes", cov("LineSize"),
+		func(t Target) *uint64 { return &sd(t).LineSize }, powerOfTwo)
+	enumField("hier.sdram.policy", "controller scheduling policy",
+		cov("Policy"), mem.PolicyNames(),
+		func(t Target) string { return sd(t).Policy.Name() },
+		func(t Target, s string) error {
+			p, err := mem.ParsePolicy(s)
+			if err != nil {
+				return err // names the valid set
+			}
+			sd(t).Policy = p
+			return nil
+		})
+	enumField("hier.sdram.interleave", "bank interleaving scheme",
+		cov("Interleave"), mem.InterleaveNames(),
+		func(t Target) string { return sd(t).Interleave.Name() },
+		func(t Target, s string) error {
+			iv, err := mem.ParseInterleave(s)
+			if err != nil {
+				return err // names the valid set
+			}
+			sd(t).Interleave = iv
+			return nil
+		})
+}
+
+func registerBuses() {
+	uintField("hier.l1bus.bytes", "L1/L2 bus width in bytes", []string{"hier.Config.L1BusBytes"},
+		func(t Target) *uint64 { return &t.Hier.L1BusBytes }, powerOfTwo)
+	uintField("hier.l1bus.cpu-cycles", "CPU cycles per L1/L2 bus cycle", []string{"hier.Config.L1BusCPUCycles"},
+		func(t Target) *uint64 { return &t.Hier.L1BusCPUCycles }, positive)
+	uintField("hier.fsb.bytes", "front-side bus width in bytes", []string{"hier.Config.FSBBytes"},
+		func(t Target) *uint64 { return &t.Hier.FSBBytes }, powerOfTwo)
+	uintField("hier.fsb.cpu-cycles", "CPU cycles per front-side bus cycle", []string{"hier.Config.FSBCPUCycles"},
+		func(t Target) *uint64 { return &t.Hier.FSBCPUCycles }, positive)
+}
+
+func registerCPU() {
+	cov := func(field string) []string { return []string{"cpu.Config." + field} }
+	intField("cpu.ruu", "register update unit (instruction window) entries", cov("RUUSize"),
+		func(t Target) *int { return &t.CPU.RUUSize }, positive)
+	intField("cpu.lsq", "load/store queue entries", cov("LSQSize"),
+		func(t Target) *int { return &t.CPU.LSQSize }, positive)
+	intField("cpu.fetch-width", "instructions fetched per cycle", cov("FetchWidth"),
+		func(t Target) *int { return &t.CPU.FetchWidth }, positive)
+	intField("cpu.issue-width", "instructions issued per cycle", cov("IssueWidth"),
+		func(t Target) *int { return &t.CPU.IssueWidth }, positive)
+	intField("cpu.commit-width", "instructions committed per cycle", cov("CommitWidth"),
+		func(t Target) *int { return &t.CPU.CommitWidth }, positive)
+	intField("cpu.int-alu", "integer ALUs", cov("IntALU"),
+		func(t Target) *int { return &t.CPU.IntALU }, positive)
+	intField("cpu.int-multdiv", "integer multiply/divide units", cov("IntMultDiv"),
+		func(t Target) *int { return &t.CPU.IntMultDiv }, positive)
+	intField("cpu.fp-alu", "floating-point ALUs", cov("FPALU"),
+		func(t Target) *int { return &t.CPU.FPALU }, positive)
+	intField("cpu.fp-multdiv", "floating-point multiply/divide units", cov("FPMultDiv"),
+		func(t Target) *int { return &t.CPU.FPMultDiv }, positive)
+	intField("cpu.load-store", "load/store units (cache ports used per cycle)", cov("LoadStore"),
+		func(t Target) *int { return &t.CPU.LoadStore }, positive)
+	uintField("cpu.mispredict-penalty", "fetch-redirect cycles after a resolved mispredict", cov("MispredictPenalty"),
+		func(t Target) *uint64 { return &t.CPU.MispredictPenalty }, nonNegative)
+}
+
+// Exemptions lists exported config-struct fields deliberately outside
+// the registry, each with the reason. The completeness test fails on
+// any exported field neither registered nor listed here.
+var Exemptions = map[string]string{
+	"cache.Config.Name": "structural label wired by hier.Build, not a tunable knob",
+}

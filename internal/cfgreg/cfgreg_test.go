@@ -1,0 +1,223 @@
+package cfgreg
+
+import (
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"microlib/internal/cache"
+	"microlib/internal/cpu"
+	"microlib/internal/hier"
+	"microlib/internal/mem"
+)
+
+func defaultTarget() Target {
+	h, c := hier.DefaultConfig(), cpu.DefaultConfig()
+	return Target{Hier: &h, CPU: &c}
+}
+
+// configStructs are the value structs whose exported fields the
+// registry must account for.
+var configStructs = []any{hier.Config{}, cpu.Config{}, cache.Config{}, mem.SDRAMConfig{}}
+
+// TestRegistryComplete is the wiring gate: every exported field of
+// every config struct is either reachable through a registered path
+// or exempted with a reason. Adding a knob to a config struct without
+// registering (or exempting) it fails here, loudly.
+func TestRegistryComplete(t *testing.T) {
+	covered := map[string]bool{}
+	for _, f := range registry {
+		for _, tok := range f.covers {
+			covered[tok] = true
+		}
+	}
+
+	all := map[string]bool{}
+	for _, s := range configStructs {
+		rt := reflect.TypeOf(s)
+		for i := 0; i < rt.NumField(); i++ {
+			field := rt.Field(i)
+			if !field.IsExported() {
+				continue
+			}
+			tok := rt.String() + "." + field.Name
+			all[tok] = true
+			if covered[tok] {
+				continue
+			}
+			if reason, ok := Exemptions[tok]; ok {
+				if reason == "" {
+					t.Errorf("%s: exemption without a reason", tok)
+				}
+				continue
+			}
+			t.Errorf("%s: not reachable from any registered path and not exempted — wire it into cfgreg or add an Exemptions entry", tok)
+		}
+	}
+
+	// Hygiene in the other direction: a covers token or exemption that
+	// no longer names a real field is stale.
+	for tok := range covered {
+		if !all[tok] {
+			t.Errorf("covers token %s does not match any exported config field (typo or removed field)", tok)
+		}
+	}
+	for tok := range Exemptions {
+		if !all[tok] {
+			t.Errorf("exemption %s does not match any exported config field (stale)", tok)
+		}
+		if covered[tok] {
+			t.Errorf("%s is both registered and exempted — drop the exemption", tok)
+		}
+	}
+}
+
+// TestRoundTrip sets every registered path to a value distinct from
+// its Table 1 default and reads it back: Get(Set(x)) == x, and the
+// default target is genuinely changed.
+func TestRoundTrip(t *testing.T) {
+	for _, f := range Fields() {
+		def, err := Get(defaultTarget(), f.Path)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Path, err)
+		}
+		for _, v := range alternatives(t, f, def) {
+			tgt := defaultTarget()
+			if err := Set(tgt, f.Path, v); err != nil {
+				t.Errorf("%s: set %q: %v", f.Path, v, err)
+				continue
+			}
+			got, err := Get(tgt, f.Path)
+			if err != nil {
+				t.Fatalf("%s: %v", f.Path, err)
+			}
+			if got != v {
+				t.Errorf("%s: set %q, read back %q", f.Path, v, got)
+			}
+		}
+	}
+}
+
+// alternatives picks valid values distinct from the default for a
+// field, exercising each kind's parser.
+func alternatives(t *testing.T, f Field, def string) []string {
+	t.Helper()
+	switch f.Kind {
+	case "bool":
+		if def == "true" {
+			return []string{"false"}
+		}
+		return []string{"true"}
+	case "enum":
+		var out []string
+		for _, name := range f.Enum {
+			if name != def {
+				out = append(out, name)
+			}
+		}
+		if len(out) == 0 {
+			t.Fatalf("%s: enum with a single value", f.Path)
+		}
+		return out
+	case "int", "uint":
+		// Doubling preserves positivity and power-of-two-ness; 0 would
+		// trip positivity checks, so a doubled default is always legal
+		// unless the default itself is 0 (then pick 2).
+		v, err := strconv.ParseUint(def, 10, 63)
+		if err != nil {
+			t.Fatalf("%s: non-numeric default %q", f.Path, def)
+		}
+		if v == 0 {
+			return []string{"2"}
+		}
+		return []string{strconv.FormatUint(v*2, 10)}
+	}
+	t.Fatalf("%s: unknown kind %q", f.Path, f.Kind)
+	return nil
+}
+
+func TestUnknownPath(t *testing.T) {
+	if err := Set(defaultTarget(), "cpu.rru", "64"); err == nil || !strings.Contains(err.Error(), "unknown config field") {
+		t.Fatalf("want unknown-path error, got %v", err)
+	}
+	if _, err := Get(defaultTarget(), "hier.l3.size"); err == nil {
+		t.Fatal("unknown path accepted by Get")
+	}
+	if err := Validate("nope", "1"); err == nil {
+		t.Fatal("unknown path accepted by Validate")
+	}
+}
+
+func TestRejectsBadValues(t *testing.T) {
+	cases := []struct {
+		path, value, want string
+	}{
+		{"cpu.ruu", "banana", "not an integer"},
+		{"cpu.ruu", "0", "positive"},
+		{"cpu.ruu", "-4", "positive"},
+		{"hier.l1d.line-size", "48", "power of two"},
+		{"hier.l1d.assoc", "-1", "negative"},
+		{"hier.l1d.hit-latency", "-1", "not a non-negative integer"},
+		{"hier.l1d.write-back", "yes", "not a bool"},
+		{"hier.mem.kind", "sdram17", "have sdram, const70, sdram70"},
+		{"hier.sdram.policy", "row-hit", "have fcfs, row-hit-first"},
+		{"hier.sdram.interleave", "xor", "have linear, permute"},
+		{"hier.fsb.bytes", "0", "power of two"},
+	}
+	for _, tc := range cases {
+		err := Set(defaultTarget(), tc.path, tc.value)
+		if err == nil {
+			t.Errorf("%s=%s accepted", tc.path, tc.value)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s=%s: error %q does not mention %q", tc.path, tc.value, err, tc.want)
+		}
+		if !strings.Contains(err.Error(), tc.path) {
+			t.Errorf("%s=%s: error %q does not name the path", tc.path, tc.value, err)
+		}
+	}
+}
+
+// TestValidateNeedsNoTarget checks the plan-time entry point used by
+// campaign normalization.
+func TestValidateNeedsNoTarget(t *testing.T) {
+	if err := Validate("cpu.ruu", "64"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate("cpu.ruu", "0"); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+// TestSetReachesBuildConfig spot-checks that paths write the struct
+// fields the simulator actually builds from.
+func TestSetReachesBuildConfig(t *testing.T) {
+	tgt := defaultTarget()
+	for path, value := range map[string]string{
+		"hier.l1d.size":          "65536",
+		"hier.l2.assoc":          "8",
+		"hier.mem.kind":          "const70",
+		"hier.sdram.cas-latency": "20",
+		"hier.fsb.cpu-cycles":    "4",
+		"cpu.ruu":                "32",
+		"cpu.lsq":                "16",
+	} {
+		if err := Set(tgt, path, value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tgt.Hier.L1D.Size != 65536 || tgt.Hier.L2.Assoc != 8 {
+		t.Errorf("cache fields not written: %+v", tgt.Hier.L1D)
+	}
+	if tgt.Hier.Memory != hier.MemConst70 {
+		t.Errorf("memory kind not written: %v", tgt.Hier.Memory)
+	}
+	if tgt.Hier.SDRAM.CASLatency != 20 || tgt.Hier.FSBCPUCycles != 4 {
+		t.Errorf("sdram/bus fields not written")
+	}
+	if tgt.CPU.RUUSize != 32 || tgt.CPU.LSQSize != 16 {
+		t.Errorf("cpu fields not written: %+v", tgt.CPU)
+	}
+}

@@ -5,6 +5,8 @@
 // demonstrate module interoperability (the paper's wrapper story).
 package cpu
 
+import "fmt"
+
 // Config carries the core's structural parameters.
 type Config struct {
 	// Window sizes (Table 1: 128-RUU, 128-LSQ).
@@ -35,16 +37,29 @@ func DefaultConfig() Config {
 	}
 }
 
+// Check reports nonsensical parameters as an error. Plan-time
+// validation (campaign expansion, runner.Options.Validate) uses it so
+// a zero window size fails the plan, not a worker mid-campaign.
+func (c Config) Check() error {
+	switch {
+	case c.RUUSize <= 0 || c.LSQSize <= 0:
+		return fmt.Errorf("cpu: window sizes must be positive (ruu=%d lsq=%d)", c.RUUSize, c.LSQSize)
+	case c.FetchWidth <= 0 || c.IssueWidth <= 0 || c.CommitWidth <= 0:
+		return fmt.Errorf("cpu: widths must be positive (fetch=%d issue=%d commit=%d)",
+			c.FetchWidth, c.IssueWidth, c.CommitWidth)
+	case c.IntALU <= 0 || c.FPALU <= 0 || c.LoadStore <= 0 ||
+		c.IntMultDiv <= 0 || c.FPMultDiv <= 0:
+		// A zero mult/div pool is not "no mult/div" but a deadlock: the
+		// issue stage waits forever for a unit that never exists.
+		return fmt.Errorf("cpu: need at least one unit of each class")
+	}
+	return nil
+}
+
 // Validate panics on nonsensical parameters.
 func (c Config) Validate() {
-	if c.RUUSize <= 0 || c.LSQSize <= 0 {
-		panic("cpu: window sizes must be positive")
-	}
-	if c.FetchWidth <= 0 || c.IssueWidth <= 0 || c.CommitWidth <= 0 {
-		panic("cpu: widths must be positive")
-	}
-	if c.IntALU <= 0 || c.FPALU <= 0 || c.LoadStore <= 0 {
-		panic("cpu: need at least one unit of each basic class")
+	if err := c.Check(); err != nil {
+		panic(err.Error())
 	}
 }
 

@@ -53,6 +53,11 @@ type Runner struct {
 	// repeated runs — and spec-driven mlcampaign runs over the same
 	// cells — are incremental.
 	CacheDir string
+	// SetFields pins config-field registry paths (mlrank -set) on
+	// every figure spec: the whole paper replay runs on the modified
+	// machine. Fingerprints change with the configuration, so cached
+	// cells of the Table 1 machine are never served for it.
+	SetFields map[string]string
 
 	Benchmarks []string
 	Mechs      []string
@@ -117,11 +122,39 @@ var figureSpecs = map[string]struct {
 	"fig9":  {file: "fig9.json"},
 	"fig10": {file: "fig10.json", pinMechs: true},
 	"fig11": {file: "fig11.json", valSkip: true},
+	// Beyond the paper: the CPU-geometry study over the config-field
+	// registry's "fields" axis.
+	"geometry": {file: "geometry.json"},
 }
 
 // FigureSpecFile returns the shipped spec filename behind a figure
 // grid id ("" when the id has no spec — the static tables).
 func FigureSpecFile(id string) string { return figureSpecs[id].file }
+
+// CheckSetFields validates SetFields against the spec-backed grids
+// of the experiments about to run, without simulating anything:
+// `mlrank -exp all -set …` must fail on a pin/sweep conflict (the
+// geometry spec sweeps cpu.ruu) before the first cell runs, not
+// hours in when the loop reaches the conflicting experiment — while
+// `-exp fig8 -set cpu.ruu=32` stays usable, since only fig8's grid
+// matters for it. Ids without a direct spec (the table formatters)
+// are skipped; their grids fail fast at plan time anyway, before any
+// simulation.
+func (r *Runner) CheckSetFields(ids ...string) error {
+	if len(r.SetFields) == 0 {
+		return nil
+	}
+	for _, id := range ids {
+		if figureSpecs[id].file == "" {
+			continue
+		}
+		spec := r.figureSpec(id)
+		if err := spec.Normalize(); err != nil {
+			return fmt.Errorf("experiments: %s: %w", id, err)
+		}
+	}
+	return nil
+}
 
 // figureSpec loads a shipped figure spec and rescales it to the
 // runner's configuration: the benchmark list, seed and budgets come
@@ -161,6 +194,12 @@ func (r *Runner) figureSpec(id string) campaign.Spec {
 				spec.Selections[i] = campaign.SelSkip + ":0"
 			}
 		}
+	}
+	for path, v := range r.SetFields {
+		if spec.Set == nil {
+			spec.Set = map[string]campaign.FieldValue{}
+		}
+		spec.Set[path] = campaign.FieldValue(v)
 	}
 	return spec
 }
@@ -292,12 +331,30 @@ func IDs() []string {
 	return out
 }
 
-// Run executes one experiment by id.
-func Run(r *Runner, id string) (Report, error) {
+// Run executes one experiment by id. Configuration panics from the
+// figure drivers (a bad Runner.SetFields path, a failed cell) are
+// returned as errors: user input reaches the drivers through mlrank
+// -set, and a typo must be a clean CLI error, not a stack trace.
+// Genuine runtime errors still panic.
+func Run(r *Runner, id string) (rep Report, err error) {
 	e, ok := registry[id]
 	if !ok {
 		return Report{}, fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
 	}
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		perr, isErr := p.(error)
+		if !isErr {
+			panic(p)
+		}
+		if _, isRuntime := perr.(runtime.Error); isRuntime {
+			panic(p)
+		}
+		err = perr
+	}()
 	return e.fn(r), nil
 }
 

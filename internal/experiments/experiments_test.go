@@ -22,7 +22,7 @@ func tinyRunner() *Runner {
 func TestIDsComplete(t *testing.T) {
 	want := []string{
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-		"fig8", "fig9", "fig10", "fig11",
+		"fig8", "fig9", "fig10", "fig11", "geometry",
 		"table1", "table3", "table5", "table6", "table7", "genref",
 	}
 	have := map[string]bool{}
@@ -80,6 +80,65 @@ func TestFig10QueueStudy(t *testing.T) {
 	}
 	if !strings.Contains(rep.Table, "queue-128") || !strings.Contains(rep.Table, "queue-1") {
 		t.Fatalf("fig10 table:\n%s", rep.Table)
+	}
+}
+
+// TestCheckSetFields: the mlrank pre-flight catches a bad -set
+// against every spec-backed grid before anything simulates — a
+// conflict with geometry's own cpu.ruu sweep must not surface hours
+// into -exp all.
+func TestCheckSetFields(t *testing.T) {
+	r := tinyRunner()
+	all := IDs()
+	if err := r.CheckSetFields(all...); err != nil {
+		t.Fatalf("empty SetFields: %v", err)
+	}
+	r.SetFields = map[string]string{"hier.l1d.assoc": "2"}
+	if err := r.CheckSetFields(all...); err != nil {
+		t.Fatalf("valid SetFields: %v", err)
+	}
+	r.SetFields = map[string]string{"cpu.rru": "64"}
+	if err := r.CheckSetFields(all...); err == nil || !strings.Contains(err.Error(), "cpu.rru") {
+		t.Fatalf("want unknown-path error, got %v", err)
+	}
+	r.SetFields = map[string]string{"cpu.ruu": "32"}
+	if err := r.CheckSetFields(all...); err == nil || !strings.Contains(err.Error(), "geometry") {
+		t.Fatalf("want geometry conflict, got %v", err)
+	}
+	// The conflict is scoped to the experiments about to run: fig8
+	// never touches the geometry grid, so the README's replay-on-a-
+	// narrower-machine command stays usable.
+	if err := r.CheckSetFields("fig8"); err != nil {
+		t.Fatalf("cpu.ruu pin must not block fig8: %v", err)
+	}
+}
+
+// TestBadSetFieldIsAnErrorNotAPanic: mlrank -set feeds user input
+// into the figure drivers, so a typo'd path or a pin/sweep conflict
+// must come back as an error, not a stack trace.
+func TestBadSetFieldIsAnErrorNotAPanic(t *testing.T) {
+	r := tinyRunner()
+	r.SetFields = map[string]string{"cpu.rru": "64"}
+	if _, err := Run(r, "fig4"); err == nil || !strings.Contains(err.Error(), "cpu.rru") {
+		t.Fatalf("want unknown-path error, got %v", err)
+	}
+	r = tinyRunner()
+	r.SetFields = map[string]string{"cpu.ruu": "32"}
+	if _, err := Run(r, "geometry"); err == nil || !strings.Contains(err.Error(), "pinned in set and swept") {
+		t.Fatalf("want pin/sweep conflict error, got %v", err)
+	}
+}
+
+func TestGeometryStudy(t *testing.T) {
+	r := tinyRunner()
+	rep, err := Run(r, "geometry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"win 32", "win 64", "win 128", "win 256", "GHB"} {
+		if !strings.Contains(rep.Table, want) {
+			t.Fatalf("geometry table missing %q:\n%s", want, rep.Table)
+		}
 	}
 }
 

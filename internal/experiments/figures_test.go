@@ -28,7 +28,11 @@ var figureGoldens = map[string]struct {
 	"fig3.json":  {cells: 156, scenarios: 2, fingerprint: "6f9fa774965506180d020ab4ae0f8b95"},
 	"fig8.json":  {cells: 1014, scenarios: 3, fingerprint: "fcbd7c8e119cfa7bb8e7b6f4329e06e0"},
 	"fig9.json":  {cells: 676, scenarios: 2, fingerprint: "44f957826ceb2bfc3521abd6feb88069"},
-	"main.json":  {cells: 338, scenarios: 1, fingerprint: "5efd8d1d24c709a37840ca21a20afc10"},
+	// geometry.json sweeps the registry "fields" axis (cpu.ruu+cpu.lsq
+	// zipped); its golden also pins that field resolution stays
+	// deterministic across the registry refactor.
+	"geometry.json": {cells: 1352, scenarios: 4, fingerprint: "3e787090b480899149d525ecde46086b"},
+	"main.json":     {cells: 338, scenarios: 1, fingerprint: "5efd8d1d24c709a37840ca21a20afc10"},
 }
 
 // TestShippedFigureSpecs plans every shipped spec exactly as shipped

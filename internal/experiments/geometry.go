@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+func init() {
+	register("geometry", "Effect of CPU geometry: RUU/LSQ window 32 to 256 entries", Geometry)
+}
+
+// Geometry replays the shipped geometry spec (geometry.json, a
+// "fields" axis zipping cpu.ruu and cpu.lsq through the config-field
+// registry): mean speedups per mechanism under host cores from a
+// quarter to double the Table 1 window. The question the paper's
+// methodology asks of every hidden parameter applies to the host core
+// itself — a mechanism ranking measured on one window size does not
+// automatically transfer to another, because a wider window already
+// hides latency that a prefetcher would otherwise cover.
+func Geometry(r *Runner) Report {
+	sum := r.Campaign("geometry")
+	axisName := sum.Spec.Fields[0].AxisName()
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s", "mech")
+	means := make([][]float64, len(sum.Scenarios))
+	for i, sc := range sum.Scenarios {
+		fmt.Fprintf(&sb, " %12s", "win "+strings.SplitN(sc.Value(axisName), "+", 2)[0])
+		means[i] = sc.Speedup.MeanPerMech()
+	}
+	sb.WriteByte('\n')
+	for m, name := range sum.Scenarios[0].Speedup.Mechs {
+		fmt.Fprintf(&sb, "%-8s", name)
+		for i := range sum.Scenarios {
+			fmt.Fprintf(&sb, " %12.4f", means[i][m])
+		}
+		sb.WriteByte('\n')
+	}
+	return Report{ID: "geometry", Title: Title("geometry"), Table: sb.String()}
+}

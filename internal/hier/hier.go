@@ -40,6 +40,37 @@ func (k MemoryKind) String() string {
 	return "unknown"
 }
 
+// Name returns the kind's selector name — the value of a campaign
+// spec's "memories" axis, the microsim -memory flag and the
+// "hier.mem.kind" config field (distinct from String, which renders
+// the kind with its average latency for reports).
+func (k MemoryKind) Name() string {
+	switch k {
+	case MemConst70:
+		return "const70"
+	case MemSDRAM70:
+		return "sdram70"
+	}
+	return "sdram"
+}
+
+// MemoryKindNames returns the valid memory-model selector names,
+// default first.
+func MemoryKindNames() []string { return []string{"sdram", "const70", "sdram70"} }
+
+// ParseMemoryKind resolves a memory-model selector name.
+func ParseMemoryKind(name string) (MemoryKind, error) {
+	switch name {
+	case "sdram":
+		return MemSDRAM, nil
+	case "const70":
+		return MemConst70, nil
+	case "sdram70":
+		return MemSDRAM70, nil
+	}
+	return 0, fmt.Errorf("hier: unknown memory model %q (have %s)", name, strings.Join(MemoryKindNames(), ", "))
+}
+
 // Config describes the full hierarchy.
 type Config struct {
 	L1D, L1I, L2 cache.Config
@@ -79,6 +110,41 @@ func DefaultConfig() Config {
 		FSBBytes:       64,
 		FSBCPUCycles:   5,
 	}
+}
+
+// Check reports a structurally impossible hierarchy as an error:
+// every cache level passes its own check, the buses have geometry,
+// the memory kind is known and — when the detailed SDRAM is selected
+// — its device parameters hold up. Plan-time validation uses it so a
+// bad sweep value fails before hier.Build would panic in a worker.
+func (c Config) Check() error {
+	for _, cc := range []cache.Config{c.L1D, c.L1I, c.L2} {
+		if err := cc.Check(); err != nil {
+			return err
+		}
+	}
+	if c.L1BusBytes == 0 || c.L1BusCPUCycles == 0 {
+		return fmt.Errorf("hier: L1/L2 bus needs positive width and cycle time")
+	}
+	if c.FSBBytes == 0 || c.FSBCPUCycles == 0 {
+		return fmt.Errorf("hier: front-side bus needs positive width and cycle time")
+	}
+	switch c.Memory {
+	case MemSDRAM:
+		// Only the detailed model reads Config.SDRAM (the scaled
+		// sdram70 variant carries its own fixed device parameters).
+		if err := c.SDRAM.Check(); err != nil {
+			return err
+		}
+	case MemConst70:
+		if c.ConstLatency == 0 {
+			return fmt.Errorf("hier: constant-latency memory needs a positive latency")
+		}
+	case MemSDRAM70:
+	default:
+		return fmt.Errorf("hier: unknown memory kind %d", c.Memory)
+	}
+	return nil
 }
 
 // Named hierarchy variants: the cache-model accuracy points the

@@ -1,6 +1,11 @@
 package mem
 
-import "microlib/internal/sim"
+import (
+	"fmt"
+	"strings"
+
+	"microlib/internal/sim"
+)
 
 // SchedulePolicy selects which queued request the controller issues
 // next.
@@ -16,6 +21,29 @@ const (
 	RowHitFirst
 )
 
+// Name returns the policy's registry name (the "hier.sdram.policy"
+// config-field value).
+func (p SchedulePolicy) Name() string {
+	if p == FCFS {
+		return "fcfs"
+	}
+	return "row-hit-first"
+}
+
+// PolicyNames returns the valid schedule-policy names.
+func PolicyNames() []string { return []string{"fcfs", "row-hit-first"} }
+
+// ParsePolicy resolves a schedule-policy name.
+func ParsePolicy(name string) (SchedulePolicy, error) {
+	switch name {
+	case "fcfs":
+		return FCFS, nil
+	case "row-hit-first":
+		return RowHitFirst, nil
+	}
+	return 0, fmt.Errorf("mem: unknown schedule policy %q (have %s)", name, strings.Join(PolicyNames(), ", "))
+}
+
 // Interleave selects how line addresses map to (bank, row, column).
 type Interleave int
 
@@ -27,6 +55,29 @@ const (
 	// spreading conflicting rows across banks.
 	PermuteMap
 )
+
+// Name returns the interleave's registry name (the
+// "hier.sdram.interleave" config-field value).
+func (iv Interleave) Name() string {
+	if iv == LinearMap {
+		return "linear"
+	}
+	return "permute"
+}
+
+// InterleaveNames returns the valid interleave names.
+func InterleaveNames() []string { return []string{"linear", "permute"} }
+
+// ParseInterleave resolves an interleave name.
+func ParseInterleave(name string) (Interleave, error) {
+	switch name {
+	case "linear":
+		return LinearMap, nil
+	case "permute":
+		return PermuteMap, nil
+	}
+	return 0, fmt.Errorf("mem: unknown interleave %q (have %s)", name, strings.Join(InterleaveNames(), ", "))
+}
 
 // SDRAMConfig carries the Table 1 SDRAM parameters. All timings are
 // in CPU cycles (the paper quotes them that way for a 2 GHz core).
@@ -73,6 +124,30 @@ func DefaultSDRAMConfig() SDRAMConfig {
 		Interleave:  PermuteMap,
 		LineSize:    64,
 	}
+}
+
+// Check reports a structurally impossible SDRAM configuration as an
+// error. The model is built at simulation start (NewSDRAM panics on a
+// subset of these); validated entry points catch the problem at plan
+// time instead.
+func (c SDRAMConfig) Check() error {
+	switch {
+	case c.Banks <= 0:
+		return fmt.Errorf("mem: sdram needs at least one bank")
+	case c.Rows <= 0 || c.Columns <= 0:
+		return fmt.Errorf("mem: sdram rows and columns must be positive")
+	case c.QueueSize <= 0:
+		return fmt.Errorf("mem: sdram controller queue must hold at least one request")
+	case c.LineSize == 0 || c.LineSize&(c.LineSize-1) != 0:
+		return fmt.Errorf("mem: sdram line size must be a positive power of two")
+	case c.BurstCycles == 0:
+		return fmt.Errorf("mem: sdram burst must occupy at least one cycle")
+	case c.Policy != FCFS && c.Policy != RowHitFirst:
+		return fmt.Errorf("mem: unknown schedule policy %d", c.Policy)
+	case c.Interleave != LinearMap && c.Interleave != PermuteMap:
+		return fmt.Errorf("mem: unknown interleave %d", c.Interleave)
+	}
+	return nil
 }
 
 // ScaledSDRAMConfig returns the paper's "SDRAM exhibiting an average

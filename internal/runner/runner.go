@@ -111,6 +111,9 @@ func RunContext(ctx context.Context, opts Options) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
+	if err := opts.Validate(); err != nil {
+		return Result{}, err
+	}
 	if opts.Insts == 0 {
 		opts.Insts = defaultInsts
 	}

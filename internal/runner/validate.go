@@ -1,0 +1,30 @@
+package runner
+
+import "fmt"
+
+// Validate reports structurally impossible options as an error before
+// any simulation state is built: the host-core geometry (unless the
+// scalar in-order core, which has none), the full hierarchy including
+// the selected memory model, and the runner's own knobs. Campaign
+// plan expansion calls it on every resolved cell — a zero RUU size or
+// a cache whose size no longer divides its line size fails
+// `mlcampaign validate`, not a worker mid-campaign — and RunContext
+// calls it so direct library users get an error instead of a model
+// panic.
+//
+// Budgets are not checked: a zero Insts is defaulted by Run, and a
+// zero Warmup simply measures from the start.
+func (o Options) Validate() error {
+	if !o.InOrder {
+		if err := o.CPU.Check(); err != nil {
+			return fmt.Errorf("runner: %w", err)
+		}
+	}
+	if err := o.Hier.Check(); err != nil {
+		return fmt.Errorf("runner: %w", err)
+	}
+	if o.QueueOverride < 0 {
+		return fmt.Errorf("runner: negative prefetch queue override %d", o.QueueOverride)
+	}
+	return nil
+}

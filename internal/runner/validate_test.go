@@ -1,0 +1,70 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+
+	"microlib/internal/hier"
+)
+
+func TestValidateDefaultOptions(t *testing.T) {
+	if err := DefaultOptions("gzip", "Base").Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZeroRUUIsAnErrorNotAPanic pins the bugfix: a zero window size
+// used to reach cpu.NewOoO and panic inside the simulation; it must
+// surface as an error from Run.
+func TestZeroRUUIsAnErrorNotAPanic(t *testing.T) {
+	opts := DefaultOptions("gzip", "Base")
+	opts.CPU.RUUSize = 0
+	if err := opts.Validate(); err == nil || !strings.Contains(err.Error(), "window sizes") {
+		t.Fatalf("want window-size error, got %v", err)
+	}
+	if _, err := Run(opts); err == nil {
+		t.Fatal("Run accepted a zero RUU size")
+	}
+}
+
+func TestValidateInOrderIgnoresCPUGeometry(t *testing.T) {
+	opts := DefaultOptions("gzip", "Base")
+	opts.InOrder = true
+	opts.CPU.RUUSize = 0 // the scalar core has no window
+	if err := opts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateHierarchy(t *testing.T) {
+	opts := DefaultOptions("gzip", "Base")
+	opts.Hier.L1D.Size = 48 << 10
+	opts.Hier.L1D.LineSize = 48 // divides the size but is not a power of two
+	if err := opts.Validate(); err == nil || !strings.Contains(err.Error(), "power of two") {
+		t.Fatalf("want line-size error, got %v", err)
+	}
+
+	opts = DefaultOptions("gzip", "Base")
+	opts.Hier.SDRAM.Banks = 0
+	if err := opts.Validate(); err == nil || !strings.Contains(err.Error(), "bank") {
+		t.Fatalf("want sdram bank error, got %v", err)
+	}
+
+	// The SDRAM device parameters are only read by the detailed model;
+	// a const70 hierarchy with a broken SDRAM sub-config is still
+	// runnable (but needs a latency).
+	opts.Hier = opts.Hier.WithMemory(hier.MemConst70)
+	if err := opts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	opts.Hier.ConstLatency = 0
+	if err := opts.Validate(); err == nil {
+		t.Fatal("zero constant latency accepted")
+	}
+
+	opts = DefaultOptions("gzip", "Base")
+	opts.QueueOverride = -1
+	if err := opts.Validate(); err == nil {
+		t.Fatal("negative queue override accepted")
+	}
+}

@@ -34,10 +34,13 @@ package microlib
 
 import (
 	"context"
+	"fmt"
 	"io"
+	"strings"
 
 	"microlib/internal/cache"
 	"microlib/internal/campaign"
+	"microlib/internal/cfgreg"
 	"microlib/internal/core"
 	"microlib/internal/cpu"
 	"microlib/internal/experiments"
@@ -141,6 +144,92 @@ type CacheStats = cache.Stats
 // be selected by name in Options.Mechanism.
 func RegisterMechanism(desc MechDescription, f MechFactory) { core.Register(desc, f) }
 
+// --- config-field registry ---
+// Every tunable knob of the simulated system is addressable by a
+// dotted path ("hier.l1d.size", "cpu.ruu", "hier.sdram.cas-latency"):
+// settable on an Options value (the CLIs' repeatable -set flag),
+// pinnable in a campaign spec ("set"), and sweepable as a campaign
+// axis ("fields"). `mlcampaign paths` prints the full table.
+
+// ConfigField describes one registered config field (path, kind,
+// enum values, documentation).
+type ConfigField = cfgreg.Field
+
+// ConfigFields returns every registered config field, sorted by path.
+func ConfigFields() []ConfigField { return cfgreg.Fields() }
+
+// ConfigPaths returns every registered dotted path, sorted.
+func ConfigPaths() []string { return cfgreg.Paths() }
+
+// SetOptionField sets one registry config field on an Options value,
+// running the field's own validation.
+func SetOptionField(o *Options, path, value string) error {
+	return cfgreg.Set(cfgreg.Target{Hier: &o.Hier, CPU: &o.CPU}, path, value)
+}
+
+// GetOptionField reads one registry config field off an Options
+// value, in the canonical string form SetOptionField accepts.
+func GetOptionField(o *Options, path string) (string, error) {
+	return cfgreg.Get(cfgreg.Target{Hier: &o.Hier, CPU: &o.CPU}, path)
+}
+
+// SetFlags collects the CLIs' repeatable `-set path=value` overrides
+// (register with flag.Var); the path=value syntax is checked as the
+// flag is parsed, the path and value themselves when applied.
+type SetFlags []string
+
+// String implements flag.Value.
+func (s *SetFlags) String() string { return strings.Join(*s, " ") }
+
+// Set implements flag.Value.
+func (s *SetFlags) Set(v string) error {
+	if _, _, ok := strings.Cut(v, "="); !ok {
+		return fmt.Errorf("want path=value")
+	}
+	*s = append(*s, v)
+	return nil
+}
+
+// Apply writes the overrides onto an Options value, in flag order.
+func (s SetFlags) Apply(o *Options) error {
+	for _, kv := range s {
+		path, value, _ := strings.Cut(kv, "=")
+		if err := SetOptionField(o, path, value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pin folds the overrides into a campaign spec's "set" section (the
+// CLI wins over the file); they are validated at plan time.
+func (s SetFlags) Pin(spec *CampaignSpec) {
+	for _, kv := range s {
+		path, value, _ := strings.Cut(kv, "=")
+		PinCampaignField(spec, path, value)
+	}
+}
+
+// QueueOverrideConflictPaths are the registry paths a nonzero
+// prefetch-queue override (Options.QueueOverride, microsim -queue,
+// a campaign's queues axis) force-clobbers after mechanism attach;
+// CLIs reject combining them with an override.
+func QueueOverrideConflictPaths() []string { return campaign.QueueOverridePaths() }
+
+// Map returns the overrides as a path→value map (later flags win),
+// the form ExperimentRunner.SetFields takes.
+func (s SetFlags) Map() map[string]string {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(s))
+	for _, kv := range s {
+		path, value, _ := strings.Cut(kv, "=")
+		out[path] = value
+	}
+	return out
+}
+
 // --- experiment harness ---
 
 // ExperimentRunner drives the paper's tables and figures.
@@ -238,6 +327,33 @@ func WorkloadPatternKinds() []string { return workload.PatternKindNames() }
 // trace format. Pass a zero CampaignSpec for built-ins.
 func RecordTrace(spec CampaignSpec, name string, seed, insts uint64, w io.Writer) (uint64, error) {
 	return campaign.Record(spec, name, seed, insts, w)
+}
+
+// TraceRecordOptions selects the execution window a recording
+// captures: an explicit skip offset, or a selection policy
+// ("simpoint", "skip:N") resolved at record time.
+type TraceRecordOptions = campaign.RecordOptions
+
+// RecordTraceWindow is RecordTrace with a trace window: the recording
+// starts after the resolved skip offset, so the trace captures a
+// chosen execution region rather than the stream prefix. Replaying it
+// is bit-identical to a live run skipped to the same offset.
+func RecordTraceWindow(spec CampaignSpec, name string, opts TraceRecordOptions, w io.Writer) (uint64, error) {
+	return campaign.RecordWindow(spec, name, opts, w)
+}
+
+// CampaignFieldValue is one config-field value in a campaign spec's
+// "set" or "fields" sections (the raw JSON scalar's token text).
+type CampaignFieldValue = campaign.FieldValue
+
+// PinCampaignField pins a registry config field for every cell of a
+// campaign spec (the spec form of the CLIs' -set flag). The path and
+// value are validated when the spec is normalized/planned.
+func PinCampaignField(spec *CampaignSpec, path, value string) {
+	if spec.Set == nil {
+		spec.Set = map[string]CampaignFieldValue{}
+	}
+	spec.Set[path] = CampaignFieldValue(value)
 }
 
 // CampaignPlan is the deterministic expansion of a spec.
