@@ -9,6 +9,14 @@
 //	microsim -bench gzip -mech GHB -insts 150000 -warmup 50000
 //	microsim -bench mcf -set cpu.ruu=32 -set cpu.lsq=32 -set hier.l1d.assoc=2
 //	microsim -list
+//
+// With -interval N the run additionally emits a time-resolved
+// telemetry series: one row of exact counter deltas (IPC, cache miss
+// ratios, bus occupancy, SDRAM traffic) every N simulated cycles,
+// as text, CSV or JSON:
+//
+//	microsim -bench mcf -mech GHB -interval 10000
+//	microsim -bench art -interval 5000 -interval-format csv -interval-out art.csv
 package main
 
 import (
@@ -35,6 +43,10 @@ func main() {
 		queue   = flag.Int("queue", 0, "force prefetch request queue size (0 = mechanism default)")
 		pfd     = flag.Bool("prefetch-as-demand", false, "treat prefetches like demand accesses (disable demand priority; design-choice ablation)")
 		list    = flag.Bool("list", false, "list benchmarks and mechanisms")
+
+		interval    = flag.Uint64("interval", 0, "emit a telemetry interval every N simulated cycles (0 = off)")
+		intervalFmt = flag.String("interval-format", "text", "interval series format: text, csv, json")
+		intervalOut = flag.String("interval-out", "", "write the interval series to a file instead of stdout")
 	)
 	flag.Parse()
 
@@ -76,6 +88,21 @@ func main() {
 		}
 	}
 
+	var intervals []microlib.TelemetryInterval
+	if *interval > 0 {
+		valid := false
+		for _, f := range microlib.IntervalFormats() {
+			valid = valid || f == *intervalFmt
+		}
+		if !valid {
+			fmt.Fprintf(os.Stderr, "microsim: unknown interval format %q (want %s)\n",
+				*intervalFmt, strings.Join(microlib.IntervalFormats(), ", "))
+			os.Exit(2)
+		}
+		opts.Interval = *interval
+		opts.IntervalSink = func(iv microlib.TelemetryInterval) { intervals = append(intervals, iv) }
+	}
+
 	res, err := microlib.Run(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "microsim:", err)
@@ -99,6 +126,28 @@ func main() {
 		fmt.Println("mechanism hardware:")
 		for _, t := range res.Hardware {
 			fmt.Printf("  %-16s %8d B assoc=%d reads=%d writes=%d\n", t.Label, t.Bytes, t.Assoc, t.Reads, t.Writes)
+		}
+	}
+
+	if *interval > 0 {
+		out := os.Stdout
+		if *intervalOut != "" {
+			f, err := os.Create(*intervalOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "microsim:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		} else {
+			fmt.Printf("interval series (every %d cycles, %d intervals):\n", *interval, len(intervals))
+		}
+		if err := microlib.WriteIntervals(out, *intervalFmt, intervals); err != nil {
+			fmt.Fprintln(os.Stderr, "microsim:", err)
+			os.Exit(1)
+		}
+		if *intervalOut != "" {
+			fmt.Fprintf(os.Stderr, "microsim: interval series written to %s\n", *intervalOut)
 		}
 	}
 }

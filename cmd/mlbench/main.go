@@ -1,12 +1,17 @@
 // Command mlbench runs the kernel microbenchmarks and one end-to-end
-// artifact benchmark, writes the results as JSON (BENCH_2.json in CI)
+// artifact benchmark, writes the results as JSON (BENCH_6.json in CI)
 // and enforces the kernel's allocation contract: steady-state
 // Engine.After + Drain scheduling must perform zero allocations per
 // event, or the command exits nonzero.
 //
+// Every row records wall-clock time and iteration count alongside the
+// allocation counters, and the simulator-throughput rows carry
+// insts_per_sec — including a sampled variant that prices the
+// telemetry interval sampler against the unsampled run.
+//
 // Usage:
 //
-//	mlbench [-out BENCH_2.json] [-scale 4] [-artifact fig8] [-skip-artifact]
+//	mlbench [-out BENCH_6.json] [-scale 4] [-artifact fig8] [-skip-artifact]
 //
 // The JSON also carries the recorded seed-kernel baseline (the
 // container/heap engine with per-cycle stepping, measured on the
@@ -26,6 +31,7 @@ import (
 	"microlib/internal/experiments"
 	"microlib/internal/runner"
 	"microlib/internal/sim"
+	"microlib/internal/telemetry"
 )
 
 // seedBaseline records the pre-rewrite kernel on the reference
@@ -40,14 +46,18 @@ var seedBaseline = map[string]Result{
 
 // Result is one benchmark row.
 type Result struct {
-	Name        string             `json:"name"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	AllocsPerOp int64              `json:"allocs_per_op"`
-	BytesPerOp  int64              `json:"bytes_per_op"`
-	Extra       map[string]float64 `json:"extra,omitempty"`
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// N and WallS record how much work the row actually measured:
+	// iterations chosen by the harness and total wall-clock seconds.
+	N     int                `json:"n,omitempty"`
+	WallS float64            `json:"wall_s,omitempty"`
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
-// Report is the BENCH_2.json document.
+// Report is the BENCH_6.json document.
 type Report struct {
 	GoVersion    string             `json:"go_version"`
 	GOOS         string             `json:"goos"`
@@ -66,12 +76,14 @@ func bench(name string, f func(b *testing.B)) Result {
 		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
+		N:           r.N,
+		WallS:       r.T.Seconds(),
 	}
 }
 
 func main() {
 	var (
-		out          = flag.String("out", "BENCH_2.json", "output JSON path")
+		out          = flag.String("out", "BENCH_6.json", "output JSON path")
 		scale        = flag.Uint64("scale", 4, "artifact bench scale divisor (MICROLIB_SCALE)")
 		artifact     = flag.String("artifact", "fig8", "artifact experiment id for the end-to-end bench")
 		skipArtifact = flag.Bool("skip-artifact", false, "skip the (slow) artifact bench")
@@ -121,6 +133,29 @@ func main() {
 		"insts_per_sec": 60_000 / (simThroughput.NsPerOp * 1e-9),
 	}
 	rep.Results = append(rep.Results, simThroughput)
+
+	// The same run with the interval sampler on: the telemetry
+	// overhead row. sampled/unsampled insts_per_sec is the price of
+	// time-resolved counters (the sampler is pull-based, so it should
+	// be within noise of 1.0).
+	simSampled := bench("sim-throughput/interval1000", func(b *testing.B) {
+		opts := runner.DefaultOptions("swim", "GHB")
+		opts.Insts = 50_000
+		opts.Warmup = 10_000
+		opts.Interval = 1000
+		opts.IntervalSink = func(telemetry.Interval) {}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := runner.Run(opts); err != nil {
+				fatal(err)
+			}
+		}
+	})
+	simSampled.Extra = map[string]float64{
+		"insts_per_sec":         60_000 / (simSampled.NsPerOp * 1e-9),
+		"overhead_vs_unsampled": simSampled.NsPerOp / simThroughput.NsPerOp,
+	}
+	rep.Results = append(rep.Results, simSampled)
 
 	// One full artifact experiment, end to end.
 	if !*skipArtifact {

@@ -43,6 +43,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"microlib"
 )
@@ -67,6 +68,8 @@ func main() {
 		cmdPrune(os.Args[2:])
 	case "record":
 		cmdRecord(os.Args[2:])
+	case "status":
+		cmdStatus(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -79,12 +82,14 @@ func main() {
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   mlcampaign run   -spec file [-cache dir] [-workers n] [-format text|csv|json] [-out file] [-quiet] [-set path=value]...
+                   [-journal file.jsonl] [-http addr] [-interval cycles -interval-dir dir]
   mlcampaign plan  -spec file [-set path=value]...
   mlcampaign validate [-quiet] [-set path=value]... file.json [file2.json ...]
   mlcampaign list  [-cache dir]
   mlcampaign paths
   mlcampaign prune -cache dir [-older-than dur] [-spec file] [-dry-run]
   mlcampaign record -workload name -out file.mlt [-insts n] [-warmup n] [-seed n] [-skip n] [-selection simpoint|skip:N] [-spec file]
+  mlcampaign status file.jsonl
 `)
 }
 
@@ -99,6 +104,11 @@ func cmdRun(args []string) {
 		format   = fs.String("format", "text", "report format: text, csv, json")
 		out      = fs.String("out", "", "write the report to a file instead of stdout")
 		quiet    = fs.Bool("quiet", false, "suppress progress output")
+
+		journal     = fs.String("journal", "", "append a JSONL run journal here (inspect with mlcampaign status)")
+		httpAddr    = fs.String("http", "", "serve live metrics and pprof on this address while the campaign runs, e.g. :6060")
+		interval    = fs.Uint64("interval", 0, "sample every simulated cell at this cycle granularity (needs -interval-dir)")
+		intervalDir = fs.String("interval-dir", "", "write each sampled cell's series to this directory as <fingerprint>.json")
 	)
 	fs.Parse(args)
 	if *specPath == "" {
@@ -114,11 +124,22 @@ func cmdRun(args []string) {
 	}
 	sets.Pin(&spec)
 
+	if (*interval > 0) != (*intervalDir != "") {
+		fatal(fmt.Errorf("run: -interval and -interval-dir go together"))
+	}
+
 	// ^C cancels the campaign; finished cells stay in the cache.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	cfg := microlib.CampaignConfig{Workers: *workers, CacheDir: *cacheDir}
+	live := &microlib.CampaignLiveStats{}
+	cfg := microlib.CampaignConfig{
+		Workers:     *workers,
+		CacheDir:    *cacheDir,
+		Live:        live,
+		Interval:    *interval,
+		IntervalDir: *intervalDir,
+	}
 	if !*quiet {
 		cfg.OnProgress = func(p microlib.CampaignProgress) {
 			src := "sim"
@@ -128,9 +149,34 @@ func cmdRun(args []string) {
 			if p.Err != nil {
 				src = "ERR"
 			}
-			fmt.Fprintf(os.Stderr, "\r[%d/%d] %s %s/%s seed=%d        ",
-				p.Done, p.Total, src, p.Cell.Bench(), p.Cell.Mech(), p.Cell.Seed())
+			// The live snapshot turns the counter into a forecast:
+			// overall throughput and the extrapolated time to finish.
+			s := live.Snapshot()
+			eta := ""
+			if s.ETA > 0 {
+				eta = fmt.Sprintf(" eta %s", s.ETA.Round(time.Second))
+			}
+			fmt.Fprintf(os.Stderr, "\r[%d/%d] %s %s/%s seed=%d  %.1f cells/s%s        ",
+				p.Done, p.Total, src, p.Cell.Bench(), p.Cell.Mech(), p.Cell.Seed(), s.CellsPerSec, eta)
 		}
+	}
+	if *journal != "" {
+		f, err := os.Create(*journal)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		cfg.Journal = f
+	}
+	if *httpAddr != "" {
+		m := microlib.NewMetrics()
+		cfg.Metrics = m
+		srv, err := microlib.ServeMetrics(*httpAddr, m)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "mlcampaign: live metrics on http://%s/metrics (pprof under /debug/pprof/)\n", srv.Addr())
 	}
 
 	sum, err := microlib.RunCampaign(ctx, spec, cfg)
@@ -440,6 +486,34 @@ func cmdRecord(args []string) {
 		fatal(rerr)
 	}
 	fmt.Printf("recorded %d instructions of %s to %s\n", n, *name, *out)
+}
+
+// cmdStatus digests a run journal written by `run -journal`: overall
+// state (completed, aborted, or cut off mid-run), cache hit rate,
+// throughput, the slowest cells and any failures.
+func cmdStatus(args []string) {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("status: exactly one journal file expected"))
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	evs, err := microlib.ReadCampaignJournal(f)
+	if err != nil {
+		fatal(err)
+	}
+	st, err := microlib.SummarizeCampaignJournal(evs)
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.WriteString(st.Text())
+	if !st.Complete || st.Aborted || st.Errors > 0 {
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {

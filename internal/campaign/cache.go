@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"microlib/internal/core"
@@ -109,12 +110,42 @@ func (c *LayeredCache) Put(res CellResult) error {
 	return first
 }
 
+// CacheCounters is a snapshot of a DiskCache's access statistics
+// since it was opened: how often the campaign was served from disk,
+// how often it had to simulate, and how much result data moved.
+type CacheCounters struct {
+	Hits         uint64 `json:"hits"`
+	Misses       uint64 `json:"misses"`
+	BytesRead    uint64 `json:"bytes_read"`
+	Puts         uint64 `json:"puts"`
+	BytesWritten uint64 `json:"bytes_written"`
+}
+
 // DiskCache persists cell results under one directory, one JSON file
 // per fingerprint key. It is safe for concurrent use by the worker
 // pool: writes go through a temp file and an atomic rename, and a
 // torn or corrupt entry reads as a miss, never as bad data.
 type DiskCache struct {
 	dir string
+
+	hits         atomic.Uint64
+	misses       atomic.Uint64
+	bytesRead    atomic.Uint64
+	puts         atomic.Uint64
+	bytesWritten atomic.Uint64
+}
+
+// Counters returns the access statistics accumulated since the cache
+// was opened. Safe to call concurrently with Get/Put (a metrics
+// endpoint scrapes it mid-run).
+func (c *DiskCache) Counters() CacheCounters {
+	return CacheCounters{
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		BytesRead:    c.bytesRead.Load(),
+		Puts:         c.puts.Load(),
+		BytesWritten: c.bytesWritten.Load(),
+	}
 }
 
 // OpenDiskCache creates (if needed) and opens a cache directory.
@@ -136,12 +167,18 @@ func (c *DiskCache) path(key string) string {
 func (c *DiskCache) Get(key string) (CellResult, bool) {
 	data, err := os.ReadFile(c.path(key))
 	if err != nil {
+		c.misses.Add(1)
 		return CellResult{}, false
 	}
 	var res CellResult
 	if err := json.Unmarshal(data, &res); err != nil || res.Key != key {
+		// A torn or corrupt entry reads as a miss: the cell will be
+		// resimulated and the entry overwritten with a good one.
+		c.misses.Add(1)
 		return CellResult{}, false
 	}
+	c.hits.Add(1)
+	c.bytesRead.Add(uint64(len(data)))
 	return res, true
 }
 
@@ -169,7 +206,12 @@ func (c *DiskCache) Put(res CellResult) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("campaign: cache write: %w", err)
 	}
-	return os.Rename(tmp.Name(), c.path(res.Key))
+	if err := os.Rename(tmp.Name(), c.path(res.Key)); err != nil {
+		return err
+	}
+	c.puts.Add(1)
+	c.bytesWritten.Add(uint64(len(data)))
+	return nil
 }
 
 // Entry describes one cached cell file.

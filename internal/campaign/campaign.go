@@ -1,6 +1,16 @@
 package campaign
 
-import "context"
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+
+	"microlib/internal/telemetry"
+)
 
 // RunConfig configures Execute.
 type RunConfig struct {
@@ -11,6 +21,26 @@ type RunConfig struct {
 	CacheDir string
 	// OnProgress observes every finished cell.
 	OnProgress func(Progress)
+	// OnStart observes every distinct cell as a worker picks it up
+	// (called concurrently; see Scheduler.OnStart).
+	OnStart func(Cell)
+	// Journal, when non-nil, receives the JSONL run journal (header,
+	// per-cell start/finish, footer). The caller owns the writer.
+	Journal io.Writer
+	// Live, when non-nil, is updated throughout the run for a
+	// metrics endpoint or progress display to snapshot.
+	Live *LiveStats
+	// Interval, together with IntervalDir, samples every freshly
+	// simulated cell at this cycle granularity and writes each
+	// series to IntervalDir/<fingerprint>.json. Cached cells carry
+	// no series (their simulation already happened).
+	Interval    uint64
+	IntervalDir string
+	// Metrics, when non-nil, gets the campaign gauges registered on
+	// it (live progress under "campaign", disk-cache counters under
+	// "disk_cache") for a -http endpoint to serve; a LiveStats is
+	// created if cfg.Live is nil.
+	Metrics *telemetry.Metrics
 }
 
 // Execute runs a whole campaign: normalize and expand the spec,
@@ -23,14 +53,102 @@ func Execute(ctx context.Context, spec Spec, cfg RunConfig) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
-	sched := &Scheduler{Workers: cfg.Workers, OnProgress: cfg.OnProgress}
+	sched := &Scheduler{Workers: cfg.Workers, OnProgress: cfg.OnProgress, OnStart: cfg.OnStart, Live: cfg.Live}
+	var disk *DiskCache
 	if cfg.CacheDir != "" {
 		cache, err := OpenDiskCache(cfg.CacheDir)
 		if err != nil {
 			return nil, err
 		}
 		sched.Cache = cache
+		disk = cache
 	}
+	if cfg.Metrics != nil {
+		if sched.Live == nil {
+			sched.Live = &LiveStats{}
+		}
+		RegisterCampaignMetrics(cfg.Metrics, sched.Live, disk)
+	}
+
+	var jw *JournalWriter
+	if cfg.Journal != nil {
+		jw = NewJournalWriter(cfg.Journal)
+		// Mirror the scheduler's worker clamp so the journal header
+		// records the pool size actually used.
+		workers := cfg.Workers
+		if workers < 1 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > len(plan.Cells) && len(plan.Cells) > 0 {
+			workers = len(plan.Cells)
+		}
+		jw.Begin(plan, workers, cfg.CacheDir)
+		prevStart, prevProg := sched.OnStart, sched.OnProgress
+		sched.OnStart = func(c Cell) {
+			jw.CellStart(c)
+			if prevStart != nil {
+				prevStart(c)
+			}
+		}
+		sched.OnProgress = func(p Progress) {
+			jw.CellDone(p)
+			if prevProg != nil {
+				prevProg(p)
+			}
+		}
+	}
+
+	// Per-cell interval artifacts: the sink runs on worker
+	// goroutines, so the first write error is recorded under a lock
+	// and surfaced after the run instead of failing cells.
+	var artErr error
+	var artMu sync.Mutex
+	if cfg.Interval > 0 && cfg.IntervalDir != "" {
+		if err := os.MkdirAll(cfg.IntervalDir, 0o755); err != nil {
+			return nil, fmt.Errorf("campaign: interval dir: %w", err)
+		}
+		sched.Interval = cfg.Interval
+		sched.IntervalSink = func(c Cell, ivs []telemetry.Interval) {
+			err := writeIntervalArtifact(cfg.IntervalDir, c.Key, ivs)
+			if err != nil {
+				artMu.Lock()
+				if artErr == nil {
+					artErr = err
+				}
+				artMu.Unlock()
+			}
+		}
+	}
+
 	results, sstats, err := sched.Run(ctx, plan.Cells)
+	if jw != nil {
+		jw.End(sstats, err)
+		if jerr := jw.Err(); err == nil && jerr != nil {
+			err = fmt.Errorf("campaign: journal write: %w", jerr)
+		}
+	}
+	if err == nil && artErr != nil {
+		err = fmt.Errorf("campaign: interval artifact: %w", artErr)
+	}
 	return Aggregate(plan, results, sstats), err
+}
+
+// writeIntervalArtifact stores one cell's sampled series as
+// <dir>/<fingerprint>.json, atomically via rename so a killed run
+// never leaves a torn artifact next to good ones.
+func writeIntervalArtifact(dir, key string, ivs []telemetry.Interval) error {
+	tmp, err := os.CreateTemp(dir, key+".tmp*")
+	if err != nil {
+		return err
+	}
+	werr := telemetry.WriteIntervals(tmp, "json", ivs)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, key+".json"))
 }

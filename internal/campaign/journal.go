@@ -1,0 +1,321 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"microlib/internal/telemetry"
+)
+
+// Journal event kinds, in the order a run emits them: one "start",
+// then interleaved "cell_start"/"cell_done" per cell, then one "end".
+// A journal whose last line is not an "end" event records a campaign
+// that was killed hard (OOM, SIGKILL, power loss) mid-run.
+const (
+	EvStart     = "start"
+	EvCellStart = "cell_start"
+	EvCellDone  = "cell_done"
+	EvEnd       = "end"
+)
+
+// JournalEvent is one line of a campaign run journal. A single struct
+// covers all four kinds; fields not applicable to a kind are omitted
+// from its JSON. Journals are JSONL so a crashed run still leaves
+// every completed line readable.
+type JournalEvent struct {
+	Ev   string `json:"ev"`
+	Time string `json:"t"` // RFC3339Nano, host clock
+
+	// start
+	Campaign string `json:"campaign,omitempty"`
+	Plan     string `json:"plan,omitempty"` // plan fingerprint
+	Cells    int    `json:"cells,omitempty"`
+	Workers  int    `json:"workers,omitempty"`
+	CacheDir string `json:"cache_dir,omitempty"`
+
+	// cell_start and cell_done identify the cell
+	Key   string `json:"key,omitempty"` // options fingerprint
+	Index int    `json:"index,omitempty"`
+	Bench string `json:"bench,omitempty"`
+	Mech  string `json:"mech,omitempty"`
+	Seed  uint64 `json:"seed,omitempty"`
+
+	// cell_done
+	Source      string  `json:"source,omitempty"` // "sim" or "cache"
+	WallMS      float64 `json:"wall_ms,omitempty"`
+	Insts       uint64  `json:"insts,omitempty"`
+	InstsPerSec float64 `json:"insts_per_sec,omitempty"`
+	Err         string  `json:"err,omitempty"`
+	Done        int     `json:"done,omitempty"`
+
+	// end
+	Completed   int     `json:"completed,omitempty"`
+	CacheHits   int     `json:"cache_hits,omitempty"`
+	Simulated   int     `json:"simulated,omitempty"`
+	Errors      int     `json:"errors,omitempty"`
+	Aborted     bool    `json:"aborted,omitempty"`
+	AbortReason string  `json:"abort_reason,omitempty"`
+	WallS       float64 `json:"wall_s,omitempty"`
+}
+
+// JournalWriter appends run-journal events as JSONL. Begin/CellStart/
+// CellDone/End map onto the scheduler's lifecycle; CellStart and
+// CellDone may be called concurrently (the underlying writer
+// serializes lines). Write errors are sticky — check Err once at the
+// end instead of at every event.
+type JournalWriter struct {
+	w     *telemetry.JSONL
+	start time.Time
+}
+
+// NewJournalWriter wraps w; the caller keeps ownership of w (close
+// the file yourself after End).
+func NewJournalWriter(w io.Writer) *JournalWriter {
+	return &JournalWriter{w: telemetry.NewJSONL(w)}
+}
+
+func stamp() string { return time.Now().Format(time.RFC3339Nano) }
+
+// Begin records the run header: which campaign, which exact plan
+// (fingerprint), how many cells, how wide the pool is.
+func (j *JournalWriter) Begin(plan *Plan, workers int, cacheDir string) {
+	j.start = time.Now()
+	j.w.Write(JournalEvent{
+		Ev:       EvStart,
+		Time:     stamp(),
+		Campaign: plan.Spec.Name,
+		Plan:     plan.Fingerprint(),
+		Cells:    len(plan.Cells),
+		Workers:  workers,
+		CacheDir: cacheDir,
+	})
+}
+
+// CellStart records a worker picking up a distinct cell.
+func (j *JournalWriter) CellStart(c Cell) {
+	j.w.Write(JournalEvent{
+		Ev:    EvCellStart,
+		Time:  stamp(),
+		Key:   c.Key,
+		Index: c.Index,
+		Bench: c.Bench(),
+		Mech:  c.Mech(),
+		Seed:  c.Seed(),
+	})
+}
+
+// CellDone records a finished cell: where the result came from, how
+// long the simulation took, and how fast it ran.
+func (j *JournalWriter) CellDone(p Progress) {
+	e := JournalEvent{
+		Ev:     EvCellDone,
+		Time:   stamp(),
+		Key:    p.Cell.Key,
+		Index:  p.Cell.Index,
+		Bench:  p.Cell.Bench(),
+		Mech:   p.Cell.Mech(),
+		Seed:   p.Cell.Seed(),
+		Source: "sim",
+		Done:   p.Done,
+	}
+	if p.FromCache {
+		e.Source = "cache"
+	}
+	if p.Err != nil {
+		e.Err = p.Err.Error()
+	}
+	if p.Wall > 0 {
+		e.WallMS = float64(p.Wall.Nanoseconds()) / 1e6
+		e.Insts = p.Insts
+		if sec := p.Wall.Seconds(); sec > 0 && p.Insts > 0 {
+			e.InstsPerSec = float64(p.Insts) / sec
+		}
+	}
+	j.w.Write(e)
+}
+
+// End records the run footer. A non-nil abortErr marks the campaign
+// as interrupted (cancellation, deadline): the cells already in the
+// cache make a rerun resume, and status reports the journal as
+// aborted rather than complete.
+func (j *JournalWriter) End(stats SchedulerStats, abortErr error) {
+	e := JournalEvent{
+		Ev:        EvEnd,
+		Time:      stamp(),
+		Cells:     stats.Total,
+		Completed: stats.Completed,
+		CacheHits: stats.CacheHits,
+		Simulated: stats.Simulated,
+		Errors:    stats.Errors,
+	}
+	if !j.start.IsZero() {
+		e.WallS = time.Since(j.start).Seconds()
+	}
+	if abortErr != nil {
+		e.Aborted = true
+		e.AbortReason = abortErr.Error()
+	}
+	j.w.Write(e)
+}
+
+// Err reports the first write error, if any.
+func (j *JournalWriter) Err() error { return j.w.Err() }
+
+// ReadJournal parses a run journal back into its events. Blank lines
+// are skipped; a malformed line fails with its line number.
+func ReadJournal(r io.Reader) ([]JournalEvent, error) {
+	var evs []JournalEvent
+	err := telemetry.ReadJSONL(r, func(line []byte) error {
+		var e JournalEvent
+		if err := json.Unmarshal(line, &e); err != nil {
+			return err
+		}
+		evs = append(evs, e)
+		return nil
+	})
+	return evs, err
+}
+
+// JournalStatus is the digest `mlcampaign status` prints: what the
+// journal says happened, plus derived throughput.
+type JournalStatus struct {
+	Campaign string
+	Plan     string
+	Cells    int
+	Workers  int
+	CacheDir string
+
+	Started time.Time
+	Ended   time.Time // zero when the journal has no end event
+
+	Done      int
+	CacheHits int
+	Simulated int
+	Errors    int
+	Insts     uint64
+	// SimWall is the summed per-cell simulation wall time (can exceed
+	// Elapsed: workers run in parallel).
+	SimWall time.Duration
+
+	// Complete is true when the journal carries an end event; a
+	// journal without one belongs to a run that is still going or was
+	// killed without winding down.
+	Complete    bool
+	Aborted     bool
+	AbortReason string
+	WallS       float64
+
+	// Slowest holds the highest-wall-time simulated cells, slowest
+	// first (at most five).
+	Slowest []JournalEvent
+	// Failures holds every cell_done event with an error.
+	Failures []JournalEvent
+}
+
+// SummarizeJournal digests a parsed journal. It tolerates truncated
+// journals (no end event) — that is precisely the case status exists
+// to diagnose — but rejects an empty one.
+func SummarizeJournal(evs []JournalEvent) (JournalStatus, error) {
+	if len(evs) == 0 {
+		return JournalStatus{}, fmt.Errorf("campaign: journal is empty")
+	}
+	var st JournalStatus
+	for _, e := range evs {
+		switch e.Ev {
+		case EvStart:
+			st.Campaign = e.Campaign
+			st.Plan = e.Plan
+			st.Cells = e.Cells
+			st.Workers = e.Workers
+			st.CacheDir = e.CacheDir
+			st.Started, _ = time.Parse(time.RFC3339Nano, e.Time)
+		case EvCellDone:
+			st.Done++
+			switch {
+			case e.Err != "":
+				st.Errors++
+				st.Failures = append(st.Failures, e)
+			case e.Source == "cache":
+				st.CacheHits++
+			default:
+				st.Simulated++
+			}
+			st.Insts += e.Insts
+			st.SimWall += time.Duration(e.WallMS * 1e6)
+			if e.Source == "sim" && e.Err == "" {
+				st.Slowest = append(st.Slowest, e)
+			}
+		case EvEnd:
+			st.Complete = true
+			st.Aborted = e.Aborted
+			st.AbortReason = e.AbortReason
+			st.WallS = e.WallS
+			st.Ended, _ = time.Parse(time.RFC3339Nano, e.Time)
+			// The footer's authoritative totals win over per-line
+			// counting if they ever disagree (they should not).
+			st.Done = e.Completed
+			st.CacheHits = e.CacheHits
+			st.Simulated = e.Simulated
+			st.Errors = e.Errors
+		}
+	}
+	sort.SliceStable(st.Slowest, func(i, k int) bool { return st.Slowest[i].WallMS > st.Slowest[k].WallMS })
+	if len(st.Slowest) > 5 {
+		st.Slowest = st.Slowest[:5]
+	}
+	return st, nil
+}
+
+// Text renders the status digest for the terminal.
+func (st JournalStatus) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign %q  plan %s\n", st.Campaign, shortKey(st.Plan))
+	fmt.Fprintf(&b, "cells     %d/%d done: %d simulated, %d cached, %d failed\n",
+		st.Done, st.Cells, st.Simulated, st.CacheHits, st.Errors)
+	if st.Done > 0 {
+		fmt.Fprintf(&b, "cache     %.1f%% hit rate\n", 100*float64(st.CacheHits)/float64(st.Done))
+	}
+	switch {
+	case !st.Complete:
+		fmt.Fprintf(&b, "state     NO END EVENT — run still in progress or killed hard\n")
+	case st.Aborted:
+		fmt.Fprintf(&b, "state     aborted after %.2fs: %s\n", st.WallS, st.AbortReason)
+	default:
+		fmt.Fprintf(&b, "state     completed in %.2fs\n", st.WallS)
+	}
+	if st.WallS > 0 && st.Done > 0 {
+		fmt.Fprintf(&b, "rate      %.2f cells/s", float64(st.Done)/st.WallS)
+		if st.Insts > 0 {
+			fmt.Fprintf(&b, ", %.0f insts/s aggregate", float64(st.Insts)/st.WallS)
+		}
+		b.WriteByte('\n')
+	}
+	if len(st.Slowest) > 0 {
+		fmt.Fprintf(&b, "slowest cells:\n")
+		for _, e := range st.Slowest {
+			fmt.Fprintf(&b, "  %9.1fms  %s/%s seed=%d  (%s)\n", e.WallMS, e.Bench, e.Mech, e.Seed, shortKey(e.Key))
+		}
+	}
+	if len(st.Failures) > 0 {
+		fmt.Fprintf(&b, "failures:\n")
+		for _, e := range st.Failures {
+			fmt.Fprintf(&b, "  %s/%s seed=%d: %s\n", e.Bench, e.Mech, e.Seed, e.Err)
+		}
+	}
+	return b.String()
+}
+
+// shortKey abbreviates a fingerprint for display.
+func shortKey(k string) string {
+	if len(k) > 12 {
+		return k[:12]
+	}
+	if k == "" {
+		return "?"
+	}
+	return k
+}

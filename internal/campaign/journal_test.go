@@ -1,0 +1,286 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// readJournalStrict parses the journal and additionally insists every
+// line is valid JSON on its own — the well-formed-JSONL contract a
+// crashed campaign relies on.
+func readJournalStrict(t *testing.T, data []byte) []JournalEvent {
+	t.Helper()
+	for i, line := range bytes.Split(bytes.TrimRight(data, "\n"), []byte("\n")) {
+		if !json.Valid(line) {
+			t.Fatalf("journal line %d is not valid JSON: %q", i+1, line)
+		}
+	}
+	evs, err := ReadJournal(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+func TestJournalCompleteRun(t *testing.T) {
+	var buf bytes.Buffer
+	live := &LiveStats{}
+	sum, err := Execute(context.Background(), tinySpec(), RunConfig{
+		Workers: 2,
+		Journal: &buf,
+		Live:    live,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	evs := readJournalStrict(t, buf.Bytes())
+	if evs[0].Ev != EvStart || evs[len(evs)-1].Ev != EvEnd {
+		t.Fatalf("journal must be start...end, got %s...%s", evs[0].Ev, evs[len(evs)-1].Ev)
+	}
+	if evs[0].Campaign != "tiny" || evs[0].Cells != 8 || evs[0].Workers != 2 || evs[0].Plan == "" {
+		t.Fatalf("start header: %+v", evs[0])
+	}
+	var starts, dones int
+	for _, e := range evs {
+		switch e.Ev {
+		case EvCellStart:
+			starts++
+		case EvCellDone:
+			dones++
+			if e.Source != "sim" || e.Key == "" || e.Bench == "" || e.Mech == "" {
+				t.Fatalf("cell_done: %+v", e)
+			}
+			if e.WallMS <= 0 || e.Insts == 0 || e.InstsPerSec <= 0 {
+				t.Fatalf("simulated cell must carry timing: %+v", e)
+			}
+		}
+	}
+	if starts != 8 || dones != 8 {
+		t.Fatalf("starts=%d dones=%d, want 8/8", starts, dones)
+	}
+	end := evs[len(evs)-1]
+	if end.Aborted || end.Completed != 8 || end.Simulated != 8 || end.WallS <= 0 {
+		t.Fatalf("end footer: %+v", end)
+	}
+
+	st, err := SummarizeJournal(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Complete || st.Aborted || st.Done != 8 || st.Simulated != 8 || st.Errors != 0 {
+		t.Fatalf("status: %+v", st)
+	}
+	if len(st.Slowest) == 0 || len(st.Slowest) > 5 {
+		t.Fatalf("slowest list: %d entries", len(st.Slowest))
+	}
+	for i := 1; i < len(st.Slowest); i++ {
+		if st.Slowest[i].WallMS > st.Slowest[i-1].WallMS {
+			t.Fatal("slowest cells must be sorted descending")
+		}
+	}
+	text := st.Text()
+	for _, want := range []string{"tiny", "8/8 done", "8 simulated", "completed in", "slowest cells"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("status text missing %q:\n%s", want, text)
+		}
+	}
+
+	// The live stats agree with the journal.
+	s := live.Snapshot()
+	if s.Done != 8 || s.Simulated != 8 || s.Running != 0 || s.Insts == 0 || s.Utilization <= 0 {
+		t.Fatalf("live snapshot: %+v", s)
+	}
+	if sum.Sched.Simulated != 8 {
+		t.Fatalf("sched stats: %+v", sum.Sched)
+	}
+}
+
+// The cancellation satellite: a campaign killed mid-run must leave a
+// well-formed journal whose final event records the abort, and the
+// scheduler must not leak worker goroutines.
+func TestJournalCancellationRecordsAbort(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	dir := filepath.Join(t.TempDir(), "cache")
+	spec := tinySpec()
+	spec.Seeds = []uint64{1, 2, 3, 4} // 16 cells
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var buf bytes.Buffer
+	_, err := Execute(ctx, spec, RunConfig{
+		Workers:  2,
+		CacheDir: dir,
+		Journal:  &buf,
+		OnProgress: func(p Progress) {
+			if p.Done >= 3 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+
+	evs := readJournalStrict(t, buf.Bytes())
+	end := evs[len(evs)-1]
+	if end.Ev != EvEnd {
+		t.Fatalf("final event must be the end footer, got %+v", end)
+	}
+	if !end.Aborted || !strings.Contains(end.AbortReason, "context canceled") {
+		t.Fatalf("end must record the abort: %+v", end)
+	}
+	if end.Completed >= end.Cells {
+		t.Fatalf("aborted run must be incomplete: %+v", end)
+	}
+
+	st, err := SummarizeJournal(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Aborted || !st.Complete {
+		t.Fatalf("status must mark the run aborted-but-footered: %+v", st)
+	}
+	if !strings.Contains(st.Text(), "aborted") {
+		t.Fatalf("status text must say aborted:\n%s", st.Text())
+	}
+
+	// In-flight cells wind down after cancellation; give them a
+	// moment, then insist the worker pool is gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutine leak after cancellation: %d -> %d\n%s",
+			before, n, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// The mid-run-error satellite: a cell that fails must be journaled
+// with its error, the run itself completing normally.
+func TestJournalRecordsCellError(t *testing.T) {
+	plan, err := NewPlan(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An unknown benchmark slips past spec validation only via
+	// hand-built cells; it fails inside the worker, mid-run.
+	plan.Cells[0].Opts.Bench = "nosuch"
+
+	var buf bytes.Buffer
+	jw := NewJournalWriter(&buf)
+	s := &Scheduler{Workers: 2, OnStart: jw.CellStart, OnProgress: jw.CellDone}
+	jw.Begin(plan, 2, "")
+	_, stats, err := s.Run(context.Background(), plan.Cells)
+	jw.End(stats, err)
+	if err != nil || jw.Err() != nil {
+		t.Fatal(err, jw.Err())
+	}
+
+	evs := readJournalStrict(t, buf.Bytes())
+	var failed int
+	for _, e := range evs {
+		if e.Ev == EvCellDone && e.Err != "" {
+			failed++
+			if e.WallMS <= 0 {
+				t.Fatalf("failed cell still occupied a worker; wall must be recorded: %+v", e)
+			}
+			if e.Insts != 0 || e.InstsPerSec != 0 {
+				t.Fatalf("failed cell must not claim simulated instructions: %+v", e)
+			}
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("failed cells in journal: %d, want 1", failed)
+	}
+
+	st, err := SummarizeJournal(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Errors != 1 || len(st.Failures) != 1 {
+		t.Fatalf("status errors: %+v", st)
+	}
+	if !strings.Contains(st.Text(), "failures:") {
+		t.Fatalf("status text must list failures:\n%s", st.Text())
+	}
+}
+
+func TestJournalRejectsGarbage(t *testing.T) {
+	if _, err := SummarizeJournal(nil); err == nil {
+		t.Fatal("empty journal must be rejected")
+	}
+	_, err := ReadJournal(strings.NewReader("{\"ev\":\"start\"}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("malformed line must fail with its line number, got %v", err)
+	}
+}
+
+// Per-cell interval artifacts: every freshly simulated cell gets a
+// <fingerprint>.json series; cached cells get none.
+func TestExecuteWritesIntervalArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	ivDir := filepath.Join(dir, "iv")
+	sum, err := Execute(context.Background(), tinySpec(), RunConfig{
+		CacheDir:    filepath.Join(dir, "cache"),
+		Interval:    500,
+		IntervalDir: ivDir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(ivDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != sum.Sched.Simulated {
+		t.Fatalf("artifacts: %d, want one per simulated cell (%d)", len(entries), sum.Sched.Simulated)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(ivDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ivs []map[string]any
+		if err := json.Unmarshal(data, &ivs); err != nil || len(ivs) == 0 {
+			t.Fatalf("%s: bad series (%v, %d intervals)", e.Name(), err, len(ivs))
+		}
+	}
+
+	// A fully cached rerun adds no artifacts (nothing was simulated)
+	// and the disk cache counts the hits.
+	cache, err := OpenDiskCache(filepath.Join(dir, "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := &Scheduler{Cache: cache}
+	plan, err := NewPlan(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, stats, err := sched.Run(context.Background(), plan.Cells); err != nil || stats.CacheHits != 8 {
+		t.Fatalf("rerun: %v %+v", err, stats)
+	}
+	c := cache.Counters()
+	if c.Hits != 8 || c.Misses != 0 || c.BytesRead == 0 {
+		t.Fatalf("cache counters: %+v", c)
+	}
+	again, err := os.ReadDir(ivDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(entries) {
+		t.Fatalf("cached rerun must not add artifacts: %d -> %d", len(entries), len(again))
+	}
+}

@@ -1,0 +1,118 @@
+package campaign
+
+import (
+	"sync"
+	"time"
+)
+
+// LiveStats is the mid-run view of a campaign: the scheduler updates
+// it from the worker pool, and a metrics endpoint (or the progress
+// line) snapshots it concurrently. The zero value is ready to use.
+type LiveStats struct {
+	mu        sync.Mutex
+	started   time.Time
+	total     int
+	workers   int
+	running   int
+	done      int
+	cacheHits int
+	simulated int
+	errors    int
+	insts     uint64
+	// simWall accumulates per-cell simulation wall time across all
+	// workers; simWall / (workers * elapsed) is pool utilization.
+	simWall time.Duration
+}
+
+// LiveSnapshot is one consistent reading of a running campaign.
+type LiveSnapshot struct {
+	Total     int           `json:"total"`
+	Done      int           `json:"done"`
+	Running   int           `json:"running"`
+	Workers   int           `json:"workers"`
+	CacheHits int           `json:"cache_hits"`
+	Simulated int           `json:"simulated"`
+	Errors    int           `json:"errors"`
+	Insts     uint64        `json:"insts"`
+	Elapsed   time.Duration `json:"elapsed_ns"`
+	// CellsPerSec is overall completion throughput since the
+	// scheduler started (cached and simulated cells alike).
+	CellsPerSec float64 `json:"cells_per_sec"`
+	// InstsPerSec is aggregate simulation speed across the pool.
+	InstsPerSec float64 `json:"insts_per_sec"`
+	// Utilization is the fraction of worker capacity spent inside
+	// simulations so far, in [0,1]; low values mean the campaign is
+	// cache- or scheduling-bound, not simulation-bound.
+	Utilization float64 `json:"utilization"`
+	// ETA extrapolates the remaining cells at the current
+	// throughput; zero until at least one cell has finished.
+	ETA time.Duration `json:"eta_ns"`
+}
+
+func (l *LiveStats) begin(total, workers int) {
+	l.mu.Lock()
+	l.started = time.Now()
+	l.total = total
+	l.workers = workers
+	l.mu.Unlock()
+}
+
+func (l *LiveStats) cellRunning(delta int) {
+	l.mu.Lock()
+	l.running += delta
+	l.mu.Unlock()
+}
+
+func (l *LiveStats) cellFinished(fromCache bool, err error, wall time.Duration, insts uint64) {
+	l.mu.Lock()
+	l.done++
+	switch {
+	case err != nil:
+		l.errors++
+	case fromCache:
+		l.cacheHits++
+	default:
+		l.simulated++
+	}
+	l.insts += insts
+	l.simWall += wall
+	l.mu.Unlock()
+}
+
+// Snapshot returns a consistent reading with the derived rates filled
+// in. Safe to call at any time from any goroutine.
+func (l *LiveStats) Snapshot() LiveSnapshot {
+	l.mu.Lock()
+	s := LiveSnapshot{
+		Total:     l.total,
+		Done:      l.done,
+		Running:   l.running,
+		Workers:   l.workers,
+		CacheHits: l.cacheHits,
+		Simulated: l.simulated,
+		Errors:    l.errors,
+		Insts:     l.insts,
+	}
+	started, simWall := l.started, l.simWall
+	l.mu.Unlock()
+
+	if started.IsZero() {
+		return s
+	}
+	s.Elapsed = time.Since(started)
+	sec := s.Elapsed.Seconds()
+	if sec > 0 {
+		s.CellsPerSec = float64(s.Done) / sec
+		s.InstsPerSec = float64(s.Insts) / sec
+		if s.Workers > 0 {
+			s.Utilization = simWall.Seconds() / (float64(s.Workers) * sec)
+			if s.Utilization > 1 {
+				s.Utilization = 1
+			}
+		}
+	}
+	if s.Done > 0 && s.Done < s.Total && s.CellsPerSec > 0 {
+		s.ETA = time.Duration(float64(s.Total-s.Done) / s.CellsPerSec * float64(time.Second))
+	}
+	return s
+}

@@ -1,0 +1,21 @@
+package campaign
+
+import "microlib/internal/telemetry"
+
+// RegisterCampaignMetrics exposes a running campaign on a telemetry
+// registry: the live scheduler snapshot (cells done/total, cells/s,
+// ETA, worker utilization, aggregate insts/s) under "campaign" and
+// the persistent cache's hit/miss/bytes counters under "disk_cache".
+// Both are pull gauges — each scrape reads the current values; there
+// is no push path into the hot loop. Nil arguments are skipped.
+func RegisterCampaignMetrics(m *telemetry.Metrics, live *LiveStats, cache *DiskCache) {
+	if m == nil {
+		return
+	}
+	if live != nil {
+		m.Register("campaign", func() any { return live.Snapshot() })
+	}
+	if cache != nil {
+		m.Register("disk_cache", func() any { return cache.Counters() })
+	}
+}

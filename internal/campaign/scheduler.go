@@ -5,9 +5,11 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"time"
 
 	"microlib/internal/core"
 	"microlib/internal/runner"
+	"microlib/internal/telemetry"
 )
 
 // SchedulerStats counts what a campaign execution actually did.
@@ -28,6 +30,13 @@ type Progress struct {
 	Cell      Cell
 	FromCache bool
 	Err       error
+	// Wall is the host wall-clock time the cell occupied a worker;
+	// (near-)zero for cache hits and duplicate copies.
+	Wall time.Duration
+	// Insts is the number of simulated instructions the cell ran
+	// (warm-up + measured); zero for cache hits, duplicates and
+	// failures. Insts/Wall is the cell's simulation throughput.
+	Insts uint64
 }
 
 // CellCache serves and persists finished cells by fingerprint key.
@@ -51,6 +60,21 @@ type Scheduler struct {
 	// OnProgress, when non-nil, observes every finished cell. Called
 	// serially under the scheduler's lock.
 	OnProgress func(Progress)
+	// OnStart, when non-nil, observes every distinct cell as a worker
+	// picks it up (before the cache probe). Unlike OnProgress it is
+	// called concurrently from the worker pool; duplicate copies of a
+	// fingerprint are never started, so they only reach OnProgress.
+	OnStart func(Cell)
+	// Live, when non-nil, receives lock-free counter updates
+	// (started/finished cells, busy workers, simulated instructions)
+	// that a metrics endpoint can scrape mid-run.
+	Live *LiveStats
+	// Interval, together with IntervalSink, samples every simulated
+	// (not cached) cell at this cycle granularity and hands the
+	// finished series to the sink — the per-cell time-series artifact
+	// of a campaign. Sampling does not alter results or fingerprints.
+	Interval     uint64
+	IntervalSink func(Cell, []telemetry.Interval)
 }
 
 // Run executes the cells and returns their results keyed by cell
@@ -72,6 +96,9 @@ func (s *Scheduler) Run(ctx context.Context, cells []Cell) (map[string]CellResul
 	stats := SchedulerStats{Total: len(cells)}
 	results := make(map[string]CellResult, len(cells))
 	var mu sync.Mutex
+	if s.Live != nil {
+		s.Live.begin(stats.Total, workers)
+	}
 
 	jobs := make(chan Cell)
 	var wg sync.WaitGroup
@@ -122,6 +149,9 @@ feed:
 		} else {
 			stats.CacheHits++
 		}
+		if s.Live != nil {
+			s.Live.cellFinished(dupErr == nil, dupErr, 0, 0)
+		}
 		if s.OnProgress != nil {
 			s.OnProgress(Progress{Done: stats.Completed, Total: stats.Total, Cell: c, FromCache: dupErr == nil, Err: dupErr})
 		}
@@ -136,12 +166,24 @@ feed:
 }
 
 func (s *Scheduler) runCell(ctx context.Context, cell Cell, mu *sync.Mutex, results map[string]CellResult, stats *SchedulerStats) {
+	if s.OnStart != nil {
+		s.OnStart(cell)
+	}
+	if s.Live != nil {
+		// defer keeps the busy-worker gauge honest on every exit,
+		// including the cancellation return that reports nothing else.
+		s.Live.cellRunning(1)
+		defer s.Live.cellRunning(-1)
+	}
 	if s.Cache != nil {
 		if res, ok := s.Cache.Get(cell.Key); ok {
 			mu.Lock()
 			results[cell.Key] = res
 			stats.Completed++
 			stats.CacheHits++
+			if s.Live != nil {
+				s.Live.cellFinished(true, nil, 0, 0)
+			}
 			if s.OnProgress != nil {
 				s.OnProgress(Progress{Done: stats.Completed, Total: stats.Total, Cell: cell, FromCache: true})
 			}
@@ -150,12 +192,33 @@ func (s *Scheduler) runCell(ctx context.Context, cell Cell, mu *sync.Mutex, resu
 		}
 	}
 
-	full, err := runner.RunContext(ctx, cell.Opts)
+	// Telemetry sampling goes on a local copy of the options so the
+	// cell's fingerprint-carrying Opts stay untouched (the fields are
+	// outside the fingerprint anyway, but a sink closure must never
+	// leak into a shared Cell).
+	opts := cell.Opts
+	var ivs []telemetry.Interval
+	if s.Interval > 0 && s.IntervalSink != nil {
+		opts.Interval = s.Interval
+		opts.IntervalSink = func(iv telemetry.Interval) { ivs = append(ivs, iv) }
+	}
+
+	t0 := time.Now()
+	full, err := runner.RunContext(ctx, opts)
+	wall := time.Since(t0)
 	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 		// A canceled cell produced no usable measurement; leave it
 		// for the resumed campaign. A cell that finished just before
 		// cancellation (err == nil) is kept and cached.
 		return
+	}
+
+	var insts uint64
+	if err == nil {
+		insts = full.CPU.Insts
+		if s.IntervalSink != nil && len(ivs) > 0 {
+			s.IntervalSink(cell, ivs)
+		}
 	}
 
 	res := toCellResult(cell, full, err)
@@ -173,8 +236,11 @@ func (s *Scheduler) runCell(ctx context.Context, cell Cell, mu *sync.Mutex, resu
 	} else {
 		stats.Simulated++
 	}
+	if s.Live != nil {
+		s.Live.cellFinished(false, err, wall, insts)
+	}
 	if s.OnProgress != nil {
-		s.OnProgress(Progress{Done: stats.Completed, Total: stats.Total, Cell: cell, Err: err})
+		s.OnProgress(Progress{Done: stats.Completed, Total: stats.Total, Cell: cell, Err: err, Wall: wall, Insts: insts})
 	}
 	mu.Unlock()
 }

@@ -31,6 +31,10 @@ func (c *InOrder) SetWarmup(insts uint64, fn func(cycles uint64)) {
 	c.onWarm = fn
 }
 
+// Committed returns the number of instructions retired so far; the
+// telemetry sampler reads it mid-run.
+func (c *InOrder) Committed() uint64 { return c.res.Insts }
+
 // NewInOrder builds the scalar core.
 func NewInOrder(eng *sim.Engine, h *hier.Hierarchy, stream trace.Stream) *InOrder {
 	return &InOrder{eng: eng, h: h, stream: stream, mispredictPenalty: 6}

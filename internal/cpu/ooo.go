@@ -88,6 +88,10 @@ func (o *OoO) SetWarmup(insts uint64, fn func(cycles uint64)) {
 	o.onWarm = fn
 }
 
+// Committed returns the number of instructions retired so far; the
+// telemetry sampler reads it mid-run.
+func (o *OoO) Committed() uint64 { return o.res.Insts }
+
 // NewOoO builds the core on an engine and hierarchy.
 func NewOoO(eng *sim.Engine, cfg Config, h *hier.Hierarchy, stream trace.Stream) *OoO {
 	cfg.Validate()

@@ -1,0 +1,139 @@
+package runner
+
+import (
+	"testing"
+
+	"microlib/internal/telemetry"
+)
+
+// TestIntervalConsistencyGoldenMatrix pins the two telemetry
+// contracts on the full 24-cell golden matrix:
+//
+//  1. Sampling is invisible: a run with the interval sampler enabled
+//     produces bit-identical golden values to the pinned unsampled
+//     reference (the sampler's calendar events fire only in cycles
+//     where the host core provably does nothing).
+//  2. Sampling is loss-free: the measured-phase interval deltas sum
+//     exactly — not approximately — to the whole-run runner.Result
+//     stats, and all intervals together cover every committed
+//     instruction and simulated cycle of the run.
+//
+// The interval length is deliberately coprime-ish to the budgets so
+// grid boundaries never align with the warm-up commit or the end of
+// run, exercising the forced-cut paths.
+func TestIntervalConsistencyGoldenMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("interval consistency matrix is not short")
+	}
+	for _, c := range goldenMatrix() {
+		c := c
+		t.Run(goldenKey(c), func(t *testing.T) {
+			opts := DefaultOptions(c.bench, c.mech)
+			opts.Insts = 20_000
+			opts.Warmup = 5_000
+			opts.InOrder = c.inorder
+			opts.Hier = opts.Hier.WithMemory(c.memory)
+
+			var ivs []telemetry.Interval
+			opts.Interval = 1777
+			opts.IntervalSink = func(iv telemetry.Interval) { ivs = append(ivs, iv) }
+
+			res, err := Run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			got := goldenValues{
+				Cycles:      res.CPU.Cycles,
+				Insts:       res.CPU.Insts,
+				L1DAccesses: res.L1D.Accesses,
+				L1DHits:     res.L1D.Hits,
+				L1DMisses:   res.L1D.Misses,
+				L2Misses:    res.L2.Misses,
+				MemReads:    res.Mem.Reads,
+				Mispredicts: res.CPU.Mispredicts,
+				Stores:      res.CPU.Stores,
+			}
+			if want, ok := goldenResults[goldenKey(c)]; ok && got != want {
+				t.Errorf("sampling changed simulation results:\n got %+v\nwant %+v", got, want)
+			}
+
+			if len(ivs) < 2 {
+				t.Fatalf("expected a real series, got %d intervals", len(ivs))
+			}
+			for i, iv := range ivs {
+				if i > 0 && iv.StartCycle != ivs[i-1].EndCycle {
+					t.Fatalf("interval %d not contiguous: starts at %d, previous ended at %d", i, iv.StartCycle, ivs[i-1].EndCycle)
+				}
+				if i > 0 && ivs[i-1].Warmup && !iv.Warmup && ivs[i-1].EndCycle == iv.StartCycle {
+					continue
+				}
+			}
+
+			// Split at the warm-up boundary: warm intervals first,
+			// then measured ones, never interleaved.
+			var warm, meas []telemetry.Interval
+			for i, iv := range ivs {
+				if iv.Warmup {
+					if len(meas) > 0 {
+						t.Fatalf("warm interval %d after measured intervals", i)
+					}
+					warm = append(warm, iv)
+				} else {
+					meas = append(meas, iv)
+				}
+			}
+			if len(warm) == 0 || len(meas) == 0 {
+				t.Fatalf("both phases must be sampled: warm=%d meas=%d", len(warm), len(meas))
+			}
+
+			// Loss-free measured phase: deltas sum bit-identically to
+			// the whole-run measured stats.
+			m := telemetry.Sum(meas)
+			if m.Insts != res.CPU.Insts-opts.Warmup {
+				t.Errorf("measured insts %d, want %d", m.Insts, res.CPU.Insts-opts.Warmup)
+			}
+			if m.L1D != res.L1D {
+				t.Errorf("measured L1D sum diverges:\n got %+v\nwant %+v", m.L1D, res.L1D)
+			}
+			if m.L1I != res.L1I {
+				t.Errorf("measured L1I sum diverges:\n got %+v\nwant %+v", m.L1I, res.L1I)
+			}
+			if m.L2 != res.L2 {
+				t.Errorf("measured L2 sum diverges:\n got %+v\nwant %+v", m.L2, res.L2)
+			}
+			if m.Mem != res.Mem {
+				t.Errorf("measured Mem sum diverges:\n got %+v\nwant %+v", m.Mem, res.Mem)
+			}
+
+			// Whole-run coverage: warm+measured spans every cycle and
+			// instruction exactly once.
+			all := telemetry.Sum(ivs)
+			if all.StartCycle != 0 || all.EndCycle != res.CPU.Cycles {
+				t.Errorf("series spans [%d,%d], want [0,%d]", all.StartCycle, all.EndCycle, res.CPU.Cycles)
+			}
+			if all.Insts != res.CPU.Insts {
+				t.Errorf("series insts %d, want %d", all.Insts, res.CPU.Insts)
+			}
+			if w := telemetry.Sum(warm); w.EndCycle != meas[0].StartCycle {
+				t.Errorf("warm phase ends at %d, measured starts at %d", w.EndCycle, meas[0].StartCycle)
+			}
+		})
+	}
+}
+
+// TestIntervalFieldsOutsideFingerprint pins that telemetry knobs are
+// pure observability: enabling the sampler must not move a cell to a
+// different cache key.
+func TestIntervalFieldsOutsideFingerprint(t *testing.T) {
+	plain := DefaultOptions("gzip", "GHB")
+	sampled := plain
+	sampled.Interval = 1000
+	sampled.IntervalSink = func(telemetry.Interval) {}
+	if plain.Fingerprint() != sampled.Fingerprint() {
+		t.Fatal("interval sampling must not change the options fingerprint")
+	}
+	if plain.Canonical() != sampled.Canonical() {
+		t.Fatal("interval sampling must not change the canonical form")
+	}
+}

@@ -15,9 +15,19 @@ import (
 	_ "microlib/internal/mech/all" // register every mechanism
 	"microlib/internal/mem"
 	"microlib/internal/sim"
+	"microlib/internal/telemetry"
 	"microlib/internal/trace"
 	"microlib/internal/workload"
 )
+
+// hostCore is what the runner needs from either host-core model: a
+// warm-up hook, the run loop, and a mid-run committed-instruction
+// reading for the telemetry sampler.
+type hostCore interface {
+	SetWarmup(insts uint64, fn func(cycles uint64))
+	Run(maxInsts uint64) cpu.Result
+	Committed() uint64
+}
 
 // BaseName is the pseudo-mechanism name for the unmodified hierarchy.
 const BaseName = "Base"
@@ -60,6 +70,15 @@ type Options struct {
 	// PrefetchAsDemand disables the demand-priority treatment of
 	// prefetches (design-choice ablation).
 	PrefetchAsDemand bool
+
+	// Interval, when > 0 together with IntervalSink, streams
+	// time-resolved counter deltas: one telemetry.Interval per
+	// Interval simulated cycles (plus a forced boundary at the
+	// warm-up commit and a final partial interval at end of run).
+	// Observability only — neither field enters the fingerprint, and
+	// a sampled run is bit-identical to an unsampled one.
+	Interval     uint64
+	IntervalSink func(telemetry.Interval)
 }
 
 // DefaultOptions returns the Table 1 system with the standard scaled
@@ -188,6 +207,30 @@ func RunContext(ctx context.Context, opts Options) (Result, error) {
 		stream = trace.Skip(stream, opts.Skip)
 	}
 
+	var host hostCore
+	if opts.InOrder {
+		host = cpu.NewInOrder(eng, h, stream)
+	} else {
+		host = cpu.NewOoO(eng, opts.CPU, h, stream)
+	}
+
+	// The interval sampler rides the engine calendar and only reads
+	// counters the models already keep, so enabling it changes no
+	// simulated observable; leaving it off adds no per-cycle work.
+	var sampler *telemetry.Sampler
+	if opts.Interval > 0 && opts.IntervalSink != nil {
+		sampler = telemetry.NewSampler(eng, opts.Interval, opts.Warmup > 0, func(c *telemetry.Counters) {
+			c.Cycle = eng.Now()
+			c.Insts = host.Committed()
+			c.L1D = h.L1D.Stats()
+			c.L1I = h.L1I.Stats()
+			c.L2 = h.L2.Stats()
+			c.Mem = h.Mem.Stats()
+			c.L1Bus.Transfers, c.L1Bus.BusyCycles, c.L1Bus.WaitCycles = h.L1Bus.Stats()
+			c.FSB.Transfers, c.FSB.BusyCycles, c.FSB.WaitCycles = h.FSB.Stats()
+		}, opts.IntervalSink)
+	}
+
 	// Warm-up snapshot state.
 	var (
 		warmCycles uint64
@@ -202,23 +245,18 @@ func RunContext(ctx context.Context, opts Options) (Result, error) {
 		warmL1I = h.L1I.Stats()
 		warmL2 = h.L2.Stats()
 		warmMem = h.Mem.Stats()
+		if sampler != nil {
+			// Cut at the same instant: the measured intervals that
+			// follow sum exactly to the measured whole-run stats.
+			sampler.EndWarmup(cycles)
+		}
 	}
 
 	total := opts.Warmup + opts.Insts
-	var cres cpu.Result
-	if opts.InOrder {
-		c := cpu.NewInOrder(eng, h, stream)
-		if opts.Warmup > 0 {
-			c.SetWarmup(opts.Warmup, snapshot)
-		}
-		cres = c.Run(total)
-	} else {
-		c := cpu.NewOoO(eng, opts.CPU, h, stream)
-		if opts.Warmup > 0 {
-			c.SetWarmup(opts.Warmup, snapshot)
-		}
-		cres = c.Run(total)
+	if opts.Warmup > 0 {
+		host.SetWarmup(opts.Warmup, snapshot)
 	}
+	cres := host.Run(total)
 
 	// A budget shortfall means the stream was cut — by cancellation
 	// if ctx says so. A run that finished its full budget is valid
@@ -241,6 +279,12 @@ func RunContext(ctx context.Context, opts Options) (Result, error) {
 			return Result{}, fmt.Errorf("runner: trace %s ended after %d of %d instructions (skip=%d warmup=%d measure=%d)",
 				opts.Workload.TracePath, cres.Insts, total, opts.Skip, opts.Warmup, opts.Insts)
 		}
+	}
+
+	if sampler != nil {
+		// Only a run that completed its budget emits the closing
+		// interval; error paths above discard the partial series.
+		sampler.Finish(cres.Cycles)
 	}
 
 	measCycles := cres.Cycles - warmCycles

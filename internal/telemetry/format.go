@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FormatNames lists the interval series output formats.
+func FormatNames() []string { return []string{"text", "csv", "json"} }
+
+// WriteIntervals renders an interval series in the named format:
+// "text" (a human-readable rate table), "csv" (full flattened
+// counters) or "json" (an array of Interval objects).
+func WriteIntervals(w io.Writer, format string, ivs []Interval) error {
+	switch format {
+	case "text":
+		return WriteIntervalsText(w, ivs)
+	case "csv":
+		return WriteIntervalsCSV(w, ivs)
+	case "json":
+		return WriteIntervalsJSON(w, ivs)
+	}
+	return fmt.Errorf("telemetry: unknown interval format %q (want %s)",
+		format, strings.Join(FormatNames(), ", "))
+}
+
+// WriteIntervalsText prints the derived per-interval rates the paper
+// plots discuss: IPC, miss ratios, bus occupancies, memory traffic.
+func WriteIntervalsText(w io.Writer, ivs []Interval) error {
+	if _, err := fmt.Fprintf(w, "%-4s %-2s %12s %12s %8s %7s %7s %7s %7s %7s %7s %8s %9s\n",
+		"idx", "ph", "start", "end", "insts", "ipc",
+		"l1d.mr", "l1i.mr", "l2.mr", "l1bus", "fsb", "memrd", "rdlat"); err != nil {
+		return err
+	}
+	for _, iv := range ivs {
+		phase := "m"
+		if iv.Warmup {
+			phase = "w"
+		}
+		if _, err := fmt.Fprintf(w, "%-4d %-2s %12d %12d %8d %7.4f %7.4f %7.4f %7.4f %7.4f %7.4f %8d %9.1f\n",
+			iv.Index, phase, iv.StartCycle, iv.EndCycle, iv.Insts, iv.IPC(),
+			iv.L1D.MissRatio(), iv.L1I.MissRatio(), iv.L2.MissRatio(),
+			iv.BusOccupancy(iv.L1Bus), iv.BusOccupancy(iv.FSB),
+			iv.Mem.Reads, iv.Mem.AvgReadLatency()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteIntervalsCSV emits one row per interval with every raw counter
+// delta, plus the derived IPC and occupancy columns, machine-ready
+// for plotting.
+func WriteIntervalsCSV(w io.Writer, ivs []Interval) error {
+	cols := []string{
+		"index", "warmup", "start_cycle", "end_cycle", "cycles", "insts", "ipc",
+		"l1d_accesses", "l1d_hits", "l1d_misses", "l1d_miss_ratio",
+		"l1i_accesses", "l1i_misses",
+		"l2_accesses", "l2_hits", "l2_misses", "l2_miss_ratio",
+		"prefetch_issued", "prefetch_useful",
+		"l1bus_transfers", "l1bus_occupancy", "fsb_transfers", "fsb_occupancy",
+		"mem_reads", "mem_writes", "mem_avg_read_latency", "mem_row_hits", "mem_row_conflicts",
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, iv := range ivs {
+		warm := 0
+		if iv.Warmup {
+			warm = 1
+		}
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%.6f,%d,%d,%d,%.6f,%d,%d,%d,%d,%d,%.6f,%d,%d,%d,%.6f,%d,%.6f,%d,%d,%.2f,%d,%d\n",
+			iv.Index, warm, iv.StartCycle, iv.EndCycle, iv.Cycles(), iv.Insts, iv.IPC(),
+			iv.L1D.Accesses, iv.L1D.Hits, iv.L1D.Misses, iv.L1D.MissRatio(),
+			iv.L1I.Accesses, iv.L1I.Misses,
+			iv.L2.Accesses, iv.L2.Hits, iv.L2.Misses, iv.L2.MissRatio(),
+			iv.L1D.PrefetchIssued+iv.L2.PrefetchIssued, iv.L1D.PrefetchUseful+iv.L2.PrefetchUseful,
+			iv.L1Bus.Transfers, iv.BusOccupancy(iv.L1Bus), iv.FSB.Transfers, iv.BusOccupancy(iv.FSB),
+			iv.Mem.Reads, iv.Mem.Writes, iv.Mem.AvgReadLatency(), iv.Mem.RowHits, iv.Mem.RowConflicts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteIntervalsJSON emits the series as an indented JSON array of
+// full Interval objects (the same shape the campaign per-cell
+// time-series artifact embeds).
+func WriteIntervalsJSON(w io.Writer, ivs []Interval) error {
+	if ivs == nil {
+		ivs = []Interval{}
+	}
+	data, err := json.MarshalIndent(ivs, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

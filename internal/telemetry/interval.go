@@ -1,0 +1,244 @@
+// Package telemetry is the observability layer of the platform: it
+// turns the simulator's cumulative counters into time-resolved
+// interval series, campaign executions into append-only JSONL run
+// journals, and long-running sweeps into live-inspectable processes
+// (an expvar-style metrics endpoint plus net/http/pprof).
+//
+// The design rule throughout is *pull, don't hook*: nothing in this
+// package intercepts per-event simulation work. The interval sampler
+// snapshots the cumulative counters the models already keep
+// (cache.Stats, mem.Stats, bus counters, committed instructions) at
+// cycle boundaries and emits the deltas, so the kernel's
+// zero-allocation steady state is untouched and a run with telemetry
+// disabled executes exactly the same instructions as before the
+// package existed.
+package telemetry
+
+import (
+	"microlib/internal/cache"
+	"microlib/internal/mem"
+	"microlib/internal/sim"
+)
+
+// BusCounters are the cumulative counters of one interconnect, as
+// returned by bus.Bus.Stats.
+type BusCounters struct {
+	Transfers  uint64 `json:"transfers"`
+	BusyCycles uint64 `json:"busy_cycles"`
+	WaitCycles uint64 `json:"wait_cycles"`
+}
+
+// Sub returns the counter deltas b - prev.
+func (b BusCounters) Sub(prev BusCounters) BusCounters {
+	return BusCounters{
+		Transfers:  b.Transfers - prev.Transfers,
+		BusyCycles: b.BusyCycles - prev.BusyCycles,
+		WaitCycles: b.WaitCycles - prev.WaitCycles,
+	}
+}
+
+// Add returns the counter sums b + other.
+func (b BusCounters) Add(other BusCounters) BusCounters {
+	return BusCounters{
+		Transfers:  b.Transfers + other.Transfers,
+		BusyCycles: b.BusyCycles + other.BusyCycles,
+		WaitCycles: b.WaitCycles + other.WaitCycles,
+	}
+}
+
+// Counters is one instantaneous snapshot of every cumulative counter
+// the sampler tracks. The sampler's read callback fills it in place
+// (no allocation on the sampling path).
+type Counters struct {
+	Cycle uint64
+	Insts uint64 // committed instructions
+	L1D   cache.Stats
+	L1I   cache.Stats
+	L2    cache.Stats
+	Mem   mem.Stats
+	L1Bus BusCounters
+	FSB   BusCounters
+}
+
+// Interval is the delta between two consecutive counter snapshots: a
+// time-resolved slice of one simulation. Counter fields are exact
+// deltas — summing the intervals of a run reproduces the whole-run
+// totals bit for bit (the loss-free contract runner tests pin).
+type Interval struct {
+	// Index numbers intervals from 0 in emission order.
+	Index int `json:"index"`
+	// Warmup marks intervals that ended at or before the warm-up
+	// boundary; the runner's measured statistics exclude them. The
+	// boundary itself always ends an interval, so measured intervals
+	// sum exactly to the measured whole-run stats.
+	Warmup bool `json:"warmup,omitempty"`
+	// StartCycle/EndCycle delimit the interval: (StartCycle, EndCycle]
+	// in simulated CPU cycles.
+	StartCycle uint64 `json:"start_cycle"`
+	EndCycle   uint64 `json:"end_cycle"`
+	// Insts is the number of instructions committed in the interval.
+	Insts uint64 `json:"insts"`
+
+	L1D   cache.Stats `json:"l1d"`
+	L1I   cache.Stats `json:"l1i"`
+	L2    cache.Stats `json:"l2"`
+	Mem   mem.Stats   `json:"mem"`
+	L1Bus BusCounters `json:"l1bus"`
+	FSB   BusCounters `json:"fsb"`
+}
+
+// Cycles returns the interval length in simulated cycles.
+func (iv Interval) Cycles() uint64 { return iv.EndCycle - iv.StartCycle }
+
+// IPC returns committed instructions per cycle inside the interval.
+func (iv Interval) IPC() float64 {
+	if iv.Cycles() == 0 {
+		return 0
+	}
+	return float64(iv.Insts) / float64(iv.Cycles())
+}
+
+// BusOccupancy returns the fraction of the interval's cycles the
+// given bus counters held the interconnect busy.
+func (iv Interval) BusOccupancy(b BusCounters) float64 {
+	if iv.Cycles() == 0 {
+		return 0
+	}
+	occ := float64(b.BusyCycles) / float64(iv.Cycles())
+	if occ > 1 {
+		// A transfer reserved near the interval edge charges its full
+		// occupancy to the reserving interval; clamp the ratio.
+		occ = 1
+	}
+	return occ
+}
+
+// Sum folds a series of intervals into one covering their whole span:
+// counters add, the span runs from the first start to the last end,
+// and Warmup is true only when every summed interval is warm-up. An
+// empty series sums to the zero Interval.
+func Sum(ivs []Interval) Interval {
+	var out Interval
+	for i, iv := range ivs {
+		if i == 0 {
+			out = iv
+			continue
+		}
+		out.EndCycle = iv.EndCycle
+		out.Insts += iv.Insts
+		out.L1D = addCacheStats(out.L1D, iv.L1D)
+		out.L1I = addCacheStats(out.L1I, iv.L1I)
+		out.L2 = addCacheStats(out.L2, iv.L2)
+		out.Mem = addMemStats(out.Mem, iv.Mem)
+		out.L1Bus = out.L1Bus.Add(iv.L1Bus)
+		out.FSB = out.FSB.Add(iv.FSB)
+		out.Warmup = out.Warmup && iv.Warmup
+	}
+	return out
+}
+
+// addCacheStats sums two cache counter deltas. Stats.Sub is the
+// inverse: addCacheStats(a.Sub(b), b) == a.
+func addCacheStats(a, b cache.Stats) cache.Stats {
+	return a.Sub(cache.Stats{}.Sub(b))
+}
+
+// addMemStats sums two memory counter deltas via the same
+// subtract-the-negation identity (uint64 arithmetic wraps).
+func addMemStats(a, b mem.Stats) mem.Stats {
+	return a.Sub(mem.Stats{}.Sub(b))
+}
+
+// Sampler emits interval deltas from a read callback, driven by the
+// simulation engine's own calendar: one pooled event every Every
+// cycles (re-armed from its handler), one forced cut at the warm-up
+// boundary, and a final flush at end of run. It schedules through
+// AtFunc, so steady-state sampling allocates nothing, and because the
+// handler only *reads* counters, a sampled run is bit-identical to an
+// unsampled one — the extra calendar events fire in cycles where the
+// host core provably does no work.
+type Sampler struct {
+	eng   *sim.Engine
+	every uint64
+	read  func(*Counters)
+	sink  func(Interval)
+
+	prev Counters
+	idx  int
+	warm bool // still inside the warm-up phase
+	cur  Counters
+}
+
+// NewSampler builds a sampler cutting every `every` cycles. read must
+// fill the passed Counters with the current cumulative totals; sink
+// receives each finished interval. warmup marks whether the run
+// starts in a warm-up phase (EndWarmup must then be called at the
+// boundary).
+func NewSampler(eng *sim.Engine, every uint64, warmup bool, read func(*Counters), sink func(Interval)) *Sampler {
+	if every == 0 {
+		panic("telemetry: zero sampling interval")
+	}
+	s := &Sampler{eng: eng, every: every, read: read, sink: sink, warm: warmup}
+	s.read(&s.prev) // base snapshot at the current cycle
+	s.eng.AtFunc(s.eng.Now()+every, samplerFire, s, nil, 0, 0)
+	return s
+}
+
+// samplerFire is the static re-arming calendar trampoline.
+func samplerFire(now uint64, o1, _ any, _, _ uint64) {
+	s := o1.(*Sampler)
+	s.cut(now)
+	s.eng.AtFunc(now+s.every, samplerFire, s, nil, 0, 0)
+}
+
+// cut emits the interval since the previous boundary and re-bases.
+// The boundary cycle is passed explicitly: grid cuts fire with the
+// engine clock exactly at the boundary, but the scalar core's warm-up
+// commit can run ahead of the engine clock (it batches AdvanceTo
+// calls), so forced cuts supply the core-reported cycle instead of
+// Engine.Now. An interval with zero activity is still emitted — dead
+// time is real time in the series — but a cut that advances nothing
+// at all (a forced boundary coinciding with a grid cut) is skipped so
+// the series never carries duplicate boundaries.
+func (s *Sampler) cut(cycle uint64) {
+	s.cur = Counters{}
+	s.read(&s.cur)
+	s.cur.Cycle = cycle
+	if s.cur == s.prev {
+		return
+	}
+	iv := Interval{
+		Index:      s.idx,
+		Warmup:     s.warm,
+		StartCycle: s.prev.Cycle,
+		EndCycle:   s.cur.Cycle,
+		Insts:      s.cur.Insts - s.prev.Insts,
+		L1D:        s.cur.L1D.Sub(s.prev.L1D),
+		L1I:        s.cur.L1I.Sub(s.prev.L1I),
+		L2:         s.cur.L2.Sub(s.prev.L2),
+		Mem:        s.cur.Mem.Sub(s.prev.Mem),
+		L1Bus:      s.cur.L1Bus.Sub(s.prev.L1Bus),
+		FSB:        s.cur.FSB.Sub(s.prev.FSB),
+	}
+	s.prev = s.cur
+	s.idx++
+	s.sink(iv)
+}
+
+// EndWarmup forces an interval boundary at the warm-up commit point,
+// at the core-reported cycle. The runner calls it from the same
+// instant it snapshots its own warm-up statistics, so the measured
+// intervals that follow sum exactly to the measured whole-run
+// counters.
+func (s *Sampler) EndWarmup(cycle uint64) {
+	s.cut(cycle)
+	s.warm = false
+}
+
+// Finish emits the final partial interval at end of run, closing the
+// series at the core-reported final cycle. The engine may still hold
+// the sampler's next pending event; the run is over, so it simply
+// never fires.
+func (s *Sampler) Finish(cycle uint64) {
+	s.cut(cycle)
+}

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// JSONL writes an append-only stream of JSON objects, one per line —
+// the journal substrate. It is safe for concurrent use (campaign
+// workers finish cells in parallel) and sticky on error: after the
+// first write failure every later Write is a no-op and Err reports
+// the original cause, so a full disk surfaces once, loudly, instead
+// of as a torn half-journal.
+type JSONL struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL wraps w as a line-oriented JSON event stream.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{enc: json.NewEncoder(w)}
+}
+
+// Write appends one event as a single JSON line.
+func (j *JSONL) Write(event any) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if err := j.enc.Encode(event); err != nil {
+		j.err = fmt.Errorf("telemetry: journal write: %w", err)
+		return j.err
+	}
+	return nil
+}
+
+// Err returns the first write error, if any.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// ReadJSONL decodes every line of a JSONL stream into out's element
+// type via the decode callback, reporting the 1-based line number of
+// the first malformed line. Blank lines are skipped (a journal never
+// writes them, but hand-edited files may).
+func ReadJSONL(r io.Reader, decode func(line []byte) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if err := decode(line); err != nil {
+			return fmt.Errorf("telemetry: journal line %d: %w", n, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("telemetry: journal read: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics is an expvar-style registry of named live gauges. Each
+// variable is a pull callback evaluated at scrape time, so the
+// instrumented code pays nothing between scrapes — the same
+// philosophy as the interval sampler. Unlike the stdlib expvar
+// package the registry is an instance, not process-global state, so
+// tests (and a future multi-campaign service) can run several
+// side by side.
+type Metrics struct {
+	mu   sync.Mutex
+	vars map[string]func() any
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics { return &Metrics{vars: map[string]func() any{}} }
+
+// Register publishes a named variable. fn is called on every scrape
+// and must be safe for concurrent use; its result must be JSON
+// encodable. Re-registering a name replaces the previous variable.
+func (m *Metrics) Register(name string, fn func() any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.vars[name] = fn
+}
+
+// Snapshot evaluates every variable.
+func (m *Metrics) Snapshot() map[string]any {
+	m.mu.Lock()
+	fns := make(map[string]func() any, len(m.vars))
+	for k, fn := range m.vars {
+		fns[k] = fn
+	}
+	m.mu.Unlock()
+	// Evaluate outside the lock: a gauge callback may itself take
+	// locks (scheduler counters), and scrapes must never stall the
+	// workers.
+	out := make(map[string]any, len(fns))
+	for k, fn := range fns {
+		out[k] = fn()
+	}
+	return out
+}
+
+// ServeHTTP renders the registry as one JSON object with sorted keys
+// (expvar's /debug/vars shape).
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	snap := m.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintln(w, "{")
+	for i, k := range keys {
+		data, err := json.Marshal(snap[k])
+		if err != nil {
+			data, _ = json.Marshal(fmt.Sprintf("unencodable: %v", err))
+		}
+		comma := ","
+		if i == len(keys)-1 {
+			comma = ""
+		}
+		fmt.Fprintf(w, "  %q: %s%s\n", k, data, comma)
+	}
+	fmt.Fprintln(w, "}")
+}
+
+// Handler builds the live-endpoint mux: the metrics registry at
+// /metrics (with /debug/vars as the expvar-compatible alias) and the
+// standard pprof handlers under /debug/pprof/, so a grinding sweep
+// can be profiled without restarting it.
+func Handler(m *Metrics) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", m)
+	mux.Handle("/debug/vars", m)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "microlib telemetry: /metrics, /debug/vars, /debug/pprof/")
+	})
+	return mux
+}
+
+// Server is a running live endpoint.
+type Server struct {
+	srv  *http.Server
+	addr string
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.addr }
+
+// Close shuts the endpoint down immediately.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve binds addr and serves the live endpoint in a background
+// goroutine. It returns once the listener is bound, so a caller that
+// logs Addr() is guaranteed the endpoint is already reachable.
+func Serve(addr string, m *Metrics) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: live endpoint: %w", err)
+	}
+	srv := &http.Server{Handler: Handler(m), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// ErrServerClosed is the normal shutdown path; any other serve
+		// error only matters while the campaign still runs, and the
+		// scrape failures make it visible there.
+		_ = srv.Serve(l)
+	}()
+	return &Server{srv: srv, addr: l.Addr().String()}, nil
+}

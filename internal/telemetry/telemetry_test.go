@@ -1,0 +1,265 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"microlib/internal/cache"
+	"microlib/internal/mem"
+	"microlib/internal/sim"
+)
+
+// fakeCounters drives a sampler from a synthetic monotonic counter
+// source: per simulated cycle, one instruction, two L1D accesses and
+// one memory read accumulate.
+type fakeCounters struct{ eng *sim.Engine }
+
+func (f *fakeCounters) read(c *Counters) {
+	now := f.eng.Now()
+	c.Cycle = now
+	c.Insts = now
+	c.L1D = cache.Stats{Accesses: 2 * now, Hits: now, Misses: now}
+	c.Mem = mem.Stats{Reads: now, TotalReadLatency: 70 * now}
+	c.L1Bus = BusCounters{Transfers: now, BusyCycles: now / 2}
+}
+
+func TestSamplerCutsOnGridAndSumsExactly(t *testing.T) {
+	eng := sim.NewEngine()
+	src := &fakeCounters{eng: eng}
+	var ivs []Interval
+	s := NewSampler(eng, 100, true, src.read, func(iv Interval) { ivs = append(ivs, iv) })
+
+	eng.AdvanceTo(250) // grid cuts at 100 and 200
+	s.EndWarmup(250)   // forced cut at 250
+	eng.AdvanceTo(437)
+	s.Finish(437) // final partial cut at 437
+
+	if len(ivs) != 6 {
+		t.Fatalf("got %d intervals, want 6: %+v", len(ivs), ivs)
+	}
+	wantBounds := [][2]uint64{{0, 100}, {100, 200}, {200, 250}, {250, 300}, {300, 400}, {400, 437}}
+	for i, iv := range ivs {
+		if iv.Index != i {
+			t.Errorf("interval %d: index %d", i, iv.Index)
+		}
+		if [2]uint64{iv.StartCycle, iv.EndCycle} != wantBounds[i] {
+			t.Errorf("interval %d: bounds [%d,%d], want %v", i, iv.StartCycle, iv.EndCycle, wantBounds[i])
+		}
+		wantWarm := iv.EndCycle <= 250
+		if iv.Warmup != wantWarm {
+			t.Errorf("interval %d: warmup=%t, want %t", i, iv.Warmup, wantWarm)
+		}
+		if iv.Insts != iv.Cycles() {
+			t.Errorf("interval %d: insts %d, cycles %d", i, iv.Insts, iv.Cycles())
+		}
+		if iv.IPC() != 1 {
+			t.Errorf("interval %d: IPC %f, want 1", i, iv.IPC())
+		}
+	}
+
+	total := Sum(ivs)
+	var want Counters
+	src.read(&want)
+	if total.Insts != want.Insts || total.L1D != want.L1D || total.Mem != want.Mem || total.L1Bus != want.L1Bus {
+		t.Errorf("summed intervals diverge from cumulative totals:\n got %+v\nwant %+v", total, want)
+	}
+	if total.StartCycle != 0 || total.EndCycle != 437 {
+		t.Errorf("summed span [%d,%d], want [0,437]", total.StartCycle, total.EndCycle)
+	}
+	if total.Warmup {
+		t.Error("a span containing measured intervals must not be marked warm-up")
+	}
+
+	meas := Sum(ivs[3:])
+	if meas.Insts != 437-250 {
+		t.Errorf("measured insts %d, want %d", meas.Insts, 437-250)
+	}
+}
+
+func TestSamplerEmitsIdleIntervalsOnceEach(t *testing.T) {
+	eng := sim.NewEngine()
+	var reads int
+	// Counters that never move: a fully idle machine. Dead time is
+	// still real time — the grid keeps emitting zero-activity rows —
+	// but a boundary that advances nothing (Finish exactly at the
+	// last grid cut) adds no duplicate row.
+	read := func(c *Counters) { reads++ }
+	var ivs []Interval
+	s := NewSampler(eng, 10, false, read, func(iv Interval) { ivs = append(ivs, iv) })
+	eng.AdvanceTo(55)
+	s.Finish(55)
+	if len(ivs) != 6 {
+		t.Fatalf("got %d intervals, want 6 (5 grid + final partial): %+v", len(ivs), ivs)
+	}
+	for _, iv := range ivs {
+		if iv.Insts != 0 || iv.L1D.Accesses != 0 {
+			t.Fatalf("idle interval carries activity: %+v", iv)
+		}
+	}
+	if got := Sum(ivs); got.StartCycle != 0 || got.EndCycle != 55 {
+		t.Fatalf("idle span [%d,%d], want [0,55]", got.StartCycle, got.EndCycle)
+	}
+	if reads < 6 {
+		t.Fatalf("sampler stopped re-arming: %d reads", reads)
+	}
+
+	// Finish landing exactly on a just-cut boundary must be a no-op.
+	s.Finish(55)
+	if len(ivs) != 6 {
+		t.Fatalf("duplicate boundary emitted: %d intervals", len(ivs))
+	}
+}
+
+func TestSamplerZeroIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero interval must panic")
+		}
+	}()
+	NewSampler(sim.NewEngine(), 0, false, func(*Counters) {}, func(Interval) {})
+}
+
+func TestWriteIntervalsFormats(t *testing.T) {
+	ivs := []Interval{
+		{Index: 0, Warmup: true, StartCycle: 0, EndCycle: 100, Insts: 80,
+			L1D: cache.Stats{Accesses: 40, Hits: 30, Misses: 10},
+			Mem: mem.Stats{Reads: 5, TotalReadLatency: 350}},
+		{Index: 1, StartCycle: 100, EndCycle: 250, Insts: 200,
+			L1Bus: BusCounters{Transfers: 10, BusyCycles: 50}},
+	}
+	var text, csv, js bytes.Buffer
+	if err := WriteIntervals(&text, "text", ivs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteIntervals(&csv, "csv", ivs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteIntervals(&js, "json", ivs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "ipc") || !strings.Contains(text.String(), "0.8000") {
+		t.Errorf("text output missing derived IPC:\n%s", text.String())
+	}
+	if lines := strings.Split(strings.TrimSpace(csv.String()), "\n"); len(lines) != 3 {
+		t.Errorf("csv must have header + 2 rows:\n%s", csv.String())
+	}
+	var back []Interval
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatalf("json round-trip: %v", err)
+	}
+	if len(back) != 2 || back[0] != ivs[0] || back[1] != ivs[1] {
+		t.Errorf("json round-trip diverged:\n got %+v\nwant %+v", back, ivs)
+	}
+	if err := WriteIntervals(io.Discard, "yaml", ivs); err == nil {
+		t.Error("unknown format must error")
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+func TestJSONLStickyErrorAndRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	for i := 0; i < 3; i++ {
+		if err := j.Write(map[string]int{"i": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []int
+	err := ReadJSONL(&buf, func(line []byte) error {
+		var m map[string]int
+		if err := json.Unmarshal(line, &m); err != nil {
+			return err
+		}
+		got = append(got, m["i"])
+		return nil
+	})
+	if err != nil || len(got) != 3 || got[2] != 2 {
+		t.Fatalf("round-trip: %v %v", got, err)
+	}
+
+	fw := &failWriter{n: 1}
+	j2 := NewJSONL(fw)
+	if err := j2.Write("ok"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Write("boom"); err == nil {
+		t.Fatal("write to full disk must error")
+	}
+	if err := j2.Write("later"); err == nil || j2.Err() == nil {
+		t.Fatal("error must be sticky")
+	}
+
+	bad := strings.NewReader("{\"ok\":1}\nnot json\n")
+	err = ReadJSONL(bad, func(line []byte) error {
+		var m map[string]any
+		return json.Unmarshal(line, &m)
+	})
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("malformed line must name its line number, got %v", err)
+	}
+}
+
+func TestMetricsEndpointServesVarsAndPprof(t *testing.T) {
+	m := NewMetrics()
+	cells := 0
+	m.Register("cells_done", func() any { cells++; return cells })
+	m.Register("campaign", func() any { return "tiny" })
+
+	srv, err := Serve("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	for _, path := range []string{"/metrics", "/debug/vars"} {
+		code, body := get(path)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d", path, code)
+		}
+		var vars map[string]any
+		if err := json.Unmarshal([]byte(body), &vars); err != nil {
+			t.Fatalf("%s is not JSON: %v\n%s", path, err, body)
+		}
+		if vars["campaign"] != "tiny" {
+			t.Errorf("%s: campaign=%v", path, vars["campaign"])
+		}
+		if _, ok := vars["cells_done"].(float64); !ok {
+			t.Errorf("%s: cells_done missing: %v", path, vars)
+		}
+	}
+	if cells < 2 {
+		t.Errorf("gauge callback must be re-evaluated per scrape, got %d calls", cells)
+	}
+
+	if code, body := get("/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index: status %d\n%s", code, body)
+	}
+	if code, _ := get("/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path: status %d, want 404", code)
+	}
+}

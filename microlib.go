@@ -46,6 +46,7 @@ import (
 	"microlib/internal/experiments"
 	"microlib/internal/hier"
 	"microlib/internal/runner"
+	"microlib/internal/telemetry"
 	"microlib/internal/workload"
 )
 
@@ -447,4 +448,81 @@ type CampaignCellCache = campaign.CellCache
 // cache, so rerunning with the same CacheDir resumes incrementally.
 func RunCampaign(ctx context.Context, spec CampaignSpec, cfg CampaignConfig) (*CampaignSummary, error) {
 	return campaign.Execute(ctx, spec, cfg)
+}
+
+// --- telemetry: interval series, run journals, live endpoint --------
+
+// TelemetryInterval is one time-resolved slice of a simulation: the
+// exact counter deltas between two sampling boundaries. Enable the
+// sampler with Options.Interval + Options.IntervalSink; summed
+// deltas reproduce the whole-run counters bit for bit.
+type TelemetryInterval = telemetry.Interval
+
+// TelemetryBusCounters are per-interconnect counter deltas.
+type TelemetryBusCounters = telemetry.BusCounters
+
+// SumIntervals folds an interval series into one interval covering
+// its whole span.
+func SumIntervals(ivs []TelemetryInterval) TelemetryInterval { return telemetry.Sum(ivs) }
+
+// WriteIntervals renders an interval time series as "text", "csv" or
+// "json".
+func WriteIntervals(w io.Writer, format string, ivs []TelemetryInterval) error {
+	return telemetry.WriteIntervals(w, format, ivs)
+}
+
+// IntervalFormats lists the interval series output formats.
+func IntervalFormats() []string { return telemetry.FormatNames() }
+
+// Metrics is an expvar-style registry of live gauges, served by
+// ServeMetrics at /metrics alongside net/http/pprof.
+type Metrics = telemetry.Metrics
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return telemetry.NewMetrics() }
+
+// MetricsServer is a running live metrics/pprof endpoint.
+type MetricsServer = telemetry.Server
+
+// ServeMetrics binds addr and serves m (plus pprof) in the
+// background; it returns once the listener is bound.
+func ServeMetrics(addr string, m *Metrics) (*MetricsServer, error) {
+	return telemetry.Serve(addr, m)
+}
+
+// CampaignLiveStats is the mid-run view of a campaign the scheduler
+// keeps updated; pass one in CampaignConfig.Live and snapshot it from
+// a progress display or metrics endpoint.
+type CampaignLiveStats = campaign.LiveStats
+
+// CampaignLiveSnapshot is one consistent reading of a running
+// campaign, with derived rates (cells/s, insts/s, ETA, utilization).
+type CampaignLiveSnapshot = campaign.LiveSnapshot
+
+// CampaignJournalEvent is one line of a campaign run journal.
+type CampaignJournalEvent = campaign.JournalEvent
+
+// CampaignJournalStatus is the digest of a run journal.
+type CampaignJournalStatus = campaign.JournalStatus
+
+// ReadCampaignJournal parses a JSONL run journal back into events.
+func ReadCampaignJournal(r io.Reader) ([]CampaignJournalEvent, error) {
+	return campaign.ReadJournal(r)
+}
+
+// SummarizeCampaignJournal digests journal events into the status
+// report `mlcampaign status` prints.
+func SummarizeCampaignJournal(evs []CampaignJournalEvent) (CampaignJournalStatus, error) {
+	return campaign.SummarizeJournal(evs)
+}
+
+// CampaignCacheCounters is a snapshot of a disk cache's access
+// statistics (hits, misses, bytes moved) since it was opened.
+type CampaignCacheCounters = campaign.CacheCounters
+
+// RegisterCampaignMetrics exposes a running campaign's live stats and
+// disk-cache counters on a metrics registry (see CampaignConfig's
+// Metrics field, which RunCampaign wires automatically).
+func RegisterCampaignMetrics(m *Metrics, live *CampaignLiveStats, cache *CampaignCache) {
+	campaign.RegisterCampaignMetrics(m, live, cache)
 }
