@@ -37,10 +37,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -68,6 +71,8 @@ func main() {
 		cmdPrune(os.Args[2:])
 	case "record":
 		cmdRecord(os.Args[2:])
+	case "resume":
+		cmdResume(os.Args[2:])
 	case "status":
 		cmdStatus(os.Args[2:])
 	case "-h", "-help", "--help", "help":
@@ -83,13 +88,17 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   mlcampaign run   -spec file [-cache dir] [-workers n] [-format text|csv|json] [-out file] [-quiet] [-set path=value]...
                    [-journal file.jsonl] [-http addr] [-interval cycles -interval-dir dir]
+                   [-cell-timeout dur] [-retry n] [-retry-delay dur] [-stall-factor f]
+                   [-faults spec] [-fault-seed n] [-fault-slow dur]
+  mlcampaign resume file.jsonl [-cache dir] [-workers n] [-format text|csv|json] [-out file] [-quiet]
+                   [-cell-timeout dur] [-retry n] [-retry-delay dur] [-stall-factor f]
   mlcampaign plan  -spec file [-set path=value]...
   mlcampaign validate [-quiet] [-set path=value]... file.json [file2.json ...]
   mlcampaign list  [-cache dir]
   mlcampaign paths
   mlcampaign prune -cache dir [-older-than dur] [-spec file] [-dry-run]
   mlcampaign record -workload name -out file.mlt [-insts n] [-warmup n] [-seed n] [-skip n] [-selection simpoint|skip:N] [-spec file]
-  mlcampaign status file.jsonl
+  mlcampaign status [-json] file.jsonl
 `)
 }
 
@@ -105,10 +114,13 @@ func cmdRun(args []string) {
 		out      = fs.String("out", "", "write the report to a file instead of stdout")
 		quiet    = fs.Bool("quiet", false, "suppress progress output")
 
-		journal     = fs.String("journal", "", "append a JSONL run journal here (inspect with mlcampaign status)")
+		journal     = fs.String("journal", "", "append a JSONL run journal here (inspect with mlcampaign status, continue with mlcampaign resume)")
 		httpAddr    = fs.String("http", "", "serve live metrics and pprof on this address while the campaign runs, e.g. :6060")
 		interval    = fs.Uint64("interval", 0, "sample every simulated cell at this cycle granularity (needs -interval-dir)")
 		intervalDir = fs.String("interval-dir", "", "write each sampled cell's series to this directory as <fingerprint>.json")
+
+		rob    = robustnessFlags(fs)
+		faults = faultFlags(fs)
 	)
 	fs.Parse(args)
 	if *specPath == "" {
@@ -140,25 +152,10 @@ func cmdRun(args []string) {
 		Interval:    *interval,
 		IntervalDir: *intervalDir,
 	}
+	rob.apply(&cfg)
+	faults.apply(&cfg)
 	if !*quiet {
-		cfg.OnProgress = func(p microlib.CampaignProgress) {
-			src := "sim"
-			if p.FromCache {
-				src = "hit"
-			}
-			if p.Err != nil {
-				src = "ERR"
-			}
-			// The live snapshot turns the counter into a forecast:
-			// overall throughput and the extrapolated time to finish.
-			s := live.Snapshot()
-			eta := ""
-			if s.ETA > 0 {
-				eta = fmt.Sprintf(" eta %s", s.ETA.Round(time.Second))
-			}
-			fmt.Fprintf(os.Stderr, "\r[%d/%d] %s %s/%s seed=%d  %.1f cells/s%s        ",
-				p.Done, p.Total, src, p.Cell.Bench(), p.Cell.Mech(), p.Cell.Seed(), s.CellsPerSec, eta)
-		}
+		cfg.OnProgress = progressLine(live)
 	}
 	if *journal != "" {
 		f, err := os.Create(*journal)
@@ -183,21 +180,36 @@ func cmdRun(args []string) {
 	if !*quiet {
 		fmt.Fprintln(os.Stderr)
 	}
+	finishCampaign(sum, err, *format, *out, *journal)
+}
+
+// finishCampaign prints the campaign outcome (interruption notice or
+// per-kind failure summary), emits the report, and exits nonzero for
+// interrupted (130) or partly-failed (1) campaigns.
+func finishCampaign(sum *microlib.CampaignSummary, err error, format, out, journal string) {
 	if err != nil && sum == nil {
 		fatal(err)
 	}
 	exit := 0
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mlcampaign: interrupted (%v); %d/%d cells done — rerun with the same -cache to resume\n",
-			err, sum.Sched.Completed, sum.Sched.Total)
+		resumeHint := "rerun with the same -cache to resume"
+		if journal != "" {
+			resumeHint = fmt.Sprintf("mlcampaign resume %s", journal)
+		}
+		fmt.Fprintf(os.Stderr, "mlcampaign: interrupted (%v); %d/%d cells done — %s\n",
+			err, sum.Sched.Completed, sum.Sched.Total, resumeHint)
 		exit = 130 // interrupted: partial report below, nonzero for scripts
 	} else if sum.Sched.Errors > 0 {
-		fmt.Fprintf(os.Stderr, "mlcampaign: %d cells failed (see report)\n", sum.Sched.Errors)
+		fmt.Fprintf(os.Stderr, "mlcampaign: %d cells failed (%s; see report)\n",
+			sum.Sched.Errors, kindSummary(sum.Sched.FailedKinds))
 		exit = 1
+	}
+	if sum.Sched.Degraded > 0 {
+		fmt.Fprintf(os.Stderr, "mlcampaign: %d degraded operations (cache/journal trouble survived; see journal)\n", sum.Sched.Degraded)
 	}
 
 	var report []byte
-	switch *format {
+	switch format {
 	case "text":
 		report = []byte(sum.Text())
 	case "csv":
@@ -209,17 +221,173 @@ func cmdRun(args []string) {
 		}
 		report = append(report, '\n')
 	}
-	if *out != "" {
-		if err := os.WriteFile(*out, report, 0o644); err != nil {
+	if out != "" {
+		if err := os.WriteFile(out, report, 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "mlcampaign: report written to %s\n", *out)
+		fmt.Fprintf(os.Stderr, "mlcampaign: report written to %s\n", out)
 	} else {
 		os.Stdout.Write(report)
 	}
 	if exit != 0 {
 		os.Exit(exit)
 	}
+}
+
+// progressLine returns the interactive one-line progress callback:
+// cell counter, result source, throughput, ETA.
+func progressLine(live *microlib.CampaignLiveStats) func(microlib.CampaignProgress) {
+	return func(p microlib.CampaignProgress) {
+		src := "sim"
+		if p.FromCache {
+			src = "hit"
+		}
+		if p.Err != nil {
+			src = "ERR"
+		}
+		// The live snapshot turns the counter into a forecast:
+		// overall throughput and the extrapolated time to finish.
+		s := live.Snapshot()
+		eta := ""
+		if s.ETA > 0 {
+			eta = fmt.Sprintf(" eta %s", s.ETA.Round(time.Second))
+		}
+		fmt.Fprintf(os.Stderr, "\r[%d/%d] %s %s/%s seed=%d  %.1f cells/s%s        ",
+			p.Done, p.Total, src, p.Cell.Bench(), p.Cell.Mech(), p.Cell.Seed(), s.CellsPerSec, eta)
+	}
+}
+
+// kindSummary renders a per-error-kind count map as "2 panic, 1
+// timeout".
+func kindSummary(kinds map[string]int) string {
+	if len(kinds) == 0 {
+		return "unclassified"
+	}
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, k := range names {
+		parts[i] = fmt.Sprintf("%d %s", kinds[k], k)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// robustness is the fault-tolerance flag bundle shared by run and
+// resume.
+type robustness struct {
+	cellTimeout *time.Duration
+	retry       *int
+	retryDelay  *time.Duration
+	stallFactor *float64
+}
+
+func robustnessFlags(fs *flag.FlagSet) robustness {
+	return robustness{
+		cellTimeout: fs.Duration("cell-timeout", 0, "cancel any cell exceeding this wall time and record it as a timeout failure (0: spec's cell_timeout, then unlimited)"),
+		retry:       fs.Int("retry", 1, "retries per transient cell failure (timeouts); deterministic failures never retry (0 disables)"),
+		retryDelay:  fs.Duration("retry-delay", 200*time.Millisecond, "backoff before the first retry, doubling (capped) for later ones"),
+		stallFactor: fs.Float64("stall-factor", 8, "warn when no cell finishes within this x the median cell wall time (0 disables the stall watchdog)"),
+	}
+}
+
+func (r robustness) apply(cfg *microlib.CampaignConfig) {
+	cfg.CellTimeout = *r.cellTimeout
+	cfg.Retry = &microlib.CampaignRetryPolicy{Max: *r.retry, BaseDelay: *r.retryDelay}
+	cfg.StallFactor = *r.stallFactor
+	cfg.OnStall = func(rep microlib.CampaignStallReport) {
+		fmt.Fprintf(os.Stderr, "\nmlcampaign: WARNING: no cell has finished for %s (threshold %s, %d/%d done) — campaign may be stalled\n",
+			rep.Idle.Round(time.Second), rep.Threshold.Round(time.Second), rep.Done, rep.Total)
+	}
+}
+
+// faultFlagVals is the fault-injection flag bundle (run only).
+type faultFlagVals struct {
+	spec *string
+	seed *uint64
+	slow *time.Duration
+}
+
+func faultFlags(fs *flag.FlagSet) faultFlagVals {
+	return faultFlagVals{
+		spec: fs.String("faults", "", "inject deterministic faults, e.g. cell.panic=0.2,cache.put.error=1@3 (chaos testing; see README failure semantics)"),
+		seed: fs.Uint64("fault-seed", 1, "seed of the -faults schedule (same seed, same faults)"),
+		slow: fs.Duration("fault-slow", 2*time.Second, "how long an injected cell.slow fault stalls its cell"),
+	}
+}
+
+func (f faultFlagVals) apply(cfg *microlib.CampaignConfig) {
+	if *f.spec == "" {
+		return
+	}
+	inj, err := microlib.ParseFaultSpec(*f.spec, *f.seed)
+	if err != nil {
+		fatal(err)
+	}
+	inj.SlowFor = *f.slow
+	cfg.Faults = inj
+	fmt.Fprintf(os.Stderr, "mlcampaign: fault injection armed: %s (seed %d)\n", *f.spec, *f.seed)
+}
+
+// cmdResume continues a crashed or interrupted campaign from its
+// journal: completed cells come from the cache, deterministic
+// failures replay from the journal, only the remainder simulates.
+func cmdResume(args []string) {
+	fs := flag.NewFlagSet("resume", flag.ExitOnError)
+	var (
+		cacheDir = fs.String("cache", "", "result cache directory (default: the original run's)")
+		workers  = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		format   = fs.String("format", "text", "report format: text, csv, json")
+		out      = fs.String("out", "", "write the report to a file instead of stdout")
+		quiet    = fs.Bool("quiet", false, "suppress progress output")
+		rob      = robustnessFlags(fs)
+		faults   = faultFlags(fs)
+	)
+	// Accept both `resume file.jsonl -flags` and `resume -flags file.jsonl`.
+	var journalPath string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		journalPath, args = args[0], args[1:]
+	}
+	fs.Parse(args)
+	if journalPath == "" {
+		if fs.NArg() != 1 {
+			fatal(fmt.Errorf("resume: exactly one journal file expected"))
+		}
+		journalPath = fs.Arg(0)
+	} else if fs.NArg() != 0 {
+		fatal(fmt.Errorf("resume: exactly one journal file expected"))
+	}
+	if *format != "text" && *format != "csv" && *format != "json" {
+		fatal(fmt.Errorf("resume: unknown format %q", *format))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	live := &microlib.CampaignLiveStats{}
+	cfg := microlib.CampaignConfig{Workers: *workers, CacheDir: *cacheDir, Live: live}
+	rob.apply(&cfg)
+	faults.apply(&cfg)
+	if !*quiet {
+		cfg.OnProgress = progressLine(live)
+	}
+
+	sum, info, err := microlib.ResumeCampaign(ctx, journalPath, cfg)
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	if sum == nil && err != nil {
+		fatal(err)
+	}
+	note := ""
+	if info.Torn {
+		note = " (journal tail was torn mid-write; intact prefix used)"
+	}
+	fmt.Fprintf(os.Stderr, "mlcampaign: resumed%s: %d cells recovered (%d recorded failures), %d remained\n",
+		note, info.Recovered, info.KnownFailures, info.Remaining)
+	finishCampaign(sum, err, *format, *out, journalPath)
 }
 
 func cmdPlan(args []string) {
@@ -493,6 +661,7 @@ func cmdRecord(args []string) {
 // throughput, the slowest cells and any failures.
 func cmdStatus(args []string) {
 	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the digest as JSON (for CI gates asserting on failure kinds)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		fatal(fmt.Errorf("status: exactly one journal file expected"))
@@ -503,6 +672,12 @@ func cmdStatus(args []string) {
 	}
 	defer f.Close()
 	evs, err := microlib.ReadCampaignJournal(f)
+	var torn *microlib.TornTailError
+	if errors.As(err, &torn) {
+		// A torn final line is crash debris, not corruption; status
+		// exists to diagnose exactly such journals.
+		err = nil
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -510,7 +685,16 @@ func cmdStatus(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	os.Stdout.WriteString(st.Text())
+	st.Torn = torn != nil
+	if *asJSON {
+		data, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(append(data, '\n'))
+	} else {
+		os.Stdout.WriteString(st.Text())
+	}
 	if !st.Complete || st.Aborted || st.Errors > 0 {
 		os.Exit(1)
 	}

@@ -1,0 +1,239 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+var (
+	buildOnce sync.Once
+	buildBin  string
+	buildErr  error
+)
+
+// binary builds mlcampaign once per test binary and returns its path.
+func binary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "mlcampaign-e2e")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		buildBin = filepath.Join(dir, "mlcampaign")
+		out, err := exec.Command("go", "build", "-o", buildBin, "microlib/cmd/mlcampaign").CombinedOutput()
+		if err != nil {
+			buildErr = err
+			buildBin = ""
+			os.RemoveAll(dir)
+			os.Stderr.Write(out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building mlcampaign: %v", buildErr)
+	}
+	return buildBin
+}
+
+func writeSpec(t *testing.T, dir string, insts uint64) string {
+	t.Helper()
+	path := filepath.Join(dir, "spec.json")
+	spec := map[string]any{
+		"name":       "e2e",
+		"benchmarks": []string{"gzip", "mcf"},
+		"mechanisms": []string{"Base", "TP"},
+		"seeds":      []uint64{1, 2},
+		"insts":      []uint64{insts},
+		"warmup":     500,
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func exitCode(t *testing.T, err error) int {
+	t.Helper()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if !asExitError(err, &ee) {
+		t.Fatalf("process did not run: %v", err)
+	}
+	return ee.ExitCode()
+}
+
+func asExitError(err error, target **exec.ExitError) bool {
+	ee, ok := err.(*exec.ExitError)
+	if ok {
+		*target = ee
+	}
+	return ok
+}
+
+// scenariosOf extracts the scenario table from a JSON report — the
+// part of the aggregate that must be invariant across interruption.
+func scenariosOf(t *testing.T, reportPath string) json.RawMessage {
+	t.Helper()
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Scenarios json.RawMessage `json:"scenarios"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report %s: %v", reportPath, err)
+	}
+	if len(rep.Scenarios) == 0 {
+		t.Fatalf("report %s has no scenarios", reportPath)
+	}
+	return rep.Scenarios
+}
+
+// The ship-blocking smoke: SIGTERM a sweep partway through, resume it
+// from the journal, and the final aggregate matches an uninterrupted
+// run byte for byte.
+func TestSigtermThenResumeMatchesUninterrupted(t *testing.T) {
+	bin := binary(t)
+	dir := t.TempDir()
+	spec := writeSpec(t, dir, 400_000)
+
+	// Reference: uninterrupted run.
+	refReport := filepath.Join(dir, "ref.json")
+	cmd := exec.Command(bin, "run", "-spec", spec,
+		"-cache", filepath.Join(dir, "refcache"),
+		"-workers", "1", "-quiet", "-format", "json", "-out", refReport)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("reference run: %v\n%s", err, out)
+	}
+
+	// Interrupted run: SIGTERM once the journal shows progress.
+	journal := filepath.Join(dir, "run.jsonl")
+	cache := filepath.Join(dir, "cache")
+	var stderr bytes.Buffer
+	run := exec.Command(bin, "run", "-spec", spec,
+		"-cache", cache, "-journal", journal, "-workers", "1", "-quiet")
+	run.Stderr = &stderr
+	if err := run.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			run.Process.Kill()
+			t.Fatalf("no progress before deadline; journal:\n%s\nstderr:\n%s", mustReadFile(journal), stderr.String())
+		}
+		if bytes.Count(mustReadFile(journal), []byte(`"ev":"cell_done"`)) >= 2 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := run.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	err := run.Wait()
+	if code := exitCode(t, err); code != 130 {
+		t.Fatalf("interrupted run must exit 130, got %d\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "mlcampaign resume") {
+		t.Fatalf("interruption must print the resume hint:\n%s", stderr.String())
+	}
+
+	// status on the killed run: incomplete, nonzero exit.
+	st := exec.Command(bin, "status", journal)
+	stOut, err := st.CombinedOutput()
+	if code := exitCode(t, err); code != 1 {
+		t.Fatalf("status on an unfinished journal must exit 1, got %d\n%s", code, stOut)
+	}
+
+	// Resume and compare.
+	resReport := filepath.Join(dir, "resumed.json")
+	res := exec.Command(bin, "resume", journal, "-quiet", "-format", "json", "-out", resReport)
+	resOut, err := res.CombinedOutput()
+	if err != nil {
+		t.Fatalf("resume: %v\n%s", err, resOut)
+	}
+	if !strings.Contains(string(resOut), "resumed") {
+		t.Fatalf("resume must report its reconstruction:\n%s", resOut)
+	}
+	if got, want := scenariosOf(t, resReport), scenariosOf(t, refReport); !bytes.Equal(got, want) {
+		t.Fatalf("resumed aggregate diverged from uninterrupted run:\n got %s\nwant %s", got, want)
+	}
+
+	// status -json on the finished journal: complete, with a resume.
+	stj := exec.Command(bin, "status", "-json", journal)
+	stjOut, err := stj.Output()
+	if err != nil {
+		t.Fatalf("status -json after resume: %v", err)
+	}
+	var status struct {
+		Complete bool `json:"complete"`
+		Resumes  int  `json:"resumes"`
+		Errors   int  `json:"errors"`
+	}
+	if err := json.Unmarshal(stjOut, &status); err != nil {
+		t.Fatalf("status -json output: %v\n%s", err, stjOut)
+	}
+	if !status.Complete || status.Resumes != 1 || status.Errors != 0 {
+		t.Fatalf("status after resume: %+v\n%s", status, stjOut)
+	}
+}
+
+// -faults drives the injection harness from the CLI: a panicked cell
+// fails the run with exit 1 and a per-kind summary on stderr.
+func TestFaultInjectionFlagE2E(t *testing.T) {
+	bin := binary(t)
+	dir := t.TempDir()
+	spec := writeSpec(t, dir, 2000)
+
+	journal := filepath.Join(dir, "run.jsonl")
+	var stderr bytes.Buffer
+	cmd := exec.Command(bin, "run", "-spec", spec,
+		"-journal", journal, "-workers", "2", "-quiet",
+		"-faults", "cell.panic=1@1", "-fault-seed", "3")
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if code := exitCode(t, err); code != 1 {
+		t.Fatalf("a failed cell must exit 1, got %d\n%s", code, stderr.String())
+	}
+	for _, want := range []string{"fault injection armed", "1 cells failed", "1 panic"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Fatalf("stderr missing %q:\n%s", want, stderr.String())
+		}
+	}
+
+	// The journal records the typed failure with its stack.
+	data := mustReadFile(journal)
+	if !bytes.Contains(data, []byte(`"err_kind":"panic"`)) || !bytes.Contains(data, []byte("goroutine")) {
+		t.Fatalf("journal must carry the typed panic and stack:\n%s", data)
+	}
+
+	// status surfaces the kind breakdown and exits nonzero.
+	st := exec.Command(bin, "status", journal)
+	stOut, err := st.CombinedOutput()
+	if code := exitCode(t, err); code != 1 {
+		t.Fatalf("status with failures must exit 1, got %d", code)
+	}
+	if !strings.Contains(string(stOut), "1 panic") {
+		t.Fatalf("status missing kind breakdown:\n%s", stOut)
+	}
+}
+
+func mustReadFile(path string) []byte {
+	data, _ := os.ReadFile(path)
+	return data
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"microlib/internal/core"
+	"microlib/internal/fault"
 )
 
 // CellResult is the serializable outcome of one cell — the subset of
@@ -45,6 +46,9 @@ type CellResult struct {
 	BaseCacheAccesses uint64         `json:"base_cache_accesses,omitempty"`
 
 	Err string `json:"err,omitempty"`
+	// ErrKind classifies Err per the failure taxonomy
+	// (model/panic/timeout/io); empty when Err is empty.
+	ErrKind string `json:"err_kind,omitempty"`
 }
 
 // MemCache is an in-process CellCache: a plain map under a mutex.
@@ -82,6 +86,9 @@ func (c *MemCache) Put(res CellResult) error {
 // the earlier (faster) layers on a hit; Put writes through to all.
 type LayeredCache struct {
 	Layers []CellCache
+	// OnDegrade, when non-nil, observes back-fill Put failures (the
+	// hit is still served; the failing front layer keeps missing).
+	OnDegrade func(Degradation)
 }
 
 // Get implements CellCache.
@@ -89,7 +96,11 @@ func (c *LayeredCache) Get(key string) (CellResult, bool) {
 	for i, layer := range c.Layers {
 		if res, ok := layer.Get(key); ok {
 			for _, front := range c.Layers[:i] {
-				_ = front.Put(res)
+				if err := front.Put(res); err != nil && c.OnDegrade != nil {
+					// The hit stands; the front layer just keeps
+					// missing — degraded, not fatal, but visible.
+					c.OnDegrade(Degradation{Op: "cache.backfill", Key: key, Err: err})
+				}
 			}
 			return res, true
 		}
@@ -119,6 +130,9 @@ type CacheCounters struct {
 	BytesRead    uint64 `json:"bytes_read"`
 	Puts         uint64 `json:"puts"`
 	BytesWritten uint64 `json:"bytes_written"`
+	// Corrupt counts entries that failed to decode and were
+	// quarantined to <key>.corrupt (each also counts as a miss).
+	Corrupt uint64 `json:"corrupt,omitempty"`
 }
 
 // DiskCache persists cell results under one directory, one JSON file
@@ -128,11 +142,20 @@ type CacheCounters struct {
 type DiskCache struct {
 	dir string
 
+	// OnDegrade, when non-nil, observes read errors and corrupt-entry
+	// quarantines (ops "cache.get", "cache.corrupt"). Set before the
+	// cache is shared across goroutines.
+	OnDegrade func(Degradation)
+	// Faults, when non-nil, arms the cache fault-injection points
+	// (cache.get.error, cache.get.corrupt, cache.put.error).
+	Faults *fault.Injector
+
 	hits         atomic.Uint64
 	misses       atomic.Uint64
 	bytesRead    atomic.Uint64
 	puts         atomic.Uint64
 	bytesWritten atomic.Uint64
+	corrupt      atomic.Uint64
 }
 
 // Counters returns the access statistics accumulated since the cache
@@ -145,6 +168,7 @@ func (c *DiskCache) Counters() CacheCounters {
 		BytesRead:    c.bytesRead.Load(),
 		Puts:         c.puts.Load(),
 		BytesWritten: c.bytesWritten.Load(),
+		Corrupt:      c.corrupt.Load(),
 	}
 }
 
@@ -163,23 +187,49 @@ func (c *DiskCache) path(key string) string {
 	return filepath.Join(c.dir, key+".json")
 }
 
-// Get returns the cached result for key, if present and intact.
+// Get returns the cached result for key, if present and intact. A
+// corrupt entry is quarantined — renamed to <key>.corrupt so the
+// evidence survives for inspection instead of being overwritten by
+// the resimulated cell — counted, degraded, and served as a miss.
 func (c *DiskCache) Get(key string) (CellResult, bool) {
 	data, err := os.ReadFile(c.path(key))
+	if ferr := c.Faults.FireErr(fault.CacheGetError, key); ferr != nil {
+		err = ferr
+	}
 	if err != nil {
 		c.misses.Add(1)
+		if !os.IsNotExist(err) {
+			c.degrade(Degradation{Op: "cache.get", Key: key, Err: err})
+		}
 		return CellResult{}, false
+	}
+	if c.Faults.Fire(fault.CacheGetCorrupt, key) {
+		data = data[:len(data)/2] // torn mid-record
 	}
 	var res CellResult
 	if err := json.Unmarshal(data, &res); err != nil || res.Key != key {
-		// A torn or corrupt entry reads as a miss: the cell will be
-		// resimulated and the entry overwritten with a good one.
+		// A torn or corrupt entry reads as a miss; quarantine it so
+		// the resimulation does not destroy the evidence.
 		c.misses.Add(1)
+		c.corrupt.Add(1)
+		if err == nil {
+			err = fmt.Errorf("campaign: cache entry %s holds key %s", key, res.Key)
+		}
+		if qerr := os.Rename(c.path(key), filepath.Join(c.dir, key+".corrupt")); qerr != nil {
+			err = fmt.Errorf("%w (quarantine failed: %v)", err, qerr)
+		}
+		c.degrade(Degradation{Op: "cache.corrupt", Key: key, Err: err})
 		return CellResult{}, false
 	}
 	c.hits.Add(1)
 	c.bytesRead.Add(uint64(len(data)))
 	return res, true
+}
+
+func (c *DiskCache) degrade(d Degradation) {
+	if c.OnDegrade != nil {
+		c.OnDegrade(d)
+	}
 }
 
 // Put stores a successful result under its key.
@@ -189,6 +239,9 @@ func (c *DiskCache) Put(res CellResult) error {
 	}
 	if res.Err != "" {
 		return fmt.Errorf("campaign: refusing to cache failed cell %s", res.Key)
+	}
+	if err := c.Faults.FireErr(fault.CachePutError, res.Key); err != nil {
+		return err
 	}
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {

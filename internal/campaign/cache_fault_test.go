@@ -1,0 +1,139 @@
+package campaign
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"microlib/internal/fault"
+)
+
+// Corrupt-entry quarantine: a truncated or garbled entry reads as a
+// miss, is counted, moved aside as <key>.corrupt for post-mortem, and
+// reported as a degradation — then the slot is reusable.
+func TestDiskCacheQuarantinesCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var degraded []Degradation
+	c.OnDegrade = func(d Degradation) { degraded = append(degraded, d) }
+	if err := os.WriteFile(filepath.Join(dir, "abc.json"), []byte(`{"key":"abc","ipc":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("abc"); ok {
+		t.Fatal("corrupt entry must read as a miss")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "abc.corrupt")); err != nil {
+		t.Fatalf("corrupt entry must be quarantined to abc.corrupt: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "abc.json")); !os.IsNotExist(err) {
+		t.Fatalf("quarantined entry must leave its slot: %v", err)
+	}
+	if got := c.Counters(); got.Corrupt != 1 || got.Misses != 1 {
+		t.Fatalf("counters: %+v", got)
+	}
+	if len(degraded) != 1 || degraded[0].Op != "cache.corrupt" || degraded[0].Key != "abc" {
+		t.Fatalf("degradations: %+v", degraded)
+	}
+	// Quarantined debris never surfaces as a key, and the slot works.
+	if err := c.Put(CellResult{Key: "abc", Bench: "gzip", Mechanism: "GHB", Seed: 1, IPC: 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := c.Keys()
+	if err != nil || len(keys) != 1 || keys[0] != "abc" {
+		t.Fatalf("keys after requarantine: %v %v", keys, err)
+	}
+	if res, ok := c.Get("abc"); !ok || res.IPC != 1.5 {
+		t.Fatalf("rewritten slot: %+v ok=%v", res, ok)
+	}
+}
+
+// An injected mid-read corruption takes the same quarantine path as
+// real disk rot — this is the hook the chaos suite leans on.
+func TestDiskCacheInjectedCorruption(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(CellResult{Key: "feed", Bench: "mcf", Mechanism: "Base", Seed: 2, IPC: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	c.Faults = fault.New(1).Enable(fault.CacheGetCorrupt, 1).Limit(fault.CacheGetCorrupt, 1)
+	if _, ok := c.Get("feed"); ok {
+		t.Fatal("injected corruption must read as a miss")
+	}
+	if got := c.Counters(); got.Corrupt != 1 {
+		t.Fatalf("counters: %+v", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "feed.corrupt")); err != nil {
+		t.Fatalf("injected corruption must quarantine too: %v", err)
+	}
+	if _, ok := c.Get("feed"); ok {
+		t.Fatal("quarantined entry must stay gone")
+	}
+}
+
+// Injected read errors surface as degradations, not hits and not
+// quarantines (the entry may be fine; the read was not).
+func TestDiskCacheGetErrorDegrades(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(CellResult{Key: "feed", Bench: "mcf", Mechanism: "Base", Seed: 2, IPC: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	var degraded []Degradation
+	c.OnDegrade = func(d Degradation) { degraded = append(degraded, d) }
+	c.Faults = fault.New(1).Enable(fault.CacheGetError, 1).Limit(fault.CacheGetError, 1)
+	if _, ok := c.Get("feed"); ok {
+		t.Fatal("read error must be a miss")
+	}
+	if len(degraded) != 1 || degraded[0].Op != "cache.get" {
+		t.Fatalf("degradations: %+v", degraded)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "feed.json")); err != nil {
+		t.Fatalf("a read error must not quarantine the entry: %v", err)
+	}
+	if res, ok := c.Get("feed"); !ok || res.IPC != 0.9 {
+		t.Fatalf("entry must survive the transient read error: %+v ok=%v", res, ok)
+	}
+}
+
+// failingCache rejects every Put — the front layer of a layered cache
+// whose disk is full.
+type failingCache struct{ gets int }
+
+func (f *failingCache) Get(string) (CellResult, bool) { f.gets++; return CellResult{}, false }
+func (f *failingCache) Put(CellResult) error          { return fmt.Errorf("disk full") }
+
+// Layered-cache backfill failures are routed to OnDegrade; the hit is
+// still served from the deeper layer.
+func TestLayeredCacheBackfillDegrades(t *testing.T) {
+	back := NewMemCache()
+	if err := back.Put(CellResult{Key: "k", IPC: 2.0}); err != nil {
+		t.Fatal(err)
+	}
+	front := &failingCache{}
+	var degraded []Degradation
+	lc := &LayeredCache{
+		Layers:    []CellCache{front, back},
+		OnDegrade: func(d Degradation) { degraded = append(degraded, d) },
+	}
+	res, ok := lc.Get("k")
+	if !ok || res.IPC != 2.0 {
+		t.Fatalf("hit must be served despite backfill failure: %+v ok=%v", res, ok)
+	}
+	if len(degraded) != 1 || degraded[0].Op != "cache.backfill" || degraded[0].Key != "k" {
+		t.Fatalf("degradations: %+v", degraded)
+	}
+	if !strings.Contains(degraded[0].Err.Error(), "disk full") {
+		t.Fatalf("degradation must carry the cause: %v", degraded[0].Err)
+	}
+}

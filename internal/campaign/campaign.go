@@ -8,7 +8,9 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"time"
 
+	"microlib/internal/fault"
 	"microlib/internal/telemetry"
 )
 
@@ -41,6 +43,33 @@ type RunConfig struct {
 	// "disk_cache") for a -http endpoint to serve; a LiveStats is
 	// created if cfg.Live is nil.
 	Metrics *telemetry.Metrics
+
+	// CellTimeout bounds each cell's wall time (0: fall back to the
+	// spec's cell_timeout, then no deadline). See
+	// Scheduler.CellTimeout.
+	CellTimeout time.Duration
+	// Retry, when non-nil, overrides the spec's retry policy for
+	// transient failures; nil falls back to spec.Retry (then no
+	// retries). See Scheduler.Retry.
+	Retry *RetryPolicy
+	// KnownFailures pre-resolves cells whose deterministic failure an
+	// earlier run recorded (set by Resume). See
+	// Scheduler.KnownFailures.
+	KnownFailures map[string]CellResult
+	// StallFactor arms the campaign stall watchdog (0 disables);
+	// StallMin floors its threshold. See Scheduler.StallFactor.
+	StallFactor float64
+	StallMin    time.Duration
+	// OnRetry, OnDegrade and OnStall observe fault-handling events in
+	// addition to the journal (which records them automatically when
+	// Journal is set). All may be called concurrently.
+	OnRetry   func(RetryInfo)
+	OnDegrade func(Degradation)
+	OnStall   func(StallReport)
+	// Faults, when non-nil, arms the fault-injection points across
+	// scheduler, disk cache and journal writer. Testing and the
+	// -faults flag only.
+	Faults *fault.Injector
 }
 
 // Execute runs a whole campaign: normalize and expand the spec,
@@ -53,13 +82,41 @@ func Execute(ctx context.Context, spec Spec, cfg RunConfig) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
-	sched := &Scheduler{Workers: cfg.Workers, OnProgress: cfg.OnProgress, OnStart: cfg.OnStart, Live: cfg.Live}
+	sched := &Scheduler{
+		Workers:       cfg.Workers,
+		OnProgress:    cfg.OnProgress,
+		OnStart:       cfg.OnStart,
+		Live:          cfg.Live,
+		KnownFailures: cfg.KnownFailures,
+		StallFactor:   cfg.StallFactor,
+		StallMin:      cfg.StallMin,
+		OnRetry:       cfg.OnRetry,
+		OnDegrade:     cfg.OnDegrade,
+		OnStall:       cfg.OnStall,
+		Faults:        cfg.Faults,
+	}
+	// Fault-tolerance knobs: an explicit RunConfig value wins, the
+	// spec's declaration is the fallback.
+	sched.CellTimeout = cfg.CellTimeout
+	if sched.CellTimeout == 0 {
+		sched.CellTimeout = plan.Spec.CellTimeout.Std()
+	}
+	if cfg.Retry != nil {
+		sched.Retry = *cfg.Retry
+	} else {
+		sched.Retry = plan.Spec.Retry.Policy()
+	}
 	var disk *DiskCache
 	if cfg.CacheDir != "" {
 		cache, err := OpenDiskCache(cfg.CacheDir)
 		if err != nil {
 			return nil, err
 		}
+		cache.Faults = cfg.Faults
+		// Read-side cache degradations (I/O errors, quarantined
+		// corrupt entries) count into the same campaign counters as
+		// the scheduler's own write-side ones.
+		cache.OnDegrade = sched.Degrade
 		sched.Cache = cache
 		disk = cache
 	}
@@ -73,6 +130,7 @@ func Execute(ctx context.Context, spec Spec, cfg RunConfig) (*Summary, error) {
 	var jw *JournalWriter
 	if cfg.Journal != nil {
 		jw = NewJournalWriter(cfg.Journal)
+		jw.Faults = cfg.Faults
 		// Mirror the scheduler's worker clamp so the journal header
 		// records the pool size actually used.
 		workers := cfg.Workers
@@ -94,6 +152,25 @@ func Execute(ctx context.Context, spec Spec, cfg RunConfig) (*Summary, error) {
 			jw.CellDone(p)
 			if prevProg != nil {
 				prevProg(p)
+			}
+		}
+		prevRetry, prevDegrade, prevStall := sched.OnRetry, sched.OnDegrade, sched.OnStall
+		sched.OnRetry = func(r RetryInfo) {
+			jw.Retry(r)
+			if prevRetry != nil {
+				prevRetry(r)
+			}
+		}
+		sched.OnDegrade = func(d Degradation) {
+			jw.Degraded(d)
+			if prevDegrade != nil {
+				prevDegrade(d)
+			}
+		}
+		sched.OnStall = func(r StallReport) {
+			jw.Stall(r)
+			if prevStall != nil {
+				prevStall(r)
 			}
 		}
 	}

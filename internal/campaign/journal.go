@@ -2,30 +2,38 @@ package campaign
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 	"time"
 
+	"microlib/internal/fault"
 	"microlib/internal/telemetry"
 )
 
-// Journal event kinds, in the order a run emits them: one "start",
-// then interleaved "cell_start"/"cell_done" per cell, then one "end".
-// A journal whose last line is not an "end" event records a campaign
-// that was killed hard (OOM, SIGKILL, power loss) mid-run.
+// Journal event kinds. A run emits one "start", then interleaved
+// "cell_start"/"cell_done" (with "retry"/"degraded"/"stall" woven in
+// as they happen), then one "end". A resumed campaign appends a
+// "resume" marker and a fresh start/…/end sequence to the same file.
+// A journal whose last run has no "end" event records a campaign that
+// was killed hard (OOM, SIGKILL, power loss) mid-run.
 const (
 	EvStart     = "start"
 	EvCellStart = "cell_start"
 	EvCellDone  = "cell_done"
+	EvRetry     = "retry"
+	EvDegraded  = "degraded"
+	EvStall     = "stall"
+	EvResume    = "resume"
 	EvEnd       = "end"
 )
 
 // JournalEvent is one line of a campaign run journal. A single struct
-// covers all four kinds; fields not applicable to a kind are omitted
-// from its JSON. Journals are JSONL so a crashed run still leaves
-// every completed line readable.
+// covers all kinds; fields not applicable to a kind are omitted from
+// its JSON. Journals are JSONL so a crashed run still leaves every
+// completed line readable.
 type JournalEvent struct {
 	Ev   string `json:"ev"`
 	Time string `json:"t"` // RFC3339Nano, host clock
@@ -36,8 +44,13 @@ type JournalEvent struct {
 	Cells    int    `json:"cells,omitempty"`
 	Workers  int    `json:"workers,omitempty"`
 	CacheDir string `json:"cache_dir,omitempty"`
+	// Spec is the normalized campaign spec, embedded verbatim so
+	// `mlcampaign resume <journal>` can rebuild the exact plan from
+	// the journal alone; BaseDir anchors its trace paths.
+	Spec    json.RawMessage `json:"spec,omitempty"`
+	BaseDir string          `json:"base_dir,omitempty"`
 
-	// cell_start and cell_done identify the cell
+	// cell_start, cell_done, retry and degraded identify the cell
 	Key   string `json:"key,omitempty"` // options fingerprint
 	Index int    `json:"index,omitempty"`
 	Bench string `json:"bench,omitempty"`
@@ -45,31 +58,58 @@ type JournalEvent struct {
 	Seed  uint64 `json:"seed,omitempty"`
 
 	// cell_done
-	Source      string  `json:"source,omitempty"` // "sim" or "cache"
+	Source      string  `json:"source,omitempty"` // "sim", "cache" or "journal"
 	WallMS      float64 `json:"wall_ms,omitempty"`
 	Insts       uint64  `json:"insts,omitempty"`
 	InstsPerSec float64 `json:"insts_per_sec,omitempty"`
 	Err         string  `json:"err,omitempty"`
+	ErrKind     string  `json:"err_kind,omitempty"` // taxonomy kind when Err is set
+	Stack       string  `json:"stack,omitempty"`    // recovered panic stack
+	Attempts    int     `json:"attempts,omitempty"` // retries consumed
 	Done        int     `json:"done,omitempty"`
 
+	// retry
+	Attempt int     `json:"attempt,omitempty"` // 1-based retry number
+	DelayMS float64 `json:"delay_ms,omitempty"`
+
+	// degraded
+	Op string `json:"op,omitempty"` // e.g. "cache.put", "cache.corrupt"
+
+	// stall
+	IdleMS      float64 `json:"idle_ms,omitempty"`
+	ThresholdMS float64 `json:"threshold_ms,omitempty"`
+
+	// resume
+	Recovered int `json:"recovered,omitempty"` // cells reconstructed from journal+cache
+	Remaining int `json:"remaining,omitempty"`
+
 	// end
-	Completed   int     `json:"completed,omitempty"`
-	CacheHits   int     `json:"cache_hits,omitempty"`
-	Simulated   int     `json:"simulated,omitempty"`
-	Errors      int     `json:"errors,omitempty"`
-	Aborted     bool    `json:"aborted,omitempty"`
-	AbortReason string  `json:"abort_reason,omitempty"`
-	WallS       float64 `json:"wall_s,omitempty"`
+	Completed   int            `json:"completed,omitempty"`
+	CacheHits   int            `json:"cache_hits,omitempty"`
+	Simulated   int            `json:"simulated,omitempty"`
+	Errors      int            `json:"errors,omitempty"`
+	FailedKinds map[string]int `json:"failed_kinds,omitempty"`
+	Retries     int            `json:"retries,omitempty"`
+	Degraded    int            `json:"degraded,omitempty"`
+	Stalls      int            `json:"stalls,omitempty"`
+	Aborted     bool           `json:"aborted,omitempty"`
+	AbortReason string         `json:"abort_reason,omitempty"`
+	WallS       float64        `json:"wall_s,omitempty"`
 }
 
 // JournalWriter appends run-journal events as JSONL. Begin/CellStart/
-// CellDone/End map onto the scheduler's lifecycle; CellStart and
-// CellDone may be called concurrently (the underlying writer
+// CellDone/End map onto the scheduler's lifecycle; the per-cell and
+// fault events may be called concurrently (the underlying writer
 // serializes lines). Write errors are sticky — check Err once at the
 // end instead of at every event.
 type JournalWriter struct {
 	w     *telemetry.JSONL
 	start time.Time
+
+	// Faults, when non-nil, arms the journal.write.error injection
+	// point: a fired write poisons the writer with a sticky injected
+	// error, simulating its disk filling mid-run.
+	Faults *fault.Injector
 }
 
 // NewJournalWriter wraps w; the caller keeps ownership of w (close
@@ -80,11 +120,20 @@ func NewJournalWriter(w io.Writer) *JournalWriter {
 
 func stamp() string { return time.Now().Format(time.RFC3339Nano) }
 
+func (j *JournalWriter) write(e JournalEvent) {
+	if err := j.Faults.FireErr(fault.JournalWrite, e.Ev); err != nil {
+		j.w.Fail(err)
+	}
+	j.w.Write(e)
+}
+
 // Begin records the run header: which campaign, which exact plan
-// (fingerprint), how many cells, how wide the pool is.
+// (fingerprint), how many cells, how wide the pool is — and the
+// normalized spec itself, so a resume can rebuild the plan from the
+// journal alone.
 func (j *JournalWriter) Begin(plan *Plan, workers int, cacheDir string) {
 	j.start = time.Now()
-	j.w.Write(JournalEvent{
+	e := JournalEvent{
 		Ev:       EvStart,
 		Time:     stamp(),
 		Campaign: plan.Spec.Name,
@@ -92,12 +141,32 @@ func (j *JournalWriter) Begin(plan *Plan, workers int, cacheDir string) {
 		Cells:    len(plan.Cells),
 		Workers:  workers,
 		CacheDir: cacheDir,
+		BaseDir:  plan.Spec.BaseDir(),
+	}
+	if spec, err := json.Marshal(plan.Spec); err == nil {
+		e.Spec = spec
+	}
+	j.write(e)
+}
+
+// Resume records that a new run is continuing this journal:
+// recovered cells were reconstructed from the journal + cache,
+// remaining still need simulation. Written before the new run's
+// Begin.
+func (j *JournalWriter) Resume(plan *Plan, recovered, remaining int) {
+	j.write(JournalEvent{
+		Ev:        EvResume,
+		Time:      stamp(),
+		Campaign:  plan.Spec.Name,
+		Plan:      plan.Fingerprint(),
+		Recovered: recovered,
+		Remaining: remaining,
 	})
 }
 
 // CellStart records a worker picking up a distinct cell.
 func (j *JournalWriter) CellStart(c Cell) {
-	j.w.Write(JournalEvent{
+	j.write(JournalEvent{
 		Ev:    EvCellStart,
 		Time:  stamp(),
 		Key:   c.Key,
@@ -109,24 +178,34 @@ func (j *JournalWriter) CellStart(c Cell) {
 }
 
 // CellDone records a finished cell: where the result came from, how
-// long the simulation took, and how fast it ran.
+// long the simulation took, how fast it ran — and, for failures, the
+// taxonomy kind plus (for panics) the recovered stack.
 func (j *JournalWriter) CellDone(p Progress) {
 	e := JournalEvent{
-		Ev:     EvCellDone,
-		Time:   stamp(),
-		Key:    p.Cell.Key,
-		Index:  p.Cell.Index,
-		Bench:  p.Cell.Bench(),
-		Mech:   p.Cell.Mech(),
-		Seed:   p.Cell.Seed(),
-		Source: "sim",
-		Done:   p.Done,
+		Ev:       EvCellDone,
+		Time:     stamp(),
+		Key:      p.Cell.Key,
+		Index:    p.Cell.Index,
+		Bench:    p.Cell.Bench(),
+		Mech:     p.Cell.Mech(),
+		Seed:     p.Cell.Seed(),
+		Source:   p.Source,
+		Done:     p.Done,
+		Attempts: p.Attempts,
 	}
-	if p.FromCache {
-		e.Source = "cache"
+	if e.Source == "" {
+		e.Source = "sim"
+		if p.FromCache {
+			e.Source = "cache"
+		}
 	}
 	if p.Err != nil {
 		e.Err = p.Err.Error()
+		e.ErrKind = string(Classify(p.Err))
+		var ce *CellError
+		if errors.As(p.Err, &ce) {
+			e.Stack = ce.Stack
+		}
 	}
 	if p.Wall > 0 {
 		e.WallMS = float64(p.Wall.Nanoseconds()) / 1e6
@@ -135,7 +214,51 @@ func (j *JournalWriter) CellDone(p Progress) {
 			e.InstsPerSec = float64(p.Insts) / sec
 		}
 	}
-	j.w.Write(e)
+	j.write(e)
+}
+
+// Retry records one transient-failure retry before its backoff.
+func (j *JournalWriter) Retry(r RetryInfo) {
+	j.write(JournalEvent{
+		Ev:      EvRetry,
+		Time:    stamp(),
+		Key:     r.Cell.Key,
+		Index:   r.Cell.Index,
+		Bench:   r.Cell.Bench(),
+		Mech:    r.Cell.Mech(),
+		Seed:    r.Cell.Seed(),
+		Attempt: r.Attempt,
+		Err:     r.Err.Error(),
+		ErrKind: string(r.Kind),
+		DelayMS: float64(r.Delay.Nanoseconds()) / 1e6,
+	})
+}
+
+// Degraded records one non-fatal infrastructure failure the campaign
+// survived (unpersisted cache entry, quarantined corrupt cell, …).
+func (j *JournalWriter) Degraded(d Degradation) {
+	e := JournalEvent{
+		Ev:   EvDegraded,
+		Time: stamp(),
+		Op:   d.Op,
+		Key:  d.Key,
+	}
+	if d.Err != nil {
+		e.Err = d.Err.Error()
+	}
+	j.write(e)
+}
+
+// Stall records the scheduler watchdog flagging a stalled campaign.
+func (j *JournalWriter) Stall(r StallReport) {
+	j.write(JournalEvent{
+		Ev:          EvStall,
+		Time:        stamp(),
+		IdleMS:      float64(r.Idle.Nanoseconds()) / 1e6,
+		ThresholdMS: float64(r.Threshold.Nanoseconds()) / 1e6,
+		Done:        r.Done,
+		Cells:       r.Total,
+	})
 }
 
 // End records the run footer. A non-nil abortErr marks the campaign
@@ -144,13 +267,16 @@ func (j *JournalWriter) CellDone(p Progress) {
 // aborted rather than complete.
 func (j *JournalWriter) End(stats SchedulerStats, abortErr error) {
 	e := JournalEvent{
-		Ev:        EvEnd,
-		Time:      stamp(),
-		Cells:     stats.Total,
-		Completed: stats.Completed,
-		CacheHits: stats.CacheHits,
-		Simulated: stats.Simulated,
-		Errors:    stats.Errors,
+		Ev:          EvEnd,
+		Time:        stamp(),
+		Cells:       stats.Total,
+		Completed:   stats.Completed,
+		CacheHits:   stats.CacheHits,
+		Simulated:   stats.Simulated,
+		Errors:      stats.Errors,
+		FailedKinds: stats.FailedKinds,
+		Retries:     stats.Retries,
+		Degraded:    stats.Degraded,
 	}
 	if !j.start.IsZero() {
 		e.WallS = time.Since(j.start).Seconds()
@@ -159,14 +285,18 @@ func (j *JournalWriter) End(stats SchedulerStats, abortErr error) {
 		e.Aborted = true
 		e.AbortReason = abortErr.Error()
 	}
-	j.w.Write(e)
+	j.write(e)
 }
 
 // Err reports the first write error, if any.
 func (j *JournalWriter) Err() error { return j.w.Err() }
 
 // ReadJournal parses a run journal back into its events. Blank lines
-// are skipped; a malformed line fails with its line number.
+// are skipped; a malformed line mid-file fails with its line number,
+// but a torn final line — the signature of a run killed mid-write —
+// is tolerated: the intact events are returned along with a
+// *telemetry.TornTailError describing the debris, so resume and
+// status work on exactly the journals crashes leave behind.
 func ReadJournal(r io.Reader) ([]JournalEvent, error) {
 	var evs []JournalEvent
 	err := telemetry.ReadJSONL(r, func(line []byte) error {
@@ -177,48 +307,65 @@ func ReadJournal(r io.Reader) ([]JournalEvent, error) {
 		evs = append(evs, e)
 		return nil
 	})
-	return evs, err
+	var torn *telemetry.TornTailError
+	if errors.As(err, &torn) {
+		return evs, torn
+	}
+	if err != nil {
+		return nil, err
+	}
+	return evs, nil
 }
 
 // JournalStatus is the digest `mlcampaign status` prints: what the
-// journal says happened, plus derived throughput.
+// journal says happened, plus derived throughput. For a resumed
+// journal (multiple start events) the per-run counters describe the
+// latest run; Resumes counts the continuations.
 type JournalStatus struct {
-	Campaign string
-	Plan     string
-	Cells    int
-	Workers  int
-	CacheDir string
+	Campaign string `json:"campaign"`
+	Plan     string `json:"plan"`
+	Cells    int    `json:"cells"`
+	Workers  int    `json:"workers"`
+	CacheDir string `json:"cache_dir,omitempty"`
 
-	Started time.Time
-	Ended   time.Time // zero when the journal has no end event
+	Started time.Time `json:"started"`
+	Ended   time.Time `json:"ended"` // zero when the journal has no end event
 
-	Done      int
-	CacheHits int
-	Simulated int
-	Errors    int
-	Insts     uint64
+	Done      int            `json:"done"`
+	CacheHits int            `json:"cache_hits"`
+	Simulated int            `json:"simulated"`
+	Errors    int            `json:"errors"`
+	ErrKinds  map[string]int `json:"err_kinds,omitempty"`
+	Retries   int            `json:"retries,omitempty"`
+	Degraded  int            `json:"degraded,omitempty"`
+	Stalls    int            `json:"stalls,omitempty"`
+	Resumes   int            `json:"resumes,omitempty"`
+	Torn      bool           `json:"torn,omitempty"` // journal ended in a torn line
+	Insts     uint64         `json:"insts"`
 	// SimWall is the summed per-cell simulation wall time (can exceed
 	// Elapsed: workers run in parallel).
-	SimWall time.Duration
+	SimWall time.Duration `json:"sim_wall_ns"`
 
 	// Complete is true when the journal carries an end event; a
 	// journal without one belongs to a run that is still going or was
 	// killed without winding down.
-	Complete    bool
-	Aborted     bool
-	AbortReason string
-	WallS       float64
+	Complete    bool    `json:"complete"`
+	Aborted     bool    `json:"aborted,omitempty"`
+	AbortReason string  `json:"abort_reason,omitempty"`
+	WallS       float64 `json:"wall_s"`
 
 	// Slowest holds the highest-wall-time simulated cells, slowest
 	// first (at most five).
-	Slowest []JournalEvent
+	Slowest []JournalEvent `json:"slowest,omitempty"`
 	// Failures holds every cell_done event with an error.
-	Failures []JournalEvent
+	Failures []JournalEvent `json:"failures,omitempty"`
 }
 
 // SummarizeJournal digests a parsed journal. It tolerates truncated
 // journals (no end event) — that is precisely the case status exists
-// to diagnose — but rejects an empty one.
+// to diagnose — but rejects an empty one. A resumed journal holds
+// several start/…/end runs; each start resets the per-run counters so
+// the digest describes the latest (usually most complete) run.
 func SummarizeJournal(evs []JournalEvent) (JournalStatus, error) {
 	if len(evs) == 0 {
 		return JournalStatus{}, fmt.Errorf("campaign: journal is empty")
@@ -227,17 +374,28 @@ func SummarizeJournal(evs []JournalEvent) (JournalStatus, error) {
 	for _, e := range evs {
 		switch e.Ev {
 		case EvStart:
+			resumes := st.Resumes
+			st = JournalStatus{Resumes: resumes}
 			st.Campaign = e.Campaign
 			st.Plan = e.Plan
 			st.Cells = e.Cells
 			st.Workers = e.Workers
 			st.CacheDir = e.CacheDir
 			st.Started, _ = time.Parse(time.RFC3339Nano, e.Time)
+		case EvResume:
+			st.Resumes++
+		case EvRetry:
+			st.Retries++
+		case EvDegraded:
+			st.Degraded++
+		case EvStall:
+			st.Stalls++
 		case EvCellDone:
 			st.Done++
 			switch {
 			case e.Err != "":
 				st.Errors++
+				st.countKind(e.ErrKind)
 				st.Failures = append(st.Failures, e)
 			case e.Source == "cache":
 				st.CacheHits++
@@ -261,6 +419,11 @@ func SummarizeJournal(evs []JournalEvent) (JournalStatus, error) {
 			st.CacheHits = e.CacheHits
 			st.Simulated = e.Simulated
 			st.Errors = e.Errors
+			if len(e.FailedKinds) > 0 {
+				st.ErrKinds = e.FailedKinds
+			}
+			st.Retries = e.Retries
+			st.Degraded = e.Degraded
 		}
 	}
 	sort.SliceStable(st.Slowest, func(i, k int) bool { return st.Slowest[i].WallMS > st.Slowest[k].WallMS })
@@ -270,16 +433,47 @@ func SummarizeJournal(evs []JournalEvent) (JournalStatus, error) {
 	return st, nil
 }
 
+func (st *JournalStatus) countKind(kind string) {
+	if st.ErrKinds == nil {
+		st.ErrKinds = map[string]int{}
+	}
+	if kind == "" {
+		kind = string(KindModel)
+	}
+	st.ErrKinds[kind]++
+}
+
 // Text renders the status digest for the terminal.
 func (st JournalStatus) Text() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "campaign %q  plan %s\n", st.Campaign, shortKey(st.Plan))
+	if st.Resumes > 0 {
+		fmt.Fprintf(&b, "resumes   %d (latest run shown)\n", st.Resumes)
+	}
 	fmt.Fprintf(&b, "cells     %d/%d done: %d simulated, %d cached, %d failed\n",
 		st.Done, st.Cells, st.Simulated, st.CacheHits, st.Errors)
+	if len(st.ErrKinds) > 0 {
+		kinds := make([]string, 0, len(st.ErrKinds))
+		for k := range st.ErrKinds {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		parts := make([]string, len(kinds))
+		for i, k := range kinds {
+			parts[i] = fmt.Sprintf("%d %s", st.ErrKinds[k], k)
+		}
+		fmt.Fprintf(&b, "failed    %s\n", strings.Join(parts, ", "))
+	}
 	if st.Done > 0 {
 		fmt.Fprintf(&b, "cache     %.1f%% hit rate\n", 100*float64(st.CacheHits)/float64(st.Done))
 	}
+	if st.Retries > 0 || st.Degraded > 0 || st.Stalls > 0 {
+		fmt.Fprintf(&b, "faults    %d retries, %d degradations, %d stall flags\n",
+			st.Retries, st.Degraded, st.Stalls)
+	}
 	switch {
+	case !st.Complete && st.Torn:
+		fmt.Fprintf(&b, "state     TORN TAIL, NO END EVENT — killed mid-write; resumable\n")
 	case !st.Complete:
 		fmt.Fprintf(&b, "state     NO END EVENT — run still in progress or killed hard\n")
 	case st.Aborted:
@@ -303,7 +497,11 @@ func (st JournalStatus) Text() string {
 	if len(st.Failures) > 0 {
 		fmt.Fprintf(&b, "failures:\n")
 		for _, e := range st.Failures {
-			fmt.Fprintf(&b, "  %s/%s seed=%d: %s\n", e.Bench, e.Mech, e.Seed, e.Err)
+			kind := e.ErrKind
+			if kind == "" {
+				kind = string(KindModel)
+			}
+			fmt.Fprintf(&b, "  [%s] %s/%s seed=%d: %s\n", kind, e.Bench, e.Mech, e.Seed, e.Err)
 		}
 	}
 	return b.String()

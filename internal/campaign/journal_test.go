@@ -11,6 +11,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"microlib/internal/fault"
+	"microlib/internal/telemetry"
 )
 
 // readJournalStrict parses the journal and additionally insists every
@@ -221,9 +224,104 @@ func TestJournalRejectsGarbage(t *testing.T) {
 	if _, err := SummarizeJournal(nil); err == nil {
 		t.Fatal("empty journal must be rejected")
 	}
-	_, err := ReadJournal(strings.NewReader("{\"ev\":\"start\"}\nnot json\n"))
+	// Garbage in the middle of the file is real corruption — a valid
+	// line after it proves the writer kept going, so this is not the
+	// benign torn tail a killed run leaves.
+	_, err := ReadJournal(strings.NewReader("{\"ev\":\"start\"}\nnot json\n{\"ev\":\"end\"}\n"))
 	if err == nil || !strings.Contains(err.Error(), "line 2") {
-		t.Fatalf("malformed line must fail with its line number, got %v", err)
+		t.Fatalf("mid-file garbage must fail hard with its line number, got %v", err)
+	}
+	var torn *telemetry.TornTailError
+	if errors.As(err, &torn) {
+		t.Fatalf("mid-file garbage must not be classified as a torn tail: %v", err)
+	}
+}
+
+// A journal whose final line is torn (the process died mid-write)
+// yields the intact prefix plus a typed *TornTailError, so resume and
+// status can use what survived.
+func TestJournalTornTailIsTyped(t *testing.T) {
+	evs, err := ReadJournal(strings.NewReader("{\"ev\":\"start\",\"campaign\":\"t\"}\n{\"ev\":\"cell_done\",\"key\":\"abc\"}\n{\"ev\":\"cell_do"))
+	var torn *telemetry.TornTailError
+	if !errors.As(err, &torn) {
+		t.Fatalf("torn final line must return *TornTailError, got %v", err)
+	}
+	if torn.Line != 3 {
+		t.Fatalf("torn line number: %d", torn.Line)
+	}
+	if len(evs) != 2 || evs[0].Ev != EvStart || evs[1].Key != "abc" {
+		t.Fatalf("intact prefix must be returned alongside the error: %+v", evs)
+	}
+	// The prefix is still summarizable — status on a killed run.
+	st, err := SummarizeJournal(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Complete {
+		t.Fatal("a torn journal has no end event")
+	}
+	if st.Done != 1 {
+		t.Fatalf("prefix cells must count: %+v", st)
+	}
+}
+
+// SummarizeJournal on a resumed journal: the latest run's counters
+// win, but resume markers accumulate across runs.
+func TestSummarizeJournalResumedRun(t *testing.T) {
+	lines := strings.Join([]string{
+		`{"ev":"start","campaign":"t","cells":4,"plan":"p1"}`,
+		`{"ev":"cell_done","key":"a","err":"boom","err_kind":"panic"}`,
+		`{"ev":"resume","campaign":"t","recovered":1,"remaining":3}`,
+		`{"ev":"start","campaign":"t","cells":4,"plan":"p1"}`,
+		`{"ev":"cell_done","key":"b"}`,
+		`{"ev":"cell_done","key":"a","err":"boom","err_kind":"panic","source":"journal"}`,
+		`{"ev":"end","completed":4,"errors":1,"failed_kinds":{"panic":1},"wall_s":0.5}`,
+	}, "\n") + "\n"
+	evs, err := ReadJournal(strings.NewReader(lines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := SummarizeJournal(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Resumes != 1 {
+		t.Fatalf("resumes: %d", st.Resumes)
+	}
+	if !st.Complete || st.Done != 4 || st.Errors != 1 {
+		t.Fatalf("footer must be authoritative for the latest run: %+v", st)
+	}
+	if st.ErrKinds["panic"] != 1 {
+		t.Fatalf("err kinds: %+v", st.ErrKinds)
+	}
+	if !strings.Contains(st.Text(), "resumes   1") {
+		t.Fatalf("status text must surface resumes:\n%s", st.Text())
+	}
+}
+
+// A journal writer whose sink fails sticks the first error and keeps
+// the campaign alive — the injected journal.write.error path.
+func TestJournalWriterInjectedFailureSticks(t *testing.T) {
+	var buf bytes.Buffer
+	jw := NewJournalWriter(&buf)
+	jw.Faults = fault.New(1).Enable(fault.JournalWrite, 1).Limit(fault.JournalWrite, 1)
+	plan, err := NewPlan(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw.Begin(plan, 1, "")
+	err = jw.Err()
+	var fe *fault.Error
+	if !errors.As(err, &fe) || fe.Point != fault.JournalWrite {
+		t.Fatalf("injected write failure must stick as a typed error, got %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("failed write must emit nothing, got %q", buf.String())
+	}
+	// Later events are dropped, not crashed on.
+	jw.CellDone(Progress{Cell: plan.Cells[0]})
+	if jw.Err() != err && !errors.As(jw.Err(), &fe) {
+		t.Fatalf("first error must stick: %v", jw.Err())
 	}
 }
 

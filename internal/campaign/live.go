@@ -18,6 +18,9 @@ type LiveStats struct {
 	cacheHits int
 	simulated int
 	errors    int
+	retries   int
+	degraded  int
+	stalls    int
 	insts     uint64
 	// simWall accumulates per-cell simulation wall time across all
 	// workers; simWall / (workers * elapsed) is pool utilization.
@@ -33,6 +36,9 @@ type LiveSnapshot struct {
 	CacheHits int           `json:"cache_hits"`
 	Simulated int           `json:"simulated"`
 	Errors    int           `json:"errors"`
+	Retries   int           `json:"retries"`
+	Degraded  int           `json:"degraded"`
+	Stalls    int           `json:"stalls"`
 	Insts     uint64        `json:"insts"`
 	Elapsed   time.Duration `json:"elapsed_ns"`
 	// CellsPerSec is overall completion throughput since the
@@ -79,6 +85,24 @@ func (l *LiveStats) cellFinished(fromCache bool, err error, wall time.Duration, 
 	l.mu.Unlock()
 }
 
+func (l *LiveStats) noteRetry() {
+	l.mu.Lock()
+	l.retries++
+	l.mu.Unlock()
+}
+
+func (l *LiveStats) noteDegraded() {
+	l.mu.Lock()
+	l.degraded++
+	l.mu.Unlock()
+}
+
+func (l *LiveStats) noteStall() {
+	l.mu.Lock()
+	l.stalls++
+	l.mu.Unlock()
+}
+
 // Snapshot returns a consistent reading with the derived rates filled
 // in. Safe to call at any time from any goroutine.
 func (l *LiveStats) Snapshot() LiveSnapshot {
@@ -91,6 +115,9 @@ func (l *LiveStats) Snapshot() LiveSnapshot {
 		CacheHits: l.cacheHits,
 		Simulated: l.simulated,
 		Errors:    l.errors,
+		Retries:   l.retries,
+		Degraded:  l.degraded,
+		Stalls:    l.stalls,
 		Insts:     l.insts,
 	}
 	started, simWall := l.started, l.simWall

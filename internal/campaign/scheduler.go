@@ -3,11 +3,16 @@ package campaign
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"microlib/internal/core"
+	"microlib/internal/fault"
 	"microlib/internal/runner"
 	"microlib/internal/telemetry"
 )
@@ -21,6 +26,27 @@ type SchedulerStats struct {
 	CacheHits int `json:"cache_hits"`
 	Simulated int `json:"simulated"`
 	Errors    int `json:"errors"`
+	// Retries counts transient-failure retry attempts (cells retried
+	// after a timeout, cache writes retried after an I/O error).
+	Retries int `json:"retries,omitempty"`
+	// Degraded counts non-fatal infrastructure failures the campaign
+	// survived (unpersisted cache entries, quarantined corrupt cells).
+	Degraded int `json:"degraded,omitempty"`
+	// FailedKinds breaks Errors down by taxonomy kind
+	// (panic/timeout/model/io).
+	FailedKinds map[string]int `json:"failed_kinds,omitempty"`
+}
+
+func (s *SchedulerStats) countFailure(kind ErrKind) {
+	s.Errors++
+	if s.FailedKinds == nil {
+		s.FailedKinds = map[string]int{}
+	}
+	k := string(kind)
+	if k == "" {
+		k = string(KindModel)
+	}
+	s.FailedKinds[k]++
 }
 
 // Progress reports one finished cell to the OnProgress callback.
@@ -30,6 +56,9 @@ type Progress struct {
 	Cell      Cell
 	FromCache bool
 	Err       error
+	// Source tells where the result came from: "sim", "cache", or
+	// "journal" (a deterministic failure replayed by a resumed run).
+	Source string
 	// Wall is the host wall-clock time the cell occupied a worker;
 	// (near-)zero for cache hits and duplicate copies.
 	Wall time.Duration
@@ -37,6 +66,9 @@ type Progress struct {
 	// (warm-up + measured); zero for cache hits, duplicates and
 	// failures. Insts/Wall is the cell's simulation throughput.
 	Insts uint64
+	// Attempts is how many retries the cell consumed before this
+	// outcome (0 for first-try results).
+	Attempts int
 }
 
 // CellCache serves and persists finished cells by fingerprint key.
@@ -75,11 +107,62 @@ type Scheduler struct {
 	// of a campaign. Sampling does not alter results or fingerprints.
 	Interval     uint64
 	IntervalSink func(Cell, []telemetry.Interval)
+
+	// CellTimeout bounds each cell's wall time; a cell exceeding it is
+	// canceled and recorded as a timeout failure (transient, so Retry
+	// applies). 0 disables the deadline.
+	CellTimeout time.Duration
+	// Retry retries transient cell failures (timeouts) and cache
+	// writes with capped exponential backoff. Deterministic failures
+	// (model errors, panics) are never retried.
+	Retry RetryPolicy
+	// KnownFailures pre-resolves cells whose deterministic failure an
+	// earlier run already recorded (resume reconstructs it from the
+	// journal); they are served without re-simulating.
+	KnownFailures map[string]CellResult
+	// OnDegrade, when non-nil, observes non-fatal infrastructure
+	// failures (see Degradation). Called concurrently from workers.
+	OnDegrade func(Degradation)
+	// OnRetry, when non-nil, observes every transient-failure retry
+	// before its backoff sleep. Called concurrently from workers.
+	OnRetry func(RetryInfo)
+	// OnStall, when non-nil, receives the stall watchdog's flag (see
+	// StallFactor). Called from the watchdog goroutine.
+	OnStall func(StallReport)
+	// StallFactor arms the campaign-level stall watchdog: when no cell
+	// has finished for StallFactor × the median completed-cell wall
+	// time (floored at StallMin), the campaign is flagged as stalled —
+	// once per stall episode. 0 disables the watchdog.
+	StallFactor float64
+	// StallMin floors the stall threshold; defaults to 5s when the
+	// watchdog is armed.
+	StallMin time.Duration
+	// Faults, when non-nil, arms the fault-injection points inside
+	// the scheduler (cell.panic, cell.slow). Testing only.
+	Faults *fault.Injector
+
+	stall     *stallWatch
+	degradedN atomic.Int64
+}
+
+// Degrade feeds one non-fatal infrastructure failure into the
+// running campaign's counters and OnDegrade hook. The scheduler calls
+// it for its own cache-write failures; Execute also wires it as the
+// disk cache's read-side degradation sink. Safe from any goroutine.
+func (s *Scheduler) Degrade(d Degradation) {
+	s.degradedN.Add(1)
+	if s.Live != nil {
+		s.Live.noteDegraded()
+	}
+	if s.OnDegrade != nil {
+		s.OnDegrade(d)
+	}
 }
 
 // Run executes the cells and returns their results keyed by cell
-// fingerprint. Cell simulation failures are recorded in the result
-// map (Err set) and counted, not fatal. When ctx is canceled, no new
+// fingerprint. Cell simulation failures — including recovered panics
+// and deadline timeouts — are recorded in the result map (Err set),
+// classified and counted, not fatal. When ctx is canceled, no new
 // cells start, in-flight simulations wind down without contributing
 // results, and Run returns ctx's error alongside the results
 // gathered so far — everything already simulated is in the cache, so
@@ -96,8 +179,21 @@ func (s *Scheduler) Run(ctx context.Context, cells []Cell) (map[string]CellResul
 	stats := SchedulerStats{Total: len(cells)}
 	results := make(map[string]CellResult, len(cells))
 	var mu sync.Mutex
+	s.degradedN.Store(0)
 	if s.Live != nil {
 		s.Live.begin(stats.Total, workers)
+	}
+
+	if s.StallFactor > 0 {
+		min := s.StallMin
+		if min <= 0 {
+			min = 5 * time.Second
+		}
+		s.stall = &stallWatch{factor: s.StallFactor, min: min, last: time.Now(), total: len(cells)}
+		stop := make(chan struct{})
+		defer close(stop)
+		go s.stallLoop(stop)
+		defer func() { s.stall = nil }()
 	}
 
 	jobs := make(chan Cell)
@@ -140,12 +236,16 @@ feed:
 			continue // first copy canceled: this one is missing too
 		}
 		var dupErr error
+		mu.Lock()
 		stats.Completed++
+		src := "cache"
 		if res.Err != "" {
-			// Simulations are deterministic: a rerun would fail the
-			// same way, so the copy shares the recorded failure.
-			stats.Errors++
-			dupErr = errors.New(res.Err)
+			// A recorded failure is deterministic (transient ones are
+			// not stored for sharing), so the copy shares it instead
+			// of racing a doomed rerun onto a worker.
+			stats.countFailure(ErrKind(res.ErrKind))
+			dupErr = &CellError{Kind: ErrKind(res.ErrKind), Msg: res.Err}
+			src = "sim"
 		} else {
 			stats.CacheHits++
 		}
@@ -153,9 +253,11 @@ feed:
 			s.Live.cellFinished(dupErr == nil, dupErr, 0, 0)
 		}
 		if s.OnProgress != nil {
-			s.OnProgress(Progress{Done: stats.Completed, Total: stats.Total, Cell: c, FromCache: dupErr == nil, Err: dupErr})
+			s.OnProgress(Progress{Done: stats.Completed, Total: stats.Total, Cell: c, FromCache: dupErr == nil, Source: src, Err: dupErr})
 		}
+		mu.Unlock()
 	}
+	stats.Degraded = int(s.degradedN.Load())
 	// Cancellation that landed after the last cell finished did not
 	// interrupt anything: the campaign is complete.
 	err := ctx.Err()
@@ -175,19 +277,17 @@ func (s *Scheduler) runCell(ctx context.Context, cell Cell, mu *sync.Mutex, resu
 		s.Live.cellRunning(1)
 		defer s.Live.cellRunning(-1)
 	}
+	if res, ok := s.KnownFailures[cell.Key]; ok {
+		// A deterministic failure recorded by an earlier run: rerunning
+		// the cell would fail the same way, so serve the recorded
+		// failure (the resume counterpart of the duplicate-cell rule).
+		err := &CellError{Kind: ErrKind(res.ErrKind), Msg: res.Err}
+		s.finish(mu, results, stats, cell, res, Progress{Source: "journal", Err: err})
+		return
+	}
 	if s.Cache != nil {
 		if res, ok := s.Cache.Get(cell.Key); ok {
-			mu.Lock()
-			results[cell.Key] = res
-			stats.Completed++
-			stats.CacheHits++
-			if s.Live != nil {
-				s.Live.cellFinished(true, nil, 0, 0)
-			}
-			if s.OnProgress != nil {
-				s.OnProgress(Progress{Done: stats.Completed, Total: stats.Total, Cell: cell, FromCache: true})
-			}
-			mu.Unlock()
+			s.finish(mu, results, stats, cell, res, Progress{FromCache: true, Source: "cache"})
 			return
 		}
 	}
@@ -203,14 +303,47 @@ func (s *Scheduler) runCell(ctx context.Context, cell Cell, mu *sync.Mutex, resu
 		opts.IntervalSink = func(iv telemetry.Interval) { ivs = append(ivs, iv) }
 	}
 
-	t0 := time.Now()
-	full, err := runner.RunContext(ctx, opts)
-	wall := time.Since(t0)
-	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
-		// A canceled cell produced no usable measurement; leave it
-		// for the resumed campaign. A cell that finished just before
-		// cancellation (err == nil) is kept and cached.
-		return
+	var (
+		full     runner.Result
+		err      error
+		wall     time.Duration
+		attempts int
+	)
+	for {
+		ivs = ivs[:0] // a retried attempt starts a fresh series
+		t0 := time.Now()
+		full, err = s.simulate(ctx, cell, opts)
+		wall = time.Since(t0)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The campaign (not the cell) was canceled: the cell
+			// produced no usable measurement; leave it unrecorded for
+			// the resumed run. A cell that finished just before
+			// cancellation (err == nil) is kept and cached.
+			return
+		}
+		kind := Classify(err)
+		if !kind.Transient() || attempts >= s.Retry.Max {
+			break
+		}
+		attempts++
+		delay := s.Retry.Delay(attempts)
+		mu.Lock()
+		stats.Retries++
+		mu.Unlock()
+		if s.Live != nil {
+			s.Live.noteRetry()
+		}
+		if s.OnRetry != nil {
+			s.OnRetry(RetryInfo{Cell: cell, Attempt: attempts, Err: err, Kind: kind, Delay: delay})
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return // unrecorded: the resumed run retries it fresh
+		}
 	}
 
 	var insts uint64
@@ -219,30 +352,179 @@ func (s *Scheduler) runCell(ctx context.Context, cell Cell, mu *sync.Mutex, resu
 		if s.IntervalSink != nil && len(ivs) > 0 {
 			s.IntervalSink(cell, ivs)
 		}
+	} else {
+		err = asCellError(err)
 	}
 
 	res := toCellResult(cell, full, err)
 	if err == nil && s.Cache != nil {
 		// A failed Put degrades to recomputation next time; the
-		// in-memory result is still good.
-		_ = s.Cache.Put(res)
+		// in-memory result is still good — but the degradation is
+		// counted and journaled, not silently dropped.
+		if perr := s.putWithRetry(ctx, res); perr != nil {
+			s.Degrade(Degradation{Op: "cache.put", Key: cell.Key, Err: perr})
+		}
 	}
 
+	s.finish(mu, results, stats, cell, res, Progress{Err: err, Source: "sim", Wall: wall, Insts: insts, Attempts: attempts})
+}
+
+// simulate runs one attempt of a cell under the per-cell deadline,
+// converting a deadline cut into a typed timeout failure and a
+// simulation panic (the OoO watchdog, a model bug) into a typed panic
+// failure with its stack — the cell fails, the campaign continues.
+func (s *Scheduler) simulate(ctx context.Context, cell Cell, opts runner.Options) (full runner.Result, err error) {
+	cctx := ctx
+	if s.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(ctx, s.CellTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = &CellError{
+				Kind:  KindPanic,
+				Msg:   fmt.Sprintf("panic: %v", r),
+				Stack: string(debug.Stack()),
+			}
+		}
+	}()
+	if s.Faults.Fire(fault.CellPanic, cell.Key) {
+		panic(fmt.Sprintf("fault: injected panic in cell %s", cell.Key))
+	}
+	if s.Faults.Fire(fault.CellSlow, cell.Key) {
+		select {
+		case <-time.After(s.Faults.SlowFor):
+		case <-cctx.Done():
+		}
+	}
+	full, err = runner.RunContext(cctx, opts)
+	if err != nil && cctx.Err() != nil && ctx.Err() == nil {
+		// The cell's own deadline cut it, not campaign cancellation.
+		err = &CellError{Kind: KindTimeout, Msg: fmt.Sprintf("cell exceeded deadline %v", s.CellTimeout)}
+	}
+	return full, err
+}
+
+// putWithRetry persists one result, retrying transient cache I/O per
+// the retry policy.
+func (s *Scheduler) putWithRetry(ctx context.Context, res CellResult) error {
+	err := s.Cache.Put(res)
+	for attempt := 1; err != nil && attempt <= s.Retry.Max; attempt++ {
+		select {
+		case <-time.After(s.Retry.Delay(attempt)):
+		case <-ctx.Done():
+			return err
+		}
+		err = s.Cache.Put(res)
+	}
+	return err
+}
+
+// finish records one resolved cell under the scheduler lock: result
+// map, counters, live stats, progress callback, stall watchdog.
+func (s *Scheduler) finish(mu *sync.Mutex, results map[string]CellResult, stats *SchedulerStats, cell Cell, res CellResult, p Progress) {
 	mu.Lock()
 	results[cell.Key] = res
 	stats.Completed++
-	if err != nil {
-		stats.Errors++
-	} else {
+	switch {
+	case res.Err != "":
+		stats.countFailure(ErrKind(res.ErrKind))
+	case p.FromCache:
+		stats.CacheHits++
+	default:
 		stats.Simulated++
 	}
 	if s.Live != nil {
-		s.Live.cellFinished(false, err, wall, insts)
+		s.Live.cellFinished(p.FromCache, p.Err, p.Wall, p.Insts)
+	}
+	if s.stall != nil {
+		s.stall.cellFinished(p.Wall)
 	}
 	if s.OnProgress != nil {
-		s.OnProgress(Progress{Done: stats.Completed, Total: stats.Total, Cell: cell, Err: err, Wall: wall, Insts: insts})
+		p.Done = stats.Completed
+		p.Total = stats.Total
+		p.Cell = cell
+		s.OnProgress(p)
 	}
 	mu.Unlock()
+}
+
+// stallWatch tracks campaign liveness: the wall times of completed
+// cells (for the median) and the time of the last finish.
+type stallWatch struct {
+	mu      sync.Mutex
+	factor  float64
+	min     time.Duration
+	last    time.Time
+	walls   []time.Duration
+	done    int
+	total   int
+	flagged bool
+}
+
+func (w *stallWatch) cellFinished(wall time.Duration) {
+	w.mu.Lock()
+	w.last = time.Now()
+	w.done++
+	w.flagged = false // progress ends the stall episode
+	if wall > 0 {
+		w.walls = append(w.walls, wall)
+	}
+	w.mu.Unlock()
+}
+
+// check flags a stall once per episode.
+func (w *stallWatch) check() (StallReport, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.flagged || w.done >= w.total {
+		return StallReport{}, false
+	}
+	var median time.Duration
+	if len(w.walls) > 0 {
+		sorted := append([]time.Duration(nil), w.walls...)
+		sort.Slice(sorted, func(i, k int) bool { return sorted[i] < sorted[k] })
+		median = sorted[len(sorted)/2]
+	}
+	threshold := time.Duration(w.factor * float64(median))
+	if threshold < w.min {
+		threshold = w.min
+	}
+	idle := time.Since(w.last)
+	if idle <= threshold {
+		return StallReport{}, false
+	}
+	w.flagged = true
+	return StallReport{Idle: idle, Threshold: threshold, Median: median, Done: w.done, Total: w.total}, true
+}
+
+func (s *Scheduler) stallLoop(stop <-chan struct{}) {
+	w := s.stall
+	tick := w.min / 8
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	if tick > time.Second {
+		tick = time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		if rep, ok := w.check(); ok {
+			if s.Live != nil {
+				s.Live.noteStall()
+			}
+			if s.OnStall != nil {
+				s.OnStall(rep)
+			}
+		}
+	}
 }
 
 // toCellResult projects a runner result onto the serializable cell
@@ -256,6 +538,7 @@ func toCellResult(cell Cell, full runner.Result, err error) CellResult {
 	}
 	if err != nil {
 		res.Err = err.Error()
+		res.ErrKind = string(Classify(err))
 		return res
 	}
 	res.IPC = full.IPC

@@ -33,6 +33,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"microlib/internal/cfgreg"
 	"microlib/internal/core"
@@ -133,6 +134,17 @@ type Spec struct {
 	// the CLIs' -set flag): {"hier.l1d.assoc": 2} runs the whole sweep
 	// on a 2-way L1D.
 	Set map[string]FieldValue `json:"set,omitempty"`
+	// CellTimeout bounds each cell's wall time; a cell exceeding it
+	// is canceled and recorded as a timeout failure (transient, so
+	// the retry policy applies). Accepts Go duration strings ("30s",
+	// "2m"). Zero disables the deadline. The -cell-timeout flag
+	// overrides it.
+	CellTimeout Duration `json:"cell_timeout,omitempty"`
+	// Retry retries transient cell failures (timeouts, cache I/O)
+	// with capped exponential backoff. Nil means the CLI default (or
+	// no retries when driven as a library). The -retry/-retry-delay
+	// flags override it.
+	Retry *RetrySpec `json:"retry,omitempty"`
 	// Params overrides mechanism construction parameters, keyed by
 	// mechanism name then parameter name (e.g. {"TCP": {"queue": 1}}).
 	// Mechanism names are validated against the registry and the
@@ -175,6 +187,59 @@ type WorkloadSpec struct {
 	// Resolved by Normalize.
 	tracePath string // Trace with baseDir applied
 	traceSHA  string // content hash of the trace file
+}
+
+// Duration is time.Duration with the JSON encoding specs want: a Go
+// duration string ("30s", "1m30s") or a plain number of nanoseconds.
+type Duration time.Duration
+
+// MarshalJSON encodes as a duration string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts a duration string or nanoseconds.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("campaign: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(data, &ns); err != nil {
+		return fmt.Errorf("campaign: duration must be a string like \"30s\" or nanoseconds")
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// Std returns the standard-library duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// RetrySpec is the spec form of the scheduler's retry policy.
+type RetrySpec struct {
+	// Max is the number of extra attempts per transient failure.
+	Max int `json:"max"`
+	// BaseDelay is the backoff before the first retry, doubling
+	// (capped) before each later one. Empty means 200ms.
+	BaseDelay Duration `json:"base_delay,omitempty"`
+}
+
+// Policy converts to the scheduler's retry policy, applying the
+// 200ms base-delay default.
+func (r *RetrySpec) Policy() RetryPolicy {
+	if r == nil {
+		return RetryPolicy{}
+	}
+	p := RetryPolicy{Max: r.Max, BaseDelay: r.BaseDelay.Std()}
+	if p.Max > 0 && p.BaseDelay <= 0 {
+		p.BaseDelay = 200 * time.Millisecond
+	}
+	return p
 }
 
 // ParamSetSpec is one value of the "paramsets" axis: a named bundle
@@ -224,6 +289,14 @@ func LoadSpec(path string) (Spec, error) {
 	s.baseDir = filepath.Dir(path)
 	return s, nil
 }
+
+// BaseDir returns the directory relative trace paths resolve against
+// (empty unless the spec came from a file or SetBaseDir).
+func (s *Spec) BaseDir() string { return s.baseDir }
+
+// SetBaseDir anchors relative trace paths, the way LoadSpec does for
+// file specs. Resume uses it to replant a spec embedded in a journal.
+func (s *Spec) SetBaseDir(dir string) { s.baseDir = dir }
 
 // Normalize fills defaults and validates every axis value against
 // the registries. It must be called (directly or via NewPlan) before
@@ -316,6 +389,17 @@ func (s *Spec) Normalize() error {
 	}
 	if len(s.Seeds) == 0 {
 		s.Seeds = []uint64{DefaultSeed}
+	}
+	if s.CellTimeout < 0 {
+		return fmt.Errorf("campaign: negative cell_timeout %v", s.CellTimeout.Std())
+	}
+	if s.Retry != nil {
+		if s.Retry.Max < 0 {
+			return fmt.Errorf("campaign: negative retry max %d", s.Retry.Max)
+		}
+		if s.Retry.BaseDelay < 0 {
+			return fmt.Errorf("campaign: negative retry base_delay %v", s.Retry.BaseDelay.Std())
+		}
 	}
 
 	if err := validateAxis("benchmark", s.Benchmarks, s.reg.Names()); err != nil {

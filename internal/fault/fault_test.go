@@ -1,0 +1,138 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// The injector's one contract that everything else leans on: a
+// decision depends only on (seed, point, key, occurrence), never on
+// call interleaving — so a chaos run replays bit-identically.
+func TestFireDeterministic(t *testing.T) {
+	keys := []string{"a", "b", "c", "d"}
+	schedule := func(seed uint64) []bool {
+		in := New(seed).Enable(CachePutError, 0.5)
+		var out []bool
+		for round := 0; round < 20; round++ {
+			for _, k := range keys {
+				out = append(out, in.Fire(CachePutError, k))
+			}
+		}
+		return out
+	}
+	a, b := schedule(7), schedule(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at decision %d", i)
+		}
+	}
+	c := schedule(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical 80-decision schedule")
+	}
+}
+
+func TestFireRates(t *testing.T) {
+	in := New(1).Enable(CellPanic, 1).Enable(CellSlow, 0)
+	for i := 0; i < 50; i++ {
+		if !in.Fire(CellPanic, "k") {
+			t.Fatal("rate 1 must always fire")
+		}
+		if in.Fire(CellSlow, "k") {
+			t.Fatal("rate 0 must never fire")
+		}
+		if in.Fire(JournalWrite, "k") {
+			t.Fatal("unarmed point must never fire")
+		}
+	}
+	if in.Fired(CellPanic) != 50 || in.Fired(CellSlow) != 0 {
+		t.Fatalf("fired counts: %d, %d", in.Fired(CellPanic), in.Fired(CellSlow))
+	}
+	mid := New(1).Enable(CachePutError, 0.5)
+	n := 0
+	for i := 0; i < 1000; i++ {
+		if mid.Fire(CachePutError, "k") {
+			n++
+		}
+	}
+	if n < 350 || n > 650 {
+		t.Fatalf("rate 0.5 fired %d/1000 — hash badly skewed", n)
+	}
+}
+
+func TestEnableKeysAndLimit(t *testing.T) {
+	in := New(3).EnableKeys(CellPanic, 1, "victim").Limit(CellPanic, 2)
+	if in.Fire(CellPanic, "bystander") {
+		t.Fatal("key-scoped point fired for an unlisted key")
+	}
+	fires := 0
+	for i := 0; i < 10; i++ {
+		if in.Fire(CellPanic, "victim") {
+			fires++
+		}
+	}
+	if fires != 2 {
+		t.Fatalf("limit 2 allowed %d fires", fires)
+	}
+	if in.TotalFired() != 2 {
+		t.Fatalf("TotalFired: %d", in.TotalFired())
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.Fire(CellPanic, "k") || in.FireErr(CachePutError, "k") != nil {
+		t.Fatal("nil injector must never fire")
+	}
+	if in.Fired(CellPanic) != 0 || in.TotalFired() != 0 {
+		t.Fatal("nil injector must count nothing")
+	}
+}
+
+func TestFireErrTyped(t *testing.T) {
+	in := New(1).Enable(CacheGetError, 1)
+	err := in.FireErr(CacheGetError, "cell-key")
+	var fe *Error
+	if !errors.As(err, &fe) {
+		t.Fatalf("FireErr must return *Error, got %T", err)
+	}
+	if fe.Point != CacheGetError || fe.Key != "cell-key" {
+		t.Fatalf("error payload: %+v", fe)
+	}
+	if !strings.Contains(err.Error(), string(CacheGetError)) {
+		t.Fatalf("message must name the point: %v", err)
+	}
+}
+
+func TestParse(t *testing.T) {
+	in, err := Parse("cell.panic=1@1, cache.put.error=0.25", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Fire(CellPanic, "x") || in.Fire(CellPanic, "x") {
+		t.Fatal("parsed cell.panic=1@1 must fire exactly once")
+	}
+	if _, err := Parse("nosuch.point=1", 0); err == nil || !strings.Contains(err.Error(), "unknown point") {
+		t.Fatalf("unknown point must be rejected, got %v", err)
+	}
+	if _, err := Parse("cell.panic=2", 0); err == nil || !strings.Contains(err.Error(), "[0,1]") {
+		t.Fatalf("out-of-range rate must be rejected, got %v", err)
+	}
+	if _, err := Parse("cell.panic", 0); err == nil {
+		t.Fatal("entry without '=' must be rejected")
+	}
+	if _, err := Parse("cell.panic=1@0", 0); err == nil {
+		t.Fatal("zero limit must be rejected")
+	}
+	if in, err := Parse("", 0); err != nil || in.Fire(CellPanic, "x") {
+		t.Fatalf("empty spec must parse to an inert injector (%v)", err)
+	}
+}

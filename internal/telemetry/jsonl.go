@@ -46,26 +46,68 @@ func (j *JSONL) Err() error {
 	return j.err
 }
 
-// ReadJSONL decodes every line of a JSONL stream into out's element
-// type via the decode callback, reporting the 1-based line number of
-// the first malformed line. Blank lines are skipped (a journal never
-// writes them, but hand-edited files may).
+// Fail injects err as the sticky write error (if none is recorded
+// yet): every later Write is a no-op reporting it. The fault-
+// injection harness uses it to simulate the journal's disk filling
+// mid-run without wrapping the underlying writer.
+func (j *JSONL) Fail(err error) {
+	if err == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err == nil {
+		j.err = err
+	}
+}
+
+// TornTailError marks a stream whose final line is malformed — the
+// signature of a writer killed mid-record (SIGKILL, power loss).
+// ReadJSONL callers that expect crash debris (campaign resume)
+// unwrap it and keep the intact prefix; everything else treats it as
+// the error it wraps.
+type TornTailError struct {
+	Line int // 1-based line number of the torn line
+	Err  error
+}
+
+func (e *TornTailError) Error() string {
+	return fmt.Sprintf("telemetry: journal torn at line %d: %v", e.Line, e.Err)
+}
+
+func (e *TornTailError) Unwrap() error { return e.Err }
+
+// ReadJSONL decodes every line of a JSONL stream via the decode
+// callback. Blank lines are skipped (a journal never writes them,
+// but hand-edited files may). A malformed line fails with its
+// 1-based line number — as a *TornTailError when it is the final
+// line (a crashed writer's torn record; the decoded prefix is
+// intact), or a plain error when well-formed lines follow it (real
+// corruption, not a crash artifact).
 func ReadJSONL(r io.Reader, decode func(line []byte) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	n := 0
+	var pending *TornTailError
 	for sc.Scan() {
 		n++
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
+		if pending != nil {
+			// The malformed line was not the last: mid-file damage.
+			return fmt.Errorf("telemetry: journal line %d: %w", pending.Line, pending.Err)
+		}
 		if err := decode(line); err != nil {
-			return fmt.Errorf("telemetry: journal line %d: %w", n, err)
+			pending = &TornTailError{Line: n, Err: err}
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return fmt.Errorf("telemetry: journal read: %w", err)
+	}
+	if pending != nil {
+		return pending
 	}
 	return nil
 }

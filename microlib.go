@@ -44,6 +44,7 @@ import (
 	"microlib/internal/core"
 	"microlib/internal/cpu"
 	"microlib/internal/experiments"
+	"microlib/internal/fault"
 	"microlib/internal/hier"
 	"microlib/internal/runner"
 	"microlib/internal/telemetry"
@@ -450,6 +451,81 @@ func RunCampaign(ctx context.Context, spec CampaignSpec, cfg CampaignConfig) (*C
 	return campaign.Execute(ctx, spec, cfg)
 }
 
+// --- fault containment: taxonomy, retry, resume, injection ---------
+
+// CampaignErrKind classifies a cell failure: "model", "panic",
+// "timeout" or "io". Deterministic kinds are never retried; transient
+// ones may be.
+type CampaignErrKind = campaign.ErrKind
+
+// The failure taxonomy kinds.
+const (
+	CampaignErrModel   = campaign.KindModel
+	CampaignErrPanic   = campaign.KindPanic
+	CampaignErrTimeout = campaign.KindTimeout
+	CampaignErrIO      = campaign.KindIO
+)
+
+// CampaignCellError is a classified cell failure (Stack is set for
+// recovered simulation panics).
+type CampaignCellError = campaign.CellError
+
+// CampaignRetryPolicy bounds transient-failure retries with capped
+// exponential backoff.
+type CampaignRetryPolicy = campaign.RetryPolicy
+
+// CampaignDegradation records a non-fatal infrastructure failure a
+// campaign survived (unpersisted cache entry, quarantined corrupt
+// cell, failed back-fill).
+type CampaignDegradation = campaign.Degradation
+
+// CampaignRetryInfo describes one transient-failure retry, reported
+// to CampaignConfig.OnRetry before its backoff.
+type CampaignRetryInfo = campaign.RetryInfo
+
+// CampaignStallReport is the scheduler watchdog's flag: no cell has
+// finished for longer than the stall threshold.
+type CampaignStallReport = campaign.StallReport
+
+// CampaignResumeInfo describes what ResumeCampaign reconstructed
+// before rerunning.
+type CampaignResumeInfo = campaign.ResumeInfo
+
+// ResumeCampaign continues a crashed or interrupted campaign from its
+// journal: the embedded spec is re-expanded and fingerprint-verified,
+// completed cells come from the cache, deterministic failures replay
+// from the journal, and only the remainder simulates. New events are
+// appended to the same journal file.
+func ResumeCampaign(ctx context.Context, journalPath string, cfg CampaignConfig) (*CampaignSummary, CampaignResumeInfo, error) {
+	return campaign.Resume(ctx, journalPath, cfg)
+}
+
+// FaultInjector is a deterministic fault-injection schedule for the
+// campaign engine's chaos testing (see CampaignConfig.Faults and the
+// mlcampaign -faults flag). A nil injector never fires.
+type FaultInjector = fault.Injector
+
+// NewFaultInjector returns an empty injector keyed by seed; arm
+// points with Enable/EnableKeys/Limit.
+func NewFaultInjector(seed uint64) *FaultInjector { return fault.New(seed) }
+
+// ParseFaultSpec builds an injector from the -faults flag syntax:
+// comma-separated point=rate or point=rate@limit entries, e.g.
+// "cell.panic=1@1,cache.put.error=0.5".
+func ParseFaultSpec(spec string, seed uint64) (*FaultInjector, error) {
+	return fault.Parse(spec, seed)
+}
+
+// FaultPoints returns the names of every wired injection point.
+func FaultPoints() []string {
+	ps := fault.Points()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = string(p)
+	}
+	return names
+}
+
 // --- telemetry: interval series, run journals, live endpoint --------
 
 // TelemetryInterval is one time-resolved slice of a simulation: the
@@ -505,7 +581,15 @@ type CampaignJournalEvent = campaign.JournalEvent
 // CampaignJournalStatus is the digest of a run journal.
 type CampaignJournalStatus = campaign.JournalStatus
 
-// ReadCampaignJournal parses a JSONL run journal back into events.
+// TornTailError marks a JSONL stream whose final line is malformed —
+// the signature of a writer killed mid-record. ReadCampaignJournal
+// returns the intact events alongside it, so status and resume work
+// on exactly the journals crashes leave behind.
+type TornTailError = telemetry.TornTailError
+
+// ReadCampaignJournal parses a JSONL run journal back into events. A
+// torn final line comes back as the decoded prefix plus a
+// *TornTailError; any other malformed line is a hard error.
 func ReadCampaignJournal(r io.Reader) ([]CampaignJournalEvent, error) {
 	return campaign.ReadJournal(r)
 }
