@@ -504,7 +504,13 @@ func (s *Spec) Normalize() error {
 // the sweep axis and each mechanism's declared parameter keys. ctx
 // names the map in errors.
 func (s *Spec) validateParams(params map[string]map[string]int, ctx string) error {
-	for mech, overrides := range params {
+	mechs := make([]string, 0, len(params))
+	for mech := range params {
+		mechs = append(mechs, mech)
+	}
+	sort.Strings(mechs)
+	for _, mech := range mechs {
+		overrides := params[mech]
 		if mech == runner.BaseName {
 			return fmt.Errorf("campaign: %s override for %q (the baseline takes no parameters)", ctx, mech)
 		}
@@ -522,7 +528,12 @@ func (s *Spec) validateParams(params map[string]map[string]int, ctx string) erro
 		if !swept {
 			return fmt.Errorf("campaign: %s override for %q, which is not in the mechanisms axis (typo?)", ctx, mech)
 		}
+		keys := make([]string, 0, len(overrides))
 		for key := range overrides {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
 			if !desc.HasParam(key) {
 				declared := append([]string(nil), desc.Params...)
 				sort.Strings(declared)
