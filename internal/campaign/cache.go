@@ -74,7 +74,7 @@ func (c *MemCache) Get(key string) (CellResult, bool) {
 // Put implements CellCache.
 func (c *MemCache) Put(res CellResult) error {
 	if res.Key == "" {
-		return fmt.Errorf("campaign: cache entry without key")
+		return errModelf("campaign: cache entry without key")
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -213,10 +213,10 @@ func (c *DiskCache) Get(key string) (CellResult, bool) {
 		c.misses.Add(1)
 		c.corrupt.Add(1)
 		if err == nil {
-			err = fmt.Errorf("campaign: cache entry %s holds key %s", key, res.Key)
+			err = ioErrorf("campaign: cache entry %s holds key %s", key, res.Key)
 		}
 		if qerr := os.Rename(c.path(key), filepath.Join(c.dir, key+".corrupt")); qerr != nil {
-			err = fmt.Errorf("%w (quarantine failed: %v)", err, qerr)
+			err = ioErrorf("%v (quarantine failed: %v)", err, qerr)
 		}
 		c.degrade(Degradation{Op: "cache.corrupt", Key: key, Err: err})
 		return CellResult{}, false
@@ -235,10 +235,10 @@ func (c *DiskCache) degrade(d Degradation) {
 // Put stores a successful result under its key.
 func (c *DiskCache) Put(res CellResult) error {
 	if res.Key == "" {
-		return fmt.Errorf("campaign: cache entry without key")
+		return errModelf("campaign: cache entry without key")
 	}
 	if res.Err != "" {
-		return fmt.Errorf("campaign: refusing to cache failed cell %s", res.Key)
+		return errModelf("campaign: refusing to cache failed cell %s", res.Key)
 	}
 	if err := c.Faults.FireErr(fault.CachePutError, res.Key); err != nil {
 		return err
@@ -249,18 +249,18 @@ func (c *DiskCache) Put(res CellResult) error {
 	}
 	tmp, err := os.CreateTemp(c.dir, "."+res.Key+".tmp*")
 	if err != nil {
-		return fmt.Errorf("campaign: cache write: %w", err)
+		return ioErrorf("campaign: cache write: %v", err)
 	}
 	defer os.Remove(tmp.Name())
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		return fmt.Errorf("campaign: cache write: %w", err)
+		return ioErrorf("campaign: cache write: %v", err)
 	}
 	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("campaign: cache write: %w", err)
+		return ioErrorf("campaign: cache write: %v", err)
 	}
 	if err := os.Rename(tmp.Name(), c.path(res.Key)); err != nil {
-		return err
+		return ioErrorf("campaign: cache write: %v", err)
 	}
 	c.puts.Add(1)
 	c.bytesWritten.Add(uint64(len(data)))

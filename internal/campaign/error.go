@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"microlib/internal/fault"
@@ -60,6 +61,22 @@ func Classify(err error) ErrKind {
 		return KindIO
 	}
 	return KindModel
+}
+
+// ioErrorf builds a classified infrastructure I/O failure (transient:
+// the retry policy may try it again, and resume treats it as
+// recomputable). Worker-path code must use this — or errModelf — over
+// naked fmt.Errorf so Classify never sees an unkinded error; mlvet's
+// errkind analyzer enforces it.
+func ioErrorf(format string, args ...any) *CellError {
+	return &CellError{Kind: KindIO, Msg: fmt.Sprintf(format, args...)}
+}
+
+// errModelf builds a classified deterministic failure (contract
+// violations, bad options): never retried, shareable across duplicate
+// cells and resumes.
+func errModelf(format string, args ...any) *CellError {
+	return &CellError{Kind: KindModel, Msg: fmt.Sprintf(format, args...)}
 }
 
 // asCellError normalizes any cell failure into a *CellError so the
