@@ -22,7 +22,22 @@ type InOrder struct {
 	warmInsts uint64
 	onWarm    func(cycles uint64)
 
+	// loadAcc/storeAcc are reused across every access, with loadAcc's
+	// Done callback bound once at construction: the blocking core has
+	// at most one load in flight, so per-instruction Access structs
+	// (and the closure each Done would capture) are pure garbage.
+	loadAcc  cache.Access
+	storeAcc cache.Access
+	waiting  bool
+	doneAt   uint64
+
 	res Result
+}
+
+// onLoadDone is loadAcc's pre-bound completion callback.
+func (c *InOrder) onLoadDone(now uint64, hit bool) {
+	c.waiting = false
+	c.doneAt = now
 }
 
 // SetWarmup mirrors OoO.SetWarmup for the scalar core.
@@ -37,10 +52,15 @@ func (c *InOrder) Committed() uint64 { return c.res.Insts }
 
 // NewInOrder builds the scalar core.
 func NewInOrder(eng *sim.Engine, h *hier.Hierarchy, stream trace.Stream) *InOrder {
-	return &InOrder{eng: eng, h: h, stream: stream, mispredictPenalty: 6}
+	c := &InOrder{eng: eng, h: h, stream: stream, mispredictPenalty: 6}
+	c.loadAcc.Done = c.onLoadDone
+	c.storeAcc.Write = true
+	return c
 }
 
 // Run simulates maxInsts instructions and returns the result.
+//
+//ml:hotpath
 func (c *InOrder) Run(maxInsts uint64) Result {
 	var inst trace.Inst
 	cycle := c.eng.Now()
@@ -48,11 +68,10 @@ func (c *InOrder) Run(maxInsts uint64) Result {
 		c.eng.AdvanceTo(cycle)
 		switch inst.Class {
 		case trace.Load:
-			waiting := true
-			var doneAt uint64
-			acc := &cache.Access{Addr: inst.Addr, PC: inst.MemPC(),
-				Done: func(now uint64, hit bool) { waiting = false; doneAt = now }}
-			for !c.h.L1D.Access(acc) {
+			c.waiting = true
+			c.doneAt = 0
+			c.loadAcc.Addr, c.loadAcc.PC = inst.Addr, inst.MemPC()
+			for !c.h.L1D.Access(&c.loadAcc) {
 				cycle++
 				c.eng.AdvanceTo(cycle)
 			}
@@ -60,7 +79,7 @@ func (c *InOrder) Run(maxInsts uint64) Result {
 			// data is back. Nothing can change between calendar
 			// events while the scalar core blocks, so jump the clock
 			// from event to event instead of stepping every cycle.
-			for waiting {
+			for c.waiting {
 				if t, ok := c.eng.NextEventAt(); ok && t > cycle {
 					cycle = t
 				} else {
@@ -68,13 +87,13 @@ func (c *InOrder) Run(maxInsts uint64) Result {
 				}
 				c.eng.AdvanceTo(cycle)
 			}
-			if doneAt > cycle {
-				cycle = doneAt
+			if c.doneAt > cycle {
+				cycle = c.doneAt
 			}
 			c.res.Loads++
 		case trace.Store:
-			acc := &cache.Access{Addr: inst.Addr, PC: inst.MemPC(), Write: true}
-			for !c.h.L1D.Access(acc) {
+			c.storeAcc.Addr, c.storeAcc.PC = inst.Addr, inst.MemPC()
+			for !c.h.L1D.Access(&c.storeAcc) {
 				cycle++
 				c.eng.AdvanceTo(cycle)
 			}

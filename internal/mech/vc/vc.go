@@ -93,12 +93,20 @@ func (v *VC) ProbeAux(lineAddr uint64, now uint64) bool {
 			if dirty {
 				// The line re-enters L1 clean from the array's point
 				// of view; restore its dirtiness right after install.
-				v.eng.After(0, func() { v.l1.MarkDirty(lineAddr) })
+				v.eng.AfterFunc(0, callMarkDirty, v.l1, nil, lineAddr, 0)
 			}
 			return true
 		}
 	}
 	return false
+}
+
+// callMarkDirty is the packed trampoline for the post-swap dirtiness
+// restore: o1 is the L1, a0 the line address. The static shape keeps
+// the dirty-hit path allocation-free (a closure here would allocate
+// its capture environment on every dirty victim hit).
+func callMarkDirty(_ uint64, o1, _ any, lineAddr, _ uint64) {
+	o1.(*cache.Cache).MarkDirty(lineAddr)
 }
 
 // Hardware implements core.CostModeler.
