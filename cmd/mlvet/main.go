@@ -1,0 +1,119 @@
+// Command mlvet runs MicroLib's static-analysis suite: four
+// analyzers (detorder, simpure, hotalloc, errkind) that enforce the
+// repo's determinism, zero-alloc and fault-taxonomy invariants at
+// compile time, plus a compiler escape-analysis gate.
+//
+// Usage:
+//
+//	mlvet [packages]                 # analyzers; default ./...
+//	mlvet -escapes                   # diff kernel heap escapes vs baseline
+//	mlvet -escapes -write-escapes    # regenerate the baseline
+//
+// Exit status is 1 when any finding (or escape regression) remains.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"microlib/internal/lint"
+)
+
+func main() {
+	escapes := flag.Bool("escapes", false, "run the compiler escape-analysis gate over the kernel packages instead of the analyzers")
+	writeEscapes := flag.Bool("write-escapes", false, "with -escapes: rewrite the baseline from the current compiler output")
+	verbose := flag.Bool("v", false, "print run statistics")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: mlvet [-escapes [-write-escapes]] [-v] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *escapes {
+		os.Exit(runEscapes(*writeEscapes))
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, stats, err := lint.Check("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlvet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "mlvet: %d packages, %d hot-path roots, %d worker roots, %d findings\n",
+			stats.Packages, stats.HotRoots, stats.WorkerRoots, len(diags))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mlvet: %d findings\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// runEscapes executes the -escapes gate from wherever mlvet is
+// invoked, anchored at the module root.
+func runEscapes(write bool) int {
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlvet:", err)
+		return 2
+	}
+	current, err := lint.Escapes(root, lint.EscapePkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlvet:", err)
+		return 2
+	}
+	baselinePath := filepath.Join(root, lint.EscapeBaselineFile)
+	if write {
+		if err := lint.WriteBaseline(baselinePath, current); err != nil {
+			fmt.Fprintln(os.Stderr, "mlvet:", err)
+			return 2
+		}
+		fmt.Printf("mlvet: wrote %d escape facts to %s\n", len(current), lint.EscapeBaselineFile)
+		return 0
+	}
+	baseline, err := lint.ReadBaseline(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlvet:", err)
+		return 2
+	}
+	added, stale := lint.EscapeDiff(current, baseline)
+	for _, a := range added {
+		fmt.Printf("%s: new heap escape on a kernel package (not in %s)\n", a, lint.EscapeBaselineFile)
+	}
+	for _, s := range stale {
+		fmt.Printf("%s: stale baseline entry (escape no longer reported; regenerate with -write-escapes)\n", s)
+	}
+	if len(added)+len(stale) > 0 {
+		fmt.Fprintf(os.Stderr, "mlvet: escape gate: %d new, %d stale (baseline %d, current %d)\n",
+			len(added), len(stale), len(baseline), len(current))
+		return 1
+	}
+	fmt.Printf("mlvet: escape gate clean (%d baselined escapes)\n", len(current))
+	return 0
+}
+
+// moduleRoot locates the enclosing module directory.
+func moduleRoot() (string, error) {
+	cmd := exec.Command("go", "list", "-m", "-f", "{{.Dir}}")
+	var out, stderr bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("go list -m: %v\n%s", err, stderr.String())
+	}
+	dir := strings.TrimSpace(out.String())
+	if dir == "" {
+		return "", fmt.Errorf("not inside a module")
+	}
+	return dir, nil
+}

@@ -44,6 +44,8 @@ func (b *Bus) TransferCycles(nbytes uint64) uint64 {
 // Reserve books the bus for a transfer of nbytes starting no earlier
 // than now, returning the cycle at which the transfer completes. The
 // caller observes the wait implicitly through the returned time.
+//
+//ml:hotpath
 func (b *Bus) Reserve(now, nbytes uint64) (done uint64) {
 	start := now
 	if b.freeAt > start {

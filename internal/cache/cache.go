@@ -234,6 +234,8 @@ func (c *Cache) Probe(addr uint64) (present, dirty, prefetched bool) {
 // Access submits a demand request. It returns false when the cache
 // cannot accept it this cycle (no port, pipeline stall, MSHR full);
 // the caller must retry on a later cycle.
+//
+//ml:hotpath
 func (c *Cache) Access(a *Access) bool {
 	now := c.eng.Now()
 	if !c.cfg.NoPipelineStall && now < c.stallUntil {
@@ -451,6 +453,8 @@ func callDoneHit(now uint64, o1, _ any, _, _ uint64) {
 // FillLine implements FillSink: it receives line data from
 // downstream, installs it (or redirects it to a mechanism buffer) and
 // wakes the waiting targets.
+//
+//ml:hotpath
 func (c *Cache) FillLine(lineAddr, now uint64) {
 	idx := c.findMSHR(lineAddr)
 	if idx < 0 {

@@ -125,6 +125,7 @@ func Aggregate(p *Plan, results map[string]CellResult, sched SchedulerStats) *Su
 				samples[k] = append(samples[k], res.IPC)
 			}
 		}
+		//ml:commutative -- each key writes its own pre-dimensioned grid cell; no cross-key state
 		for k, xs := range samples {
 			s := stats.Summarize(xs)
 			sc.Mean.Set(k[0], k[1], s.Mean)

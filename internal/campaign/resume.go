@@ -141,6 +141,7 @@ func Resume(ctx context.Context, journalPath string, cfg RunConfig) (*Summary, R
 			delete(known, k)
 		}
 	}
+	//ml:commutative -- pure counter sums; addition is order-independent
 	for k := range distinct {
 		switch {
 		case cached[k]:

@@ -267,6 +267,9 @@ feed:
 	return results, stats, err
 }
 
+// runCell executes one cell end to end on a worker goroutine.
+//
+//ml:worker
 func (s *Scheduler) runCell(ctx context.Context, cell Cell, mu *sync.Mutex, results map[string]CellResult, stats *SchedulerStats) {
 	if s.OnStart != nil {
 		s.OnStart(cell)

@@ -118,6 +118,7 @@ type loadReq struct {
 func (o *OoO) getLoad(seq uint64) *loadReq {
 	lr := o.freeLoads
 	if lr == nil {
+		//ml:waive hotalloc -- pool growth: allocates until the freelist high-water mark, then never again
 		lr = &loadReq{o: o}
 		lr.acc.Done = lr.onDone
 	} else {
@@ -220,6 +221,8 @@ func (o *OoO) stallTarget(cycle uint64) (uint64, bool) {
 // commit retires completed instructions in order; stores perform
 // their cache write at commit and stall retirement when the cache
 // refuses the access. It returns the number of instructions retired.
+//
+//ml:hotpath
 func (o *OoO) commit() (committed int) {
 	for n := 0; n < o.cfg.CommitWidth && o.head < o.tail; n++ {
 		e := o.slot(o.head)
@@ -255,6 +258,8 @@ func (o *OoO) commit() (committed int) {
 // instructions, respecting functional-unit counts; loads that the
 // cache refuses stay queued (the LSQ-stall behaviour of Section 2.2).
 // It returns the number of instructions issued.
+//
+//ml:hotpath
 func (o *OoO) issue(cycle uint64) int {
 	if cycle != o.fuCycle {
 		o.fuCycle = cycle
@@ -384,6 +389,8 @@ func (o *OoO) stage(inst *trace.Inst) {
 // instructions placed, and flags (via fetchRetry) bail-outs that a
 // plain next cycle could unblock — the idle-skip logic must not jump
 // over those.
+//
+//ml:hotpath
 func (o *OoO) fetch(cycle uint64) (placed int) {
 	o.fetchRetry = false
 	if o.fetchDone || o.haltOnBranch || o.fetchBlocked || cycle < o.fetchResumeAt {

@@ -195,6 +195,7 @@ func (r *Runner) figureSpec(id string) campaign.Spec {
 			}
 		}
 	}
+	//ml:commutative -- keyed copy into spec.Set; lazy init is the only non-write statement
 	for path, v := range r.SetFields {
 		if spec.Set == nil {
 			spec.Set = map[string]campaign.FieldValue{}

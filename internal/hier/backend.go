@@ -43,6 +43,7 @@ type l1Fetch struct {
 func (b *l1DataBackend) getFetch() *l1Fetch {
 	f := b.freeFetch
 	if f == nil {
+		//ml:waive hotalloc -- pool growth: allocates until the freelist high-water mark, then never again
 		f = &l1Fetch{b: b}
 		f.acc.Done = f.onL2Done
 	} else {
@@ -138,6 +139,7 @@ type memFetch struct {
 func (b *memBackend) getFetch() *memFetch {
 	f := b.freeFetch
 	if f == nil {
+		//ml:waive hotalloc -- pool growth: allocates until the freelist high-water mark, then never again
 		f = &memFetch{b: b}
 		f.req.Done = f.onDone
 	} else {
@@ -169,6 +171,7 @@ type memWB struct {
 func (b *memBackend) getWB() *memWB {
 	w := b.freeWB
 	if w == nil {
+		//ml:waive hotalloc -- pool growth: allocates until the freelist high-water mark, then never again
 		w = &memWB{b: b}
 		w.req.Done = w.onDone
 		w.req.Write = true
@@ -253,6 +256,7 @@ type constFetch struct {
 func (b *constBackend) getFetch() *constFetch {
 	f := b.freeFetch
 	if f == nil {
+		//ml:waive hotalloc -- pool growth: allocates until the freelist high-water mark, then never again
 		f = &constFetch{b: b}
 		f.req.Done = f.onDone
 		f.req.Size = 64

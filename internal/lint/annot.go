@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //ml: annotation grammar. Annotations are ordinary line
+// comments; the verbs are:
+//
+//	//ml:hotpath
+//	    On a function declaration: the function is a hot-path root
+//	    for the hotalloc analyzer (everything statically reachable
+//	    from it must not allocate).
+//
+//	//ml:worker
+//	    On a function declaration in a campaign-style package: the
+//	    function is a scheduler worker-path root for the errkind
+//	    analyzer (errors it or its intra-package callees construct
+//	    must be classified, and the package's panics are audited).
+//
+//	//ml:commutative -- <reason>
+//	    On (or on the line above) a map-range loop: the loop body is
+//	    order-insensitive for a reason the analyzer cannot prove.
+//	    Waives detorder and simpure map-order findings on that line.
+//	    The reason text is required.
+//
+//	//ml:waive <analyzer>[,<analyzer>...] -- <reason>
+//	    General waiver for the named analyzers on this line or the
+//	    line below. The reason text is required.
+//
+// Anything else after //ml: is a malformed annotation and is itself
+// reported, so a typo can never silently disable a check.
+
+// waiver is one parsed waiver comment.
+type waiver struct {
+	analyzers map[string]bool
+	line      int
+	file      string
+}
+
+// badAnnot is a malformed //ml: comment.
+type badAnnot struct {
+	pos token.Position
+	msg string
+}
+
+// annots is every annotation in one package.
+type annots struct {
+	// hotRoots / workerRoots hold the annotated function declarations
+	// keyed by the file containing them.
+	hotRoots    map[*ast.FuncDecl]bool
+	workerRoots map[*ast.FuncDecl]bool
+	waivers     []waiver
+	malformed   []badAnnot
+}
+
+// knownAnalyzers is the closed set of names //ml:waive accepts.
+var knownAnalyzers = map[string]bool{
+	"detorder": true,
+	"simpure":  true,
+	"hotalloc": true,
+	"errkind":  true,
+}
+
+// annotations parses (once) and returns the package's //ml: comments.
+func (p *Package) annotations(fset *token.FileSet) *annots {
+	if p.annots != nil {
+		return p.annots
+	}
+	an := &annots{
+		hotRoots:    map[*ast.FuncDecl]bool{},
+		workerRoots: map[*ast.FuncDecl]bool{},
+	}
+	for _, f := range p.Syntax {
+		// Function-marker verbs live in doc comments.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				switch verb, _ := splitAnnot(c.Text); verb {
+				case "hotpath":
+					an.hotRoots[fd] = true
+				case "worker":
+					an.workerRoots[fd] = true
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				parseAnnot(fset, c, an)
+			}
+		}
+	}
+	p.annots = an
+	return an
+}
+
+// splitAnnot returns the verb and the rest of an //ml: comment, or
+// "" if the comment is not an annotation.
+func splitAnnot(text string) (verb, rest string) {
+	const prefix = "//ml:"
+	if !strings.HasPrefix(text, prefix) {
+		return "", ""
+	}
+	body := text[len(prefix):]
+	verb, rest, _ = strings.Cut(body, " ")
+	return verb, strings.TrimSpace(rest)
+}
+
+// parseAnnot validates one comment and files waivers/malformed
+// entries. hotpath/worker markers are collected from doc comments in
+// annotations(); here they are only grammar-checked.
+func parseAnnot(fset *token.FileSet, c *ast.Comment, an *annots) {
+	verb, rest := splitAnnot(c.Text)
+	if verb == "" {
+		return
+	}
+	pos := fset.Position(c.Pos())
+	switch verb {
+	case "hotpath", "worker":
+		if rest != "" {
+			an.malformed = append(an.malformed, badAnnot{pos, "//ml:" + verb + " takes no arguments"})
+		}
+	case "commutative":
+		reason, ok := waiverReason(rest)
+		if !ok || reason == "" {
+			an.malformed = append(an.malformed, badAnnot{pos,
+				`//ml:commutative requires a reason: "//ml:commutative -- <why this loop is order-insensitive>"`})
+			return
+		}
+		an.waivers = append(an.waivers, waiver{
+			analyzers: map[string]bool{"detorder": true, "simpure": true},
+			line:      pos.Line,
+			file:      pos.Filename,
+		})
+	case "waive":
+		names, reasonPart, found := strings.Cut(rest, "--")
+		reason := strings.TrimSpace(reasonPart)
+		if !found || reason == "" {
+			an.malformed = append(an.malformed, badAnnot{pos,
+				`//ml:waive requires a reason: "//ml:waive <analyzer> -- <why>"`})
+			return
+		}
+		set := map[string]bool{}
+		for _, n := range strings.Split(names, ",") {
+			n = strings.TrimSpace(n)
+			if !knownAnalyzers[n] {
+				an.malformed = append(an.malformed, badAnnot{pos, "//ml:waive names unknown analyzer " + quote(n)})
+				return
+			}
+			set[n] = true
+		}
+		an.waivers = append(an.waivers, waiver{analyzers: set, line: pos.Line, file: pos.Filename})
+	default:
+		an.malformed = append(an.malformed, badAnnot{pos, "unknown //ml: annotation verb " + quote(verb)})
+	}
+}
+
+// waiverReason extracts the reason after "--". For //ml:commutative
+// the leading "--" is required so the reason is unmistakably prose.
+func waiverReason(rest string) (string, bool) {
+	_, reason, found := strings.Cut(rest, "--")
+	if !found {
+		return "", false
+	}
+	return strings.TrimSpace(reason), true
+}
+
+// waived reports whether a waiver for analyzer covers pos: the
+// waiver sits on the same line (trailing comment) or the line above
+// (comment-above-statement style).
+func (an *annots) waived(analyzer string, pos token.Position) bool {
+	for _, w := range an.waivers {
+		if w.file == pos.Filename && w.analyzers[analyzer] && (w.line == pos.Line || w.line == pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// quote avoids importing strconv for two call sites.
+func quote(s string) string { return "\"" + s + "\"" }

@@ -1,0 +1,319 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detorder returns the determinism-order analyzer scoped to pkgs:
+// inside those packages, iterating a map (for-range, maps.Keys/
+// Values, reflect MapKeys) is a finding unless the analyzer can see
+// the order cannot escape, because any output, fingerprint or
+// journal byte derived from map order is a cache-poisoning or
+// flaky-golden bug waiting to happen.
+//
+// Two loop shapes are recognized as safe without a waiver:
+//
+//   - collect-then-sort: the body is exactly `xs = append(xs, k)`
+//     (optionally through a conversion of k) and the function later
+//     sorts xs.
+//   - keyed writes: every statement in the body (allowing if/block
+//     nesting) writes or deletes another map at index k — the result
+//     is the same whatever the visit order.
+//
+// Everything else needs `//ml:commutative -- <reason>`.
+func Detorder(pkgs []string) *Analyzer {
+	scope := map[string]bool{}
+	for _, p := range pkgs {
+		scope[p] = true
+	}
+	a := &Analyzer{
+		Name: "detorder",
+		Doc:  "flags map-order-dependent iteration in determinism-critical packages",
+	}
+	a.Run = func(u *Unit) error {
+		for _, pkg := range u.Prog.Packages {
+			if !scope[pkg.ImportPath] {
+				continue
+			}
+			checkMapOrder(u, pkg)
+		}
+		return nil
+	}
+	return a
+}
+
+// checkMapOrder applies the map-order rules to one package; shared
+// with simpure, which reports under its own name.
+func checkMapOrder(u *Unit, pkg *Package) {
+	for _, f := range pkg.Syntax {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sorted := sortedIdents(pkg, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.RangeStmt:
+					if !isMapType(pkg, e.X) {
+						return true
+					}
+					// A keyless `for range m` runs indistinguishable
+					// iterations: order cannot matter.
+					if e.Key == nil {
+						return true
+					}
+					if blessedCollectSort(pkg, e, sorted) || blessedKeyedWrites(pkg, e) {
+						return true
+					}
+					u.Reportf(pkg, e.Pos(), "map iteration order reaches this loop's effects; sort the keys first or annotate //ml:commutative -- <reason>")
+				case *ast.CallExpr:
+					checkKeysCall(u, pkg, e, f)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isMapType reports whether expr has a map type.
+func isMapType(pkg *Package, expr ast.Expr) bool {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// sortedIdents collects the root identifiers passed to a recognized
+// sort call anywhere in the body: sort.Strings(xs), sort.Slice(xs,
+// ...), slices.Sort(xs), sort.Sort(byX(xs)), ...
+func sortedIdents(pkg *Package, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		if !isSortCall(pkg, call) {
+			return true
+		}
+		// The sorted value is the first argument, possibly wrapped in
+		// a conversion (sort.Sort(byLen(xs))).
+		arg := ast.Unparen(call.Args[0])
+		if inner, ok := arg.(*ast.CallExpr); ok && len(inner.Args) == 1 {
+			arg = ast.Unparen(inner.Args[0])
+		}
+		if id, ok := arg.(*ast.Ident); ok {
+			if obj := pkg.Info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sortFuncs are the package-level sorting entry points we accept.
+var sortFuncs = map[string]bool{
+	"sort.Strings": true, "sort.Ints": true, "sort.Float64s": true,
+	"sort.Slice": true, "sort.SliceStable": true, "sort.Sort": true, "sort.Stable": true,
+	"slices.Sort": true, "slices.SortFunc": true, "slices.SortStableFunc": true,
+}
+
+// sortedFuncs consume an unordered sequence and return it sorted, so
+// a maps.Keys call directly inside them is safe.
+var sortedFuncs = map[string]bool{
+	"slices.Sorted": true, "slices.SortedFunc": true, "slices.SortedStableFunc": true,
+}
+
+func isSortCall(pkg *Package, call *ast.CallExpr) bool {
+	fn := calleeOf(pkg, ast.Unparen(call.Fun))
+	return fn != nil && sortFuncs[pkgDotName(fn)]
+}
+
+// pkgDotName renders "sort.Strings" style keys for package-level
+// functions (last path element, so vendored or versioned paths match).
+func pkgDotName(fn *types.Func) string {
+	p := fn.Pkg()
+	if p == nil {
+		return fn.Name()
+	}
+	path := p.Path()
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			path = path[i+1:]
+			break
+		}
+	}
+	return path + "." + fn.Name()
+}
+
+// blessedCollectSort matches `for k := range m { xs = append(xs, k) }`
+// with xs sorted later in the same function.
+func blessedCollectSort(pkg *Package, rs *ast.RangeStmt, sorted map[types.Object]bool) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fun, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || fun.Name != "append" {
+		return false
+	}
+	if dst, ok := ast.Unparen(call.Args[0]).(*ast.Ident); !ok || dst.Name != lhs.Name {
+		return false
+	}
+	if !usesLoopKeyOnly(pkg, rs, call.Args[1]) {
+		return false
+	}
+	return sorted[pkg.Info.Defs[lhs]] || sorted[pkg.Info.Uses[lhs]]
+}
+
+// usesLoopKeyOnly reports whether expr is the range key, possibly
+// through a single-argument conversion or call (string(k), shortKey(k)).
+func usesLoopKeyOnly(pkg *Package, rs *ast.RangeStmt, expr ast.Expr) bool {
+	key, ok := ast.Unparen(rs.Key).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	e := ast.Unparen(expr)
+	if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		e = ast.Unparen(call.Args[0])
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == key.Name && pkg.Info.Uses[id] == identObj(pkg, key)
+}
+
+// identObj resolves an identifier whether it defines or uses its
+// object (range keys may be := definitions or plain assignments).
+func identObj(pkg *Package, id *ast.Ident) types.Object {
+	if o := pkg.Info.Defs[id]; o != nil {
+		return o
+	}
+	return pkg.Info.Uses[id]
+}
+
+// blessedKeyedWrites matches bodies whose every leaf statement is a
+// write to (or delete from) a map indexed by the loop key: each key
+// touches its own slot, so visit order cannot matter.
+func blessedKeyedWrites(pkg *Package, rs *ast.RangeStmt) bool {
+	key, ok := ast.Unparen(rs.Key).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	keyObj := identObj(pkg, key)
+	var check func(stmts []ast.Stmt) bool
+	keyed := func(e ast.Expr) bool {
+		ix, ok := ast.Unparen(e).(*ast.IndexExpr)
+		if !ok || !isMapType(pkg, ix.X) {
+			return false
+		}
+		id, ok := ast.Unparen(ix.Index).(*ast.Ident)
+		return ok && pkg.Info.Uses[id] == keyObj
+	}
+	check = func(stmts []ast.Stmt) bool {
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case *ast.AssignStmt:
+				if len(st.Lhs) != 1 || !keyed(st.Lhs[0]) {
+					return false
+				}
+			case *ast.ExprStmt:
+				call, ok := ast.Unparen(st.X).(*ast.CallExpr)
+				if !ok || len(call.Args) != 2 {
+					return false
+				}
+				fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || fun.Name != "delete" {
+					return false
+				}
+				id, ok := ast.Unparen(call.Args[1]).(*ast.Ident)
+				if !ok || pkg.Info.Uses[id] != keyObj {
+					return false
+				}
+			case *ast.IfStmt:
+				if !check(st.Body.List) {
+					return false
+				}
+				if st.Else != nil {
+					switch el := st.Else.(type) {
+					case *ast.BlockStmt:
+						if !check(el.List) {
+							return false
+						}
+					case *ast.IfStmt:
+						if !check([]ast.Stmt{el}) {
+							return false
+						}
+					}
+				}
+			case *ast.BlockStmt:
+				if !check(st.List) {
+					return false
+				}
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	return check(rs.Body.List)
+}
+
+// checkKeysCall flags maps.Keys/maps.Values and reflect's MapKeys
+// unless the call feeds directly into a sorting consumer.
+func checkKeysCall(u *Unit, pkg *Package, call *ast.CallExpr, file *ast.File) {
+	fn := calleeOf(pkg, ast.Unparen(call.Fun))
+	if fn == nil {
+		return
+	}
+	name := pkgDotName(fn)
+	isKeys := name == "maps.Keys" || name == "maps.Values"
+	isReflect := fn.Name() == "MapKeys" && fn.Pkg() != nil && fn.Pkg().Path() == "reflect"
+	if !isKeys && !isReflect {
+		return
+	}
+	if isKeys && insideSortedCall(pkg, file, call) {
+		return
+	}
+	what := name
+	if isReflect {
+		what = "reflect MapKeys"
+	}
+	u.Reportf(pkg, call.Pos(), "%s yields keys in map order; wrap in slices.Sorted (or sort the result) or annotate //ml:commutative -- <reason>", what)
+}
+
+// insideSortedCall reports whether call appears as a direct argument
+// of slices.Sorted / SortedFunc / SortedStableFunc.
+func insideSortedCall(pkg *Package, file *ast.File, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		outer, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		fn := calleeOf(pkg, ast.Unparen(outer.Fun))
+		if fn == nil || !sortedFuncs[pkgDotName(fn)] {
+			return true
+		}
+		for _, arg := range outer.Args {
+			if ast.Unparen(arg) == call {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

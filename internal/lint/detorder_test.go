@@ -1,0 +1,9 @@
+package lint
+
+import "testing"
+
+func TestDetorderFixture(t *testing.T) {
+	RunFixture(t, "detorder", []*Analyzer{
+		Detorder([]string{FixturePath("detorder")}),
+	})
+}

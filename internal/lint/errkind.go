@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// Errkind returns the fault-taxonomy analyzer. It activates in any
+// package that annotates //ml:worker roots (the campaign scheduler's
+// worker paths) and enforces two rules from the PR 7 containment
+// design:
+//
+//   - No naked errors on worker paths: functions intra-package
+//     reachable from a //ml:worker root must not construct errors
+//     with fmt.Errorf or errors.New — every failure that can reach
+//     the journal or the result map must be a classified CellError
+//     (wrap with the taxonomy constructors, or classify at the
+//     boundary).
+//   - No unrecovered panics: a panic in an errkind-active package is
+//     only legal inside a function that installs its own deferred
+//     recover (the containment boundary); anywhere else a model bug
+//     would kill the whole sweep instead of one cell.
+//
+// Waive with `//ml:waive errkind -- <reason>`.
+func Errkind() *Analyzer {
+	a := &Analyzer{
+		Name: "errkind",
+		Doc:  "enforces classified errors and recover-protected panics on scheduler worker paths",
+	}
+	a.Run = func(u *Unit) error {
+		g := buildCallGraph(u.Prog)
+		for _, pkg := range u.Prog.Packages {
+			an := pkg.annotations(u.Prog.Fset)
+			if len(an.workerRoots) == 0 {
+				continue
+			}
+			var roots []string
+			for fd := range an.workerRoots {
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					roots = append(roots, funcKey(obj))
+				}
+			}
+			sort.Strings(roots)
+			checkWorkerErrors(u, g, pkg, roots)
+			checkPanics(u, pkg)
+		}
+		return nil
+	}
+	return a
+}
+
+// checkWorkerErrors flags naked error construction in the
+// intra-package closure of the worker roots.
+func checkWorkerErrors(u *Unit, g *callGraph, pkg *Package, roots []string) {
+	reach := g.reachable(roots)
+	keys := make([]string, 0, len(reach))
+	for k := range reach {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		node := reach[k]
+		if node.pkg != pkg {
+			continue // worker-path errors are classified at the package boundary
+		}
+		ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(pkg, ast.Unparen(call.Fun))
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			name := pkgDotName(fn)
+			if name == "fmt.Errorf" || name == "errors.New" || name == "errors.Join" {
+				u.Reportf(pkg, call.Pos(),
+					"%s on a scheduler worker path builds an unclassified error; construct a *CellError (or classify at the boundary) so the journal and retry policy see a taxonomy kind", name)
+			}
+			return true
+		})
+	}
+}
+
+// checkPanics flags panic calls outside recover-protected functions.
+func checkPanics(u *Unit, pkg *Package) {
+	for _, f := range pkg.Syntax {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if installsRecover(pkg, fd.Body) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				u.Reportf(pkg, call.Pos(),
+					"panic outside a recover-protected zone in campaign code would kill the sweep, not one cell; recover at the containment boundary or waive with //ml:waive errkind -- <reason>")
+				return true
+			})
+		}
+	}
+}
+
+// installsRecover reports whether the body contains a deferred
+// closure that calls recover().
+func installsRecover(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		def, ok := n.(*ast.DeferStmt)
+		if !ok || found {
+			return !found
+		}
+		lit, ok := ast.Unparen(def.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "recover" {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+				}
+			}
+			return !found
+		})
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestErrkindFixture(t *testing.T) {
+	RunFixture(t, "errkind", []*Analyzer{Errkind()})
+}

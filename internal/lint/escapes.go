@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// The -escapes harness: static analysis cannot prove what the
+// compiler's escape analysis decides, so mlvet -escapes asks the
+// compiler directly (`go build -gcflags=-m`) for the kernel
+// packages, normalizes the "escapes to heap" / "moved to heap"
+// diagnostics, and diffs them against a checked-in baseline. A new
+// escape on a kernel package fails the gate and names the line; an
+// escape the baseline records but the compiler no longer reports is
+// flagged as stale so the baseline stays tight. Regenerate with
+// `mlvet -escapes -write-escapes` after an intentional change.
+
+// EscapePkgs are the kernel packages the escape gate covers.
+var EscapePkgs = []string{
+	"./internal/sim",
+	"./internal/cache",
+	"./internal/cpu",
+	"./internal/mem",
+	"./internal/bus",
+	"./internal/hier",
+}
+
+// EscapeBaselineFile is the baseline location, relative to the
+// module root.
+const EscapeBaselineFile = "internal/lint/escapes_baseline.txt"
+
+// escapeLine matches one compiler diagnostic position prefix.
+var escapeLine = regexp.MustCompile(`^(.*\.go):\d+:\d+: (.*)$`)
+
+// Escapes compiles pkgs with -gcflags=-m (the go build cache replays
+// the diagnostics on cache hits, so repeat runs are cheap) and
+// returns the normalized, sorted, deduplicated escape facts as
+// "file.go: message" lines. Line/column are deliberately dropped so
+// unrelated edits do not churn the baseline.
+func Escapes(dir string, pkgs []string) ([]string, error) {
+	args := append([]string{"build", "-gcflags=-m"}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go build -gcflags=-m: %v\n%s", err, stderr.String())
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		m := escapeLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		msg := m[2]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		fact := m[1] + ": " + msg
+		if !seen[fact] {
+			seen[fact] = true
+			out = append(out, fact)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// EscapeDiff splits current vs baseline into regressions (new
+// escapes) and stale baseline entries.
+func EscapeDiff(current, baseline []string) (added, stale []string) {
+	cur := map[string]bool{}
+	for _, c := range current {
+		cur[c] = true
+	}
+	base := map[string]bool{}
+	for _, b := range baseline {
+		base[b] = true
+	}
+	for _, c := range current {
+		if !base[c] {
+			added = append(added, c)
+		}
+	}
+	for _, b := range baseline {
+		if !cur[b] {
+			stale = append(stale, b)
+		}
+	}
+	return added, stale
+}
+
+// ReadBaseline loads the baseline file, ignoring blanks and
+// #-comments. A missing file is an empty baseline.
+func ReadBaseline(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// WriteBaseline rewrites the baseline file from the current facts.
+func WriteBaseline(path string, facts []string) error {
+	var b strings.Builder
+	b.WriteString("# mlvet -escapes baseline: compiler-reported heap escapes in the kernel\n")
+	b.WriteString("# packages. Regenerate with `go run ./cmd/mlvet -escapes -write-escapes`\n")
+	b.WriteString("# after an intentional change; CI fails on any escape not listed here.\n")
+	for _, f := range facts {
+		b.WriteString(f)
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// funcNode is one module function with a body, addressable by its
+// stable key (types.Func.FullName of its generic origin).
+type funcNode struct {
+	key  string
+	decl *ast.FuncDecl
+	pkg  *Package
+	// calls are statically resolved callee keys (direct calls plus
+	// references — a function whose address hot code takes is
+	// conservatively treated as called by it, which is exactly how
+	// the kernel's AtFunc trampolines run).
+	calls []string
+	// ifaceCalls are method names invoked through an interface value;
+	// the walk expands them to every same-name, same-arity method in
+	// the program (a cheap class-hierarchy approximation).
+	ifaceCalls []ifaceCall
+}
+
+type ifaceCall struct {
+	name  string
+	arity int
+}
+
+// callGraph indexes every declared function in the loaded targets.
+type callGraph struct {
+	nodes map[string]*funcNode
+	// methodsByName maps a method name to the keys of all declared
+	// methods with that name, for interface-call expansion.
+	methodsByName map[string][]string
+}
+
+// funcKey names a function stably across packages. Generic
+// instantiations collapse onto their origin declaration.
+func funcKey(fn *types.Func) string {
+	if o := fn.Origin(); o != nil {
+		fn = o
+	}
+	return fn.FullName()
+}
+
+// buildCallGraph walks every target package once.
+func buildCallGraph(prog *Program) *callGraph {
+	g := &callGraph{nodes: map[string]*funcNode{}, methodsByName: map[string][]string{}}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Syntax {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &funcNode{key: funcKey(obj), decl: fd, pkg: pkg}
+				collectEdges(pkg, fd, node)
+				g.nodes[node.key] = node
+				if fd.Recv != nil {
+					g.methodsByName[fd.Name.Name] = append(g.methodsByName[fd.Name.Name], node.key)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// collectEdges records fd's callees and function references.
+func collectEdges(pkg *Package, fd *ast.FuncDecl, node *funcNode) {
+	// funPos marks expressions standing in call position so the
+	// reference walk below does not double-count them.
+	funPos := map[ast.Expr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun := ast.Unparen(call.Fun)
+		funPos[fun] = true
+		if fn := calleeOf(pkg, fun); fn != nil {
+			sig, _ := fn.Type().(*types.Signature)
+			if sig != nil && sig.Recv() != nil {
+				if _, isIface := sig.Recv().Type().Underlying().(*types.Interface); isIface {
+					node.ifaceCalls = append(node.ifaceCalls, ifaceCall{name: fn.Name(), arity: sig.Params().Len()})
+					return true
+				}
+			}
+			node.calls = append(node.calls, funcKey(fn))
+		}
+		return true
+	})
+	// References: a *types.Func used outside call position (stored in
+	// a table, passed to AtFunc, ...) is reachable once the enclosing
+	// function is.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var obj types.Object
+		switch e := n.(type) {
+		case *ast.Ident:
+			if funPos[e] {
+				return true
+			}
+			obj = pkg.Info.Uses[e]
+		case *ast.SelectorExpr:
+			if funPos[e] {
+				return true
+			}
+			obj = pkg.Info.Uses[e.Sel]
+			// Descend: the X side may itself contain references.
+		default:
+			return true
+		}
+		if fn, ok := obj.(*types.Func); ok {
+			node.calls = append(node.calls, funcKey(fn))
+		}
+		return true
+	})
+}
+
+// calleeOf resolves a call's target to a *types.Func, or nil for
+// builtins, type conversions and calls of plain function values.
+func calleeOf(pkg *Package, fun ast.Expr) *types.Func {
+	switch e := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[e].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[e]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Qualified identifier: pkg.F.
+		if fn, ok := pkg.Info.Uses[e.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// reachable returns every node reachable from the root keys,
+// expanding interface calls by method name and arity.
+func (g *callGraph) reachable(roots []string) map[string]*funcNode {
+	out := map[string]*funcNode{}
+	var visit func(string)
+	visit = func(key string) {
+		node, ok := g.nodes[key]
+		if !ok || out[key] != nil {
+			return
+		}
+		out[key] = node
+		for _, c := range node.calls {
+			visit(c)
+		}
+		for _, ic := range node.ifaceCalls {
+			for _, mk := range g.methodsByName[ic.name] {
+				if m := g.nodes[mk]; m != nil && paramCount(m.decl) == ic.arity {
+					visit(mk)
+				}
+			}
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return out
+}
+
+// paramCount counts individual parameters (a, b int counts two).
+func paramCount(fd *ast.FuncDecl) int {
+	n := 0
+	for _, f := range fd.Type.Params.List {
+		if len(f.Names) == 0 {
+			n++
+		} else {
+			n += len(f.Names)
+		}
+	}
+	return n
+}

@@ -1,0 +1,377 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Hotalloc returns the zero-alloc analyzer: a call-graph walk from
+// every //ml:hotpath-annotated root rejects allocating constructs in
+// the reachable set, turning the runtime 0-allocs/op bench gate into
+// a per-commit static check that names the offending line.
+//
+// Flagged in reachable functions:
+//
+//   - make/new and &CompositeLit (heap candidates),
+//   - func literals (closure allocation; the kernel's AtFunc packed
+//     trampolines exist precisely to avoid them),
+//   - append, except the amortized reuse form `x = append(x, ...)`
+//     where x is a field or package-level variable — a persistent
+//     buffer that stops allocating once capacity is reached, the
+//     shape the runtime bench gate verifies,
+//   - boxing a non-pointer-shaped value into an interface,
+//   - calls into known-allocating stdlib (fmt, errors.New, sort,
+//     most of strings/bytes, non-Append strconv formatting).
+//
+// panic subtrees are exempt: a panicking cell is already dead, and
+// the watchdog's formatted message is worth more than its one-off
+// allocation. Static analysis cannot see escape analysis; `mlvet
+// -escapes` diffs the compiler's own -m output against a checked-in
+// baseline for the cases this approximation misses.
+//
+// Reachability is static calls plus address-taken functions (the
+// AtFunc trampolines), with interface calls expanded by method name
+// and arity. Waive cold sub-paths (pool refill, one-time growth)
+// with `//ml:waive hotalloc -- <reason>`.
+func Hotalloc() *Analyzer {
+	a := &Analyzer{
+		Name: "hotalloc",
+		Doc:  "rejects allocating constructs reachable from //ml:hotpath roots",
+	}
+	a.Run = func(u *Unit) error {
+		g := buildCallGraph(u.Prog)
+		var roots []string
+		for _, pkg := range u.Prog.Packages {
+			an := pkg.annotations(u.Prog.Fset)
+			for fd := range an.hotRoots {
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					roots = append(roots, funcKey(obj))
+				}
+			}
+		}
+		sort.Strings(roots)
+		hot := g.reachable(roots)
+		keys := make([]string, 0, len(hot))
+		for k := range hot {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			checkHotFunc(u, hot[k])
+		}
+		return nil
+	}
+	return a
+}
+
+// checkHotFunc flags allocating constructs in one reachable function.
+func checkHotFunc(u *Unit, node *funcNode) {
+	pkg := node.pkg
+	blessed := blessedAppends(pkg, node.decl.Body)
+	stackLits := nonEscapingFuncLits(pkg, node.decl.Body)
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					switch id.Name {
+					case "panic":
+						return // death path: the message may format freely
+					case "make":
+						u.Reportf(pkg, e.Pos(), "make on a hot path (reachable from //ml:hotpath roots) allocates")
+					case "new":
+						u.Reportf(pkg, e.Pos(), "new on a hot path (reachable from //ml:hotpath roots) allocates")
+					case "append":
+						if !blessed[e] {
+							u.Reportf(pkg, e.Pos(), "append on a hot path may grow and allocate (amortized `x = append(x, ...)` into a field or package-level buffer is exempt)")
+						}
+					}
+				}
+			}
+			if fn := calleeOf(pkg, ast.Unparen(e.Fun)); fn != nil {
+				if why := allocCallWhy(fn); why != "" {
+					u.Reportf(pkg, e.Pos(), "%s on a hot path %s", pkgDotName(fn), why)
+				}
+			}
+			checkBoxing(u, pkg, e)
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					u.Reportf(pkg, e.Pos(), "&composite-literal on a hot path allocates when it escapes")
+				}
+			}
+		case *ast.FuncLit:
+			if !stackLits[e] {
+				u.Reportf(pkg, e.Pos(), "closure on a hot path allocates its capture environment (use the AtFunc packed-trampoline shape)")
+			}
+		}
+		children(n, walk)
+	}
+	walk(node.decl.Body)
+}
+
+// children visits n's immediate AST children.
+func children(n ast.Node, walk func(ast.Node)) {
+	root := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if root {
+			root = false
+			return true
+		}
+		if c != nil {
+			walk(c)
+		}
+		return false
+	})
+}
+
+// blessedAppends collects append calls in the amortized reuse shape
+// `x = append(x, ...)` where x is a struct field or a package-level
+// slice — the persistent-buffer idiom whose steady state the runtime
+// bench gate proves allocation-free — plus the filter-in-place idiom
+// `kept := field[:0]; kept = append(kept, ...)`, which compacts into
+// the persistent backing array and cannot outgrow it.
+func blessedAppends(pkg *Package, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	out := map[*ast.CallExpr]bool{}
+	filters := filterLocals(pkg, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return true
+		}
+		fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || fun.Name != "append" {
+			return true
+		}
+		if _, isBuiltin := pkg.Info.Uses[fun].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		lhs := ast.Unparen(as.Lhs[0])
+		src := ast.Unparen(call.Args[0])
+		// `x = append(x[:i], x[i+1:]...)` removal/compaction is the
+		// same persistent storage seen through a slice expression.
+		if sl, ok := src.(*ast.SliceExpr); ok {
+			src = ast.Unparen(sl.X)
+		}
+		if !sameStorage(pkg, lhs, src) {
+			return true
+		}
+		if persistentStorage(pkg, lhs) {
+			out[call] = true
+		}
+		if id, ok := lhs.(*ast.Ident); ok && filters[identObj(pkg, id)] {
+			out[call] = true
+		}
+		return true
+	})
+	return out
+}
+
+// filterLocals finds locals initialized as `x := persistent[:0]` —
+// the filter-in-place cursor whose appends reuse the persistent
+// backing array.
+func filterLocals(pkg *Package, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		sl, ok := ast.Unparen(as.Rhs[0]).(*ast.SliceExpr)
+		if !ok || sl.Low != nil || sl.Slice3 {
+			return true
+		}
+		high, ok := ast.Unparen(sl.High).(*ast.BasicLit)
+		if !ok || high.Value != "0" {
+			return true
+		}
+		if !persistentStorage(pkg, ast.Unparen(sl.X)) {
+			return true
+		}
+		if id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok {
+			if obj := identObj(pkg, id); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// nonEscapingFuncLits collects closures passed directly to stdlib
+// callees whose func parameter provably does not escape (sort.Search:
+// the predicate is called and dropped), so the compiler keeps the
+// capture environment on the stack.
+func nonEscapingFuncLits(pkg *Package, body *ast.BlockStmt) map[*ast.FuncLit]bool {
+	out := map[*ast.FuncLit]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(pkg, ast.Unparen(call.Fun))
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if fn.Pkg().Path() == "sort" && strings.HasPrefix(fn.Name(), "Search") {
+			for _, arg := range call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					out[lit] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sameStorage reports whether two expressions name the same variable
+// or field chain (ident / selector / constant-free index chains).
+func sameStorage(pkg *Package, a, b ast.Expr) bool {
+	switch ea := a.(type) {
+	case *ast.Ident:
+		eb, ok := b.(*ast.Ident)
+		return ok && identObj(pkg, ea) != nil && identObj(pkg, ea) == identObj(pkg, eb)
+	case *ast.SelectorExpr:
+		eb, ok := b.(*ast.SelectorExpr)
+		return ok && ea.Sel.Name == eb.Sel.Name && sameStorage(pkg, ast.Unparen(ea.X), ast.Unparen(eb.X))
+	}
+	return false
+}
+
+// persistentStorage reports whether expr denotes storage that
+// outlives the call: a field selector or a package-level variable.
+func persistentStorage(pkg *Package, expr ast.Expr) bool {
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		return true
+	case *ast.Ident:
+		obj := identObj(pkg, e)
+		v, ok := obj.(*types.Var)
+		return ok && v.Parent() == pkg.Types.Scope()
+	}
+	return false
+}
+
+// nonAllocStrings are strings/bytes package-level functions that
+// only inspect their inputs.
+var nonAllocStrings = map[string]bool{
+	"EqualFold": true, "Equal": true, "Compare": true, "Contains": true,
+	"ContainsAny": true, "ContainsRune": true, "ContainsFunc": true,
+	"Count": true, "Cut": true, "CutPrefix": true, "CutSuffix": true,
+	"HasPrefix": true, "HasSuffix": true,
+	"Index": true, "IndexAny": true, "IndexByte": true, "IndexRune": true, "IndexFunc": true,
+	"LastIndex": true, "LastIndexAny": true, "LastIndexByte": true, "LastIndexFunc": true,
+	"TrimSpace": true, "TrimPrefix": true, "TrimSuffix": true, "Trim": true,
+	"TrimLeft": true, "TrimRight": true, "TrimFunc": true, "TrimLeftFunc": true, "TrimRightFunc": true,
+}
+
+// allocCallWhy classifies a callee as known-allocating stdlib.
+func allocCallWhy(fn *types.Func) string {
+	p := fn.Pkg()
+	if p == nil {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		return "" // methods (strings.Builder etc.) are judged by boxing/escapes
+	}
+	switch p.Path() {
+	case "fmt":
+		return "formats into fresh storage (and boxes its operands)"
+	case "errors":
+		if fn.Name() == "New" || fn.Name() == "Join" {
+			return "allocates an error value"
+		}
+	case "sort":
+		if !strings.HasPrefix(fn.Name(), "Search") {
+			return "allocates its interface adapter"
+		}
+	case "strings", "bytes":
+		if !nonAllocStrings[fn.Name()] {
+			return "builds a fresh string/slice"
+		}
+	case "strconv":
+		if !strings.HasPrefix(fn.Name(), "Append") && !strings.HasPrefix(fn.Name(), "Parse") && fn.Name() != "Atoi" {
+			return "formats into a fresh string (use the Append variants onto a reused buffer)"
+		}
+	}
+	return ""
+}
+
+// checkBoxing flags arguments that box a non-pointer-shaped value
+// into an interface parameter, and conversions to interface types.
+func checkBoxing(u *Unit, pkg *Package, call *ast.CallExpr) {
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Conversion: T(x) boxes when T is an interface and x is not
+		// pointer-shaped.
+		if _, isIface := tv.Type.Underlying().(*types.Interface); isIface && len(call.Args) == 1 {
+			if boxes(pkg, call.Args[0]) {
+				u.Reportf(pkg, call.Pos(), "conversion to interface on a hot path boxes a non-pointer value (allocates)")
+			}
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // passing a slice through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		if boxes(pkg, arg) {
+			u.Reportf(pkg, arg.Pos(), "argument boxes a non-pointer value into an interface on a hot path (allocates)")
+		}
+	}
+}
+
+// boxes reports whether passing arg to an interface slot allocates:
+// true for concrete values that do not fit the interface data word.
+func boxes(pkg *Package, arg ast.Expr) bool {
+	tv, ok := pkg.Info.Types[arg]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return false
+	}
+	return !pointerShaped(tv.Type)
+}
+
+// pointerShaped reports whether values of t travel in an interface
+// without a heap copy.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}

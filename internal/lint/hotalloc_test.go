@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestHotallocFixture(t *testing.T) {
+	RunFixture(t, "hotalloc", []*Analyzer{Hotalloc()})
+}

@@ -1,0 +1,130 @@
+// Package lint is mlvet's static-analysis suite: four analyzers that
+// turn the repo's three load-bearing runtime invariants into
+// compile-time properties.
+//
+//   - detorder: no output, fingerprint or journal byte may depend on
+//     Go map iteration order in the determinism-critical packages
+//     (campaign planning/aggregation/status, runner canonicalization,
+//     cfgreg table generation, telemetry formatters).
+//   - simpure: the simulated-machine packages (sim, cpu, cache, mem,
+//     bus, hier, workload and everything they import in-module) must
+//     stay replayable — no wall clock, no global PRNG, no environment
+//     reads, no map-order-dependent selection.
+//   - hotalloc: the call-graph reachable from //ml:hotpath roots (the
+//     event kernel's schedule/dispatch, cache access, core step
+//     functions) must not contain allocating constructs; the runtime
+//     0-allocs bench gate becomes a per-commit static check that
+//     names the offending line.
+//   - errkind: errors on scheduler worker paths (//ml:worker roots)
+//     must be classified CellErrors, and panics in those packages are
+//     only legal under a deferred recover.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer/Pass/Diagnostic, testdata fixtures with "want" comments)
+// but is self-contained: the build environment pins no external
+// modules, so the loader in load.go feeds the analyzers from `go
+// list -export` plus go/types directly.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Analyzer is one named check over a loaded Program.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and waiver comments
+	// (//ml:waive <name> -- reason).
+	Name string
+	// Doc states the invariant the analyzer enforces.
+	Doc string
+	// Run inspects the whole program (analyzers that need call graphs
+	// or import closures see everything; package-scoped analyzers
+	// filter internally) and reports findings through the Unit.
+	Run func(u *Unit) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Unit is one analyzer's view of a loaded program plus its report
+// sink. Reportf drops findings waived by an annotation comment (see
+// annot.go), so analyzers report unconditionally and waivers stay
+// centralized.
+type Unit struct {
+	Prog     *Program
+	Analyzer *Analyzer
+	sink     func(Diagnostic)
+}
+
+// Reportf files a finding at pos unless a waiver comment for this
+// analyzer covers the position's line.
+func (u *Unit) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	p := u.Prog.Fset.Position(pos)
+	if pkg != nil && pkg.annotations(u.Prog.Fset).waived(u.Analyzer.Name, p) {
+		return
+	}
+	u.sink(Diagnostic{Pos: p, Analyzer: u.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Stats summarizes a run for meta-tests and the CLI: losing every
+// //ml:hotpath annotation must be loud, not a silently empty check.
+type Stats struct {
+	Packages    int
+	HotRoots    int
+	WorkerRoots int
+	Findings    map[string]int
+}
+
+// Run executes the analyzers over prog and returns position-sorted
+// diagnostics. Malformed //ml: annotations are reported under the
+// pseudo-analyzer "annotation" so a typo'd waiver can never silently
+// disable a check.
+func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, Stats, error) {
+	var diags []Diagnostic
+	sink := func(d Diagnostic) { diags = append(diags, d) }
+
+	stats := Stats{Packages: len(prog.Packages), Findings: map[string]int{}}
+	for _, pkg := range prog.Packages {
+		an := pkg.annotations(prog.Fset)
+		stats.HotRoots += len(an.hotRoots)
+		stats.WorkerRoots += len(an.workerRoots)
+		for _, bad := range an.malformed {
+			sink(Diagnostic{Pos: bad.pos, Analyzer: "annotation", Message: bad.msg})
+		}
+	}
+
+	for _, a := range analyzers {
+		u := &Unit{Prog: prog, Analyzer: a, sink: sink}
+		if err := a.Run(u); err != nil {
+			return nil, stats, fmt.Errorf("lint: %s: %w", a.Name, err)
+		}
+	}
+
+	sort.Slice(diags, func(i, k int) bool {
+		a, b := diags[i], diags[k]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	for _, d := range diags {
+		stats.Findings[d.Analyzer]++
+	}
+	return diags, stats, nil
+}

@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked analysis target.
+type Package struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+
+	Syntax []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+
+	fset   *token.FileSet
+	annots *annots // lazily built by annotations()
+}
+
+// Program is a loaded set of analysis targets plus the module import
+// graph the closure-based analyzers walk.
+type Program struct {
+	Fset *token.FileSet
+	// Packages are the pattern-matched targets, type-checked from
+	// source, sorted by import path.
+	Packages []*Package
+	// ByPath indexes Packages.
+	ByPath map[string]*Package
+	// ModulePath is the containing module's path ("microlib").
+	ModulePath string
+	// ModuleImports maps every module package seen during the load
+	// (targets and deps) to its module-internal imports.
+	ModuleImports map[string][]string
+}
+
+// listPkg is the subset of `go list -json` output the loader reads.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Path, Dir string }
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns with the go command and type-checks every
+// matched package from source. Dependencies — the standard library
+// and, when the pattern selects a subset, other module packages —
+// are imported from compiler export data (`go list -export`), so a
+// whole-module load only parses module source. dir anchors the go
+// command; "" means the current directory (which must be inside the
+// module).
+func Load(dir string, patterns ...string) (*Program, error) {
+	args := append([]string{
+		"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Dir,Name,GoFiles,Imports,Export,Standard,DepOnly,Module,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list: %v\n%s", err, stderr.String())
+	}
+
+	var pkgs []*listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+
+	prog := &Program{
+		Fset:          token.NewFileSet(),
+		ByPath:        map[string]*Package{},
+		ModuleImports: map[string][]string{},
+	}
+	exports := map[string]string{}
+	var targets []*listPkg
+	for _, lp := range pkgs {
+		if lp.Error != nil && !lp.DepOnly {
+			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if lp.Module != nil && !lp.Standard {
+			if prog.ModulePath == "" && !lp.DepOnly {
+				prog.ModulePath = lp.Module.Path
+			}
+			var in []string
+			for _, imp := range lp.Imports {
+				if strings.HasPrefix(imp, lp.Module.Path+"/") || imp == lp.Module.Path {
+					in = append(in, imp)
+				}
+			}
+			prog.ModuleImports[lp.ImportPath] = in
+		}
+		if !lp.DepOnly {
+			targets = append(targets, lp)
+		}
+	}
+	sort.Slice(targets, func(i, k int) bool { return targets[i].ImportPath < targets[k].ImportPath })
+
+	imp := importer.ForCompiler(prog.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q (does it compile?)", path)
+		}
+		return os.Open(exp)
+	})
+
+	for _, lp := range targets {
+		pkg, err := check(prog.Fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+		prog.ByPath[pkg.ImportPath] = pkg
+	}
+	return prog, nil
+}
+
+// check parses and type-checks one package from source.
+func check(fset *token.FileSet, imp types.Importer, lp *listPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tpkg, _ := conf.Check(lp.ImportPath, fset, files, info)
+	if len(errs) > 0 {
+		msgs := make([]string, 0, len(errs))
+		for _, e := range errs {
+			msgs = append(msgs, e.Error())
+			if len(msgs) == 5 {
+				msgs = append(msgs, "...")
+				break
+			}
+		}
+		return nil, fmt.Errorf("lint: type-checking %s:\n  %s", lp.ImportPath, strings.Join(msgs, "\n  "))
+	}
+	return &Package{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		GoFiles:    lp.GoFiles,
+		Imports:    lp.Imports,
+		Syntax:     files,
+		Types:      tpkg,
+		Info:       info,
+		fset:       fset,
+	}, nil
+}
+
+// moduleClosure returns roots plus every module package transitively
+// imported by them, using the import graph captured at load time.
+func (p *Program) moduleClosure(roots []string) map[string]bool {
+	seen := map[string]bool{}
+	var visit func(string)
+	visit = func(path string) {
+		if seen[path] {
+			return
+		}
+		seen[path] = true
+		for _, imp := range p.ModuleImports[path] {
+			visit(imp)
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return seen
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// Simpure returns the simulation-purity analyzer rooted at the
+// simulated-machine packages: those packages and every module
+// package they transitively import must be replayable, because a
+// single wall-clock read or global-PRNG draw makes cells
+// non-replayable and breaks both the content-addressed cell cache
+// and warm-state checkpointing. Findings: calls to nondeterminism
+// sources (time.Now and friends, global math/rand, environment
+// reads) and map-order-dependent selection (the detorder loop rules,
+// reported under this analyzer's name).
+func Simpure(roots []string) *Analyzer {
+	a := &Analyzer{
+		Name: "simpure",
+		Doc:  "forbids nondeterminism sources in packages reachable from the simulated machine",
+	}
+	a.Run = func(u *Unit) error {
+		protected := u.Prog.moduleClosure(roots)
+		paths := make([]string, 0, len(protected))
+		for p := range protected {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			pkg := u.Prog.ByPath[path]
+			if pkg == nil {
+				continue // dep outside the loaded target set
+			}
+			checkPurity(u, pkg)
+			checkMapOrder(u, pkg)
+		}
+		return nil
+	}
+	return a
+}
+
+// impureFuncs maps forbidden package-level functions to what they
+// break. Keys are full import-path-qualified names.
+var impureFuncs = map[string]string{
+	"time.Now":       "reads the wall clock",
+	"time.Since":     "reads the wall clock",
+	"time.Until":     "reads the wall clock",
+	"time.After":     "schedules on the wall clock",
+	"time.Tick":      "schedules on the wall clock",
+	"time.NewTimer":  "schedules on the wall clock",
+	"time.NewTicker": "schedules on the wall clock",
+	"os.Getenv":      "reads the environment",
+	"os.LookupEnv":   "reads the environment",
+	"os.Environ":     "reads the environment",
+	"os.Hostname":    "depends on the host",
+	"os.Getpid":      "depends on the host",
+}
+
+// impureRandFuncs are the math/rand (and v2) package-level functions
+// driven by the shared global source. Seeded *rand.Rand values
+// (rand.New, rand.NewSource) stay legal: the module's PRNG wrappers
+// are built on them.
+var impureRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint32": true, "Uint32N": true, "Uint64": true, "Uint64N": true,
+	"UintN": true, "Uint": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+// checkPurity flags calls to nondeterminism sources in one package.
+func checkPurity(u *Unit, pkg *Package) {
+	for _, f := range pkg.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(pkg, ast.Unparen(call.Fun))
+			if fn == nil {
+				return true
+			}
+			if why := impureWhy(fn); why != "" {
+				u.Reportf(pkg, call.Pos(), "%s %s; simulated-machine code must be a pure function of its inputs (replay, cell cache and checkpointing depend on it)",
+					pkgDotName(fn), why)
+			}
+			return true
+		})
+	}
+}
+
+// impureWhy classifies a callee as a nondeterminism source.
+func impureWhy(fn *types.Func) string {
+	pkgPath := ""
+	if fn.Pkg() != nil {
+		pkgPath = fn.Pkg().Path()
+	}
+	switch pkgPath {
+	case "time", "os":
+		if why, ok := impureFuncs[pkgDotName(fn)]; ok {
+			return why
+		}
+	case "math/rand", "math/rand/v2":
+		// Only package-level functions: methods on a seeded
+		// *rand.Rand receiver are deterministic.
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() == nil && impureRandFuncs[fn.Name()] {
+			return "draws from the global math/rand source"
+		}
+	}
+	return ""
+}

@@ -1,0 +1,9 @@
+package lint
+
+import "testing"
+
+func TestSimpureFixture(t *testing.T) {
+	RunFixture(t, "simpure", []*Analyzer{
+		Simpure([]string{FixturePath("simpure")}),
+	})
+}

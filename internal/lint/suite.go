@@ -1,0 +1,57 @@
+package lint
+
+// This file is mlvet's repo configuration: which packages each
+// invariant protects. The analyzers themselves are generic; the
+// lists below are the policy.
+
+// DeterminismPkgs are the packages whose output, fingerprint or
+// journal bytes must never depend on map iteration order: campaign
+// planning/aggregation/status, runner canonicalization, the cfgreg
+// path table, telemetry formatters, the figure formatters and every
+// CLI that renders results.
+var DeterminismPkgs = []string{
+	"microlib",
+	"microlib/internal/campaign",
+	"microlib/internal/cfgreg",
+	"microlib/internal/experiments",
+	"microlib/internal/runner",
+	"microlib/internal/telemetry",
+	"microlib/cmd/microsim",
+	"microlib/cmd/mlbench",
+	"microlib/cmd/mlcampaign",
+	"microlib/cmd/mlrank",
+	"microlib/cmd/mltrace",
+}
+
+// SimPkgs are the simulated-machine roots: these packages plus
+// everything they import inside the module must be a pure function
+// of their inputs (simpure's closure).
+var SimPkgs = []string{
+	"microlib/internal/sim",
+	"microlib/internal/cpu",
+	"microlib/internal/cache",
+	"microlib/internal/mem",
+	"microlib/internal/bus",
+	"microlib/internal/hier",
+	"microlib/internal/workload",
+}
+
+// Suite returns mlvet's four analyzers configured for this repo.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		Detorder(DeterminismPkgs),
+		Simpure(SimPkgs),
+		Hotalloc(),
+		Errkind(),
+	}
+}
+
+// Check loads patterns (dir anchors the go command; "" = cwd) and
+// runs the full suite.
+func Check(dir string, patterns ...string) ([]Diagnostic, Stats, error) {
+	prog, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return Run(prog, Suite())
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean is the meta-test: the full suite must pass over the
+// entire module, and the annotation counts must stay in the expected
+// range — if a refactor drops the //ml:hotpath or //ml:worker markers
+// (moving a doc comment, renaming a file), the invariants silently
+// stop being enforced; this test makes that loss loud.
+func TestRepoIsClean(t *testing.T) {
+	diags, stats, err := Check("", "microlib/...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+	if stats.HotRoots < 10 {
+		t.Errorf("only %d //ml:hotpath roots found (want >= 10); annotations lost?", stats.HotRoots)
+	}
+	if stats.WorkerRoots < 1 {
+		t.Errorf("no //ml:worker roots found; the errkind analyzer is not protecting the scheduler")
+	}
+	if stats.Packages < 30 {
+		t.Errorf("only %d packages loaded (want >= 30); the module pattern no longer covers the tree", stats.Packages)
+	}
+}
+
+func TestEscapeDiff(t *testing.T) {
+	current := []string{"a.go: x escapes to heap", "b.go: y escapes to heap"}
+	baseline := []string{"b.go: y escapes to heap", "c.go: z escapes to heap"}
+	added, stale := EscapeDiff(current, baseline)
+	if len(added) != 1 || added[0] != "a.go: x escapes to heap" {
+		t.Errorf("added = %v", added)
+	}
+	if len(stale) != 1 || stale[0] != "c.go: z escapes to heap" {
+		t.Errorf("stale = %v", stale)
+	}
+}
+
+func TestReadBaselineMissingIsEmpty(t *testing.T) {
+	got, err := ReadBaseline("testdata/does-not-exist.txt")
+	if err != nil || got != nil {
+		t.Errorf("missing baseline: got %v, %v; want nil, nil", got, err)
+	}
+}
+
+// TestBaselineMatchesRepo keeps escapes_baseline.txt loadable and
+// well-formed (sorted, no duplicates) without invoking the compiler.
+func TestBaselineMatchesRepo(t *testing.T) {
+	facts, err := ReadBaseline("escapes_baseline.txt")
+	if err != nil {
+		t.Fatalf("reading baseline: %v", err)
+	}
+	if len(facts) == 0 {
+		t.Fatal("baseline is empty; regenerate with `go run ./cmd/mlvet -escapes -write-escapes`")
+	}
+	seen := map[string]bool{}
+	for _, f := range facts {
+		if seen[f] {
+			t.Errorf("duplicate baseline entry: %s", f)
+		}
+		seen[f] = true
+		if !strings.Contains(f, ".go: ") {
+			t.Errorf("malformed baseline entry: %s", f)
+		}
+	}
+}

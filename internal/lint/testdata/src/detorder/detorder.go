@@ -1,0 +1,88 @@
+// Package detorder is the mlvet detorder fixture: each function pins
+// one rule — flagged map ranges, the two blessed shapes, waivers and
+// malformed-annotation reporting.
+package detorder
+
+import (
+	"fmt"
+	"maps"
+	"slices"
+	"sort"
+)
+
+// Emit leaks map order into its output: flagged.
+func Emit(counts map[string]int) {
+	for k, v := range counts { // want "map iteration order reaches this loop's effects"
+		fmt.Println(k, v)
+	}
+}
+
+// EmitSorted is the collect-then-sort shape: blessed without a waiver.
+func EmitSorted(counts map[string]int) {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, counts[k])
+	}
+}
+
+// Copy writes another map at the loop key: each key touches its own
+// slot, so order cannot matter. (Indexing by the value — a true map
+// inversion — would NOT be blessed: colliding values make the result
+// order-dependent.)
+func Copy(src map[string]int) map[string]int {
+	dst := make(map[string]int, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+// Count is keyless: iterations are indistinguishable.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Drain is order-sensitive but waived with a reason.
+func Drain(m map[string]int, sink chan<- string) {
+	//ml:commutative -- fixture: the consumer deduplicates, order is irrelevant
+	for k := range m {
+		sink <- k
+	}
+}
+
+// Malformed shows that a reason-less waiver is itself a finding and
+// does not suppress the loop underneath it.
+func Malformed(m map[string]int) {
+	//ml:commutative // want "requires a reason"
+	for k := range m { // want "map iteration order reaches this loop's effects"
+		fmt.Println(k)
+	}
+}
+
+// Typo shows an unknown verb is reported, not ignored.
+func Typo(m map[string]int) int {
+	//ml:commutatiev -- misspelled // want "unknown //ml: annotation verb"
+	return len(m)
+}
+
+// SortedKeys feeds maps.Keys straight into a sorting consumer: fine.
+func SortedKeys(m map[string]int) []string {
+	return slices.Sorted(maps.Keys(m))
+}
+
+// RawKeys iterates maps.Keys unsorted: flagged.
+func RawKeys(m map[string]int) []string {
+	var out []string
+	for k := range maps.Keys(m) { // want "maps.Keys yields keys in map order"
+		out = append(out, k)
+	}
+	return out
+}

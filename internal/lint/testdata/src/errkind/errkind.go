@@ -1,0 +1,55 @@
+// Package errkind is the mlvet errkind fixture: naked error
+// construction on the //ml:worker closure is flagged, classified
+// errors pass, and panics are legal only under a deferred recover.
+package errkind
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CellError mirrors the campaign taxonomy shape.
+type CellError struct{ Kind, Msg string }
+
+func (e *CellError) Error() string { return e.Msg }
+
+// run is the fixture's worker root.
+//
+//ml:worker
+func run(key string) error {
+	if key == "" {
+		return fmt.Errorf("empty key") // want "fmt.Errorf on a scheduler worker path"
+	}
+	return step(key)
+}
+
+// step is intra-package reachable from the root: same rules apply.
+func step(key string) error {
+	if key == "x" {
+		return errors.New("bad cell") // want "errors.New on a scheduler worker path"
+	}
+	return &CellError{Kind: "model", Msg: "mechanism rejected " + key}
+}
+
+// protected installs the containment boundary: its panic is legal.
+func protected() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &CellError{Kind: "panic", Msg: "recovered"}
+		}
+	}()
+	panic("boom")
+}
+
+// unprotected would kill the whole sweep: flagged.
+func unprotected(n int) {
+	if n < 0 {
+		panic("negative") // want "panic outside a recover-protected zone"
+	}
+}
+
+// waived documents why this panic is acceptable.
+func waived() {
+	//ml:waive errkind -- fixture: unreachable guard, documented invariant
+	panic("unreachable")
+}

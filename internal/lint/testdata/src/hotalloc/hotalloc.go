@@ -1,0 +1,89 @@
+// Package hotalloc is the mlvet hotalloc fixture: allocating
+// constructs reachable from the //ml:hotpath root are flagged; pool
+// growth (waived), amortized appends, filter-in-place compaction,
+// panic subtrees, sort.Search predicates and cold functions are not.
+package hotalloc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+type node struct{ next *node }
+
+type pool struct {
+	buf   []int
+	queue []int
+	free  *node
+}
+
+func sink(v any) { _ = v }
+
+// Run is the fixture's hot root; everything it reaches is checked.
+//
+//ml:hotpath
+func (p *pool) Run(n int) {
+	p.hot(n)
+	p.pooled()
+	p.filter()
+	p.death(n)
+	p.search(n)
+}
+
+// hot gathers one of each flagged construct.
+func (p *pool) hot(n int) {
+	s := make([]int, n)          // want "make on a hot path"
+	q := new(int)                // want "new on a hot path"
+	s = append(s, n)             // local lhs: not the amortized shape; want "append on a hot path"
+	f := func() int { return n } // want "closure on a hot path"
+	_ = fmt.Sprint(n)            // want "fmt.Sprint on a hot path" "boxes a non-pointer value"
+	_ = errors.New("x")          // want "errors.New on a hot path"
+	_ = any(n)                   // want "conversion to interface"
+	sink(n)                      // want "boxes a non-pointer value"
+	_ = q
+	_ = f
+}
+
+// pooled allocates only to grow its freelist (waived) and appends
+// into a persistent field (amortized: blessed).
+func (p *pool) pooled() *node {
+	nd := p.free
+	if nd == nil {
+		//ml:waive hotalloc -- fixture: pool growth up to the high-water mark
+		nd = &node{}
+	} else {
+		p.free = nd.next
+	}
+	p.buf = append(p.buf, 1)
+	return nd
+}
+
+// filter compacts in place through a [:0] cursor: blessed.
+func (p *pool) filter() {
+	kept := p.queue[:0]
+	for _, v := range p.queue {
+		if v > 0 {
+			kept = append(kept, v)
+		}
+	}
+	p.queue = kept
+}
+
+// death may format its panic message freely: the cell is already dead.
+func (p *pool) death(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bad n: %d", n))
+	}
+}
+
+// search passes its predicate to sort.Search, whose parameter does
+// not escape: the closure stays on the stack.
+func (p *pool) search(n int) int {
+	return sort.Search(len(p.buf), func(i int) bool { return p.buf[i] >= n })
+}
+
+// cold is not reachable from the root: it may allocate.
+func cold(n int) []int {
+	return make([]int, n)
+}

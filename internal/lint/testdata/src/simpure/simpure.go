@@ -1,0 +1,48 @@
+// Package simpure is the mlvet simpure fixture: nondeterminism
+// sources are flagged anywhere in the protected closure, seeded PRNG
+// draws and sorted map iteration stay legal.
+package simpure
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// Core stands in for a simulated component.
+type Core struct {
+	rng  *rand.Rand
+	seen map[uint64]int
+}
+
+// Step mixes forbidden sources with a legal seeded draw.
+func (c *Core) Step(now uint64) uint64 {
+	t := time.Now()       // want "time.Now reads the wall clock"
+	_ = os.Getenv("HOME") // want "os.Getenv reads the environment"
+	n := rand.Intn(8)     // want "rand.Intn draws from the global math/rand source"
+	m := c.rng.Intn(8)    // seeded *rand.Rand: deterministic, legal
+	_ = t
+	return now + uint64(n+m)
+}
+
+// pick selects by map order: flagged (reported under simpure).
+func (c *Core) pick() (uint64, bool) {
+	for k := range c.seen { // want "map iteration order reaches this loop's effects"
+		return k, true
+	}
+	return 0, false
+}
+
+// sortedPick is the collect-then-sort shape: legal.
+func (c *Core) sortedPick() (uint64, bool) {
+	keys := make([]uint64, 0, len(c.seen))
+	for k := range c.seen {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if len(keys) == 0 {
+		return 0, false
+	}
+	return keys[0], true
+}

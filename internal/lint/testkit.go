@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The fixture runner: the analysistest idiom without the x/tools
+// dependency. A fixture is an ordinary package under
+// testdata/src/<name>/ (testdata keeps it out of ./... builds);
+// every expected finding is declared in the fixture itself with a
+// trailing comment
+//
+//	// want "regexp" ["regexp" ...]
+//
+// on the offending line. RunFixture loads the package through the
+// real loader, runs the analyzers, and fails the test on any
+// unmatched diagnostic or unsatisfied expectation — so each analyzer
+// is pinned to fire (and to stay quiet) exactly where the fixture
+// says.
+
+// FixturePath returns the import path of a fixture package, for
+// analyzers that take package-path configuration.
+func FixturePath(name string) string {
+	return "microlib/internal/lint/testdata/src/" + name
+}
+
+// RunFixture loads testdata/src/<name> and checks analyzers against
+// its want comments.
+func RunFixture(t *testing.T, name string, analyzers []*Analyzer) {
+	t.Helper()
+	prog, err := Load("", "./testdata/src/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	diags, _, err := Run(prog, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", name, err)
+	}
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := map[string][]*want{} // "file:line" -> expectations
+	key := func(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := c.Text
+					idx := strings.Index(text, "want ")
+					if !strings.HasPrefix(text, "//") || idx < 0 {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					for _, pat := range parseWants(t, pos.String(), text[idx+len("want "):]) {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+						}
+						k := key(pos.Filename, pos.Line)
+						wants[k] = append(wants[k], &want{re: re})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key(d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	var missing []string
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				missing = append(missing, fmt.Sprintf("%s: no diagnostic matched %q", k, w.re))
+			}
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Error(m)
+	}
+}
+
+// parseWants extracts the quoted regexps of one want comment.
+func parseWants(t *testing.T, pos, s string) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		if s[0] != '"' {
+			t.Fatalf("%s: malformed want clause near %q (expected quoted regexp)", pos, s)
+		}
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '"' && s[i-1] != '\\' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			t.Fatalf("%s: unterminated want pattern %q", pos, s)
+		}
+		out = append(out, strings.ReplaceAll(s[1:end], `\"`, `"`))
+		s = s[end+1:]
+	}
+}

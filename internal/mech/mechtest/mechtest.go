@@ -28,6 +28,7 @@ func (b *Backend) Fetch(lineAddr, pc uint64, prefetch bool, sink cache.FillSink)
 		return false
 	}
 	b.Fetches = append(b.Fetches, lineAddr)
+	//ml:waive hotalloc -- test double: mechtest backs unit tests, never a measured run
 	b.Eng.After(b.Delay, func() { sink.FillLine(lineAddr, b.Eng.Now()) })
 	return true
 }

@@ -21,6 +21,8 @@ func NewConstLatency(eng *sim.Engine, latency uint64) *ConstLatency {
 func (m *ConstLatency) Name() string { return "const" }
 
 // Enqueue implements Model. It always accepts.
+//
+//ml:hotpath
 func (m *ConstLatency) Enqueue(r *Req) bool {
 	if r.Write {
 		m.stats.Writes++

@@ -242,6 +242,8 @@ func (s *SDRAM) mapAddr(addr uint64) (bankIdx int, row int64) {
 // refused once the controller queue is a quarter full, reserving
 // capacity for demand misses (prefetches are retried from the cache
 // request queues, so refusal only delays them).
+//
+//ml:hotpath
 func (s *SDRAM) Enqueue(r *Req) bool {
 	limit := s.cfg.QueueSize
 	if r.Prefetch {

@@ -94,6 +94,7 @@ func (e *Engine) Now() uint64 { return e.now }
 func (e *Engine) get() *event {
 	ev := e.free
 	if ev == nil {
+		//ml:waive hotalloc -- pool growth: allocates only until the freelist reaches high-water mark, then never again
 		return &event{}
 	}
 	e.free = ev.next
@@ -109,6 +110,8 @@ func (e *Engine) put(ev *event) {
 // At schedules fn to run when the clock reaches cycle. Scheduling in
 // the past (cycle < Now) is a programming error and panics: silently
 // reordering time would destroy determinism.
+//
+//ml:hotpath
 func (e *Engine) At(cycle uint64, fn func()) {
 	ev := e.get()
 	ev.fn = fn
@@ -116,6 +119,8 @@ func (e *Engine) At(cycle uint64, fn func()) {
 }
 
 // After schedules fn to run delay cycles from now.
+//
+//ml:hotpath
 func (e *Engine) After(delay uint64, fn func()) {
 	e.At(e.now+delay, fn)
 }
@@ -125,6 +130,8 @@ func (e *Engine) After(delay uint64, fn func()) {
 // travel in the interface words (pointer-shaped values only — no
 // boxing) and scalar arguments in a0/a1, all packed into a pooled
 // event node.
+//
+//ml:hotpath
 func (e *Engine) AtFunc(cycle uint64, fn Func, o1, o2 any, a0, a1 uint64) {
 	ev := e.get()
 	ev.call = fn
@@ -134,6 +141,8 @@ func (e *Engine) AtFunc(cycle uint64, fn Func, o1, o2 any, a0, a1 uint64) {
 }
 
 // AfterFunc is AtFunc at now+delay.
+//
+//ml:hotpath
 func (e *Engine) AfterFunc(delay uint64, fn Func, o1, o2 any, a0, a1 uint64) {
 	e.AtFunc(e.now+delay, fn, o1, o2, a0, a1)
 }
@@ -262,6 +271,8 @@ func (e *Engine) runCycle(t uint64) uint64 {
 
 // AdvanceTo moves the clock to cycle, executing every event due at or
 // before it, in timestamp then FIFO order.
+//
+//ml:hotpath
 func (e *Engine) AdvanceTo(cycle uint64) {
 	for {
 		t, ok := e.nextAt()
@@ -278,6 +289,8 @@ func (e *Engine) AdvanceTo(cycle uint64) {
 
 // Drain runs events until the calendar is empty or the clock would
 // pass limit. It returns the number of events executed.
+//
+//ml:hotpath
 func (e *Engine) Drain(limit uint64) uint64 {
 	var n uint64
 	for {
@@ -312,6 +325,7 @@ func overflowLess(a, b *event) bool {
 
 func (e *Engine) heapPush(ev *event) {
 	ev.next = nil
+	//ml:waive hotalloc -- amortized growth of e.overflow; reassigned to the field below, capacity is retained
 	h := append(e.overflow, ev)
 	i := len(h) - 1
 	for i > 0 {

@@ -229,6 +229,7 @@ func (r *Reader) Err() error {
 		return nil
 	}
 	if r.err == io.ErrUnexpectedEOF {
+		//ml:waive hotalloc -- terminal path: Err runs once at end of trace, not per record
 		return fmt.Errorf("trace: truncated mid-record after %d records: %w", r.n, r.err)
 	}
 	return r.err
