@@ -1,17 +1,22 @@
 // Command mlbench runs the kernel microbenchmarks and one end-to-end
-// artifact benchmark, writes the results as JSON (BENCH_6.json in CI)
-// and enforces the kernel's allocation contract: steady-state
-// Engine.After + Drain scheduling must perform zero allocations per
-// event, or the command exits nonzero.
+// artifact benchmark, writes the results as JSON (BENCH_9.json in CI)
+// and enforces two contracts: steady-state Engine.After + Drain
+// scheduling must perform zero allocations per event, and a
+// shared-prefix campaign sweep must run at least 2x faster warm
+// (prefix checkpointing on) than cold — or the command exits nonzero.
 //
 // Every row records wall-clock time and iteration count alongside the
 // allocation counters, and the simulator-throughput rows carry
 // insts_per_sec — including a sampled variant that prices the
-// telemetry interval sampler against the unsampled run.
+// telemetry interval sampler against the unsampled run. The slab
+// promotion rows price the overflow heap's batch-promotion path
+// against the one-pop-at-a-time baseline on the identical workload,
+// and the campaign/shared-prefix pair prices warm-state checkpointing
+// against cold execution of the same plan.
 //
 // Usage:
 //
-//	mlbench [-out BENCH_6.json] [-scale 4] [-artifact fig8] [-skip-artifact]
+//	mlbench [-out BENCH_9.json] [-scale 4] [-artifact fig8] [-skip-artifact]
 //
 // The JSON also carries the recorded seed-kernel baseline (the
 // container/heap engine with per-cycle stepping, measured on the
@@ -20,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,6 +34,7 @@ import (
 	"testing"
 	"time"
 
+	"microlib/internal/campaign"
 	"microlib/internal/experiments"
 	"microlib/internal/runner"
 	"microlib/internal/sim"
@@ -57,7 +64,7 @@ type Result struct {
 	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
-// Report is the BENCH_6.json document.
+// Report is the BENCH_9.json document.
 type Report struct {
 	GoVersion    string             `json:"go_version"`
 	GOOS         string             `json:"goos"`
@@ -67,6 +74,7 @@ type Report struct {
 	SeedBaseline map[string]Result  `json:"seed_baseline"`
 	Speedup      map[string]float64 `json:"speedup_vs_seed,omitempty"`
 	AllocGate    string             `json:"alloc_gate"`
+	WarmGate     string             `json:"warm_gate"`
 }
 
 func bench(name string, f func(b *testing.B)) Result {
@@ -83,7 +91,7 @@ func bench(name string, f func(b *testing.B)) Result {
 
 func main() {
 	var (
-		out          = flag.String("out", "BENCH_6.json", "output JSON path")
+		out          = flag.String("out", "BENCH_9.json", "output JSON path")
 		scale        = flag.Uint64("scale", 4, "artifact bench scale divisor (MICROLIB_SCALE)")
 		artifact     = flag.String("artifact", "fig8", "artifact experiment id for the end-to-end bench")
 		skipArtifact = flag.Bool("skip-artifact", false, "skip the (slow) artifact bench")
@@ -114,6 +122,44 @@ func main() {
 		sim.RunSteadyState(eng, b.N, true)
 	})
 	rep.Results = append(rep.Results, kernelClosure, kernelPooled)
+
+	// Overflow slab promotion: a window jump carries a whole slab of
+	// far-future events into the ring at once (skip phases, warm-state
+	// restores). The popwise row runs the identical workload with the
+	// batch path disabled, so their ratio is the ns/op delta of the
+	// batch-promotion optimization itself.
+	const slab = 4096
+	slabBatch := bench("kernel/slab-promotion", func(b *testing.B) {
+		eng := sim.NewEngine()
+		sim.RunSlabPromotion(eng, slab, false)
+		b.ResetTimer()
+		var fired uint64
+		for i := 0; i < b.N; i++ {
+			fired += sim.RunSlabPromotion(eng, slab, false)
+		}
+		if fired == 0 {
+			b.Fatal("no events ran")
+		}
+	})
+	slabPopwise := bench("kernel/slab-promotion/popwise", func(b *testing.B) {
+		eng := sim.NewEngine()
+		sim.RunSlabPromotion(eng, slab, true)
+		b.ResetTimer()
+		var fired uint64
+		for i := 0; i < b.N; i++ {
+			fired += sim.RunSlabPromotion(eng, slab, true)
+		}
+		if fired == 0 {
+			b.Fatal("no events ran")
+		}
+	})
+	slabBatch.Extra = map[string]float64{
+		"events_per_op":      slab,
+		"speedup_vs_popwise": slabPopwise.NsPerOp / slabBatch.NsPerOp,
+		"delta_ns_per_op":    slabPopwise.NsPerOp - slabBatch.NsPerOp,
+		"delta_ns_per_event": (slabPopwise.NsPerOp - slabBatch.NsPerOp) / slab,
+	}
+	rep.Results = append(rep.Results, slabBatch, slabPopwise)
 
 	// End-to-end simulator throughput (memory-bound bench + prefetch
 	// mechanism exercises the whole event path).
@@ -157,6 +203,46 @@ func main() {
 	}
 	rep.Results = append(rep.Results, simSampled)
 
+	// Shared-prefix sweep, cold vs warm: a geometry-style budget sweep
+	// around one base point — eight measured budgets over the same
+	// (workload, seed, skip, warm-up, machine) prefix. Cold execution
+	// re-simulates the 50k-instruction prefix for every cell; warm
+	// execution pays for it once and forks the measurement phase from
+	// the checkpoint. One worker, so the ratio is pure prefix
+	// amortization, not parallelism. The warm gate below requires
+	// warm_speedup >= 2.
+	sweep := campaign.Spec{
+		Name:       "mlbench-shared-prefix",
+		Benchmarks: []string{"swim"},
+		Mechanisms: []string{"GHB"},
+		Seeds:      []uint64{1},
+		Insts:      []uint64{2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000},
+	}
+	warmup := uint64(50_000)
+	sweep.Warmup = &warmup
+	runSweep := func(noWarm bool) {
+		sum, err := campaign.Execute(context.Background(), sweep, campaign.RunConfig{Workers: 1, NoWarm: noWarm})
+		if err != nil {
+			fatal(err)
+		}
+		if sum.Sched.Errors > 0 {
+			fatal(fmt.Errorf("shared-prefix sweep: %d cells failed", sum.Sched.Errors))
+		}
+	}
+	sweepCold := bench("campaign/shared-prefix/cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runSweep(true)
+		}
+	})
+	sweepWarm := bench("campaign/shared-prefix/warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runSweep(false)
+		}
+	})
+	warmSpeedup := sweepCold.NsPerOp / sweepWarm.NsPerOp
+	sweepWarm.Extra = map[string]float64{"warm_speedup": warmSpeedup}
+	rep.Results = append(rep.Results, sweepCold, sweepWarm)
+
 	// One full artifact experiment, end to end.
 	if !*skipArtifact {
 		r := experiments.Default().Scale(*scale)
@@ -186,6 +272,15 @@ func main() {
 		rep.AllocGate = "PASS: 0 allocs/op on both kernel scheduling paths"
 	}
 
+	// The warm gate: prefix checkpointing must at least halve the
+	// wall-clock of the shared-prefix sweep.
+	warmFailed := warmSpeedup < 2
+	if warmFailed {
+		rep.WarmGate = fmt.Sprintf("FAIL: shared-prefix sweep warm speedup %.2fx (want >= 2x)", warmSpeedup)
+	} else {
+		rep.WarmGate = fmt.Sprintf("PASS: shared-prefix sweep runs %.1fx faster warm than cold", warmSpeedup)
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -197,6 +292,11 @@ func main() {
 	os.Stdout.Write(data)
 	if gateFailed {
 		fmt.Fprintln(os.Stderr, "mlbench:", rep.AllocGate)
+	}
+	if warmFailed {
+		fmt.Fprintln(os.Stderr, "mlbench:", rep.WarmGate)
+	}
+	if gateFailed || warmFailed {
 		os.Exit(1)
 	}
 }

@@ -87,12 +87,12 @@ func main() {
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   mlcampaign run   -spec file [-cache dir] [-workers n] [-format text|csv|json] [-out file] [-quiet] [-set path=value]...
-                   [-journal file.jsonl] [-http addr] [-interval cycles -interval-dir dir]
+                   [-ckpt dir] [-nowarm] [-journal file.jsonl] [-http addr] [-interval cycles -interval-dir dir]
                    [-cell-timeout dur] [-retry n] [-retry-delay dur] [-stall-factor f]
                    [-faults spec] [-fault-seed n] [-fault-slow dur]
   mlcampaign resume file.jsonl [-cache dir] [-workers n] [-format text|csv|json] [-out file] [-quiet]
-                   [-cell-timeout dur] [-retry n] [-retry-delay dur] [-stall-factor f]
-  mlcampaign plan  -spec file [-set path=value]...
+                   [-ckpt dir] [-nowarm] [-cell-timeout dur] [-retry n] [-retry-delay dur] [-stall-factor f]
+  mlcampaign plan  -spec file [-diff] [-set path=value]...
   mlcampaign validate [-quiet] [-set path=value]... file.json [file2.json ...]
   mlcampaign list  [-cache dir]
   mlcampaign paths
@@ -118,6 +118,8 @@ func cmdRun(args []string) {
 		httpAddr    = fs.String("http", "", "serve live metrics and pprof on this address while the campaign runs, e.g. :6060")
 		interval    = fs.Uint64("interval", 0, "sample every simulated cell at this cycle granularity (needs -interval-dir)")
 		intervalDir = fs.String("interval-dir", "", "write each sampled cell's series to this directory as <fingerprint>.json")
+		ckptDir     = fs.String("ckpt", "", "persist warm-up prefix checkpoints in this directory so later campaigns sharing a prefix start warm")
+		noWarm      = fs.Bool("nowarm", false, "disable warm-state checkpointing; every cell simulates its own skip and warm-up prefix")
 
 		rob    = robustnessFlags(fs)
 		faults = faultFlags(fs)
@@ -146,11 +148,13 @@ func cmdRun(args []string) {
 
 	live := &microlib.CampaignLiveStats{}
 	cfg := microlib.CampaignConfig{
-		Workers:     *workers,
-		CacheDir:    *cacheDir,
-		Live:        live,
-		Interval:    *interval,
-		IntervalDir: *intervalDir,
+		Workers:       *workers,
+		CacheDir:      *cacheDir,
+		CheckpointDir: *ckptDir,
+		NoWarm:        *noWarm,
+		Live:          live,
+		Interval:      *interval,
+		IntervalDir:   *intervalDir,
 	}
 	rob.apply(&cfg)
 	faults.apply(&cfg)
@@ -342,6 +346,8 @@ func cmdResume(args []string) {
 		format   = fs.String("format", "text", "report format: text, csv, json")
 		out      = fs.String("out", "", "write the report to a file instead of stdout")
 		quiet    = fs.Bool("quiet", false, "suppress progress output")
+		ckptDir  = fs.String("ckpt", "", "persist warm-up prefix checkpoints in this directory so later campaigns sharing a prefix start warm")
+		noWarm   = fs.Bool("nowarm", false, "disable warm-state checkpointing; every cell simulates its own skip and warm-up prefix")
 		rob      = robustnessFlags(fs)
 		faults   = faultFlags(fs)
 	)
@@ -367,7 +373,7 @@ func cmdResume(args []string) {
 	defer stop()
 
 	live := &microlib.CampaignLiveStats{}
-	cfg := microlib.CampaignConfig{Workers: *workers, CacheDir: *cacheDir, Live: live}
+	cfg := microlib.CampaignConfig{Workers: *workers, CacheDir: *cacheDir, CheckpointDir: *ckptDir, NoWarm: *noWarm, Live: live}
 	rob.apply(&cfg)
 	faults.apply(&cfg)
 	if !*quiet {
@@ -395,6 +401,7 @@ func cmdPlan(args []string) {
 	var sets microlib.SetFlags
 	fs.Var(&sets, "set", "pin a config field for every cell (repeatable)")
 	specPath := fs.String("spec", "", "campaign spec file (JSON)")
+	diff := fs.Bool("diff", false, "print each cell as its deviation from the plan's base point, with its warm-up prefix group")
 	fs.Parse(args)
 	if *specPath == "" {
 		fatal(fmt.Errorf("plan: -spec is required"))
@@ -408,7 +415,72 @@ func cmdPlan(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	if *diff {
+		printPlanDiff(plan)
+		return
+	}
 	printPlan(plan)
+}
+
+// printPlanDiff renders the plan as deviations from its base point:
+// the first value of every axis is the default, and each cell lists
+// only the axis values it changes. The prefix column names the cell's
+// warm-up prefix group (cells differing only in measured budget share
+// a group and pay for one prefix simulation between them), so the
+// sharing structure warm-state checkpointing exploits is visible
+// before any cell runs.
+func printPlanDiff(plan *microlib.CampaignPlan) {
+	fmt.Printf("campaign %q: %d cells, fingerprint %s\n", plan.Spec.Name, len(plan.Cells), plan.Fingerprint())
+	base := make(map[string]string, len(plan.Axes))
+	baseParts := make([]string, 0, len(plan.Axes))
+	for _, ax := range plan.Axes {
+		if len(ax.Values) == 0 {
+			continue
+		}
+		base[ax.Name] = ax.Values[0]
+		baseParts = append(baseParts, ax.Name+"="+ax.Values[0])
+	}
+	fmt.Printf("base: %s\n", strings.Join(baseParts, " "))
+
+	type row struct {
+		idx    int
+		prefix string
+		diff   string
+		key    string
+	}
+	groups := make(map[string]string)
+	rows := make([]row, 0, len(plan.Cells))
+	diffW, prefW := len("diff"), len("prefix")
+	for _, c := range plan.Cells {
+		var devs []string
+		for _, v := range c.Values {
+			if v.Value != base[v.Axis] {
+				devs = append(devs, v.Axis+"="+v.Value)
+			}
+		}
+		d := "(base)"
+		if len(devs) > 0 {
+			d = strings.Join(devs, " ")
+		}
+		pfp := c.Opts.PrefixFingerprint()
+		label, ok := groups[pfp]
+		if !ok {
+			label = fmt.Sprintf("p%d %s", len(groups), pfp[:8])
+			groups[pfp] = label
+		}
+		if len(d) > diffW {
+			diffW = len(d)
+		}
+		if len(label) > prefW {
+			prefW = len(label)
+		}
+		rows = append(rows, row{c.Index, label, d, c.Key})
+	}
+	fmt.Printf("%d warm-up prefix groups over %d cells\n", len(groups), len(plan.Cells))
+	fmt.Printf("%-5s %-*s %-*s  key\n", "idx", prefW, "prefix", diffW, "diff")
+	for _, r := range rows {
+		fmt.Printf("%-5d %-*s %-*s  %s\n", r.idx, prefW, r.prefix, diffW, r.diff, r.key)
+	}
 }
 
 // printPlan renders a plan: the axis table, the scenarios, and one

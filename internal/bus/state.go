@@ -1,0 +1,30 @@
+package bus
+
+// State is the full mutable state of a Bus, in serializable form, for
+// warm-state checkpointing. Geometry (width, clock ratio) is
+// configuration, not state: a restored bus is rebuilt from the same
+// config and only these fields are overwritten.
+type State struct {
+	FreeAt     uint64
+	Transfers  uint64
+	BusyCycles uint64
+	WaitCycles uint64
+}
+
+// State captures the bus's mutable fields.
+func (b *Bus) State() State {
+	return State{
+		FreeAt:     b.freeAt,
+		Transfers:  b.transfers,
+		BusyCycles: b.busyCycles,
+		WaitCycles: b.waitCycles,
+	}
+}
+
+// SetState overwrites the bus's mutable fields from a snapshot.
+func (b *Bus) SetState(st State) {
+	b.freeAt = st.FreeAt
+	b.transfers = st.Transfers
+	b.busyCycles = st.BusyCycles
+	b.waitCycles = st.WaitCycles
+}

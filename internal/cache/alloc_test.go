@@ -37,7 +37,7 @@ func TestSteadyStateMissPathZeroAllocs(t *testing.T) {
 	c := New(eng, cfg, &pooledBackend{eng: eng, delay: 20})
 
 	var completions int
-	done := func(now uint64, hit bool) { completions++ }
+	done := DoneFunc(func(now uint64, hit bool) { completions++ })
 
 	drive := func(addr uint64) {
 		// A demand miss with a merge target, plus a prefetch to a

@@ -26,16 +26,46 @@ type Backend interface {
 	FreeAtHint() uint64
 }
 
+// DoneSink receives access completions. Requesters are identifiable
+// objects (pooled request nodes, core front-ends) rather than
+// closures so that in-flight requests parked in MSHRs and calendar
+// events can be enumerated and serialized by the warm-state
+// checkpointing machinery.
+type DoneSink interface {
+	// AccessDone fires exactly once when the data is available (the
+	// cycle of completion). hit reports whether it was a first-level
+	// hit (including aux hits).
+	AccessDone(now uint64, hit bool)
+}
+
+// DoneFunc adapts a plain function to DoneSink (tests and one-off
+// probes; the simulation hot paths use concrete pooled sinks).
+type DoneFunc func(now uint64, hit bool)
+
+// AccessDone implements DoneSink.
+func (f DoneFunc) AccessDone(now uint64, hit bool) { f(now, hit) }
+
+// RedirectSink receives prefetch fills that bypass the cache array
+// (mechanisms with private prefetch buffers implement it).
+type RedirectSink interface {
+	// RedirectFill delivers the prefetched line at cycle now.
+	RedirectFill(lineAddr, now uint64)
+}
+
+// RedirectFunc adapts a plain function to RedirectSink (tests).
+type RedirectFunc func(lineAddr, now uint64)
+
+// RedirectFill implements RedirectSink.
+func (f RedirectFunc) RedirectFill(lineAddr, now uint64) { f(lineAddr, now) }
+
 // Access is one demand request from the processor side (or from the
 // level above). Done may be nil.
 type Access struct {
 	Addr  uint64
 	PC    uint64
 	Write bool
-	// Done is called exactly once when the data is available (the
-	// cycle of completion). hit reports whether it was a first-level
-	// hit (including aux hits).
-	Done func(now uint64, hit bool)
+	// Done is notified exactly once when the data is available.
+	Done DoneSink
 }
 
 type line struct {
@@ -57,8 +87,8 @@ type mshrEntry struct {
 	issued    bool
 	// redirect, when non-nil, receives the fill instead of the cache
 	// array (prefetch-buffer mechanisms use this).
-	redirect func(lineAddr uint64, now uint64)
-	targets  []func(now uint64, hit bool)
+	redirect RedirectSink
+	targets  []DoneSink
 }
 
 // clear empties the entry but keeps the targets backing array, so the
@@ -117,7 +147,7 @@ type Cache struct {
 
 type prefetchReq struct {
 	lineAddr uint64
-	redirect func(lineAddr uint64, now uint64)
+	redirect RedirectSink
 }
 
 // New builds a cache on the engine with the given backend (which may
@@ -445,9 +475,9 @@ func retryIssueFetch(_ uint64, o1, _ any, la, _ uint64) {
 	}
 }
 
-// callDoneHit completes a hit: o1 is the Access.Done callback.
+// callDoneHit completes a hit: o1 is the Access.Done sink.
 func callDoneHit(now uint64, o1, _ any, _, _ uint64) {
-	o1.(func(uint64, bool))(now, true)
+	o1.(DoneSink).AccessDone(now, true)
 }
 
 // FillLine implements FillSink: it receives line data from
@@ -465,7 +495,7 @@ func (c *Cache) FillLine(lineAddr, now uint64) {
 	c.reservePort(now, true)
 
 	if e.redirect != nil {
-		e.redirect(lineAddr, now)
+		e.redirect.RedirectFill(lineAddr, now)
 	} else {
 		c.install(lineAddr, e.fillDirty, e.prefetch, now)
 		for _, f := range c.fillObs {
@@ -473,7 +503,7 @@ func (c *Cache) FillLine(lineAddr, now uint64) {
 		}
 	}
 	for _, t := range e.targets {
-		t(now, false)
+		t.AccessDone(now, false)
 	}
 	e.clear()
 	c.mshrsIn--

@@ -55,12 +55,12 @@ func access(t testing.TB, eng *sim.Engine, c *Cache, a *Access) (completedAt uin
 	var done, hit = false, false
 	var at uint64
 	orig := a.Done
-	a.Done = func(now uint64, h bool) {
+	a.Done = DoneFunc(func(now uint64, h bool) {
 		done, hit, at = true, h, now
 		if orig != nil {
-			orig(now, h)
+			orig.AccessDone(now, h)
 		}
-	}
+	})
 	cycle := eng.Now()
 	for !c.Access(a) {
 		cycle++
@@ -139,7 +139,7 @@ func TestLRUOrder(t *testing.T) {
 func TestMSHRMerge(t *testing.T) {
 	eng, c, be := testCache(t, smallConfig())
 	done := 0
-	cb := func(uint64, bool) { done++ }
+	cb := DoneFunc(func(uint64, bool) { done++ })
 	if !c.Access(&Access{Addr: 0x2000, Done: cb}) {
 		t.Fatal("first access refused")
 	}
@@ -272,7 +272,7 @@ func TestPrefetchFillsAndHits(t *testing.T) {
 func TestPrefetchRedirect(t *testing.T) {
 	eng, c, _ := testCache(t, smallConfig())
 	var got uint64
-	c.PrefetchInto(0x4000, func(la uint64, now uint64) { got = la })
+	c.PrefetchInto(0x4000, RedirectFunc(func(la uint64, now uint64) { got = la }))
 	eng.AdvanceTo(100)
 	if got != 0x4000 {
 		t.Fatalf("redirect sink got %#x", got)

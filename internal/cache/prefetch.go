@@ -16,14 +16,14 @@ func (c *Cache) Prefetch(addr uint64) bool {
 // PrefetchInto is like Prefetch, but the fill is delivered to sink
 // instead of being installed into the cache array. Mechanisms with
 // private prefetch buffers (Markov) use this.
-func (c *Cache) PrefetchInto(addr uint64, sink func(lineAddr uint64, now uint64)) bool {
+func (c *Cache) PrefetchInto(addr uint64, sink RedirectSink) bool {
 	if sink == nil {
 		panic("cache: PrefetchInto needs a sink")
 	}
 	return c.prefetchInto(addr, sink)
 }
 
-func (c *Cache) prefetchInto(addr uint64, sink func(lineAddr uint64, now uint64)) bool {
+func (c *Cache) prefetchInto(addr uint64, sink RedirectSink) bool {
 	if c.cfg.PrefetchQueueCap <= 0 {
 		c.stats.PrefetchDropped++
 		return false

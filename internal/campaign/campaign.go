@@ -21,6 +21,15 @@ type RunConfig struct {
 	// CacheDir, when non-empty, opens a persistent result cache
 	// there (created if absent).
 	CacheDir string
+	// CheckpointDir, when non-empty, persists warm-state prefix
+	// checkpoints there (created if absent), so later campaigns
+	// sharing a warm-up prefix skip its simulation entirely.
+	CheckpointDir string
+	// NoWarm disables warm-state checkpointing; every cell then pays
+	// its own skip and warm-up simulation. Warm execution is on by
+	// default because restored cells are bit-identical to cold runs —
+	// it changes wall-clock time, never results.
+	NoWarm bool
 	// OnProgress observes every finished cell.
 	OnProgress func(Progress)
 	// OnStart observes every distinct cell as a worker picks it up
@@ -119,6 +128,17 @@ func Execute(ctx context.Context, spec Spec, cfg RunConfig) (*Summary, error) {
 		cache.OnDegrade = sched.Degrade
 		sched.Cache = cache
 		disk = cache
+	}
+	if !cfg.NoWarm {
+		var store *CheckpointStore
+		if cfg.CheckpointDir != "" {
+			store, err = OpenCheckpointStore(cfg.CheckpointDir)
+			if err != nil {
+				return nil, err
+			}
+			store.OnDegrade = sched.Degrade
+		}
+		sched.Warm = NewWarm(store)
 	}
 	if cfg.Metrics != nil {
 		if sched.Live == nil {

@@ -32,6 +32,14 @@ type SchedulerStats struct {
 	// Degraded counts non-fatal infrastructure failures the campaign
 	// survived (unpersisted cache entries, quarantined corrupt cells).
 	Degraded int `json:"degraded,omitempty"`
+	// PrefixRuns counts warm-up prefixes simulated for checkpoint
+	// capture; CheckpointHits counts cells whose measurement phase ran
+	// from a restored warm snapshot (each is a skip+warm-up simulation
+	// not paid), CheckpointMisses warm-eligible cells that fell back to
+	// a cold run. All zero when warm checkpointing is off.
+	PrefixRuns       int `json:"prefix_runs,omitempty"`
+	CheckpointHits   int `json:"checkpoint_hits,omitempty"`
+	CheckpointMisses int `json:"checkpoint_misses,omitempty"`
 	// FailedKinds breaks Errors down by taxonomy kind
 	// (panic/timeout/model/io).
 	FailedKinds map[string]int `json:"failed_kinds,omitempty"`
@@ -69,6 +77,10 @@ type Progress struct {
 	// Attempts is how many retries the cell consumed before this
 	// outcome (0 for first-try results).
 	Attempts int
+	// Warm marks a cell whose measurement phase ran from a restored
+	// warm-state checkpoint (bit-identical to a cold run, minus the
+	// skip and warm-up wall time).
+	Warm bool
 }
 
 // CellCache serves and persists finished cells by fingerprint key.
@@ -107,6 +119,12 @@ type Scheduler struct {
 	// of a campaign. Sampling does not alter results or fingerprints.
 	Interval     uint64
 	IntervalSink func(Cell, []telemetry.Interval)
+	// Warm, when non-nil, enables warm-state checkpointing: cells
+	// sharing a warm-up prefix simulate it once and fork their
+	// measurement phases from the snapshot (see Warm). Results are
+	// bit-identical to cold runs. Sampled cells (Interval set) always
+	// run cold.
+	Warm *Warm
 
 	// CellTimeout bounds each cell's wall time; a cell exceeding it is
 	// canceled and recorded as a timeout failure (transient, so Retry
@@ -196,14 +214,23 @@ func (s *Scheduler) Run(ctx context.Context, cells []Cell) (map[string]CellResul
 		defer func() { s.stall = nil }()
 	}
 
+	if s.Warm != nil {
+		s.Warm.prepare(cells)
+	}
+
 	jobs := make(chan Cell)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One machine arena per worker: checkpoint restores fully
+			// overwrite it, so cells of a prefix group reuse the same
+			// caches, calendar and window instead of reallocating.
+			arena := &warmArena{}
+			defer arena.drop()
 			for cell := range jobs {
-				s.runCell(ctx, cell, &mu, results, &stats)
+				s.runCell(ctx, cell, arena, &mu, results, &stats)
 			}
 		}()
 	}
@@ -258,6 +285,11 @@ feed:
 		mu.Unlock()
 	}
 	stats.Degraded = int(s.degradedN.Load())
+	if s.Warm != nil {
+		stats.PrefixRuns = int(s.Warm.prefixRuns.Load())
+		stats.CheckpointHits = int(s.Warm.hits.Load())
+		stats.CheckpointMisses = int(s.Warm.misses.Load())
+	}
 	// Cancellation that landed after the last cell finished did not
 	// interrupt anything: the campaign is complete.
 	err := ctx.Err()
@@ -270,7 +302,7 @@ feed:
 // runCell executes one cell end to end on a worker goroutine.
 //
 //ml:worker
-func (s *Scheduler) runCell(ctx context.Context, cell Cell, mu *sync.Mutex, results map[string]CellResult, stats *SchedulerStats) {
+func (s *Scheduler) runCell(ctx context.Context, cell Cell, arena *warmArena, mu *sync.Mutex, results map[string]CellResult, stats *SchedulerStats) {
 	if s.OnStart != nil {
 		s.OnStart(cell)
 	}
@@ -311,11 +343,12 @@ func (s *Scheduler) runCell(ctx context.Context, cell Cell, mu *sync.Mutex, resu
 		err      error
 		wall     time.Duration
 		attempts int
+		warm     bool
 	)
 	for {
 		ivs = ivs[:0] // a retried attempt starts a fresh series
 		t0 := time.Now()
-		full, err = s.simulate(ctx, cell, opts)
+		full, warm, err = s.simulate(ctx, cell, opts, arena)
 		wall = time.Since(t0)
 		if err == nil {
 			break
@@ -352,6 +385,12 @@ func (s *Scheduler) runCell(ctx context.Context, cell Cell, mu *sync.Mutex, resu
 	var insts uint64
 	if err == nil {
 		insts = full.CPU.Insts
+		if warm {
+			// A warm cell simulated only its measurement phase; the
+			// warm-up instructions in the committed total were paid by
+			// the shared prefix run, not this cell's wall time.
+			insts -= opts.Warmup
+		}
 		if s.IntervalSink != nil && len(ivs) > 0 {
 			s.IntervalSink(cell, ivs)
 		}
@@ -369,14 +408,16 @@ func (s *Scheduler) runCell(ctx context.Context, cell Cell, mu *sync.Mutex, resu
 		}
 	}
 
-	s.finish(mu, results, stats, cell, res, Progress{Err: err, Source: "sim", Wall: wall, Insts: insts, Attempts: attempts})
+	s.finish(mu, results, stats, cell, res, Progress{Err: err, Source: "sim", Wall: wall, Insts: insts, Attempts: attempts, Warm: warm})
 }
 
 // simulate runs one attempt of a cell under the per-cell deadline,
 // converting a deadline cut into a typed timeout failure and a
 // simulation panic (the OoO watchdog, a model bug) into a typed panic
 // failure with its stack — the cell fails, the campaign continues.
-func (s *Scheduler) simulate(ctx context.Context, cell Cell, opts runner.Options) (full runner.Result, err error) {
+// warm reports whether the attempt was served from a warm-state
+// checkpoint instead of a cold run.
+func (s *Scheduler) simulate(ctx context.Context, cell Cell, opts runner.Options, arena *warmArena) (full runner.Result, warm bool, err error) {
 	cctx := ctx
 	if s.CellTimeout > 0 {
 		var cancel context.CancelFunc
@@ -401,12 +442,15 @@ func (s *Scheduler) simulate(ctx context.Context, cell Cell, opts runner.Options
 		case <-cctx.Done():
 		}
 	}
+	if full, ok := s.warmAttempt(cctx, cell, opts, arena); ok {
+		return full, true, nil
+	}
 	full, err = runner.RunContext(cctx, opts)
 	if err != nil && cctx.Err() != nil && ctx.Err() == nil {
 		// The cell's own deadline cut it, not campaign cancellation.
 		err = &CellError{Kind: KindTimeout, Msg: fmt.Sprintf("cell exceeded deadline %v", s.CellTimeout)}
 	}
-	return full, err
+	return full, false, err
 }
 
 // putWithRetry persists one result, retrying transient cache I/O per

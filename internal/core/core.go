@@ -83,6 +83,20 @@ type CostModeler interface {
 	Hardware() []HWTable
 }
 
+// Snapshotter is implemented by mechanisms whose internal state must
+// travel in warm-state checkpoints. SnapState returns a self-contained
+// serializable value (a plain-data State type the mechanism's package
+// registers with encoding/gob); RestoreState overwrites the
+// mechanism's state from a value previously returned by SnapState on
+// an identically-configured instance. The runner refuses to checkpoint
+// a machine whose mechanism does not implement the interface, so a
+// mechanism without it silently opts its cells out of prefix sharing
+// rather than producing wrong results.
+type Snapshotter interface {
+	SnapState() any
+	RestoreState(st any) error
+}
+
 // Factory builds a mechanism inside an environment.
 type Factory func(env *Env, p Params) (Mechanism, error)
 

@@ -34,8 +34,9 @@ type InOrder struct {
 	res Result
 }
 
-// onLoadDone is loadAcc's pre-bound completion callback.
-func (c *InOrder) onLoadDone(now uint64, hit bool) {
+// AccessDone implements cache.DoneSink: the core is loadAcc's
+// pre-bound completion sink.
+func (c *InOrder) AccessDone(now uint64, hit bool) {
 	c.waiting = false
 	c.doneAt = now
 }
@@ -53,7 +54,7 @@ func (c *InOrder) Committed() uint64 { return c.res.Insts }
 // NewInOrder builds the scalar core.
 func NewInOrder(eng *sim.Engine, h *hier.Hierarchy, stream trace.Stream) *InOrder {
 	c := &InOrder{eng: eng, h: h, stream: stream, mispredictPenalty: 6}
-	c.loadAcc.Done = c.onLoadDone
+	c.loadAcc.Done = c
 	c.storeAcc.Write = true
 	return c
 }

@@ -59,12 +59,16 @@ type OoO struct {
 	fetched       uint64
 	maxFetch      uint64
 
-	// Pooled request state: loadReq nodes carry a load's Access with a
-	// pre-bound completion callback, and ifetchDone is the one I-cache
-	// fill callback the front end ever needs. Steady-state issue and
-	// fetch therefore allocate nothing.
-	freeLoads  *loadReq
-	ifetchDone func(now uint64, hit bool)
+	// Pooled request state: loadReq nodes carry a load's Access with
+	// the node itself as the pre-bound completion sink, and the core
+	// itself is the one I-cache fill sink the front end ever needs.
+	// Steady-state issue and fetch therefore allocate nothing.
+	freeLoads *loadReq
+
+	// stopInsts, when non-zero, makes Run return at the first cycle
+	// boundary after stopInsts instructions have committed (warm-state
+	// prefix runs snapshot the machine there).
+	stopInsts uint64
 
 	// Per-cycle functional-unit usage.
 	fuCycle                        uint64
@@ -102,9 +106,18 @@ func NewOoO(eng *sim.Engine, cfg Config, h *hier.Hierarchy, stream trace.Stream)
 		stream: stream,
 		win:    make([]robEntry, cfg.RUUSize),
 	}
-	o.ifetchDone = func(now uint64, hit bool) { o.fetchBlocked = false }
 	return o
 }
+
+// AccessDone implements cache.DoneSink for the front end: an I-cache
+// fill arrived, fetch may resume.
+func (o *OoO) AccessDone(now uint64, hit bool) { o.fetchBlocked = false }
+
+// SetStop arranges for Run to return at the first cycle boundary
+// after insts instructions have committed, leaving the machine (and
+// the calendar) mid-flight exactly as a longer run would have it at
+// that same boundary. Zero disables the stop.
+func (o *OoO) SetStop(insts uint64) { o.stopInsts = insts }
 
 // loadReq is one in-flight load's pooled Access; its Done callback is
 // bound once at node construction.
@@ -120,7 +133,7 @@ func (o *OoO) getLoad(seq uint64) *loadReq {
 	if lr == nil {
 		//ml:waive hotalloc -- pool growth: allocates until the freelist high-water mark, then never again
 		lr = &loadReq{o: o}
-		lr.acc.Done = lr.onDone
+		lr.acc.Done = lr
 	} else {
 		o.freeLoads = lr.next
 	}
@@ -133,7 +146,8 @@ func (o *OoO) putLoad(lr *loadReq) {
 	o.freeLoads = lr
 }
 
-func (lr *loadReq) onDone(now uint64, hit bool) {
+// AccessDone implements cache.DoneSink.
+func (lr *loadReq) AccessDone(now uint64, hit bool) {
 	o, seq := lr.o, lr.seq
 	o.putLoad(lr)
 	o.complete(seq)
@@ -159,6 +173,13 @@ func (o *OoO) Run(maxInsts uint64) Result {
 	lastCommit := cycle
 	lastHead := o.head
 	for {
+		if o.stopInsts != 0 && o.res.Insts >= o.stopInsts {
+			// Prefix stop: advance the clock to the cycle the next
+			// iteration would have processed (a resumed Run picks it
+			// up from Engine.Now) and leave everything else in flight.
+			o.eng.AdvanceTo(cycle)
+			break
+		}
 		o.eng.AdvanceTo(cycle)
 		nc := o.commit()
 		ni := o.issue(cycle)
@@ -427,7 +448,7 @@ func (o *OoO) fetch(cycle uint64) (placed int) {
 				}
 				o.curFetchLine = lineAddr
 			} else {
-				acc := cache.Access{Addr: lineAddr, PC: inst.PC, Done: o.ifetchDone}
+				acc := cache.Access{Addr: lineAddr, PC: inst.PC, Done: o}
 				if o.h.L1I.Access(&acc) {
 					o.fetchBlocked = true
 					o.curFetchLine = lineAddr

@@ -45,7 +45,7 @@ func (b *l1DataBackend) getFetch() *l1Fetch {
 	if f == nil {
 		//ml:waive hotalloc -- pool growth: allocates until the freelist high-water mark, then never again
 		f = &l1Fetch{b: b}
-		f.acc.Done = f.onL2Done
+		f.acc.Done = f
 	} else {
 		b.freeFetch = f.next
 	}
@@ -82,9 +82,10 @@ func l1FetchSubmit(_ uint64, o1, _ any, _, _ uint64) {
 	}
 }
 
-// onL2Done is the pre-bound Access.Done: the L2 has the line; book
-// the return beat on the L1/L2 bus and deliver.
-func (f *l1Fetch) onL2Done(t uint64, hit bool) {
+// AccessDone implements cache.DoneSink (the node is its own pre-bound
+// Access.Done): the L2 has the line; book the return beat on the
+// L1/L2 bus and deliver.
+func (f *l1Fetch) AccessDone(t uint64, hit bool) {
 	dataDone := f.b.bus.Reserve(t, f.b.lineSize)
 	f.b.eng.AtFunc(dataDone, l1FetchDeliver, f, nil, 0, 0)
 }
@@ -141,7 +142,7 @@ func (b *memBackend) getFetch() *memFetch {
 	if f == nil {
 		//ml:waive hotalloc -- pool growth: allocates until the freelist high-water mark, then never again
 		f = &memFetch{b: b}
-		f.req.Done = f.onDone
+		f.req.Done = f
 	} else {
 		b.freeFetch = f.next
 	}
@@ -154,11 +155,15 @@ func (b *memBackend) putFetch(f *memFetch) {
 	b.freeFetch = f
 }
 
-func (f *memFetch) onDone(now uint64) {
+// ReqDone implements mem.DoneSink.
+func (f *memFetch) ReqDone(now uint64) {
 	sink, la := f.sink, f.req.Addr
 	f.b.putFetch(f)
 	sink.FillLine(la, now)
 }
+
+// ReqPtr implements mem.ReqHolder.
+func (f *memFetch) ReqPtr() *mem.Req { return &f.req }
 
 // memWB is one write-back in flight; its pre-bound Done returns the
 // node to the pool once the controller retires the write.
@@ -173,7 +178,7 @@ func (b *memBackend) getWB() *memWB {
 	if w == nil {
 		//ml:waive hotalloc -- pool growth: allocates until the freelist high-water mark, then never again
 		w = &memWB{b: b}
-		w.req.Done = w.onDone
+		w.req.Done = w
 		w.req.Write = true
 	} else {
 		b.freeWB = w.next
@@ -181,10 +186,14 @@ func (b *memBackend) getWB() *memWB {
 	return w
 }
 
-func (w *memWB) onDone(now uint64) {
+// ReqDone implements mem.DoneSink.
+func (w *memWB) ReqDone(now uint64) {
 	w.next = w.b.freeWB
 	w.b.freeWB = w
 }
+
+// ReqPtr implements mem.ReqHolder.
+func (w *memWB) ReqPtr() *mem.Req { return &w.req }
 
 // Fetch implements cache.Backend for the L2. The SDRAM burst already
 // occupies the DRAM data bus (which is the front-side bus for a
@@ -258,7 +267,7 @@ func (b *constBackend) getFetch() *constFetch {
 	if f == nil {
 		//ml:waive hotalloc -- pool growth: allocates until the freelist high-water mark, then never again
 		f = &constFetch{b: b}
-		f.req.Done = f.onDone
+		f.req.Done = f
 		f.req.Size = 64
 	} else {
 		b.freeFetch = f.next
@@ -266,13 +275,17 @@ func (b *constBackend) getFetch() *constFetch {
 	return f
 }
 
-func (f *constFetch) onDone(now uint64) {
+// ReqDone implements mem.DoneSink.
+func (f *constFetch) ReqDone(now uint64) {
 	sink, la := f.sink, f.req.Addr
 	f.sink = nil
 	f.next = f.b.freeFetch
 	f.b.freeFetch = f
 	sink.FillLine(la, now)
 }
+
+// ReqPtr implements mem.ReqHolder.
+func (f *constFetch) ReqPtr() *mem.Req { return &f.req }
 
 // Fetch implements cache.Backend.
 func (b *constBackend) Fetch(lineAddr, pc uint64, prefetch bool, sink cache.FillSink) bool {

@@ -216,6 +216,12 @@ type Hierarchy struct {
 	L1Bus *bus.Bus
 	FSB   *bus.Bus
 	Mem   mem.Model
+
+	// Backend identities, retained for warm-state snapshotting (their
+	// pooled request nodes surface as calendar-event operands).
+	l1dBack, l1iBack *l1DataBackend
+	memBack          *memBackend
+	constBack        *constBackend
 }
 
 // Build wires the hierarchy on the engine.
@@ -237,14 +243,18 @@ func Build(eng *sim.Engine, cfg Config) *Hierarchy {
 
 	var l2Back cache.Backend
 	if cfg.Memory == MemConst70 {
-		l2Back = &constBackend{eng: eng, m: h.Mem}
+		h.constBack = &constBackend{eng: eng, m: h.Mem}
+		l2Back = h.constBack
 	} else {
-		l2Back = &memBackend{eng: eng, fsb: h.FSB, m: h.Mem, lineSize: uint64(cfg.L2.LineSize)}
+		h.memBack = &memBackend{eng: eng, fsb: h.FSB, m: h.Mem, lineSize: uint64(cfg.L2.LineSize)}
+		l2Back = h.memBack
 	}
 	h.L2 = cache.New(eng, cfg.L2, l2Back)
 
 	l1Back := &l2Backend{eng: eng, bus: h.L1Bus, l2: h.L2}
-	h.L1D = cache.New(eng, cfg.L1D, &l1DataBackend{l2Backend: l1Back, lineSize: uint64(cfg.L1D.LineSize)})
-	h.L1I = cache.New(eng, cfg.L1I, &l1DataBackend{l2Backend: l1Back, lineSize: uint64(cfg.L1I.LineSize)})
+	h.l1dBack = &l1DataBackend{l2Backend: l1Back, lineSize: uint64(cfg.L1D.LineSize)}
+	h.l1iBack = &l1DataBackend{l2Backend: l1Back, lineSize: uint64(cfg.L1I.LineSize)}
+	h.L1D = cache.New(eng, cfg.L1D, h.l1dBack)
+	h.L1I = cache.New(eng, cfg.L1I, h.l1iBack)
 	return h
 }

@@ -82,7 +82,7 @@ func TestEndToEndMissPath(t *testing.T) {
 		ok := h.L1D.Access(&cache.Access{
 			Addr: 0x1234_5678,
 			PC:   0x400000,
-			Done: func(now uint64, hit bool) { doneAt = now },
+			Done: cache.DoneFunc(func(now uint64, hit bool) { doneAt = now }),
 		})
 		if !ok {
 			t.Fatalf("%v: access refused", kind)
@@ -112,12 +112,12 @@ func TestL2HitFasterThanMemory(t *testing.T) {
 	eng := sim.NewEngine()
 	h := Build(eng, DefaultConfig())
 	var firstDone uint64
-	h.L1D.Access(&cache.Access{Addr: 0x40000, Done: func(now uint64, hit bool) { firstDone = now }})
+	h.L1D.Access(&cache.Access{Addr: 0x40000, Done: cache.DoneFunc(func(now uint64, hit bool) { firstDone = now })})
 	eng.AdvanceTo(5000)
 	start := eng.Now()
 	var secondDone uint64
 	// 0x40020 is a different 32B L1 line within the same 64B L2 line.
-	h.L1D.Access(&cache.Access{Addr: 0x40020, Done: func(now uint64, hit bool) { secondDone = now }})
+	h.L1D.Access(&cache.Access{Addr: 0x40020, Done: cache.DoneFunc(func(now uint64, hit bool) { secondDone = now })})
 	eng.AdvanceTo(10000)
 	if secondDone == 0 {
 		t.Fatal("second access never completed")
@@ -138,7 +138,7 @@ func TestWritebackReachesL2(t *testing.T) {
 	// Dirty a line, then evict it with a conflicting fill (L1D is
 	// direct-mapped: +32KB aliases).
 	done := false
-	h.L1D.Access(&cache.Access{Addr: 0x100000, Write: true, Done: func(uint64, bool) { done = true }})
+	h.L1D.Access(&cache.Access{Addr: 0x100000, Write: true, Done: cache.DoneFunc(func(uint64, bool) { done = true })})
 	eng.AdvanceTo(5000)
 	if !done {
 		t.Fatal("store never completed")

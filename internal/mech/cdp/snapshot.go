@@ -1,0 +1,79 @@
+package cdp
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"microlib/internal/mech/sp"
+)
+
+// DepthEntry is one in-flight chain-depth record (lineAddr -> depth),
+// emitted in sorted line order so snapshots are deterministic.
+type DepthEntry struct {
+	Line  uint64
+	Depth int
+}
+
+// State is the CDP's full mutable state.
+type State struct {
+	Depth      []DepthEntry
+	Scans      uint64
+	Candidates uint64
+	Issued     uint64
+}
+
+// SnapState implements core.Snapshotter.
+func (c *CDP) SnapState() any {
+	st := State{Scans: c.scans, Candidates: c.candidates, Issued: c.issued}
+	if len(c.depth) > 0 {
+		st.Depth = make([]DepthEntry, 0, len(c.depth))
+		for la, d := range c.depth {
+			st.Depth = append(st.Depth, DepthEntry{Line: la, Depth: d})
+		}
+		sort.Slice(st.Depth, func(i, j int) bool { return st.Depth[i].Line < st.Depth[j].Line })
+	}
+	return st
+}
+
+// RestoreState implements core.Snapshotter.
+func (c *CDP) RestoreState(v any) error {
+	st, ok := v.(State)
+	if !ok {
+		return fmt.Errorf("cdp: snapshot is %T, not cdp.State", v)
+	}
+	clear(c.depth)
+	for _, e := range st.Depth {
+		c.depth[e.Line] = e.Depth
+	}
+	c.scans, c.candidates, c.issued = st.Scans, st.Candidates, st.Issued
+	return nil
+}
+
+// CombinedState is the CDPSP combination's full mutable state.
+type CombinedState struct {
+	CDP State
+	SP  sp.State
+}
+
+// SnapState implements core.Snapshotter.
+func (c *Combined) SnapState() any {
+	return CombinedState{CDP: c.CDP.SnapState().(State), SP: c.SP.SnapState().(sp.State)}
+}
+
+// RestoreState implements core.Snapshotter.
+func (c *Combined) RestoreState(v any) error {
+	st, ok := v.(CombinedState)
+	if !ok {
+		return fmt.Errorf("cdpsp: snapshot is %T, not cdp.CombinedState", v)
+	}
+	if err := c.CDP.RestoreState(st.CDP); err != nil {
+		return err
+	}
+	return c.SP.RestoreState(st.SP)
+}
+
+func init() {
+	gob.Register(State{})
+	gob.Register(CombinedState{})
+}

@@ -1,0 +1,76 @@
+package dbcp
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sort"
+)
+
+// LiveEntry is one live-signature record (lineAddr -> signature),
+// emitted in sorted line order so snapshots are deterministic.
+type LiveEntry struct {
+	Line uint64
+	Sig  uint32
+}
+
+// CorrEntryState is one correlation-table entry in serializable form.
+type CorrEntryState struct {
+	Key    uint64
+	Target uint64
+	Conf   int8
+}
+
+// State is the DBCP's full mutable state.
+type State struct {
+	Live        []LiveEntry
+	Table       []CorrEntryState
+	PendingKey  uint64
+	HavePend    bool
+	Reads       uint64
+	Writes      uint64
+	Issued      uint64
+	Predictions uint64
+}
+
+// SnapState implements core.Snapshotter.
+func (d *DBCP) SnapState() any {
+	st := State{
+		PendingKey: d.pendingKey, HavePend: d.havePend,
+		Reads: d.reads, Writes: d.writes, Issued: d.issued, Predictions: d.predictions,
+	}
+	if len(d.live) > 0 {
+		st.Live = make([]LiveEntry, 0, len(d.live))
+		for la, sig := range d.live {
+			st.Live = append(st.Live, LiveEntry{Line: la, Sig: sig})
+		}
+		sort.Slice(st.Live, func(i, j int) bool { return st.Live[i].Line < st.Live[j].Line })
+	}
+	st.Table = make([]CorrEntryState, len(d.table))
+	for i, e := range d.table {
+		st.Table[i] = CorrEntryState{Key: e.key, Target: e.target, Conf: e.conf}
+	}
+	return st
+}
+
+// RestoreState implements core.Snapshotter.
+func (d *DBCP) RestoreState(v any) error {
+	st, ok := v.(State)
+	if !ok {
+		return fmt.Errorf("dbcp: snapshot is %T, not dbcp.State", v)
+	}
+	if len(st.Table) != len(d.table) {
+		return fmt.Errorf("dbcp: snapshot has %d table entries, config holds %d", len(st.Table), len(d.table))
+	}
+	clear(d.live)
+	for _, e := range st.Live {
+		d.live[e.Line] = e.Sig
+	}
+	for i, e := range st.Table {
+		d.table[i] = corrEntry{key: e.Key, target: e.Target, conf: e.Conf}
+	}
+	d.pendingKey, d.havePend = st.PendingKey, st.HavePend
+	d.reads, d.writes, d.issued, d.predictions = st.Reads, st.Writes, st.Issued, st.Predictions
+	return nil
+}
+
+func init() { gob.Register(State{}) }

@@ -54,11 +54,18 @@ func init() {
 // Name implements core.Mechanism.
 func (e *EWB) Name() string { return "EWB" }
 
+// arm schedules the next idle-cycle sweep. The timer is a packed
+// static-Func event (not a closure) so the pending tick serializes
+// with the rest of the calendar in warm-state checkpoints.
 func (e *EWB) arm() {
-	e.eng.After(e.interval, func() {
-		e.scan()
-		e.arm()
-	})
+	e.eng.AfterFunc(e.interval, ewbFireScan, e, nil, 0, 0)
+}
+
+// ewbFireScan is the sweep trampoline: o1 is the EWB instance.
+func ewbFireScan(_ uint64, o1, _ any, _, _ uint64) {
+	e := o1.(*EWB)
+	e.scan()
+	e.arm()
 }
 
 // scan retires a batch of dirty LRU lines. WriteBackLine routes

@@ -1,0 +1,36 @@
+package ewb
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"microlib/internal/sim"
+)
+
+// State is the EWB's full mutable state: the pending sweep is a
+// calendar event and travels with the engine snapshot, the dirty bits
+// it scans live in the cache.
+type State struct {
+	Eager uint64
+	Scans uint64
+}
+
+// SnapState implements core.Snapshotter.
+func (e *EWB) SnapState() any {
+	return State{Eager: e.Eager, Scans: e.scans}
+}
+
+// RestoreState implements core.Snapshotter.
+func (e *EWB) RestoreState(v any) error {
+	st, ok := v.(State)
+	if !ok {
+		return fmt.Errorf("ewb: snapshot is %T, not ewb.State", v)
+	}
+	e.Eager, e.scans = st.Eager, st.Scans
+	return nil
+}
+
+func init() {
+	gob.Register(State{})
+	sim.RegisterFunc("ewb.ewbFireScan", ewbFireScan)
+}

@@ -1,0 +1,49 @@
+package fvc
+
+import (
+	"encoding/gob"
+	"fmt"
+)
+
+// State is the FVC's full mutable state. The lineAddr->slot map is
+// derivable from the ring (nonzero slots are resident), so only the
+// ring travels.
+type State struct {
+	Ring     []uint64
+	Pos      int
+	Inserts  uint64
+	Rejected uint64
+	Hits     uint64
+	Probes   uint64
+}
+
+// SnapState implements core.Snapshotter.
+func (f *FVC) SnapState() any {
+	return State{
+		Ring: append([]uint64(nil), f.ring...), Pos: f.pos,
+		Inserts: f.Inserts, Rejected: f.Rejected, Hits: f.Hits, Probes: f.Probes,
+	}
+}
+
+// RestoreState implements core.Snapshotter.
+func (f *FVC) RestoreState(v any) error {
+	st, ok := v.(State)
+	if !ok {
+		return fmt.Errorf("fvc: snapshot is %T, not fvc.State", v)
+	}
+	if len(st.Ring) != len(f.ring) {
+		return fmt.Errorf("fvc: snapshot has %d lines, ring holds %d", len(st.Ring), len(f.ring))
+	}
+	copy(f.ring, st.Ring)
+	clear(f.lines)
+	for i, la := range f.ring {
+		if la != 0 {
+			f.lines[la] = i
+		}
+	}
+	f.pos = st.Pos
+	f.Inserts, f.Rejected, f.Hits, f.Probes = st.Inserts, st.Rejected, st.Hits, st.Probes
+	return nil
+}
+
+func init() { gob.Register(State{}) }

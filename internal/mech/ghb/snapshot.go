@@ -1,0 +1,63 @@
+package ghb
+
+import (
+	"encoding/gob"
+	"fmt"
+)
+
+// BufEntryState is one history-buffer entry in serializable form.
+type BufEntryState struct {
+	Addr uint64
+	Prev int32
+	Seq  uint64
+}
+
+// State is the GHB's full mutable state.
+type State struct {
+	IT     []int32
+	ITTags []uint64
+	Buf    []BufEntryState
+	BufPos int
+	Seq    uint64
+	Reads  uint64
+	Writes uint64
+	Issued uint64
+	Walks  uint64
+}
+
+// SnapState implements core.Snapshotter.
+func (g *GHB) SnapState() any {
+	st := State{
+		BufPos: g.bufPos, Seq: g.seq,
+		Reads: g.reads, Writes: g.writes, Issued: g.issued, Walks: g.walks,
+	}
+	st.IT = append([]int32(nil), g.it...)
+	st.ITTags = append([]uint64(nil), g.itTags...)
+	st.Buf = make([]BufEntryState, len(g.buf))
+	for i, e := range g.buf {
+		st.Buf[i] = BufEntryState{Addr: e.addr, Prev: e.prev, Seq: e.seq}
+	}
+	return st
+}
+
+// RestoreState implements core.Snapshotter.
+func (g *GHB) RestoreState(v any) error {
+	st, ok := v.(State)
+	if !ok {
+		return fmt.Errorf("ghb: snapshot is %T, not ghb.State", v)
+	}
+	if len(st.IT) != len(g.it) || len(st.Buf) != len(g.buf) {
+		return fmt.Errorf("ghb: snapshot geometry %d/%d, table holds %d/%d",
+			len(st.IT), len(st.Buf), len(g.it), len(g.buf))
+	}
+	copy(g.it, st.IT)
+	copy(g.itTags, st.ITTags)
+	for i, e := range st.Buf {
+		g.buf[i] = bufEntry{addr: e.Addr, prev: e.Prev, seq: e.Seq}
+	}
+	g.bufPos, g.seq = st.BufPos, st.Seq
+	g.reads, g.writes, g.issued, g.walks = st.Reads, st.Writes, st.Issued, st.Walks
+	return nil
+}
+
+func init() { gob.Register(State{}) }

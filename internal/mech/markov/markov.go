@@ -88,7 +88,7 @@ func (m *Markov) OnMiss(lineAddr, pc uint64, now uint64) {
 			continue
 		}
 		m.issued++
-		m.l1.PrefetchInto(p, m.fill)
+		m.l1.PrefetchInto(p, m)
 	}
 }
 
@@ -126,8 +126,9 @@ func (m *Markov) learn(prev, next uint64) {
 	e.preds[0] = next
 }
 
-// fill receives prefetched lines into the buffer (not into the L1).
-func (m *Markov) fill(lineAddr uint64, now uint64) {
+// RedirectFill implements cache.RedirectSink: prefetched lines land
+// in the buffer (not in the L1).
+func (m *Markov) RedirectFill(lineAddr uint64, now uint64) {
 	if old := m.ring[m.ringPos]; old != 0 {
 		delete(m.buffer, old)
 	}

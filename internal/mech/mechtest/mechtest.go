@@ -79,7 +79,7 @@ func New(t *testing.T, cfg cache.Config) *System {
 func (s *System) Access(addr, pc uint64) (hit bool) {
 	s.T.Helper()
 	done := false
-	a := &cache.Access{Addr: addr, PC: pc, Done: func(now uint64, h bool) { done, hit = true, h }}
+	a := &cache.Access{Addr: addr, PC: pc, Done: cache.DoneFunc(func(now uint64, h bool) { done, hit = true, h })}
 	cycle := s.Eng.Now()
 	for !s.Cache.Access(a) {
 		cycle++

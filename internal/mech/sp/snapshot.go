@@ -1,0 +1,50 @@
+package sp
+
+import (
+	"encoding/gob"
+	"fmt"
+)
+
+// EntryState is one stride-table entry in serializable form.
+type EntryState struct {
+	PCTag    uint32
+	LastAddr uint64
+	Stride   int64
+	State    uint8
+}
+
+// State is the SP's full mutable state.
+type State struct {
+	Table  []EntryState
+	Reads  uint64
+	Writes uint64
+	Issued uint64
+}
+
+// SnapState implements core.Snapshotter.
+func (s *SP) SnapState() any {
+	st := State{Reads: s.reads, Writes: s.writes, Issued: s.issued}
+	st.Table = make([]EntryState, len(s.table))
+	for i, e := range s.table {
+		st.Table[i] = EntryState{PCTag: e.pcTag, LastAddr: e.lastAddr, Stride: e.stride, State: e.state}
+	}
+	return st
+}
+
+// RestoreState implements core.Snapshotter.
+func (s *SP) RestoreState(v any) error {
+	st, ok := v.(State)
+	if !ok {
+		return fmt.Errorf("sp: snapshot is %T, not sp.State", v)
+	}
+	if len(st.Table) != len(s.table) {
+		return fmt.Errorf("sp: snapshot has %d entries, table holds %d", len(st.Table), len(s.table))
+	}
+	for i, e := range st.Table {
+		s.table[i] = entryT{pcTag: e.PCTag, lastAddr: e.LastAddr, stride: e.Stride, state: e.State}
+	}
+	s.reads, s.writes, s.issued = st.Reads, st.Writes, st.Issued
+	return nil
+}
+
+func init() { gob.Register(State{}) }

@@ -1,0 +1,63 @@
+package tcp
+
+import (
+	"encoding/gob"
+	"fmt"
+)
+
+// THTEntryState is one tag-history entry in serializable form.
+type THTEntryState struct {
+	Tags [2]uint64
+}
+
+// PHTEntryState is one pattern-history entry in serializable form.
+type PHTEntryState struct {
+	Key  uint64
+	Next uint64
+	Conf int8
+}
+
+// State is the TCP's full mutable state.
+type State struct {
+	THT    []THTEntryState
+	PHT    []PHTEntryState
+	Reads  uint64
+	Writes uint64
+	Issued uint64
+}
+
+// SnapState implements core.Snapshotter.
+func (t *TCP) SnapState() any {
+	st := State{Reads: t.reads, Writes: t.writes, Issued: t.issued}
+	st.THT = make([]THTEntryState, len(t.tht))
+	for i, e := range t.tht {
+		st.THT[i] = THTEntryState{Tags: e.tags}
+	}
+	st.PHT = make([]PHTEntryState, len(t.pht))
+	for i, e := range t.pht {
+		st.PHT[i] = PHTEntryState{Key: e.key, Next: e.next, Conf: e.conf}
+	}
+	return st
+}
+
+// RestoreState implements core.Snapshotter.
+func (t *TCP) RestoreState(v any) error {
+	st, ok := v.(State)
+	if !ok {
+		return fmt.Errorf("tcp: snapshot is %T, not tcp.State", v)
+	}
+	if len(st.THT) != len(t.tht) || len(st.PHT) != len(t.pht) {
+		return fmt.Errorf("tcp: snapshot geometry %d/%d, tables hold %d/%d",
+			len(st.THT), len(st.PHT), len(t.tht), len(t.pht))
+	}
+	for i, e := range st.THT {
+		t.tht[i] = thtEntry{tags: e.Tags}
+	}
+	for i, e := range st.PHT {
+		t.pht[i] = phtEntry{key: e.Key, next: e.Next, conf: e.Conf}
+	}
+	t.reads, t.writes, t.issued = st.Reads, st.Writes, st.Issued
+	return nil
+}
+
+func init() { gob.Register(State{}) }

@@ -1,0 +1,126 @@
+package tk
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"microlib/internal/mech/vc"
+	"microlib/internal/sim"
+)
+
+// TouchEntry is one last-access record (lineAddr -> cycle), emitted in
+// sorted line order so snapshots are deterministic.
+type TouchEntry struct {
+	Line uint64
+	Last uint64
+}
+
+// CorrEntryState is one address-correlation record (victim ->
+// replacement with confidence), emitted in sorted victim order.
+type CorrEntryState struct {
+	Victim uint64
+	Repl   uint64
+	Conf   int8
+}
+
+// State is the TK prefetcher's full mutable state. The pending decay
+// sweep is a calendar event and travels with the engine snapshot.
+type State struct {
+	LastTouch     []TouchEntry
+	Corr          []CorrEntryState
+	PendingVictim uint64
+	HaveVictim    bool
+	Reads         uint64
+	Writes        uint64
+	Issued        uint64
+	Scans         uint64
+}
+
+func touchSlice(m map[uint64]uint64) []TouchEntry {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]TouchEntry, 0, len(m))
+	for la, last := range m {
+		out = append(out, TouchEntry{Line: la, Last: last})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Line < out[j].Line })
+	return out
+}
+
+// SnapState implements core.Snapshotter.
+func (t *TK) SnapState() any {
+	st := State{
+		LastTouch:     touchSlice(t.lastTouch),
+		PendingVictim: t.pendingVictim, HaveVictim: t.haveVictim,
+		Reads: t.reads, Writes: t.writes, Issued: t.issued, Scans: t.scans,
+	}
+	if len(t.corr) > 0 {
+		st.Corr = make([]CorrEntryState, 0, len(t.corr))
+		for v, e := range t.corr {
+			st.Corr = append(st.Corr, CorrEntryState{Victim: v, Repl: e.repl, Conf: e.conf})
+		}
+		sort.Slice(st.Corr, func(i, j int) bool { return st.Corr[i].Victim < st.Corr[j].Victim })
+	}
+	return st
+}
+
+// RestoreState implements core.Snapshotter.
+func (t *TK) RestoreState(v any) error {
+	st, ok := v.(State)
+	if !ok {
+		return fmt.Errorf("tk: snapshot is %T, not tk.State", v)
+	}
+	clear(t.lastTouch)
+	for _, e := range st.LastTouch {
+		t.lastTouch[e.Line] = e.Last
+	}
+	clear(t.corr)
+	for _, e := range st.Corr {
+		t.corr[e.Victim] = corrInfo{repl: e.Repl, conf: e.Conf}
+	}
+	t.pendingVictim, t.haveVictim = st.PendingVictim, st.HaveVictim
+	t.reads, t.writes, t.issued, t.scans = st.Reads, st.Writes, st.Issued, st.Scans
+	return nil
+}
+
+// TKVCState is the filtered victim cache's full mutable state.
+type TKVCState struct {
+	VC        vc.State
+	LastTouch []TouchEntry
+	Filtered  uint64
+}
+
+// SnapState implements core.Snapshotter (overriding the embedded VC's).
+func (t *TKVC) SnapState() any {
+	return TKVCState{
+		VC:        t.VC.SnapState().(vc.State),
+		LastTouch: touchSlice(t.lastTouch),
+		Filtered:  t.Filtered,
+	}
+}
+
+// RestoreState implements core.Snapshotter (overriding the embedded
+// VC's).
+func (t *TKVC) RestoreState(v any) error {
+	st, ok := v.(TKVCState)
+	if !ok {
+		return fmt.Errorf("tkvc: snapshot is %T, not tk.TKVCState", v)
+	}
+	if err := t.VC.RestoreState(st.VC); err != nil {
+		return err
+	}
+	clear(t.lastTouch)
+	for _, e := range st.LastTouch {
+		t.lastTouch[e.Line] = e.Last
+	}
+	t.Filtered = st.Filtered
+	return nil
+}
+
+func init() {
+	gob.Register(State{})
+	gob.Register(TKVCState{})
+	sim.RegisterFunc("tk.tkFireScan", tkFireScan)
+}

@@ -142,12 +142,18 @@ func (t *TK) learn(victim, repl uint64) {
 	t.corr[victim] = corrInfo{repl: repl, conf: 1}
 }
 
-// armScan schedules the periodic decay sweep.
+// armScan schedules the periodic decay sweep. The timer is a packed
+// static-Func event (not a closure) so the pending tick serializes
+// with the rest of the calendar in warm-state checkpoints.
 func (t *TK) armScan() {
-	t.eng.After(t.refresh, func() {
-		t.scan(t.eng.Now())
-		t.armScan()
-	})
+	t.eng.AfterFunc(t.refresh, tkFireScan, t, nil, 0, 0)
+}
+
+// tkFireScan is the decay-sweep trampoline: o1 is the TK instance.
+func tkFireScan(now uint64, o1, _ any, _, _ uint64) {
+	t := o1.(*TK)
+	t.scan(now)
+	t.armScan()
 }
 
 // scan finds lines whose decay counters have saturated (dead) and

@@ -1,0 +1,31 @@
+package tp
+
+import (
+	"encoding/gob"
+	"fmt"
+)
+
+// State is the TP's full mutable state: the per-line tag bits live in
+// the cache model (serialized with the cache), so only counters remain.
+type State struct {
+	Triggers uint64
+	Reads    uint64
+	Writes   uint64
+}
+
+// SnapState implements core.Snapshotter.
+func (t *TP) SnapState() any {
+	return State{Triggers: t.triggers, Reads: t.reads, Writes: t.writes}
+}
+
+// RestoreState implements core.Snapshotter.
+func (t *TP) RestoreState(v any) error {
+	st, ok := v.(State)
+	if !ok {
+		return fmt.Errorf("tp: snapshot is %T, not tp.State", v)
+	}
+	t.triggers, t.reads, t.writes = st.Triggers, st.Reads, st.Writes
+	return nil
+}
+
+func init() { gob.Register(State{}) }

@@ -1,0 +1,59 @@
+package vc
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"microlib/internal/sim"
+)
+
+// EntryState is one victim-cache entry in serializable form.
+type EntryState struct {
+	LineAddr uint64
+	Dirty    bool
+	LastUse  uint64
+}
+
+// State is the VC's full mutable state.
+type State struct {
+	Entries []EntryState
+	Tick    uint64
+	Inserts uint64
+	Hits    uint64
+	Probes  uint64
+	WBacks  uint64
+}
+
+// SnapState implements core.Snapshotter.
+func (v *VC) SnapState() any {
+	st := State{
+		Tick: v.tick, Inserts: v.Inserts, Hits: v.Hits, Probes: v.Probes, WBacks: v.wbacks,
+	}
+	st.Entries = make([]EntryState, len(v.entries))
+	for i, e := range v.entries {
+		st.Entries[i] = EntryState{LineAddr: e.lineAddr, Dirty: e.dirty, LastUse: e.lastUse}
+	}
+	return st
+}
+
+// RestoreState implements core.Snapshotter.
+func (v *VC) RestoreState(x any) error {
+	st, ok := x.(State)
+	if !ok {
+		return fmt.Errorf("vc: snapshot is %T, not vc.State", x)
+	}
+	if len(st.Entries) != len(v.entries) {
+		return fmt.Errorf("vc: snapshot has %d entries, cache holds %d", len(st.Entries), len(v.entries))
+	}
+	for i, e := range st.Entries {
+		v.entries[i] = entry{lineAddr: e.LineAddr, dirty: e.Dirty, lastUse: e.LastUse}
+	}
+	v.tick = st.Tick
+	v.Inserts, v.Hits, v.Probes, v.wbacks = st.Inserts, st.Hits, st.Probes, st.WBacks
+	return nil
+}
+
+func init() {
+	gob.Register(State{})
+	sim.RegisterFunc("vc.callMarkDirty", callMarkDirty)
+}

@@ -40,7 +40,7 @@ func TestDirtyVictimRestored(t *testing.T) {
 	// bit must have survived the round trip (the line is written back
 	// eventually, not lost).
 	done := false
-	s.Cache.Access(&cache.Access{Addr: a, Write: true, Done: func(uint64, bool) { done = true }})
+	s.Cache.Access(&cache.Access{Addr: a, Write: true, Done: cache.DoneFunc(func(uint64, bool) { done = true })})
 	s.Settle(200)
 	if !done {
 		t.Fatal("store never completed")

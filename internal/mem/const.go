@@ -40,7 +40,7 @@ func (m *ConstLatency) Enqueue(r *Req) bool {
 }
 
 func callReqDone(now uint64, o1, _ any, _, _ uint64) {
-	o1.(func(uint64))(now)
+	o1.(DoneSink).ReqDone(now)
 }
 
 // Stats implements Model.

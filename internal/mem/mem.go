@@ -7,15 +7,39 @@
 // Model interface.
 package mem
 
+// DoneSink receives request completions. Requesters are identifiable
+// objects (pooled backend nodes) rather than closures so that
+// requests parked in controller queues and calendar events can be
+// enumerated and serialized by the warm-state checkpointing
+// machinery.
+type DoneSink interface {
+	// ReqDone fires exactly once when the transfer completes.
+	ReqDone(now uint64)
+}
+
+// DoneFunc adapts a plain function to DoneSink (tests and one-off
+// probes; the simulation hot paths use concrete pooled sinks).
+type DoneFunc func(now uint64)
+
+// ReqDone implements DoneSink.
+func (f DoneFunc) ReqDone(now uint64) { f(now) }
+
+// ReqHolder is implemented by request owners whose Req outlives an
+// Enqueue call (it sits in a controller queue). Snapshot code uses it
+// to re-link queued requests to their restored owner nodes.
+type ReqHolder interface {
+	ReqPtr() *Req
+}
+
 // Req is one line-sized memory request.
 type Req struct {
 	Addr     uint64 // line-aligned physical address
 	Size     uint32 // transfer size in bytes
 	Write    bool   // true for write-backs
 	Prefetch bool   // true if speculative (affects stats only)
-	// Done is invoked exactly once when the transfer completes. It
+	// Done is notified exactly once when the transfer completes. It
 	// may be nil (e.g. for write-backs nobody waits on).
-	Done func(now uint64)
+	Done DoneSink
 }
 
 // Model is a main memory. Enqueue attempts to accept a request at the

@@ -11,7 +11,7 @@ func TestConstLatencyExact(t *testing.T) {
 	eng := sim.NewEngine()
 	m := NewConstLatency(eng, 70)
 	var doneAt uint64
-	m.Enqueue(&Req{Addr: 0x1000, Size: 64, Done: func(now uint64) { doneAt = now }})
+	m.Enqueue(&Req{Addr: 0x1000, Size: 64, Done: DoneFunc(func(now uint64) { doneAt = now })})
 	eng.AdvanceTo(100)
 	if doneAt != 70 {
 		t.Fatalf("const latency completed at %d, want 70", doneAt)
@@ -30,7 +30,7 @@ func TestSDRAMRowHitFasterThanConflict(t *testing.T) {
 	latency := func(addr uint64) uint64 {
 		var done uint64
 		start := eng.Now()
-		if !s.Enqueue(&Req{Addr: addr, Size: 64, Done: func(now uint64) { done = now }}) {
+		if !s.Enqueue(&Req{Addr: addr, Size: 64, Done: DoneFunc(func(now uint64) { done = now })}) {
 			t.Fatal("enqueue refused")
 		}
 		eng.AdvanceTo(eng.Now() + 10000)
@@ -107,11 +107,11 @@ func TestSDRAMDemandPriority(t *testing.T) {
 		s.Enqueue(&Req{Addr: uint64(i) << 21, Size: 64})
 	}
 	if !s.Enqueue(&Req{Addr: 1 << 27, Size: 64, Prefetch: true,
-		Done: func(uint64) { order = append(order, "prefetch") }}) {
+		Done: DoneFunc(func(uint64) { order = append(order, "prefetch") })}) {
 		t.Fatal("prefetch not accepted into queue")
 	}
 	if !s.Enqueue(&Req{Addr: 1 << 28, Size: 64,
-		Done: func(uint64) { order = append(order, "demand") }}) {
+		Done: DoneFunc(func(uint64) { order = append(order, "demand") })}) {
 		t.Fatal("demand not accepted into queue")
 	}
 	eng.AdvanceTo(100000)
@@ -151,11 +151,11 @@ func TestPropertyCompletionMonotone(t *testing.T) {
 		ok := true
 		for _, a := range addrs {
 			arr := eng.Now()
-			s.Enqueue(&Req{Addr: uint64(a) &^ 63, Size: 64, Done: func(now uint64) {
+			s.Enqueue(&Req{Addr: uint64(a) &^ 63, Size: 64, Done: DoneFunc(func(now uint64) {
 				if now <= arr {
 					ok = false
 				}
-			}})
+			})})
 			eng.AdvanceTo(eng.Now() + 20)
 		}
 		eng.AdvanceTo(eng.Now() + 100000)

@@ -401,13 +401,12 @@ func (s *SDRAM) serviceEstimate() uint64 {
 }
 
 // sdramXferDone fires at burst completion: o1 is the controller, o2
-// the request's Done callback (a typed-but-nil func for writes nobody
-// waits on, hence the value check rather than an interface check).
+// the request's Done sink (nil for writes nobody waits on).
 func sdramXferDone(now uint64, o1, o2 any, _, _ uint64) {
 	s := o1.(*SDRAM)
 	s.inflight--
-	if cb, _ := o2.(func(uint64)); cb != nil {
-		cb(now)
+	if cb, _ := o2.(DoneSink); cb != nil {
+		cb.ReqDone(now)
 	}
 	s.kick()
 }

@@ -1,0 +1,126 @@
+package mem
+
+import (
+	"fmt"
+
+	"microlib/internal/sim"
+)
+
+// BankState is one SDRAM bank's mutable state in serializable form.
+type BankState struct {
+	OpenRow     int64
+	ReadyAt     uint64
+	LastActAt   uint64
+	HasActed    bool
+	ActReadyMin uint64
+}
+
+// QueuedReqState is one controller-queue entry. The queued *Req lives
+// inside an owner node (a hier backend request, reachable through its
+// Done sink via ReqHolder); Owner references that node, and the bank/
+// row decomposition is recomputed from the restored request's address.
+type QueuedReqState struct {
+	Owner   sim.OpRef
+	Arrival uint64
+}
+
+// SDRAMState is the full mutable state of the SDRAM model.
+type SDRAMState struct {
+	Banks         []BankState
+	Queue         []QueuedReqState
+	Stats         Stats
+	DataBusFreeAt uint64
+	LastActAt     uint64
+	AnyActed      bool
+	KickPlanned   bool
+	Inflight      int
+}
+
+// State captures the controller's mutable state. Every queued request
+// must carry a Done sink that resolve recognizes and whose owner
+// implements ReqHolder (true for all hierarchy backends; bare test
+// requests are not checkpointable).
+func (s *SDRAM) State(resolve func(any) (sim.OpRef, bool)) (SDRAMState, error) {
+	st := SDRAMState{
+		Stats:         s.stats,
+		DataBusFreeAt: s.dataBusFreeAt,
+		LastActAt:     s.lastActAt,
+		AnyActed:      s.anyActed,
+		KickPlanned:   s.kickPlanned,
+		Inflight:      s.inflight,
+	}
+	st.Banks = make([]BankState, len(s.banks))
+	for i, b := range s.banks {
+		st.Banks[i] = BankState{
+			OpenRow: b.openRow, ReadyAt: b.readyAt, LastActAt: b.lastActAt,
+			HasActed: b.hasActed, ActReadyMin: b.actReadyMin,
+		}
+	}
+	if len(s.queue) > 0 {
+		st.Queue = make([]QueuedReqState, len(s.queue))
+		for i := range s.queue {
+			q := &s.queue[i]
+			if q.req.Done == nil {
+				return SDRAMState{}, fmt.Errorf("mem: queued request %#x has no owner sink", q.req.Addr)
+			}
+			ref, ok := resolve(q.req.Done)
+			if !ok {
+				return SDRAMState{}, fmt.Errorf("mem: unresolvable queued request owner %T", q.req.Done)
+			}
+			st.Queue[i] = QueuedReqState{Owner: ref, Arrival: q.arrival}
+		}
+	}
+	return st, nil
+}
+
+// SetState overwrites the controller's mutable state from a snapshot
+// taken on an identically-configured model. Owner references must
+// resolve to nodes whose request payloads were already restored (the
+// bank/row mapping is recomputed from the request address).
+func (s *SDRAM) SetState(st SDRAMState, resolve func(sim.OpRef) (any, bool)) error {
+	if len(st.Banks) != len(s.banks) {
+		return fmt.Errorf("mem: snapshot has %d banks, config needs %d", len(st.Banks), len(s.banks))
+	}
+	for i, b := range st.Banks {
+		s.banks[i] = bank{
+			openRow: b.OpenRow, readyAt: b.ReadyAt, lastActAt: b.LastActAt,
+			hasActed: b.HasActed, actReadyMin: b.ActReadyMin,
+		}
+	}
+	s.stats = st.Stats
+	s.dataBusFreeAt = st.DataBusFreeAt
+	s.lastActAt = st.LastActAt
+	s.anyActed = st.AnyActed
+	s.kickPlanned = st.KickPlanned
+	s.inflight = st.Inflight
+	for i := range s.queue {
+		s.queue[i] = sdramReq{}
+	}
+	s.queue = s.queue[:0]
+	for i := range st.Queue {
+		v, ok := resolve(st.Queue[i].Owner)
+		if !ok {
+			return fmt.Errorf("mem: unresolvable queued request owner ref %v", st.Queue[i].Owner)
+		}
+		h, ok := v.(ReqHolder)
+		if !ok {
+			return fmt.Errorf("mem: queued request owner %T does not expose its Req", v)
+		}
+		req := h.ReqPtr()
+		b, row := s.mapAddr(req.Addr)
+		s.queue = append(s.queue, sdramReq{req: req, arrival: st.Queue[i].Arrival, bank: b, row: row})
+	}
+	return nil
+}
+
+// State captures the constant-latency model's only mutable state.
+func (m *ConstLatency) State() Stats { return m.stats }
+
+// SetState overwrites the constant-latency model's counters.
+func (m *ConstLatency) SetState(st Stats) { m.stats = st }
+
+func init() {
+	sim.RegisterFunc("mem.callReqDone", callReqDone)
+	sim.RegisterFunc("mem.sdramXferDone", sdramXferDone)
+	sim.RegisterFunc("mem.sdramFireKick", sdramFireKick)
+}

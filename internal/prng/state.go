@@ -1,0 +1,10 @@
+package prng
+
+// State returns the raw xoshiro256** state words for warm-state
+// checkpointing. Restoring them with SetState reproduces the stream
+// bit-identically.
+func (s *Source) State() [4]uint64 { return s.s }
+
+// SetState overwrites the generator state with a previously captured
+// State value.
+func (s *Source) SetState(st [4]uint64) { s.s = st }

@@ -1,0 +1,312 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"microlib/internal/hier"
+	"microlib/internal/telemetry"
+	"microlib/internal/workload"
+)
+
+// normalize strips the live mechanism instance so two Results from
+// different machines compare by value. Everything else — cycle counts,
+// every cache/memory counter, IPC, hardware tables — must match
+// bit-for-bit between a cold run and a checkpoint-restored one.
+func normalize(r Result) Result {
+	r.Mech = nil
+	return r
+}
+
+func requireIdentical(t *testing.T, label string, cold, warm Result) {
+	t.Helper()
+	if !reflect.DeepEqual(normalize(cold), normalize(warm)) {
+		t.Fatalf("%s: restored run diverged from live run\ncold: %+v\nwarm: %+v", label, normalize(cold), normalize(warm))
+	}
+}
+
+// TestCheckpointRestoreBitIdentity is the golden matrix: both host
+// cores, every memory kind, a representative set of mechanisms
+// (including ones that keep calendar events in flight: prefetchers,
+// the victim cache's dirty marking, the eager write-back sweeps). For
+// each cell a warm prefix is captured once and two measured budgets
+// are forked from it; each must equal its cold run exactly.
+func TestCheckpointRestoreBitIdentity(t *testing.T) {
+	mems := []hier.MemoryKind{hier.MemSDRAM, hier.MemConst70, hier.MemSDRAM70}
+	type cell struct {
+		mech    string
+		inOrder bool
+	}
+	cells := []cell{
+		{"Base", false},
+		{"Base", true},
+		{"SP", false},
+		{"Markov", false},
+		{"EWB", false},
+		{"VC", true},
+	}
+	for _, mem := range mems {
+		for _, c := range cells {
+			label := fmt.Sprintf("%s/%s/inorder=%t", mem, c.mech, c.inOrder)
+			t.Run(label, func(t *testing.T) {
+				opts := DefaultOptions("mcf", c.mech)
+				opts.Hier = opts.Hier.WithMemory(mem)
+				opts.InOrder = c.inOrder
+				opts.Seed = 7
+				opts.Skip = 1_000
+				opts.Warmup = 3_000
+				opts.Insts = 6_000
+
+				ck, err := RunPrefixContext(context.Background(), opts)
+				if err != nil {
+					t.Fatalf("prefix: %v", err)
+				}
+				for _, insts := range []uint64{6_000, 4_000} {
+					opts.Insts = insts
+					cold, err := Run(opts)
+					if err != nil {
+						t.Fatalf("cold insts=%d: %v", insts, err)
+					}
+					warm, err := RunFromCheckpointContext(context.Background(), opts, ck)
+					if err != nil {
+						t.Fatalf("warm insts=%d: %v", insts, err)
+					}
+					requireIdentical(t, fmt.Sprintf("%s insts=%d", label, insts), cold, warm)
+				}
+			})
+		}
+	}
+}
+
+// TestCheckpointRestoreBitIdentityTrace covers recorded-trace
+// workloads: the restore re-establishes the file cursor by seeking,
+// not by re-reading the prefix.
+func TestCheckpointRestoreBitIdentityTrace(t *testing.T) {
+	gen, err := workload.New("mcf", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := recordTrace(t, gen, 12_000)
+	for _, inOrder := range []bool{false, true} {
+		t.Run(fmt.Sprintf("inorder=%t", inOrder), func(t *testing.T) {
+			w, err := NewTraceWorkload(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := DefaultOptions("", "SP")
+			opts.Workload = w
+			opts.InOrder = inOrder
+			opts.Skip = 1_000
+			opts.Warmup = 2_000
+			opts.Insts = 4_000
+
+			ck, err := RunPrefixContext(context.Background(), opts)
+			if err != nil {
+				t.Fatalf("prefix: %v", err)
+			}
+			cold, err := Run(opts)
+			if err != nil {
+				t.Fatalf("cold: %v", err)
+			}
+			warm, err := RunFromCheckpointContext(context.Background(), opts, ck)
+			if err != nil {
+				t.Fatalf("warm: %v", err)
+			}
+			requireIdentical(t, "trace", cold, warm)
+		})
+	}
+}
+
+// TestCheckpointMachineReuse restores one checkpoint into the same
+// machine arena repeatedly — the campaign worker's steady state — and
+// requires every forked measurement to equal its cold run.
+func TestCheckpointMachineReuse(t *testing.T) {
+	opts := DefaultOptions("mcf", "SP")
+	opts.Seed = 3
+	opts.Skip = 500
+	opts.Warmup = 2_000
+	opts.Insts = 5_000
+
+	ck, err := RunPrefixContext(context.Background(), opts)
+	if err != nil {
+		t.Fatalf("prefix: %v", err)
+	}
+	m, err := NewCheckpointMachine(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	// Descending then ascending budgets, so at least one restore must
+	// overwrite state left behind by a longer previous run.
+	for _, insts := range []uint64{5_000, 3_000, 4_000} {
+		opts.Insts = insts
+		cold, err := Run(opts)
+		if err != nil {
+			t.Fatalf("cold insts=%d: %v", insts, err)
+		}
+		warm, err := m.RunFromCheckpoint(context.Background(), opts, ck)
+		if err != nil {
+			t.Fatalf("warm insts=%d: %v", insts, err)
+		}
+		requireIdentical(t, fmt.Sprintf("reuse insts=%d", insts), cold, warm)
+	}
+}
+
+// TestStreamCheckpointBitIdentity shares one post-skip cursor across
+// machine configurations that differ in core geometry and memory kind
+// — the sweep shape the machine checkpoint cannot serve.
+func TestStreamCheckpointBitIdentity(t *testing.T) {
+	base := DefaultOptions("mcf", "Base")
+	base.Seed = 19
+	base.Skip = 20_000
+	base.Warmup = 1_000
+	base.Insts = 3_000
+
+	sc, err := CaptureStreamContext(context.Background(), base)
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	variants := []func(o Options) Options{
+		func(o Options) Options { return o },
+		func(o Options) Options { o.CPU.RUUSize /= 2; o.CPU.LSQSize /= 2; return o },
+		func(o Options) Options { o.Hier = o.Hier.WithMemory(hier.MemConst70); return o },
+		func(o Options) Options { o.Mechanism = "SP"; return o },
+		func(o Options) Options { o.InOrder = true; return o },
+	}
+	for i, v := range variants {
+		opts := v(base)
+		cold, err := Run(opts)
+		if err != nil {
+			t.Fatalf("cold variant %d: %v", i, err)
+		}
+		warm, err := RunWithStreamContext(context.Background(), opts, sc)
+		if err != nil {
+			t.Fatalf("warm variant %d: %v", i, err)
+		}
+		requireIdentical(t, fmt.Sprintf("stream variant %d", i), cold, warm)
+	}
+}
+
+// TestStreamCheckpointTraceIsSeekOnly verifies the trace fast path:
+// the cursor is the skip count, no file is read at capture time.
+func TestStreamCheckpointTraceIsSeekOnly(t *testing.T) {
+	gen, err := workload.New("mcf", 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := recordTrace(t, gen, 9_000)
+	w, err := NewTraceWorkload(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions("", "Base")
+	opts.Workload = w
+	opts.Skip = 2_000
+	opts.Warmup = 1_000
+	opts.Insts = 3_000
+
+	sc, err := CaptureStreamContext(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.State.Gen != nil || sc.State.TraceRec != opts.Skip {
+		t.Fatalf("trace stream checkpoint = %+v, want record index %d", sc.State, opts.Skip)
+	}
+	cold, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := RunWithStreamContext(context.Background(), opts, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "trace stream", cold, warm)
+}
+
+// TestCheckpointUnusableGuards exercises every fall-back-to-cold
+// condition: version skew, prefix mismatch, a measured budget inside
+// the fetch horizon, and interval telemetry.
+func TestCheckpointUnusableGuards(t *testing.T) {
+	opts := DefaultOptions("mcf", "Base")
+	opts.Skip = 500
+	opts.Warmup = 2_000
+	opts.Insts = 5_000
+
+	ck, err := RunPrefixContext(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stale := *ck
+	stale.Version++
+	if _, err := RunFromCheckpointContext(context.Background(), opts, &stale); !errors.Is(err, ErrCheckpointUnusable) {
+		t.Fatalf("version skew: err = %v, want ErrCheckpointUnusable", err)
+	}
+
+	other := opts
+	other.Warmup++
+	if _, err := RunFromCheckpointContext(context.Background(), other, ck); !errors.Is(err, ErrCheckpointUnusable) {
+		t.Fatalf("prefix mismatch: err = %v, want ErrCheckpointUnusable", err)
+	}
+
+	if ck.MinInsts > 0 {
+		small := opts
+		small.Insts = ck.MinInsts
+		if _, err := RunFromCheckpointContext(context.Background(), small, ck); !errors.Is(err, ErrCheckpointUnusable) {
+			t.Fatalf("budget inside fetch horizon: err = %v, want ErrCheckpointUnusable", err)
+		}
+	}
+
+	sampled := opts
+	sampled.Interval = 1_000
+	sampled.IntervalSink = func(telemetry.Interval) {}
+	if _, err := RunFromCheckpointContext(context.Background(), sampled, ck); !errors.Is(err, ErrCheckpointUnusable) {
+		t.Fatalf("interval telemetry: err = %v, want ErrCheckpointUnusable", err)
+	}
+}
+
+// TestPrefixFingerprintGroups verifies the grouping key: the measured
+// budget is masked, everything else is not.
+func TestPrefixFingerprintGroups(t *testing.T) {
+	a := DefaultOptions("mcf", "SP")
+	b := a
+	b.Insts = a.Insts * 2
+	if a.PrefixFingerprint() != b.PrefixFingerprint() {
+		t.Fatal("budgets must share a prefix fingerprint")
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("budgets must not share a full fingerprint")
+	}
+	for _, mut := range []func(*Options){
+		func(o *Options) { o.Warmup++ },
+		func(o *Options) { o.Skip++ },
+		func(o *Options) { o.Seed++ },
+		func(o *Options) { o.Mechanism = "GHB" },
+		func(o *Options) { o.InOrder = true },
+		func(o *Options) { o.CPU.RUUSize *= 2 },
+		func(o *Options) { o.Hier = o.Hier.WithMemory(hier.MemConst70) },
+	} {
+		c := a
+		mut(&c)
+		if a.PrefixFingerprint() == c.PrefixFingerprint() {
+			t.Fatalf("prefix fingerprint failed to separate %s from %s", a.PrefixCanonical(), c.PrefixCanonical())
+		}
+	}
+	// The stream key ignores machine configuration entirely.
+	d := a
+	d.CPU.RUUSize *= 2
+	d.Mechanism = "GHB"
+	d.Insts++
+	d.Warmup++
+	if a.StreamFingerprint() != d.StreamFingerprint() {
+		t.Fatal("machine configuration must not enter the stream fingerprint")
+	}
+	e := a
+	e.Skip++
+	if a.StreamFingerprint() == e.StreamFingerprint() {
+		t.Fatal("skip must enter the stream fingerprint")
+	}
+}

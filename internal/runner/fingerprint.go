@@ -76,11 +76,63 @@ func (o Options) Canonical() string {
 	return sb.String()
 }
 
+// CanonicalKey is the fingerprinting hash: a stable 32-hex-digit key
+// derived from a canonical string. Exposed so stores that persist a
+// canonical form alongside its key can verify the pair still match.
+func CanonicalKey(canonical string) string {
+	sum := sha256.Sum256([]byte(canonical))
+	return hex.EncodeToString(sum[:16])
+}
+
 // Fingerprint returns a stable 32-hex-digit key identifying this
 // simulation configuration. It is the cache key of the campaign
 // result cache: equal fingerprints mean the simulations are
 // bit-identical reruns of each other.
 func (o Options) Fingerprint() string {
-	sum := sha256.Sum256([]byte(o.Canonical()))
-	return hex.EncodeToString(sum[:16])
+	return CanonicalKey(o.Canonical())
+}
+
+// PrefixCanonical is the canonical form with the measured budget
+// masked out: everything that shapes the simulation up to the warm-up
+// boundary — workload content, seed, skip, warm-up, the full machine
+// configuration — and nothing that only takes effect afterwards. Two
+// Options with equal PrefixCanonical pass through bit-identical
+// machine states at the warm-up boundary, which is what makes a warm
+// checkpoint captured under one valid for the other.
+func (o Options) PrefixCanonical() string {
+	c := o.Canonical()
+	// The canonical form is pipe-delimited and %+v renders no pipes,
+	// so the budget segment is located unambiguously.
+	i := strings.Index(c, "|insts=")
+	j := i + strings.Index(c[i:], "|warmup=")
+	return c[:i] + "|insts=*" + c[j:]
+}
+
+// PrefixFingerprint is the warm-checkpoint grouping key: the campaign
+// scheduler runs one prefix per distinct value and forks the
+// measurement phase of every cell sharing it.
+func (o Options) PrefixFingerprint() string {
+	return CanonicalKey(o.PrefixCanonical())
+}
+
+// StreamCanonical identifies the post-skip workload cursor: the
+// workload's content identity, the generator seed (normalized out for
+// traces, which replay fixed bytes), and the skip count. No machine
+// parameter enters it — the skipped stream is consumed without
+// simulation, so one cursor serves every machine configuration.
+func (o Options) StreamCanonical() string {
+	bench := o.Bench
+	seed := o.Seed
+	if o.Workload != nil {
+		bench = o.Workload.identity()
+		if o.Workload.TracePath != "" {
+			seed = 0
+		}
+	}
+	return fmt.Sprintf("v%d|stream|bench=%s|seed=%d|skip=%d", FingerprintVersion, bench, seed, o.Skip)
+}
+
+// StreamFingerprint is the stream-checkpoint grouping key.
+func (o Options) StreamFingerprint() string {
+	return CanonicalKey(o.StreamCanonical())
 }

@@ -6,7 +6,6 @@ package runner
 
 import (
 	"context"
-	"fmt"
 
 	"microlib/internal/cache"
 	"microlib/internal/core"
@@ -14,10 +13,8 @@ import (
 	"microlib/internal/hier"
 	_ "microlib/internal/mech/all" // register every mechanism
 	"microlib/internal/mem"
-	"microlib/internal/sim"
 	"microlib/internal/telemetry"
 	"microlib/internal/trace"
-	"microlib/internal/workload"
 )
 
 // hostCore is what the runner needs from either host-core model: a
@@ -136,179 +133,12 @@ func RunContext(ctx context.Context, opts Options) (Result, error) {
 	if opts.Insts == 0 {
 		opts.Insts = defaultInsts
 	}
-
-	// Resolve the instruction source: a built-in benchmark, an inline
-	// profile, or a recorded trace file.
-	var (
-		source trace.Stream
-		oracle *workload.Oracle
-		// traceDone surfaces deferred read errors (a truncated trace
-		// file must fail the run, not read as a shorter clean one).
-		traceDone func() error
-	)
-	if opts.Workload != nil {
-		stream, values, done, closeFn, err := opts.Workload.open(opts.Seed)
-		if err != nil {
-			return Result{}, err
-		}
-		if closeFn != nil {
-			defer closeFn()
-		}
-		source, oracle, traceDone = stream, values, done
-		if opts.Bench == "" {
-			opts.Bench = opts.Workload.label()
-		}
-	} else {
-		gen, err := workload.New(opts.Bench, opts.Seed)
-		if err != nil {
-			return Result{}, err
-		}
-		source, oracle = gen, gen.Oracle()
+	m, err := newMachine(ctx, opts, true, false)
+	if err != nil {
+		return Result{}, err
 	}
-
-	eng := sim.NewEngine()
-	h := hier.Build(eng, opts.Hier)
-
-	env := &core.Env{Eng: eng, L1D: h.L1D, L2: h.L2}
-	if oracle != nil {
-		// Assigned only when present: a typed nil in the interface
-		// would defeat the mechanisms' Values == nil guard.
-		env.Values = oracle
-	}
-	var mech core.Mechanism
-	name := opts.Mechanism
-	if name == "" {
-		name = BaseName
-	}
-	if name != BaseName {
-		m, err := core.New(name, env, opts.Params)
-		if err != nil {
-			return Result{}, fmt.Errorf("runner: %w", err)
-		}
-		mech = m
-	}
-	if opts.QueueOverride > 0 {
-		h.L1D.ForcePrefetchQueueCap(opts.QueueOverride)
-		h.L2.ForcePrefetchQueueCap(opts.QueueOverride)
-	}
-	if opts.PrefetchAsDemand {
-		h.L1D.SetPrefetchAsDemand(true)
-		h.L2.SetPrefetchAsDemand(true)
-	}
-
-	// The cancel wrap goes on before Skip: Skip consumes its
-	// discarded instructions eagerly, so on an uncancelable stream a
-	// large skip would stall cancellation until it finished.
-	stream := source
-	if ctx.Done() != nil {
-		stream = &cancelStream{ctx: ctx, s: stream}
-	}
-	if opts.Skip > 0 {
-		stream = trace.Skip(stream, opts.Skip)
-	}
-
-	var host hostCore
-	if opts.InOrder {
-		host = cpu.NewInOrder(eng, h, stream)
-	} else {
-		host = cpu.NewOoO(eng, opts.CPU, h, stream)
-	}
-
-	// The interval sampler rides the engine calendar and only reads
-	// counters the models already keep, so enabling it changes no
-	// simulated observable; leaving it off adds no per-cycle work.
-	var sampler *telemetry.Sampler
-	if opts.Interval > 0 && opts.IntervalSink != nil {
-		sampler = telemetry.NewSampler(eng, opts.Interval, opts.Warmup > 0, func(c *telemetry.Counters) {
-			c.Cycle = eng.Now()
-			c.Insts = host.Committed()
-			c.L1D = h.L1D.Stats()
-			c.L1I = h.L1I.Stats()
-			c.L2 = h.L2.Stats()
-			c.Mem = h.Mem.Stats()
-			c.L1Bus.Transfers, c.L1Bus.BusyCycles, c.L1Bus.WaitCycles = h.L1Bus.Stats()
-			c.FSB.Transfers, c.FSB.BusyCycles, c.FSB.WaitCycles = h.FSB.Stats()
-		}, opts.IntervalSink)
-	}
-
-	// Warm-up snapshot state.
-	var (
-		warmCycles uint64
-		warmL1D    cache.Stats
-		warmL1I    cache.Stats
-		warmL2     cache.Stats
-		warmMem    mem.Stats
-	)
-	snapshot := func(cycles uint64) {
-		warmCycles = cycles
-		warmL1D = h.L1D.Stats()
-		warmL1I = h.L1I.Stats()
-		warmL2 = h.L2.Stats()
-		warmMem = h.Mem.Stats()
-		if sampler != nil {
-			// Cut at the same instant: the measured intervals that
-			// follow sum exactly to the measured whole-run stats.
-			sampler.EndWarmup(cycles)
-		}
-	}
-
-	total := opts.Warmup + opts.Insts
-	if opts.Warmup > 0 {
-		host.SetWarmup(opts.Warmup, snapshot)
-	}
-	cres := host.Run(total)
-
-	// A budget shortfall means the stream was cut — by cancellation
-	// if ctx says so. A run that finished its full budget is valid
-	// even when cancellation landed just after it completed.
-	if cres.Insts < total {
-		if err := ctx.Err(); err != nil {
-			return Result{}, err
-		}
-	}
-	if traceDone != nil {
-		// Trace-file streams are finite and may be damaged: a decode
-		// error (truncated mid-record, torn copy) or a trace shorter
-		// than the simulation budget must fail the run — silently
-		// measuring the prefix would report numbers for a different
-		// experiment than the one the options name.
-		if err := traceDone(); err != nil {
-			return Result{}, fmt.Errorf("runner: %s: %w", opts.Workload.TracePath, err)
-		}
-		if cres.Insts < total {
-			return Result{}, fmt.Errorf("runner: trace %s ended after %d of %d instructions (skip=%d warmup=%d measure=%d)",
-				opts.Workload.TracePath, cres.Insts, total, opts.Skip, opts.Warmup, opts.Insts)
-		}
-	}
-
-	if sampler != nil {
-		// Only a run that completed its budget emits the closing
-		// interval; error paths above discard the partial series.
-		sampler.Finish(cres.Cycles)
-	}
-
-	measCycles := cres.Cycles - warmCycles
-	if measCycles == 0 {
-		measCycles = 1
-	}
-	measInsts := cres.Insts - opts.Warmup
-
-	res := Result{
-		Bench:     opts.Bench,
-		Mechanism: name,
-		CPU:       cres,
-		IPC:       float64(measInsts) / float64(measCycles),
-		L1D:       h.L1D.Stats().Sub(warmL1D),
-		L1I:       h.L1I.Stats().Sub(warmL1I),
-		L2:        h.L2.Stats().Sub(warmL2),
-		Mem:       h.Mem.Stats().Sub(warmMem),
-	}
-	res.BaseCacheAccesses = res.L1D.Accesses + res.L1I.Accesses + res.L2.Accesses
-	res.Mech = mech
-	if cm, ok := mech.(core.CostModeler); ok {
-		res.Hardware = cm.Hardware()
-	}
-	return res, nil
+	defer m.Close()
+	return m.runMeasured(ctx, opts)
 }
 
 // cancelStream ends the instruction stream shortly after its context

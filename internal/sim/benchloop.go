@@ -30,3 +30,25 @@ func RunSteadyState(eng *Engine, n int, pooled bool) uint64 {
 	eng.Drain(eng.Now() + 128)
 	return fired
 }
+
+// RunSlabPromotion drives the window-jump promotion workload: slab
+// far-future events (spread over ~1k cycles with same-cycle
+// collisions) land in the overflow heap, then a single AdvanceTo
+// jumps the ring window across all of them at once — the pattern skip
+// phases and warm-state restores produce. With popwise true the
+// engine promotes one heap pop at a time (the pre-batching
+// algorithm); with false the batch partition-and-reheapify path
+// kicks in past the pop limit. The two orders are identical, so the
+// pair prices the batch optimization on the same workload. Returns
+// the number of events that fired.
+func RunSlabPromotion(eng *Engine, slab int, popwise bool) uint64 {
+	eng.popwisePromote = popwise
+	var fired uint64
+	fn := Func(func(now uint64, o1, o2 any, a0, a1 uint64) { fired += a0 })
+	for i := 0; i < slab; i++ {
+		eng.AfterFunc(ringSize+uint64(i%1024), fn, nil, nil, 1, 0)
+	}
+	eng.AdvanceTo(eng.Now() + ringSize + 1024)
+	eng.popwisePromote = false
+	return fired
+}

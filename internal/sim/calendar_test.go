@@ -125,6 +125,55 @@ func TestRingWraparoundSameBucket(t *testing.T) {
 	}
 }
 
+// TestPropertySlabPromotionFIFO forces the batch-promotion path: big
+// random slabs of far-future events (with same-cycle collisions) land
+// in the overflow heap and a single window jump promotes them all at
+// once, tripping the partition-and-reheapify switch past the pop
+// limit. Execution order is checked against a stable sort, and
+// against the popwise (one-pop-at-a-time) algorithm running the
+// identical schedule — the two promotion strategies must be
+// order-equivalent, not just order-correct.
+func TestPropertySlabPromotionFIFO(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 20; round++ {
+		slab := 64 + rng.Intn(512)
+		delays := make([]uint64, slab)
+		for i := range delays {
+			// Far-future, concentrated on few cycles for FIFO pressure.
+			delays[i] = uint64(ringSize + rng.Intn(64)*97)
+		}
+		run := func(popwise bool) []int {
+			eng := NewEngine()
+			eng.popwisePromote = popwise
+			var got []int
+			for i, d := range delays {
+				i := i
+				eng.After(d, func() { got = append(got, i) })
+			}
+			eng.AdvanceTo(eng.Now() + 8*ringSize)
+			if eng.Pending() != 0 {
+				t.Fatalf("round %d: %d events never ran", round, eng.Pending())
+			}
+			return got
+		}
+		batch, popwise := run(false), run(true)
+
+		ref := make([]refEvent, slab)
+		for i, d := range delays {
+			ref[i] = refEvent{when: d, id: i}
+		}
+		sort.SliceStable(ref, func(i, j int) bool { return ref[i].when < ref[j].when })
+		for i := range ref {
+			if batch[i] != ref[i].id {
+				t.Fatalf("round %d: batch promotion broke FIFO at %d: got %d want %d", round, i, batch[i], ref[i].id)
+			}
+			if popwise[i] != ref[i].id {
+				t.Fatalf("round %d: popwise promotion broke FIFO at %d: got %d want %d", round, i, popwise[i], ref[i].id)
+			}
+		}
+	}
+}
+
 // TestIdleJumpOverEmptyWindow checks that advancing far past every
 // pending event leaves the clock and calendar consistent (the idle-
 // skip path in the host cores relies on this).

@@ -24,7 +24,10 @@
 // keeps the merged order identical to a single time-ordered list.
 package sim
 
-import "math/bits"
+import (
+	"math/bits"
+	"slices"
+)
 
 const (
 	// ringSize buckets of one cycle each cover the near horizon. The
@@ -77,6 +80,13 @@ type Engine struct {
 	ringCount int
 
 	overflow []*event // min-heap ordered by (when, seq)
+	promote  []*event // batch-promotion scratch (empty between advances)
+	// popwisePromote pins promotion to one-at-a-time heap pops — the
+	// pre-batching algorithm — so benchmarks and equivalence tests can
+	// price the batch path against it. Both paths promote in identical
+	// (when, seq) order; only the cost differs. Set solely by
+	// RunSlabPromotion.
+	popwisePromote bool
 
 	free *event // node freelist
 
@@ -190,9 +200,75 @@ func (e *Engine) advanceBase(t uint64) {
 	}
 	e.base = t
 	top := t + ringSize
+	// Pop-per-event promotion is optimal for the common small drizzle
+	// (a refresh timer or two). When a big window jump promotes a large
+	// slab — skip phases, warm-state restores — each pop costs O(log n)
+	// against the full heap; past a few pops on a still-large heap it is
+	// cheaper to partition once and re-heapify both halves in O(n).
+	pops := 0
 	for len(e.overflow) > 0 && e.overflow[0].when < top {
 		e.ringPush(e.heapPop())
+		pops++
+		if pops >= promotePopLimit && len(e.overflow) >= promoteBatchMin && !e.popwisePromote {
+			e.batchPromote(top)
+			return
+		}
 	}
+}
+
+const (
+	// promotePopLimit pops are tried one at a time before switching to
+	// the batch path; small promotions never pay the partition cost.
+	promotePopLimit = 8
+	// promoteBatchMin is the heap size below which batching cannot win.
+	promoteBatchMin = 32
+)
+
+// batchPromote splits the overflow heap into events inside the new
+// ring window and the rest. The remainder is re-heapified in place in
+// O(n), amortizing what would otherwise be a log-cost pop against it
+// per promoted event. The promotable slab needs no heap order at all:
+// within one ring window every bucket holds exactly one cycle, so
+// per-bucket FIFO reduces to scheduling order — a flat sort by
+// sequence number followed by a linear push reproduces exactly the
+// (when, seq) arrival order pop-wise promotion would have produced.
+func (e *Engine) batchPromote(top uint64) {
+	src := e.overflow
+	keep := e.overflow[:0]
+	pr := e.promote[:0]
+	if cap(pr) < len(src) {
+		//ml:waive hotalloc -- scratch growth: kept in e.promote below, so capacity is retained across advances
+		pr = make([]*event, 0, len(src))
+	}
+	for _, ev := range src {
+		if ev.when < top {
+			pr = append(pr, ev)
+		} else {
+			keep = append(keep, ev)
+		}
+	}
+	for i := len(keep); i < len(src); i++ {
+		src[i] = nil
+	}
+	heapify(keep)
+	e.overflow = keep
+	slices.SortFunc(pr, eventSeqOrder)
+	for i, ev := range pr {
+		e.ringPush(ev)
+		pr[i] = nil
+	}
+	e.promote = pr[:0]
+}
+
+// eventSeqOrder sorts promoted events by scheduling order. seq is
+// unique per event, so this total order needs no tie-break and the
+// sort's stability does not matter. Named (not a literal) so the hot
+// promotion path provably allocates no capture environment.
+func eventSeqOrder(a, b *event) int {
+	if a.seq < b.seq {
+		return -1
+	}
+	return 1
 }
 
 // nextAt returns the cycle of the earliest pending event. By the ring
@@ -337,6 +413,34 @@ func (e *Engine) heapPush(ev *event) {
 		i = parent
 	}
 	e.overflow = h
+}
+
+// siftDown restores the heap property at index i of h.
+func siftDown(h []*event, i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && overflowLess(h[l], h[small]) {
+			small = l
+		}
+		if r < n && overflowLess(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}
+
+// heapify orders an arbitrary slice into a (when, seq) min-heap in
+// O(n).
+func heapify(h []*event) {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(h, i)
+	}
 }
 
 func (e *Engine) heapPop() *event {

@@ -56,6 +56,40 @@ func BenchmarkOverflowPromotion(b *testing.B) {
 	}
 }
 
+// BenchmarkSlabPromotion measures a window jump promoting a whole
+// slab of overflow events at once (skip phases, warm-state restores)
+// through the batch partition-and-reheapify path.
+func BenchmarkSlabPromotion(b *testing.B) {
+	eng := NewEngine()
+	RunSlabPromotion(eng, 4096, false) // prime pools and scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	var fired uint64
+	for i := 0; i < b.N; i++ {
+		fired += RunSlabPromotion(eng, 4096, false)
+	}
+	if fired == 0 {
+		b.Fatal("no events ran")
+	}
+}
+
+// BenchmarkSlabPromotionPopwise runs the identical workload with
+// promotion pinned to one-at-a-time heap pops — the baseline the
+// batch path is priced against (mlbench records the delta).
+func BenchmarkSlabPromotionPopwise(b *testing.B) {
+	eng := NewEngine()
+	RunSlabPromotion(eng, 4096, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var fired uint64
+	for i := 0; i < b.N; i++ {
+		fired += RunSlabPromotion(eng, 4096, true)
+	}
+	if fired == 0 {
+		b.Fatal("no events ran")
+	}
+}
+
 // BenchmarkIdleAdvance measures jumping the clock across dead time
 // with one far event pending — the engine half of idle-cycle
 // skipping.

@@ -1,0 +1,20 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// SeekRecord repositions the file so the next Next returns record n
+// (0-based from the start of the trace). Warm-state restores use it to
+// re-establish a recorded workload's cursor without re-reading the
+// prefix.
+func (f *File) SeekRecord(n uint64) error {
+	if _, err := f.f.Seek(int64(4+n*recordSize), io.SeekStart); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	f.r.r.Reset(f.f)
+	f.r.n = n
+	f.r.err = nil
+	return nil
+}
