@@ -1,5 +1,5 @@
 // Command mlbench runs the kernel microbenchmarks and one end-to-end
-// artifact benchmark, writes the results as JSON (BENCH_9.json in CI)
+// artifact benchmark, writes the results as JSON (BENCH_10.json in CI)
 // and enforces two contracts: steady-state Engine.After + Drain
 // scheduling must perform zero allocations per event, and a
 // shared-prefix campaign sweep must run at least 2x faster warm
@@ -16,7 +16,7 @@
 //
 // Usage:
 //
-//	mlbench [-out BENCH_9.json] [-scale 4] [-artifact fig8] [-skip-artifact]
+//	mlbench [-out BENCH_10.json] [-scale 4] [-artifact fig8] [-skip-artifact]
 //
 // The JSON also carries the recorded seed-kernel baseline (the
 // container/heap engine with per-cycle stepping, measured on the
@@ -29,16 +29,20 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"testing"
 	"time"
 
 	"microlib/internal/campaign"
+	"microlib/internal/cpu"
 	"microlib/internal/experiments"
+	"microlib/internal/hier"
 	"microlib/internal/runner"
 	"microlib/internal/sim"
 	"microlib/internal/telemetry"
+	"microlib/internal/workload"
 )
 
 // seedBaseline records the pre-rewrite kernel on the reference
@@ -64,7 +68,7 @@ type Result struct {
 	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
-// Report is the BENCH_9.json document.
+// Report is the BENCH_10.json document.
 type Report struct {
 	GoVersion    string             `json:"go_version"`
 	GOOS         string             `json:"goos"`
@@ -75,6 +79,7 @@ type Report struct {
 	Speedup      map[string]float64 `json:"speedup_vs_seed,omitempty"`
 	AllocGate    string             `json:"alloc_gate"`
 	WarmGate     string             `json:"warm_gate"`
+	RetryGate    string             `json:"retry_gate"`
 }
 
 func bench(name string, f func(b *testing.B)) Result {
@@ -91,7 +96,7 @@ func bench(name string, f func(b *testing.B)) Result {
 
 func main() {
 	var (
-		out          = flag.String("out", "BENCH_9.json", "output JSON path")
+		out          = flag.String("out", "BENCH_10.json", "output JSON path")
 		scale        = flag.Uint64("scale", 4, "artifact bench scale divisor (MICROLIB_SCALE)")
 		artifact     = flag.String("artifact", "fig8", "artifact experiment id for the end-to-end bench")
 		skipArtifact = flag.Bool("skip-artifact", false, "skip the (slow) artifact bench")
@@ -160,6 +165,90 @@ func main() {
 		"delta_ns_per_event": (slabPopwise.NsPerOp - slabBatch.NsPerOp) / slab,
 	}
 	rep.Results = append(rep.Results, slabBatch, slabPopwise)
+
+	// Stall-heavy core rows: a tiny single-port, single-MSHR L1D makes
+	// the cores absorb a refusal on most submits, which is exactly the
+	// regime the structured refusal hints target — a refused submit
+	// jumps straight to the hinted retry cycle instead of re-probing
+	// the cache every cycle. The /step rows run the identical machine
+	// with cycle-stepping retries forced back on (SetStepRetries), so
+	// each pair's ratio is the payoff of the hints alone. Results are
+	// bit-identical between the paired modes; only the probe count
+	// differs. Incremental chunks keep the warmed machine (and its
+	// in-flight state) across iterations.
+	const stallChunk = 5_000
+	stallHier := func() hier.Config {
+		cfg := hier.DefaultConfig()
+		cfg.L1D.Size = 1 << 10
+		cfg.L1D.Assoc = 1
+		cfg.L1D.Ports = 1
+		cfg.L1D.MSHRs = 1
+		cfg.L1D.ReadsPerMSHR = 1
+		return cfg
+	}
+	// Store-dominated random traffic over a region far beyond L2: a
+	// store miss holds the single MSHR for a full memory round trip,
+	// so the next submit is refused for that whole span. Built-in
+	// profiles top out near 0.13 store fraction — too light to keep
+	// the MSHR pinned.
+	stallProfile := workload.Profile{
+		Name:      "stall-heavy",
+		LoadFrac:  0.10,
+		StoreFrac: 0.50,
+		BlockLen:  12,
+		CodeKB:    4,
+		Patterns:  []workload.PatternSpec{{Kind: workload.PatRand, Size: 8 << 20}},
+		Phases:    []workload.PhaseSpec{{Len: 100_000, Weights: []float64{1}}},
+	}
+	stallInOrder := func(step bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			eng := sim.NewEngine()
+			h := hier.Build(eng, stallHier())
+			c := cpu.NewInOrder(eng, h, workload.NewGenerator(stallProfile, 1))
+			c.SetStepRetries(step)
+			total := uint64(stallChunk)
+			c.Run(total)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				total += stallChunk
+				c.Run(total)
+			}
+		}
+	}
+	stallOoO := func(step bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			eng := sim.NewEngine()
+			h := hier.Build(eng, stallHier())
+			o := cpu.NewOoO(eng, cpu.DefaultConfig(), h, workload.NewGenerator(stallProfile, 1))
+			o.SetStepRetries(step)
+			total := uint64(stallChunk)
+			o.SetStop(total)
+			o.Run(math.MaxUint64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				total += stallChunk
+				o.SetStop(total)
+				o.Run(math.MaxUint64)
+			}
+		}
+	}
+	stallIO := bench("core/stall-heavy/inorder", stallInOrder(false))
+	stallIOStep := bench("core/stall-heavy/inorder/step", stallInOrder(true))
+	stallO3 := bench("core/stall-heavy/ooo", stallOoO(false))
+	stallO3Step := bench("core/stall-heavy/ooo/step", stallOoO(true))
+	retrySpeedupIO := stallIOStep.NsPerOp / stallIO.NsPerOp
+	retrySpeedupO3 := stallO3Step.NsPerOp / stallO3.NsPerOp
+	stallIO.Extra = map[string]float64{
+		"insts_per_op":    stallChunk,
+		"speedup_vs_step": retrySpeedupIO,
+		"insts_per_sec":   stallChunk / (stallIO.NsPerOp * 1e-9),
+	}
+	stallO3.Extra = map[string]float64{
+		"insts_per_op":    stallChunk,
+		"speedup_vs_step": retrySpeedupO3,
+		"insts_per_sec":   stallChunk / (stallO3.NsPerOp * 1e-9),
+	}
+	rep.Results = append(rep.Results, stallIO, stallIOStep, stallO3, stallO3Step)
 
 	// End-to-end simulator throughput (memory-bound bench + prefetch
 	// mechanism exercises the whole event path).
@@ -281,6 +370,18 @@ func main() {
 		rep.WarmGate = fmt.Sprintf("PASS: shared-prefix sweep runs %.1fx faster warm than cold", warmSpeedup)
 	}
 
+	// The retry gate: refusal hints must make the stall-heavy InOrder
+	// row at least 1.5x faster than forced cycle-stepping, with zero
+	// steady-state allocations on the hint path.
+	retryFailed := retrySpeedupIO < 1.5 || stallIO.AllocsPerOp > 0
+	if retryFailed {
+		rep.RetryGate = fmt.Sprintf("FAIL: stall-heavy inorder speedup %.2fx (want >= 1.5x), %d allocs/op (want 0)",
+			retrySpeedupIO, stallIO.AllocsPerOp)
+	} else {
+		rep.RetryGate = fmt.Sprintf("PASS: stall-heavy inorder runs %.1fx faster on refusal hints (ooo %.1fx), 0 allocs/op",
+			retrySpeedupIO, retrySpeedupO3)
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -296,7 +397,10 @@ func main() {
 	if warmFailed {
 		fmt.Fprintln(os.Stderr, "mlbench:", rep.WarmGate)
 	}
-	if gateFailed || warmFailed {
+	if retryFailed {
+		fmt.Fprintln(os.Stderr, "mlbench:", rep.RetryGate)
+	}
+	if gateFailed || warmFailed || retryFailed {
 		os.Exit(1)
 	}
 }

@@ -44,7 +44,7 @@ func TestSteadyStateMissPathZeroAllocs(t *testing.T) {
 		// neighbouring line, then run everything to completion.
 		cycle := eng.Now()
 		acc := Access{Addr: addr, PC: 0x40, Done: done}
-		for !c.Access(&acc) {
+		for !c.Access(&acc).Accepted() {
 			cycle++
 			eng.AdvanceTo(cycle)
 		}
@@ -53,7 +53,7 @@ func TestSteadyStateMissPathZeroAllocs(t *testing.T) {
 		// A conflicting write allocation forces evictions and
 		// write-backs through the reused entries.
 		wacc := Access{Addr: addr ^ 0x8000, PC: 0x44, Write: true, Done: done}
-		for !c.Access(&wacc) {
+		for !c.Access(&wacc).Accepted() {
 			cycle = eng.Now() + 1
 			eng.AdvanceTo(cycle)
 		}

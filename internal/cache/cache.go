@@ -68,6 +68,67 @@ type Access struct {
 	Done DoneSink
 }
 
+// Reason classifies the outcome of an Access submission. The zero
+// value is acceptance, so the zero Refusal means "taken this cycle".
+type Reason uint8
+
+const (
+	// Accepted: the cache took the request this cycle.
+	Accepted Reason = iota
+	// RefusePort: every port is reserved this cycle. Ports reset at
+	// the next cycle boundary, so the refusal is timer-bound with
+	// RetryAt = now+1.
+	RefusePort
+	// RefuseStall: the cache pipeline is stalled (Section 2.2 rules).
+	// stallUntil only ever moves forward, so the refusal is
+	// timer-bound with RetryAt = stallUntil — no acceptance is
+	// possible earlier.
+	RefuseStall
+	// RefuseMSHR: the miss address file is full or the merge target
+	// reached its read limit. MSHR entries free only when a fill event
+	// completes (FillLine), so the refusal is event-bound: RetryAt is
+	// 0 and the caller must consult the calendar (NextEventAt).
+	RefuseMSHR
+)
+
+// String names the reason for reports and tests.
+func (r Reason) String() string {
+	switch r {
+	case Accepted:
+		return "accepted"
+	case RefusePort:
+		return "port"
+	case RefuseStall:
+		return "stall"
+	case RefuseMSHR:
+		return "mshr"
+	}
+	return "unknown"
+}
+
+// Refusal is the structured result of Access: why the cache could not
+// take the request this cycle and when a retry can first succeed. The
+// zero value means accepted. A single-accessor caller (a blocked
+// core) may jump its clock straight to RetryAt — or, for event-bound
+// refusals, to the next calendar event — instead of polling every
+// cycle: refused attempts have no side effects beyond reject
+// counters, so the acceptance cycle is identical either way (the
+// oracle property test in refusal_test.go pins this).
+type Refusal struct {
+	Reason Reason
+	// RetryAt is the exact earliest cycle a retry can be accepted for
+	// timer-bound refusals (Port, Stall); 0 for event-bound refusals
+	// (MSHR), where the wake-up is the next calendar event.
+	RetryAt uint64
+}
+
+// Accepted reports whether the access was taken.
+func (r Refusal) Accepted() bool { return r.Reason == Accepted }
+
+// EventBound reports whether the retry is gated on a calendar event
+// rather than a known cycle.
+func (r Refusal) EventBound() bool { return r.Reason == RefuseMSHR }
+
 type line struct {
 	tag        uint64
 	valid      bool
@@ -261,20 +322,24 @@ func (c *Cache) Probe(addr uint64) (present, dirty, prefetched bool) {
 	return false, false, false
 }
 
-// Access submits a demand request. It returns false when the cache
-// cannot accept it this cycle (no port, pipeline stall, MSHR full);
-// the caller must retry on a later cycle.
+// Access submits a demand request. The returned Refusal is zero when
+// the cache accepted the request this cycle; otherwise it carries the
+// refusal reason and retry hint (no port, pipeline stall, MSHR full)
+// and the caller must retry on a later cycle. Refused attempts leave
+// no trace but the Reject* counters and — for MSHR refusals, which
+// pass the port gate first — one port reservation that expires at the
+// next cycle boundary.
 //
 //ml:hotpath
-func (c *Cache) Access(a *Access) bool {
+func (c *Cache) Access(a *Access) Refusal {
 	now := c.eng.Now()
 	if !c.cfg.NoPipelineStall && now < c.stallUntil {
 		c.stats.RejectStall++
-		return false
+		return Refusal{Reason: RefuseStall, RetryAt: c.stallUntil}
 	}
 	if !c.reservePort(now, false) {
 		c.stats.RejectPort++
-		return false
+		return Refusal{Reason: RefusePort, RetryAt: now + 1}
 	}
 
 	la := c.LineAddr(a.Addr)
@@ -312,7 +377,7 @@ func (c *Cache) Access(a *Access) bool {
 		if a.Done != nil {
 			c.eng.AfterFunc(c.cfg.HitLatency, callDoneHit, a.Done, nil, 0, 0)
 		}
-		return true
+		return Refusal{}
 	}
 
 	// Miss: try to merge into an existing MSHR first, because a full
@@ -321,7 +386,7 @@ func (c *Cache) Access(a *Access) bool {
 		e := &c.mshrs[idx]
 		if e.reads >= c.cfg.ReadsPerMSHR && !c.cfg.InfiniteMSHR {
 			c.stats.RejectMSHR++
-			return false
+			return Refusal{Reason: RefuseMSHR}
 		}
 		c.stats.Accesses++
 		c.stats.Misses++
@@ -347,7 +412,7 @@ func (c *Cache) Access(a *Access) bool {
 			Addr: a.Addr, LineAddr: la, PC: a.PC, Write: a.Write,
 			Hit: false, Now: now,
 		})
-		return true
+		return Refusal{}
 	}
 
 	// Consult auxiliary structures (victim cache, FVC, prefetch
@@ -373,14 +438,14 @@ func (c *Cache) Access(a *Access) bool {
 		if a.Done != nil {
 			c.eng.AfterFunc(c.cfg.HitLatency+1, callDoneHit, a.Done, nil, 0, 0)
 		}
-		return true
+		return Refusal{}
 	}
 
 	// Primary miss: allocate an MSHR.
 	free := c.freeMSHR()
 	if free < 0 {
 		c.stats.RejectMSHR++
-		return false
+		return Refusal{Reason: RefuseMSHR}
 	}
 	c.stats.Accesses++
 	c.stats.Misses++
@@ -414,7 +479,7 @@ func (c *Cache) Access(a *Access) bool {
 		m.OnMiss(la, a.PC, now)
 	}
 	c.issueFetch(free)
-	return true
+	return Refusal{}
 }
 
 // notifyAccess delivers an event to every observer.

@@ -62,7 +62,7 @@ func access(t testing.TB, eng *sim.Engine, c *Cache, a *Access) (completedAt uin
 		}
 	})
 	cycle := eng.Now()
-	for !c.Access(a) {
+	for !c.Access(a).Accepted() {
 		cycle++
 		eng.AdvanceTo(cycle)
 	}
@@ -140,17 +140,17 @@ func TestMSHRMerge(t *testing.T) {
 	eng, c, be := testCache(t, smallConfig())
 	done := 0
 	cb := DoneFunc(func(uint64, bool) { done++ })
-	if !c.Access(&Access{Addr: 0x2000, Done: cb}) {
+	if !c.Access(&Access{Addr: 0x2000, Done: cb}).Accepted() {
 		t.Fatal("first access refused")
 	}
 	eng.AdvanceTo(2) // past the post-miss stall window
 	// Same line, different address: merges into the MSHR.
-	if !c.Access(&Access{Addr: 0x2008, Done: cb}) {
+	if !c.Access(&Access{Addr: 0x2008, Done: cb}).Accepted() {
 		t.Fatal("mergeable access refused")
 	}
 	eng.AdvanceTo(4)
 	// Merge limit (2 reads per MSHR) reached: refuse.
-	if c.Access(&Access{Addr: 0x2010, Done: cb}) {
+	if c.Access(&Access{Addr: 0x2010, Done: cb}).Accepted() {
 		t.Fatal("merge over limit accepted")
 	}
 	eng.AdvanceTo(100)
@@ -171,7 +171,7 @@ func TestMSHRFullRefusesNewMiss(t *testing.T) {
 	eng.AdvanceTo(2) // skip the post-miss pipeline stall
 	c.Access(&Access{Addr: 0x2000})
 	eng.AdvanceTo(4)
-	if c.Access(&Access{Addr: 0x3000}) {
+	if c.Access(&Access{Addr: 0x3000}).Accepted() {
 		t.Fatal("third concurrent miss accepted with 2 MSHRs")
 	}
 	if c.Stats().RejectMSHR == 0 {
@@ -185,7 +185,7 @@ func TestInfiniteMSHRMode(t *testing.T) {
 	cfg.NoPipelineStall = true
 	eng, c, _ := testCache(t, cfg)
 	for i := 0; i < 50; i++ {
-		if !c.Access(&Access{Addr: uint64(0x1000 + i*2048)}) {
+		if !c.Access(&Access{Addr: uint64(0x1000 + i*2048)}).Accepted() {
 			t.Fatalf("infinite-MSHR cache refused miss %d", i)
 		}
 		eng.AdvanceTo(eng.Now() + 1)
@@ -199,13 +199,13 @@ func TestPortLimit(t *testing.T) {
 	// Move past the refill cycle (the refill consumed a port there).
 	eng.AdvanceTo(eng.Now() + 2)
 	// Same cycle: two hits fit, the third is refused on ports.
-	if !c.Access(&Access{Addr: 0x1000}) {
+	if !c.Access(&Access{Addr: 0x1000}).Accepted() {
 		t.Fatal("hit 1 refused")
 	}
-	if !c.Access(&Access{Addr: 0x1040}) {
+	if !c.Access(&Access{Addr: 0x1040}).Accepted() {
 		t.Fatal("hit 2 refused")
 	}
-	if c.Access(&Access{Addr: 0x1000}) {
+	if c.Access(&Access{Addr: 0x1000}).Accepted() {
 		t.Fatal("third same-cycle access accepted with 2 ports")
 	}
 	if c.Stats().RejectPort == 0 {
@@ -215,12 +215,12 @@ func TestPortLimit(t *testing.T) {
 
 func TestPipelineStallAfterMiss(t *testing.T) {
 	eng, c, _ := testCache(t, smallConfig())
-	if !c.Access(&Access{Addr: 0x1000}) {
+	if !c.Access(&Access{Addr: 0x1000}).Accepted() {
 		t.Fatal("miss refused")
 	}
 	// Section 2.2: the MSHR is busy the cycle after a request.
 	eng.AdvanceTo(eng.Now() + 1)
-	if c.Access(&Access{Addr: 0x5000}) {
+	if c.Access(&Access{Addr: 0x5000}).Accepted() {
 		t.Fatal("access accepted during post-miss stall cycle")
 	}
 	if c.Stats().RejectStall == 0 {
@@ -228,7 +228,7 @@ func TestPipelineStallAfterMiss(t *testing.T) {
 	}
 	// Two cycles later the pipeline is free again.
 	eng.AdvanceTo(eng.Now() + 1)
-	if !c.Access(&Access{Addr: 0x5000}) {
+	if !c.Access(&Access{Addr: 0x5000}).Accepted() {
 		t.Fatal("access refused after the stall window")
 	}
 }
@@ -383,7 +383,7 @@ func TestPropertyStatsConsistent(t *testing.T) {
 		for _, a := range addrs {
 			addr := uint64(a) * 8
 			cycle := eng.Now()
-			for !c.Access(&Access{Addr: addr}) {
+			for !c.Access(&Access{Addr: addr}).Accepted() {
 				cycle++
 				eng.AdvanceTo(cycle)
 			}
@@ -408,7 +408,7 @@ func TestPropertyContainsAfterFill(t *testing.T) {
 		c := New(eng, smallConfig(), be)
 		addr := uint64(a) * 32
 		cycle := eng.Now()
-		for !c.Access(&Access{Addr: addr}) {
+		for !c.Access(&Access{Addr: addr}).Accepted() {
 			cycle++
 			eng.AdvanceTo(cycle)
 		}

@@ -44,7 +44,7 @@ func TestFetchRetriesOnBackpressure(t *testing.T) {
 	be := &flakyBackend{eng: eng, refuseFetch: 5, completeDelay: 10}
 	c := New(eng, smallConfig(), be)
 	done := false
-	if !c.Access(&Access{Addr: 0x1000, Done: DoneFunc(func(uint64, bool) { done = true })}) {
+	if !c.Access(&Access{Addr: 0x1000, Done: DoneFunc(func(uint64, bool) { done = true })}).Accepted() {
 		t.Fatal("access refused")
 	}
 	eng.AdvanceTo(200)

@@ -1,0 +1,151 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"microlib/internal/sim"
+)
+
+// The refusal-hint contract: a caller that jumps straight to the
+// hinted retry cycle (RetryAt for timer-bound refusals, the next
+// calendar event for event-bound ones) is accepted on exactly the
+// same cycle as a caller that re-probes the cache every cycle. The
+// cycle-stepping driver is the oracle; the hint-driven driver is what
+// the host cores actually do.
+
+// refusalStep is one scripted access: a line address, a write flag,
+// and how many idle cycles to wind forward before submitting.
+type refusalStep struct {
+	addr  uint64
+	write bool
+	gap   uint64
+}
+
+// refusalScript builds a randomized access sequence that exercises
+// every refusal reason under a 1-port, 1-MSHR cache: back-to-back
+// submits (port + stall conflicts) over a small line pool (hits,
+// misses, evictions, merge refusals on the single MSHR).
+func refusalScript(rng *rand.Rand, n int) []refusalStep {
+	steps := make([]refusalStep, n)
+	for i := range steps {
+		steps[i] = refusalStep{
+			// A small pool spanning several sets of the 1KB cache:
+			// revisits hit, conflicts evict, and concurrent misses
+			// fight over the single MSHR.
+			addr:  uint64(rng.Intn(10)) * 416,
+			write: rng.Intn(3) == 0,
+			gap:   uint64(rng.Intn(4)),
+		}
+	}
+	return steps
+}
+
+// runRefusalScript drives the script against a fresh cache, retrying
+// refusals either by stepping one cycle at a time (the oracle) or by
+// jumping to the structured hint. It returns the acceptance cycle of
+// every access plus the final stats.
+func runRefusalScript(t *testing.T, cfg Config, steps []refusalStep, useHints bool) ([]uint64, Stats) {
+	t.Helper()
+	eng := sim.NewEngine()
+	be := &testBackend{eng: eng, delay: 20}
+	c := New(eng, cfg, be)
+	accepted := make([]uint64, len(steps))
+	for i, s := range steps {
+		cycle := eng.Now() + s.gap
+		eng.AdvanceTo(cycle)
+		a := Access{Addr: s.addr, PC: 0x400000 + s.addr, Write: s.write}
+		for tries := 0; ; tries++ {
+			if tries > 10_000 {
+				t.Fatalf("access %d never accepted", i)
+			}
+			r := c.Access(&a)
+			if r.Accepted() {
+				break
+			}
+			if useHints {
+				cycle = eng.RetryTarget(cycle, r.RetryAt)
+			} else {
+				cycle++
+			}
+			eng.AdvanceTo(cycle)
+		}
+		accepted[i] = cycle
+	}
+	// Drain outstanding fills so the Fills/WriteBacks totals settle.
+	eng.AdvanceTo(eng.Now() + 100)
+	return accepted, c.Stats()
+}
+
+// TestRefusalHintOracle asserts the hint-driven retry is accepted on
+// exactly the cycle the cycle-stepping oracle is, across randomized
+// scripts, with the pipeline stall both on and off. Reject* counters
+// legitimately differ (the whole point is fewer refused probes), so
+// the comparison covers the accepted-work stats only.
+func TestRefusalHintOracle(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Ports = 1
+	cfg.MSHRs = 1
+	cfg.ReadsPerMSHR = 1
+	for _, noStall := range []bool{false, true} {
+		cfg.NoPipelineStall = noStall
+		for seed := int64(1); seed <= 12; seed++ {
+			steps := refusalScript(rand.New(rand.NewSource(seed)), 200)
+			wantCycles, wantStats := runRefusalScript(t, cfg, steps, false)
+			gotCycles, gotStats := runRefusalScript(t, cfg, steps, true)
+			for i := range steps {
+				if gotCycles[i] != wantCycles[i] {
+					t.Fatalf("noStall=%v seed=%d access %d: hint-driven accepted at %d, oracle at %d",
+						noStall, seed, i, gotCycles[i], wantCycles[i])
+				}
+			}
+			type work struct{ accesses, hits, misses, writes, fills, wbs uint64 }
+			got := work{gotStats.Accesses, gotStats.Hits, gotStats.Misses, gotStats.Writes, gotStats.Fills, gotStats.WriteBack}
+			want := work{wantStats.Accesses, wantStats.Hits, wantStats.Misses, wantStats.Writes, wantStats.Fills, wantStats.WriteBack}
+			if got != want {
+				t.Fatalf("noStall=%v seed=%d: accepted-work stats diverged:\n got %+v\nwant %+v", noStall, seed, got, want)
+			}
+			if gotStats.RejectPort > wantStats.RejectPort ||
+				gotStats.RejectStall > wantStats.RejectStall ||
+				gotStats.RejectMSHR > wantStats.RejectMSHR {
+				t.Fatalf("noStall=%v seed=%d: hint-driven retries probed more than the oracle: got %+v want %+v",
+					noStall, seed, gotStats, wantStats)
+			}
+		}
+	}
+}
+
+// TestRefusalReasons pins the reason and RetryAt each refusal path
+// reports: stall refusals carry the exact stall-lift cycle, port
+// refusals the next cycle, and MSHR refusals are event-bound (zero).
+func TestRefusalReasons(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Ports = 1
+	cfg.MSHRs = 1
+	cfg.ReadsPerMSHR = 1
+	eng := sim.NewEngine()
+	be := &testBackend{eng: eng, delay: 20}
+	c := New(eng, cfg, be)
+
+	// First miss allocates the only MSHR and stalls the pipeline for a
+	// cycle (the stall gate precedes the port gate).
+	if r := c.Access(&Access{Addr: 0x1000}); !r.Accepted() {
+		t.Fatalf("first miss refused: %+v", r)
+	}
+	// Same cycle, second access: refused by the pipeline stall, with
+	// the exact lift cycle as the hint.
+	if r := c.Access(&Access{Addr: 0x2000}); r.Reason != RefuseStall || r.RetryAt != eng.Now()+2 {
+		t.Fatalf("want stall refusal with exact RetryAt, got %+v", r)
+	}
+	// At the stall lift, the miss on a second line passes the stall
+	// and port gates but finds no MSHR: event-bound, no timer hint.
+	eng.AdvanceTo(2)
+	if r := c.Access(&Access{Addr: 0x2000}); r.Reason != RefuseMSHR || !r.EventBound() || r.RetryAt != 0 {
+		t.Fatalf("want event-bound MSHR refusal, got %+v", r)
+	}
+	// That refused probe consumed the cycle's only port; a third
+	// attempt the same cycle is port-refused, retriable next cycle.
+	if r := c.Access(&Access{Addr: 0x2000}); r.Reason != RefusePort || r.RetryAt != eng.Now()+1 {
+		t.Fatalf("want port refusal retriable next cycle, got %+v", r)
+	}
+}

@@ -47,6 +47,10 @@ type Scenario struct {
 	// they ran); Failed lists cells whose simulation errored.
 	Missing int      `json:"missing,omitempty"`
 	Failed  []string `json:"failed,omitempty"`
+	// Refusals sums cache-refusal pressure over the scenario's
+	// completed cells (zero for results cached before the counters
+	// existed).
+	Refusals RefusalStats `json:"refusals,omitzero"`
 }
 
 // Complete reports whether every cell of the scenario has a
@@ -123,6 +127,7 @@ func Aggregate(p *Plan, results map[string]CellResult, sched SchedulerStats) *Su
 			default:
 				k := [2]string{c.Bench(), c.Mech()}
 				samples[k] = append(samples[k], res.IPC)
+				sc.Refusals.add(res.Refusals)
 			}
 		}
 		//ml:commutative -- each key writes its own pre-dimensioned grid cell; no cross-key state
@@ -195,6 +200,10 @@ func (s *Summary) Text() string {
 		}
 		for _, f := range sc.Failed {
 			fmt.Fprintf(&sb, "!! failed: %s\n", f)
+		}
+		if r := sc.Refusals; r.Total() > 0 {
+			fmt.Fprintf(&sb, "refusal pressure: port=%d stall=%d mshr=%d (core retries: port=%d stall=%d mshr=%d)\n",
+				r.RejectPort, r.RejectStall, r.RejectMSHR, r.RetryPort, r.RetryStall, r.RetryMSHR)
 		}
 		sb.WriteString("mean IPC\n")
 		sb.WriteString(formatMasked(sc.Mean, sc.Counts, 4))

@@ -45,10 +45,44 @@ type CellResult struct {
 	Hardware          []core.HWTable `json:"hardware"`
 	BaseCacheAccesses uint64         `json:"base_cache_accesses,omitempty"`
 
+	// Refusals is the cell's cache-refusal pressure: cache-side
+	// rejects summed over the hierarchy plus the core-side per-reason
+	// retry counts. Entries cached before these fields existed decode
+	// as all-zero, which reads as "no pressure recorded" (the
+	// Hardware-nil precedent applies: still valid for IPC).
+	Refusals RefusalStats `json:"refusals,omitzero"`
+
 	Err string `json:"err,omitempty"`
 	// ErrKind classifies Err per the failure taxonomy
 	// (model/panic/timeout/io); empty when Err is empty.
 	ErrKind string `json:"err_kind,omitempty"`
+}
+
+// RefusalStats aggregates cache-refusal pressure: how often the
+// hierarchy's caches refused an access (by reason) and how often the
+// core absorbed a refusal on its retry paths.
+type RefusalStats struct {
+	RejectPort  uint64 `json:"reject_port,omitempty"`
+	RejectStall uint64 `json:"reject_stall,omitempty"`
+	RejectMSHR  uint64 `json:"reject_mshr,omitempty"`
+	RetryPort   uint64 `json:"retry_port,omitempty"`
+	RetryStall  uint64 `json:"retry_stall,omitempty"`
+	RetryMSHR   uint64 `json:"retry_mshr,omitempty"`
+}
+
+// Total is the summed refusal count across reasons (cache side).
+func (r RefusalStats) Total() uint64 {
+	return r.RejectPort + r.RejectStall + r.RejectMSHR
+}
+
+// add accumulates another cell's refusal pressure.
+func (r *RefusalStats) add(o RefusalStats) {
+	r.RejectPort += o.RejectPort
+	r.RejectStall += o.RejectStall
+	r.RejectMSHR += o.RejectMSHR
+	r.RetryPort += o.RetryPort
+	r.RetryStall += o.RetryStall
+	r.RetryMSHR += o.RetryMSHR
 }
 
 // MemCache is an in-process CellCache: a plain map under a mutex.

@@ -604,5 +604,13 @@ func toCellResult(cell Cell, full runner.Result, err error) CellResult {
 		res.Hardware = []core.HWTable{}
 	}
 	res.BaseCacheAccesses = full.BaseCacheAccesses
+	res.Refusals = RefusalStats{
+		RejectPort:  full.L1D.RejectPort + full.L1I.RejectPort + full.L2.RejectPort,
+		RejectStall: full.L1D.RejectStall + full.L1I.RejectStall + full.L2.RejectStall,
+		RejectMSHR:  full.L1D.RejectMSHR + full.L1I.RejectMSHR + full.L2.RejectMSHR,
+		RetryPort:   full.CPU.RetryPort,
+		RetryStall:  full.CPU.RetryStall,
+		RetryMSHR:   full.CPU.RetryMSHR,
+	}
 	return res
 }

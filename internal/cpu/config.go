@@ -5,7 +5,11 @@
 // demonstrate module interoperability (the paper's wrapper story).
 package cpu
 
-import "fmt"
+import (
+	"fmt"
+
+	"microlib/internal/cache"
+)
 
 // Config carries the core's structural parameters.
 type Config struct {
@@ -71,6 +75,27 @@ type Result struct {
 	Stores uint64
 	// Mispredicts counts resolved mispredicted branches.
 	Mispredicts uint64
+	// RetryPort/RetryStall/RetryMSHR count cache refusals the core
+	// absorbed, keyed by the structured reason the cache reported.
+	// They mirror the cache-side Reject* counters but from the
+	// consumer's view: one increment per refused submit attempt.
+	RetryPort  uint64
+	RetryStall uint64
+	RetryMSHR  uint64
+}
+
+// noteRetry records a refused cache access under its reason.
+//
+//ml:hotpath
+func (r *Result) noteRetry(reason cache.Reason) {
+	switch reason {
+	case cache.RefusePort:
+		r.RetryPort++
+	case cache.RefuseStall:
+		r.RetryStall++
+	case cache.RefuseMSHR:
+		r.RetryMSHR++
+	}
 }
 
 // IPC returns committed instructions per cycle.

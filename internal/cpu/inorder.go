@@ -31,7 +31,46 @@ type InOrder struct {
 	waiting  bool
 	doneAt   uint64
 
+	// instScratch is the reused Run-loop instruction buffer (a local
+	// would escape through the stream interface call and cost one
+	// heap allocation per Run invocation).
+	instScratch trace.Inst
+
+	// stepRetries forces the pre-refusal-hint behavior: refused
+	// accesses retry cycle by cycle instead of jumping to the hinted
+	// RetryAt. Bench-only reference knob (mlbench prices the hint
+	// against it); results are bit-identical either way.
+	stepRetries bool
+
 	res Result
+}
+
+// SetStepRetries selects cycle-stepping retries over hint-driven
+// jumps. Bench-only; both modes produce identical results.
+func (c *InOrder) SetStepRetries(v bool) { c.stepRetries = v }
+
+// submit retries a refused L1D access until it is accepted, advancing
+// the clock between attempts. The cache's structured refusal says
+// exactly when the next attempt can succeed — a port frees next
+// cycle, a pipeline stall lifts at RetryAt, a full MSHR frees only
+// when a fill event lands — so the core jumps straight there instead
+// of probing every cycle. Returns the cycle the access was accepted.
+//
+//ml:hotpath
+func (c *InOrder) submit(a *cache.Access, cycle uint64) uint64 {
+	for {
+		r := c.h.L1D.Access(a)
+		if r.Accepted() {
+			return cycle
+		}
+		c.res.noteRetry(r.Reason)
+		if c.stepRetries {
+			cycle++
+		} else {
+			cycle = c.eng.RetryTarget(cycle, r.RetryAt)
+		}
+		c.eng.AdvanceTo(cycle)
+	}
 }
 
 // AccessDone implements cache.DoneSink: the core is loadAcc's
@@ -63,19 +102,16 @@ func NewInOrder(eng *sim.Engine, h *hier.Hierarchy, stream trace.Stream) *InOrde
 //
 //ml:hotpath
 func (c *InOrder) Run(maxInsts uint64) Result {
-	var inst trace.Inst
+	inst := &c.instScratch
 	cycle := c.eng.Now()
-	for c.res.Insts < maxInsts && c.stream.Next(&inst) {
+	for c.res.Insts < maxInsts && c.stream.Next(inst) {
 		c.eng.AdvanceTo(cycle)
 		switch inst.Class {
 		case trace.Load:
 			c.waiting = true
 			c.doneAt = 0
 			c.loadAcc.Addr, c.loadAcc.PC = inst.Addr, inst.MemPC()
-			for !c.h.L1D.Access(&c.loadAcc) {
-				cycle++
-				c.eng.AdvanceTo(cycle)
-			}
+			cycle = c.submit(&c.loadAcc, cycle)
 			// Blocking load: wind simulated time forward until the
 			// data is back. Nothing can change between calendar
 			// events while the scalar core blocks, so jump the clock
@@ -94,10 +130,7 @@ func (c *InOrder) Run(maxInsts uint64) Result {
 			c.res.Loads++
 		case trace.Store:
 			c.storeAcc.Addr, c.storeAcc.PC = inst.Addr, inst.MemPC()
-			for !c.h.L1D.Access(&c.storeAcc) {
-				cycle++
-				c.eng.AdvanceTo(cycle)
-			}
+			cycle = c.submit(&c.storeAcc, cycle)
 			cycle++
 			c.res.Stores++
 		case trace.Branch:

@@ -50,6 +50,10 @@ type OoO struct {
 	fetchBlocked  bool   // waiting on an I-cache fill
 	fetchRetry    bool   // fetch bailed on a next-cycle-retriable resource
 	fetchResumeAt uint64 // earliest fetch cycle after redirect
+	// fetchRefuse is per-cycle scratch: the structured reason the
+	// I-cache refused fetch this cycle (zero when fetch ran clean).
+	// fetch() rewrites it every cycle before stallTarget reads it.
+	fetchRefuse cache.Refusal
 	haltOnBranch  bool   // a mispredicted branch is unresolved
 	haltBranchSeq uint64
 	curFetchLine  uint64
@@ -79,8 +83,29 @@ type OoO struct {
 	warmInsts uint64
 	onWarm    func(cycles uint64)
 
+	// storeAcc is the reused commit-stage store Access (the InOrder
+	// pattern): a refused store at the window head retries every
+	// cycle, and rebuilding the struct per attempt is pure garbage.
+	// Write is bound once at construction.
+	storeAcc cache.Access
+	// headRefuse is per-cycle scratch: why the D-cache refused the
+	// head store this cycle. Only meaningful while the head slot is
+	// stDone and isStore; commit() rewrites it on every refused
+	// attempt before stallTarget reads it.
+	headRefuse cache.Refusal
+
+	// stepRetries forces the pre-refusal-hint behavior: a blocked-head
+	// or refused-fetch cycle never idle-skips on the refusal reason.
+	// Bench-only reference knob; results are bit-identical either way.
+	stepRetries bool
+
 	res Result
 }
+
+// SetStepRetries disables refusal-reason idle-skips, restoring the
+// cycle-stepping retry behavior. Bench-only; both modes produce
+// identical results.
+func (o *OoO) SetStepRetries(v bool) { o.stepRetries = v }
 
 // SetWarmup arranges for fn to be called once, with the cycle count
 // so far, when insts instructions have committed. Statistics
@@ -106,6 +131,7 @@ func NewOoO(eng *sim.Engine, cfg Config, h *hier.Hierarchy, stream trace.Stream)
 		stream: stream,
 		win:    make([]robEntry, cfg.RUUSize),
 	}
+	o.storeAcc.Write = true
 	return o
 }
 
@@ -211,22 +237,59 @@ func (o *OoO) Run(maxInsts uint64) Result {
 
 // stallTarget returns the next cycle at which the stalled core can
 // possibly make progress: the earliest pending calendar event, capped
-// by the fetch-redirect resume cycle. ok is false when the stall is
-// not provably event-bound (e.g. a store at the window head was
-// refused by a cache port this cycle — ports free again next cycle,
-// so skipping would be unsound).
+// by the fetch-redirect resume cycle and by any timer-bound refusal's
+// RetryAt. ok is false when the stall is not provably event- or
+// timer-bound (e.g. a store at the window head was refused by a cache
+// port this cycle — ports free again next cycle, so skipping would be
+// unsound).
+//
+//ml:hotpath
 func (o *OoO) stallTarget(cycle uint64) (uint64, bool) {
+	// capAt, when non-zero, is a timer bound contributed by a
+	// stall-refused access: the refusal lifts at exactly that cycle,
+	// so any jump must stop there.
+	var capAt uint64
 	if o.head != o.tail {
 		// The oldest instruction must itself be waiting on an event.
-		// A done head means commit is blocked on a retriable cache
-		// refusal instead.
-		if o.slot(o.head).state == stDone {
-			return 0, false
+		// A done head means commit is blocked on a cache refusal
+		// instead — skippable only when the recorded reason proves
+		// the refusal is timer- or event-bound.
+		if e := o.slot(o.head); e.state == stDone {
+			if o.stepRetries || !e.isStore {
+				return 0, false
+			}
+			switch o.headRefuse.Reason {
+			case cache.RefuseStall:
+				capAt = o.headRefuse.RetryAt // stall lifts at a known cycle
+			case cache.RefuseMSHR:
+				// Event-bound: the blocking MSHR frees only when a
+				// fill event lands, and fills live on the calendar.
+			default:
+				return 0, false // port conflict: free again next cycle
+			}
 		}
 	} else if !(o.fetchBlocked || o.haltOnBranch || o.fetchResumeAt > cycle) {
-		// Empty window: only an event-bound (or timer-bound) front
-		// end justifies a jump.
-		return 0, false
+		// Empty window: only an event- or timer-bound front end
+		// justifies a jump. A stall- or MSHR-refused I-cache access
+		// qualifies; anything else (including a clean fetch that
+		// placed nothing) does not.
+		if o.stepRetries {
+			return 0, false
+		}
+		switch o.fetchRefuse.Reason {
+		case cache.RefuseStall:
+			capAt = o.fetchRefuse.RetryAt
+		case cache.RefuseMSHR:
+		default:
+			return 0, false
+		}
+	}
+	// A stall-refused fetch bounds the jump even when the head stall
+	// is event-bound: fetch can make progress the cycle its stall
+	// lifts, so never skip past it.
+	if o.fetchRefuse.Reason == cache.RefuseStall &&
+		(capAt == 0 || o.fetchRefuse.RetryAt < capAt) {
+		capAt = o.fetchRefuse.RetryAt
 	}
 	t, ok := o.eng.NextEventAt()
 	// A pending redirect wakes fetch at fetchResumeAt with no
@@ -235,6 +298,9 @@ func (o *OoO) stallTarget(cycle uint64) (uint64, bool) {
 		if !ok || o.fetchResumeAt < t {
 			t, ok = o.fetchResumeAt, true
 		}
+	}
+	if capAt > cycle && (!ok || capAt < t) {
+		t, ok = capAt, true
 	}
 	return t, ok
 }
@@ -251,9 +317,11 @@ func (o *OoO) commit() (committed int) {
 			return committed
 		}
 		if e.isStore {
-			acc := cache.Access{Addr: e.addr, PC: e.pc, Write: true}
-			if !o.h.L1D.Access(&acc) {
-				return committed // retry next cycle
+			o.storeAcc.Addr, o.storeAcc.PC = e.addr, e.pc
+			if r := o.h.L1D.Access(&o.storeAcc); !r.Accepted() {
+				o.headRefuse = r
+				o.res.noteRetry(r.Reason)
+				return committed // retry per the refusal reason
 			}
 			o.res.Stores++
 		}
@@ -306,7 +374,8 @@ func (o *OoO) issue(cycle uint64) int {
 			lr := o.getLoad(seq)
 			lr.acc.Addr = e.addr
 			lr.acc.PC = e.pc
-			if !o.h.L1D.Access(&lr.acc) {
+			if r := o.h.L1D.Access(&lr.acc); !r.Accepted() {
+				o.res.noteRetry(r.Reason)
 				o.putLoad(lr)
 				kept = append(kept, seq)
 				continue
@@ -414,6 +483,7 @@ func (o *OoO) stage(inst *trace.Inst) {
 //ml:hotpath
 func (o *OoO) fetch(cycle uint64) (placed int) {
 	o.fetchRetry = false
+	o.fetchRefuse = cache.Refusal{}
 	if o.fetchDone || o.haltOnBranch || o.fetchBlocked || cycle < o.fetchResumeAt {
 		return 0
 	}
@@ -441,19 +511,19 @@ func (o *OoO) fetch(cycle uint64) (placed int) {
 			present, _, _ := o.h.L1I.Probe(lineAddr)
 			if present {
 				acc := cache.Access{Addr: lineAddr, PC: inst.PC}
-				if !o.h.L1I.Access(&acc) {
+				if r := o.h.L1I.Access(&acc); !r.Accepted() {
 					o.stage(inst)
-					o.fetchRetry = true
-					return placed // I-port busy; retry next cycle
+					o.noteFetchRefusal(r)
+					return placed // I-cache refused the hit access
 				}
 				o.curFetchLine = lineAddr
 			} else {
 				acc := cache.Access{Addr: lineAddr, PC: inst.PC, Done: o}
-				if o.h.L1I.Access(&acc) {
+				if r := o.h.L1I.Access(&acc); r.Accepted() {
 					o.fetchBlocked = true
 					o.curFetchLine = lineAddr
 				} else {
-					o.fetchRetry = true // I-cache refused the miss
+					o.noteFetchRefusal(r) // I-cache refused the miss
 				}
 				o.stage(inst)
 				return placed
@@ -470,6 +540,25 @@ func (o *OoO) fetch(cycle uint64) (placed int) {
 		}
 	}
 	return placed
+}
+
+// noteFetchRefusal records an I-cache refusal for the idle-skip
+// logic. Stall/MSHR refusals are timer-/event-bound: fetchRetry stays
+// clear so stallTarget may jump (bounded by fetchRefuse.RetryAt for
+// stalls). Port refusals free again next cycle with no calendar event
+// involved, so they must keep blocking the skip, as before.
+//
+//ml:hotpath
+func (o *OoO) noteFetchRefusal(r cache.Refusal) {
+	o.fetchRefuse = r
+	o.res.noteRetry(r.Reason)
+	switch {
+	case o.stepRetries:
+		o.fetchRetry = true
+	case r.Reason == cache.RefuseStall || r.Reason == cache.RefuseMSHR:
+	default:
+		o.fetchRetry = true
+	}
 }
 
 // place allocates a window entry and resolves its dependences.

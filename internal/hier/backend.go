@@ -75,9 +75,14 @@ func (b *l1DataBackend) Fetch(lineAddr, pc uint64, prefetch bool, sink cache.Fil
 	return true
 }
 
+// l1FetchSubmit retries per cycle rather than jumping to the
+// refusal's RetryAt: the retry is a calendar event, and scheduling it
+// straight at the acceptance cycle would change its FIFO position
+// there relative to competing L2 clients — per-cycle polling keeps
+// the event order (and therefore results) bit-identical.
 func l1FetchSubmit(_ uint64, o1, _ any, _, _ uint64) {
 	f := o1.(*l1Fetch)
-	if !f.b.l2.Access(&f.acc) {
+	if !f.b.l2.Access(&f.acc).Accepted() {
 		f.b.eng.AfterFunc(1, l1FetchSubmit, f, nil, 0, 0)
 	}
 }
@@ -105,10 +110,12 @@ func (b *l1DataBackend) WriteBack(lineAddr uint64) bool {
 	return true
 }
 
+// l1SubmitWB polls per cycle for the same event-order reason as
+// l1FetchSubmit.
 func l1SubmitWB(_ uint64, o1, _ any, lineAddr, _ uint64) {
 	b := o1.(*l1DataBackend)
 	acc := cache.Access{Addr: lineAddr, Write: true}
-	if !b.l2.Access(&acc) {
+	if !b.l2.Access(&acc).Accepted() {
 		b.eng.AfterFunc(1, l1SubmitWB, b, nil, lineAddr, 0)
 	}
 }

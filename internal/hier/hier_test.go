@@ -84,7 +84,7 @@ func TestEndToEndMissPath(t *testing.T) {
 			PC:   0x400000,
 			Done: cache.DoneFunc(func(now uint64, hit bool) { doneAt = now }),
 		})
-		if !ok {
+		if !ok.Accepted() {
 			t.Fatalf("%v: access refused", kind)
 		}
 		eng.AdvanceTo(5000)

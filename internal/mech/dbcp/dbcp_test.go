@@ -38,7 +38,7 @@ func TestDBCPLearnsRepeatingTour(t *testing.T) {
 	}
 	cycle := eng.Now()
 	access := func(addr, pc uint64) {
-		for !l1.Access(&cache.Access{Addr: addr, PC: pc}) {
+		for !l1.Access(&cache.Access{Addr: addr, PC: pc}).Accepted() {
 			cycle++
 			eng.AdvanceTo(cycle)
 		}

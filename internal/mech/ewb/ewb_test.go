@@ -14,7 +14,7 @@ func TestEagerWritebackCleansDirtyLRU(t *testing.T) {
 	// Dirty two lines in different sets.
 	for _, a := range []uint64{0x10000, 0x20040} {
 		ok := s.Cache.Access(&cache.Access{Addr: a, Write: true})
-		if !ok {
+		if !ok.Accepted() {
 			t.Fatal("write refused")
 		}
 		s.Settle(60)

@@ -67,7 +67,7 @@ func TestDirtyNotRetained(t *testing.T) {
 	s.Access(a, 1)
 	// Dirty it, then evict: the stale compressed copy must not be
 	// kept.
-	if !s.Cache.Access(&cache.Access{Addr: a, Write: true}) {
+	if !s.Cache.Access(&cache.Access{Addr: a, Write: true}).Accepted() {
 		t.Fatal("write refused")
 	}
 	s.Settle(50)

@@ -43,7 +43,7 @@ func TestMarkovLearnsRepeatingTour(t *testing.T) {
 	}
 	cycle := eng.Now()
 	access := func(addr uint64) {
-		for !l1.Access(&cache.Access{Addr: addr, PC: 0x400000}) {
+		for !l1.Access(&cache.Access{Addr: addr, PC: 0x400000}).Accepted() {
 			cycle += 1
 			eng.AdvanceTo(cycle)
 		}

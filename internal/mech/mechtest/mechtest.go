@@ -81,7 +81,7 @@ func (s *System) Access(addr, pc uint64) (hit bool) {
 	done := false
 	a := &cache.Access{Addr: addr, PC: pc, Done: cache.DoneFunc(func(now uint64, h bool) { done, hit = true, h })}
 	cycle := s.Eng.Now()
-	for !s.Cache.Access(a) {
+	for !s.Cache.Access(a).Accepted() {
 		cycle++
 		s.Eng.AdvanceTo(cycle)
 	}

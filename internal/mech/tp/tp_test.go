@@ -66,7 +66,7 @@ func TestWritesIgnored(t *testing.T) {
 	s.Cache.Attach(m)
 	// Write misses (write-backs from the level above) should not
 	// trigger the read prefetcher.
-	if !s.Cache.Access(&cache.Access{Addr: 0x30000, Write: true}) {
+	if !s.Cache.Access(&cache.Access{Addr: 0x30000, Write: true}).Accepted() {
 		t.Fatal("write refused")
 	}
 	s.Settle(200)

@@ -38,7 +38,11 @@ import (
 // CheckpointVersion tags the serialized state layout. Bump it whenever
 // any component's snapshot struct changes shape or meaning — a stale
 // checkpoint must be discarded, never reinterpreted.
-const CheckpointVersion = 1
+//
+// v2: cpu.Result gained the per-reason retry counters
+// (RetryPort/RetryStall/RetryMSHR), changing the gob shape of both
+// cores' serialized state.
+const CheckpointVersion = 2
 
 // ErrCheckpointUnusable marks a checkpoint that cannot serve the
 // requested run (version skew, prefix mismatch, measured budget inside

@@ -112,6 +112,10 @@ var snapshotCoverage = []struct {
 			"stopInsts":    "prefix-run control, cleared before a restored measurement",
 			"warmInsts":    "runner warm-up hook, re-armed per run",
 			"onWarm":       "runner warm-up hook, re-armed per run",
+			"storeAcc":     "commit-stage scratch: Addr/PC rebuilt from the head window entry at every attempt, Write re-bound at construction",
+			"headRefuse":   "per-cycle scratch: rewritten by commit() before stallTarget reads it",
+			"fetchRefuse":  "per-cycle scratch: rewritten by fetch() before stallTarget reads it",
+			"stepRetries":  "bench-only reference knob, never set on a checkpointed run",
 		},
 	},
 	{
@@ -124,6 +128,8 @@ var snapshotCoverage = []struct {
 			"mispredictPenalty": "configuration, reproduced by reconstruction",
 			"warmInsts":         "runner warm-up hook, re-armed per run",
 			"onWarm":            "runner warm-up hook, re-armed per run",
+			"stepRetries":       "bench-only reference knob, never set on a checkpointed run",
+			"instScratch":       "Run-loop scratch, dead between Run calls",
 		},
 	},
 	{

@@ -289,6 +289,25 @@ func (e *Engine) nextAt() (uint64, bool) {
 // jump instead of stepping cycle by cycle.
 func (e *Engine) NextEventAt() (uint64, bool) { return e.nextAt() }
 
+// RetryTarget resolves a cache.Refusal hint into the next cycle a
+// refused core should retry at. Timer-bound refusals carry an exact
+// retryAt > now and the core jumps straight there; event-bound ones
+// (retryAt == 0, e.g. a full MSHR that frees only when a fill lands)
+// resolve to the next pending calendar event. A refused access always
+// implies a pending event — the fetch or write-back that will unblock
+// it — so the now+1 fallback is defensive, never a busy-wait.
+//
+//ml:hotpath
+func (e *Engine) RetryTarget(now, retryAt uint64) uint64 {
+	if retryAt > now {
+		return retryAt
+	}
+	if t, ok := e.nextAt(); ok && t > now {
+		return t
+	}
+	return now + 1
+}
+
 // nextRing scans the occupancy bitmap circularly from base and maps
 // the first set bit back to its absolute cycle. Callers guarantee
 // ringCount > 0. Cost is at most occWords word tests.

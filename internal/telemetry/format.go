@@ -29,9 +29,10 @@ func WriteIntervals(w io.Writer, format string, ivs []Interval) error {
 // WriteIntervalsText prints the derived per-interval rates the paper
 // plots discuss: IPC, miss ratios, bus occupancies, memory traffic.
 func WriteIntervalsText(w io.Writer, ivs []Interval) error {
-	if _, err := fmt.Fprintf(w, "%-4s %-2s %12s %12s %8s %7s %7s %7s %7s %7s %7s %8s %9s\n",
+	if _, err := fmt.Fprintf(w, "%-4s %-2s %12s %12s %8s %7s %7s %7s %7s %7s %7s %8s %9s %8s %8s\n",
 		"idx", "ph", "start", "end", "insts", "ipc",
-		"l1d.mr", "l1i.mr", "l2.mr", "l1bus", "fsb", "memrd", "rdlat"); err != nil {
+		"l1d.mr", "l1i.mr", "l2.mr", "l1bus", "fsb", "memrd", "rdlat",
+		"l1d.rej", "l2.rej"); err != nil {
 		return err
 	}
 	for _, iv := range ivs {
@@ -39,11 +40,13 @@ func WriteIntervalsText(w io.Writer, ivs []Interval) error {
 		if iv.Warmup {
 			phase = "w"
 		}
-		if _, err := fmt.Fprintf(w, "%-4d %-2s %12d %12d %8d %7.4f %7.4f %7.4f %7.4f %7.4f %7.4f %8d %9.1f\n",
+		if _, err := fmt.Fprintf(w, "%-4d %-2s %12d %12d %8d %7.4f %7.4f %7.4f %7.4f %7.4f %7.4f %8d %9.1f %8d %8d\n",
 			iv.Index, phase, iv.StartCycle, iv.EndCycle, iv.Insts, iv.IPC(),
 			iv.L1D.MissRatio(), iv.L1I.MissRatio(), iv.L2.MissRatio(),
 			iv.BusOccupancy(iv.L1Bus), iv.BusOccupancy(iv.FSB),
-			iv.Mem.Reads, iv.Mem.AvgReadLatency()); err != nil {
+			iv.Mem.Reads, iv.Mem.AvgReadLatency(),
+			iv.L1D.RejectPort+iv.L1D.RejectStall+iv.L1D.RejectMSHR,
+			iv.L2.RejectPort+iv.L2.RejectStall+iv.L2.RejectMSHR); err != nil {
 			return err
 		}
 	}
@@ -62,6 +65,8 @@ func WriteIntervalsCSV(w io.Writer, ivs []Interval) error {
 		"prefetch_issued", "prefetch_useful",
 		"l1bus_transfers", "l1bus_occupancy", "fsb_transfers", "fsb_occupancy",
 		"mem_reads", "mem_writes", "mem_avg_read_latency", "mem_row_hits", "mem_row_conflicts",
+		"l1d_rej_port", "l1d_rej_stall", "l1d_rej_mshr",
+		"l2_rej_port", "l2_rej_stall", "l2_rej_mshr",
 	}
 	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
 		return err
@@ -71,14 +76,16 @@ func WriteIntervalsCSV(w io.Writer, ivs []Interval) error {
 		if iv.Warmup {
 			warm = 1
 		}
-		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%.6f,%d,%d,%d,%.6f,%d,%d,%d,%d,%d,%.6f,%d,%d,%d,%.6f,%d,%.6f,%d,%d,%.2f,%d,%d\n",
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%.6f,%d,%d,%d,%.6f,%d,%d,%d,%d,%d,%.6f,%d,%d,%d,%.6f,%d,%.6f,%d,%d,%.2f,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			iv.Index, warm, iv.StartCycle, iv.EndCycle, iv.Cycles(), iv.Insts, iv.IPC(),
 			iv.L1D.Accesses, iv.L1D.Hits, iv.L1D.Misses, iv.L1D.MissRatio(),
 			iv.L1I.Accesses, iv.L1I.Misses,
 			iv.L2.Accesses, iv.L2.Hits, iv.L2.Misses, iv.L2.MissRatio(),
 			iv.L1D.PrefetchIssued+iv.L2.PrefetchIssued, iv.L1D.PrefetchUseful+iv.L2.PrefetchUseful,
 			iv.L1Bus.Transfers, iv.BusOccupancy(iv.L1Bus), iv.FSB.Transfers, iv.BusOccupancy(iv.FSB),
-			iv.Mem.Reads, iv.Mem.Writes, iv.Mem.AvgReadLatency(), iv.Mem.RowHits, iv.Mem.RowConflicts); err != nil {
+			iv.Mem.Reads, iv.Mem.Writes, iv.Mem.AvgReadLatency(), iv.Mem.RowHits, iv.Mem.RowConflicts,
+			iv.L1D.RejectPort, iv.L1D.RejectStall, iv.L1D.RejectMSHR,
+			iv.L2.RejectPort, iv.L2.RejectStall, iv.L2.RejectMSHR); err != nil {
 			return err
 		}
 	}
